@@ -1,0 +1,51 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark runs one experiment driver (timed with
+``benchmark.pedantic``, one round — these are simulations, not
+microbenchmarks), registers its rendered table, and writes it under
+``results/``.  The tables are echoed into the terminal summary so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+the full paper-shaped output.
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales workload sizes for quick
+passes, e.g. ``REPRO_BENCH_SCALE=0.2 pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_TABLES: list[str] = []
+
+
+def register_report(report, filename: str) -> None:
+    """Record a rendered experiment table for the terminal summary."""
+    _TABLES.append(report.render())
+    report.save(filename)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Workload scale factor from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def shared_store() -> dict:
+    """Cross-file cache so Figure 8 reuses Figure 7's runs."""
+    return {}
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("PAPER EXPERIMENT TABLES (also saved under results/)")
+    terminalreporter.write_line("=" * 72)
+    for text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

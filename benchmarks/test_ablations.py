@@ -1,0 +1,53 @@
+"""Bench targets: the DESIGN.md ablation studies.
+
+Not paper figures, but isolations of the design choices the paper
+motivates: the Section 4.3 counter optimization (vs Figure 6(b)
+flags), and the layout-robustness of the purely temporal transformation.
+"""
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import run_layout_ablation, run_truncation_ablation
+from repro.memory.counters import speedup
+
+
+def test_ablation_truncation_machinery(benchmark, bench_scale):
+    num_points = max(512, int(4096 * bench_scale))
+    report, runs = benchmark.pedantic(
+        run_truncation_ablation,
+        kwargs={"num_points": num_points},
+        rounds=1,
+        iterations=1,
+    )
+    register_report(report, "ablation_truncation.txt")
+
+    flags = runs["twist (flags)"]
+    counters = runs["twist (counters)"]
+    # Counters remove the unset loops entirely...
+    assert counters.op_counts.get("flag_unset", 0) == 0
+    assert flags.op_counts.get("flag_unset", 0) > 0
+    # ...and therefore never cost more instructions than flags.
+    assert counters.instructions <= flags.instructions
+    # All variants still beat the baseline at full scale.
+    if bench_scale >= 1.0:
+        baseline = runs["original"]
+        for name, run in runs.items():
+            if name != "original":
+                assert speedup(baseline, run) > 1.0, name
+
+
+def test_ablation_layout_robustness(benchmark, bench_scale):
+    num_nodes = max(300, int(1000 * bench_scale))
+    report, data = benchmark.pedantic(
+        run_layout_ablation,
+        kwargs={"num_nodes": num_nodes},
+        rounds=1,
+        iterations=1,
+    )
+    register_report(report, "ablation_layout.txt")
+
+    gains = {policy: speedup(b, t) for policy, (b, t) in data.items()}
+    # The temporal-locality win survives every layout...
+    for policy, gain in gains.items():
+        assert gain > 1.5, policy
+    # ...and is layout-insensitive (within a modest band).
+    assert max(gains.values()) / min(gains.values()) < 1.5

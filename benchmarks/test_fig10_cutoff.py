@@ -1,0 +1,52 @@
+"""Bench target: Figure 10 — cutoff twisting vs parameterless (§7.1).
+
+Paper shapes asserted: every cutoff has lower instruction overhead than
+parameterless twisting, with larger cutoffs cheaper; an overly large
+cutoff forfeits locality (worse speedup than parameterless); the best
+cutoff is not the smallest; parameterless stays within reach of the
+best cutoff.
+"""
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import run_fig10
+from repro.memory.counters import instruction_overhead, speedup
+
+CUTOFFS = (4, 16, 64, 256, 1024)
+
+
+def test_fig10_cutoff(benchmark, bench_scale):
+    num_points = max(256, int(2048 * bench_scale))
+    report, runs = benchmark.pedantic(
+        run_fig10,
+        kwargs={"num_points": num_points, "cutoffs": CUTOFFS},
+        rounds=1,
+        iterations=1,
+    )
+    register_report(report, "fig10_cutoff.txt")
+
+    baseline = runs["original"]
+    parameterless = runs["parameterless"]
+
+    def overhead(name):
+        return instruction_overhead(baseline, runs[name])
+
+    def gain(name):
+        return speedup(baseline, runs[name])
+
+    # 10(a): cutoffs reduce overhead, monotonically in the cutoff.
+    overheads = [overhead(f"twist(cutoff={c})") for c in CUTOFFS]
+    assert all(o <= overhead("parameterless") + 1e-9 for o in overheads)
+    assert all(a >= b - 1e-9 for a, b in zip(overheads, overheads[1:]))
+
+    # 10(b): the largest cutoff (larger than the whole tree) degenerates
+    # to the baseline schedule -- no overhead, but no locality either.
+    assert gain(f"twist(cutoff={CUTOFFS[-1]})") < gain("parameterless")
+    # The parameterless version is competitive with the best cutoff
+    # (paper: "not too far off from the best cutoff version").
+    best = max(gain(f"twist(cutoff={c})") for c in CUTOFFS)
+    assert gain("parameterless") > 0.6 * best
+
+    # Our answer to the paper's open problem: the cache-aware estimator
+    # must land in the plateau of good cutoffs.
+    auto_name = next(name for name in runs if name.startswith("auto(cutoff="))
+    assert speedup(baseline, runs[auto_name]) > 0.85 * best, auto_name

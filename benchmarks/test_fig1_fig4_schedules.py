@@ -1,0 +1,20 @@
+"""Bench target: Figures 1(c)/4(b) and the Section 3.2 worked example.
+
+Regenerates the 7x7 schedules and the exact reuse distances the paper
+prints.  Cheap, but kept in the benchmark suite so one run leaves the
+complete set of paper artifacts behind.
+"""
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import run_fig1_fig4
+from repro.bench.experiments.fig1_fig4 import (
+    PAPER_ORIGINAL_NODE5,
+    PAPER_TWISTED_NODE5,
+)
+
+
+def test_fig1_fig4_schedules(benchmark):
+    report, data = benchmark.pedantic(run_fig1_fig4, rounds=1, iterations=1)
+    register_report(report, "fig1_fig4_schedules.txt")
+    assert data["original_node5"] == PAPER_ORIGINAL_NODE5
+    assert data["twisted_node5"] == PAPER_TWISTED_NODE5

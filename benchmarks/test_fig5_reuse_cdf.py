@@ -1,0 +1,29 @@
+"""Bench target: Figure 5 — TJ reuse-distance CDF at 1024 nodes.
+
+Paper shape asserted: the original CDF is bimodal (about half the
+accesses at O(1) distances, the rest at O(n)); the twisted CDF
+dominates at small and medium distances, reflecting the nested tiles.
+"""
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import run_fig5
+
+
+def test_fig5_reuse_cdf(benchmark, bench_scale):
+    num_nodes = max(64, int(1024 * bench_scale))
+    report, data = benchmark.pedantic(
+        run_fig5, kwargs={"num_nodes": num_nodes}, rounds=1, iterations=1
+    )
+    register_report(report, "fig5_reuse_cdf.txt")
+
+    original, twisted = data["original"], data["twisted"]
+    # Bimodal original: ~half the accesses have tiny distances, and
+    # essentially nothing lands between O(1) and O(n).
+    assert 0.4 < original.fraction_at_most(4) < 0.6
+    assert original.fraction_at_most(num_nodes // 2) == original.fraction_at_most(4)
+    # Twisting dominates at mid-range distances (sampled relative to
+    # the tree size so the shape check holds at any scale).
+    for r in (num_nodes // 32, num_nodes // 8, num_nodes // 2):
+        assert twisted.fraction_at_most(r) > original.fraction_at_most(r), r
+    # Mean finite reuse distance collapses.
+    assert twisted.mean_finite_distance() < original.mean_finite_distance() / 5

@@ -1,0 +1,44 @@
+"""Bench target: Figure 7 — speedup of twisting on all six benchmarks.
+
+Paper: 1.77x (VP) to 10.88x (PC), geomean 3.94x.  Shape asserted here:
+every benchmark speeds up; VP is the smallest win (compute-bound, CPI
+0.93); the dual-tree maximum is PC (memory-bound, CPI 6.7); the
+geometric mean lands in the paper's band.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import fig7_report, run_fig7
+from repro.memory.counters import geomean_speedup, speedup
+
+
+def test_fig7_speedup(benchmark, bench_scale, shared_store):
+    data = benchmark.pedantic(
+        run_fig7, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    shared_store["fig7"] = data
+    register_report(fig7_report(data), "fig7_speedup.txt")
+
+    speedups = {name: speedup(b, t) for name, (b, t) in data.items()}
+    # Everybody wins.
+    for name, value in speedups.items():
+        assert value > 1.0, (name, value)
+    if bench_scale >= 1.0:
+        # Paper ordering: VP is the smallest dual-tree win (compute
+        # bound); PC the largest (memory bound).
+        assert speedups["VP"] == min(
+            speedups[n] for n in ("PC", "NN", "KNN", "VP")
+        )
+        assert speedups["PC"] == max(
+            speedups[n] for n in ("PC", "NN", "KNN", "VP")
+        )
+        # Geomean in the paper's band (paper: 3.94x).
+        gm = geomean_speedup(list(data.values()))
+        assert 2.0 < gm < 8.0
+    # Results identical across schedules.
+    for name, (baseline, twisted) in data.items():
+        if isinstance(baseline.result, float):
+            assert baseline.result == pytest.approx(twisted.result), name
+        else:
+            assert baseline.result == twisted.result, name

@@ -1,0 +1,41 @@
+"""Bench target: Figure 8 — instruction overhead and L2/L3 miss rates.
+
+Produced from the same runs as Figure 7 (cached in the session store).
+Paper shapes asserted: overhead positive but bounded (paper: 1%-72%);
+baseline L3 miss rates at 80+% on the thrashing benchmarks collapsing
+dramatically under twisting; L2 improves as well (twisting targets all
+levels at once).
+"""
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import fig8_reports, run_fig7
+from repro.memory.counters import instruction_overhead
+
+
+def test_fig8_counters(benchmark, bench_scale, shared_store):
+    if "fig7" in shared_store:
+        data = shared_store["fig7"]
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    else:  # standalone invocation of this file
+        data = benchmark.pedantic(
+            run_fig7, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+        )
+    overhead_report, miss_report = fig8_reports(data)
+    register_report(overhead_report, "fig8a_instruction_overhead.txt")
+    register_report(miss_report, "fig8b_miss_rates.txt")
+
+    for name, (baseline, twisted) in data.items():
+        overhead = instruction_overhead(baseline, twisted)
+        assert 0.0 < overhead < 1.2, (name, overhead)
+
+    # The memory-bound benchmarks saturate L3 at full scale and
+    # twisting collapses both cache levels' miss rates.
+    if bench_scale >= 1.0:
+        for name in ("TJ", "MM", "PC"):
+            baseline, twisted = data[name]
+            assert baseline.miss_rate("L3") > 0.8, name
+            assert twisted.miss_rate("L3") < baseline.miss_rate("L3") / 2, name
+            assert twisted.miss_rate("L2") < baseline.miss_rate("L2") / 2, name
+        for name in ("NN", "KNN", "VP"):
+            baseline, twisted = data[name]
+            assert twisted.levels["L2"].misses < baseline.levels["L2"].misses, name

@@ -1,0 +1,39 @@
+"""Bench target: Figure 9 — PC across input sizes.
+
+Paper shape asserted: near-zero (or negative) gain at small sizes,
+rising speedup as the baseline starts missing in L3, leveling off once
+the baseline saturates; twisted miss rates stay low throughout.
+"""
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import run_fig9
+from repro.memory.counters import speedup
+
+
+def test_fig9_scaling(benchmark, bench_scale):
+    sizes = (128, 256, 512, 1024, 2048, 4096, 8192)
+    if bench_scale < 1.0:
+        sizes = tuple(max(64, int(s * bench_scale)) for s in sizes[:5])
+    report, data = benchmark.pedantic(
+        run_fig9, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    register_report(report, "fig9_scaling.txt")
+
+    speedups = [speedup(*data[size]) for size in sizes]
+    # Left edge: overhead dominates (paper: "virtually no speedup, or
+    # even a slowdown").
+    assert speedups[0] < 1.2
+    if bench_scale >= 1.0:
+        # Right edge: decisively faster.
+        assert speedups[-1] > 2.0
+        # Broadly increasing: the largest size beats the smallest by a
+        # lot, and the curve's maximum sits in the saturated half.
+        assert speedups[-1] > 2 * speedups[0]
+        assert speedups.index(max(speedups)) >= len(sizes) // 2
+
+    if bench_scale >= 1.0:
+        # Baseline saturation at the top end (paper: levels off ~80%).
+        baseline_top = data[sizes[-1]][0]
+        assert baseline_top.miss_rate("L3") > 0.8
+        twisted_top = data[sizes[-1]][1]
+        assert twisted_top.miss_rate("L3") < 0.5

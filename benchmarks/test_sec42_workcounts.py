@@ -1,0 +1,34 @@
+"""Bench target: Section 4.2 in-text iteration counts on PC.
+
+Paper (100K points): original 1.25G iterations; interchange 5.61G
+(4.49x — "it cannot truncate any recursions"); twisting 1.31G (+4%);
+twisting + subtree truncation 1.27G (+1.8%).  Shape asserted: the same
+strict ordering, with interchange paying a multiple while twisting
+pays a fraction, and subtree truncation recovering a further chunk.
+"""
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import run_sec42
+
+
+def test_sec42_workcounts(benchmark, bench_scale):
+    num_points = max(256, int(4096 * bench_scale))
+    report, counts = benchmark.pedantic(
+        run_sec42, kwargs={"num_points": num_points}, rounds=1, iterations=1
+    )
+    register_report(report, "sec42_workcounts.txt")
+
+    base = counts["original"]
+    interchange = counts["interchange"]
+    twist = counts["twist (no subtree trunc)"]
+    twist_subtree = counts["twist + subtree trunc"]
+
+    # Interchange is forced into (a large fraction of) the full cross
+    # product: a multiple of the original.
+    assert interchange > 3 * base
+    # Twisting pays far less than interchange...
+    assert twist < interchange / 2
+    # ...and subtree truncation recovers more.
+    assert base <= twist_subtree < twist
+    # Counters don't change the visit set, only the bookkeeping.
+    assert counts["twist + counters"] == twist_subtree

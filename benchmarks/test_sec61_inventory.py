@@ -1,0 +1,26 @@
+"""Bench target: the Section 6.1 benchmark inventory table.
+
+Regenerates the methodology table — scaled inputs, modeled baseline
+cycles, and the dependence/truncation classification, which is derived
+programmatically and must match the paper's: TJ/MM regular, the four
+dual-tree benchmarks irregular, all six with parallel outer recursions.
+"""
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import run_sec61
+
+
+def test_sec61_inventory(benchmark, bench_scale):
+    report, data = benchmark.pedantic(
+        run_sec61, kwargs={"scale": min(bench_scale, 0.25)}, rounds=1, iterations=1
+    )
+    register_report(report, "sec61_inventory.txt")
+
+    assert set(data) == {"TJ", "MM", "PC", "NN", "KNN", "VP"}
+    for name in ("TJ", "MM"):
+        assert not data[name]["irregular"], name
+    for name in ("PC", "NN", "KNN", "VP"):
+        assert data[name]["irregular"], name
+    for name, entry in data.items():
+        assert entry["outer_parallel"], name
+        assert entry["baseline"].cycles > 0

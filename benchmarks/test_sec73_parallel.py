@@ -1,0 +1,32 @@
+"""Bench target: the Section 7.3 parallelism extension.
+
+The paper sketches but does not evaluate task-parallel twisting; this
+target realizes the sketch.  Shape asserted: parallel speedup grows
+with workers (bounded by the worker count), and the twisted tasks'
+locality win holds at every worker count.
+"""
+
+from benchmarks.conftest import register_report
+from repro.bench.experiments import run_sec73
+
+
+def test_sec73_parallel(benchmark, bench_scale):
+    num_nodes = max(200, int(500 * bench_scale))
+    report, data = benchmark.pedantic(
+        run_sec73, kwargs={"num_nodes": num_nodes}, rounds=1, iterations=1
+    )
+    register_report(report, "sec73_parallel.txt")
+
+    worker_counts = sorted(data)
+    # Parallel speedup grows with workers and respects the bound.
+    previous = 0.0
+    for workers in worker_counts:
+        twisted = data[workers]["twisted"]
+        assert twisted.parallel_speedup <= workers + 1e-9
+        assert twisted.parallel_speedup >= previous * 0.95  # near-monotone
+        previous = twisted.parallel_speedup
+    # The locality win composes with parallelism at every width.
+    for workers in worker_counts:
+        original = data[workers]["original"]
+        twisted = data[workers]["twisted"]
+        assert original.makespan / twisted.makespan > 1.5, workers

@@ -1,0 +1,138 @@
+"""repro — Locality Transformations for Nested Recursive Iteration Spaces.
+
+A production-quality reproduction of Sundararajah, Sakka & Kulkarni,
+*"Locality Transformations for Nested Recursive Iteration Spaces"*
+(ASPLOS 2017): recursion interchange and recursion twisting over the
+nested recursion template, irregular-truncation machinery, a Python
+source-to-source transformation tool, dual-tree n-body benchmarks, and
+a simulated memory hierarchy standing in for the paper's hardware
+counters.
+
+Quickstart::
+
+    from repro import (
+        NestedRecursionSpec, run_original, run_twisted,
+        paper_outer_tree, paper_inner_tree, WorkRecorder,
+    )
+
+    spec = NestedRecursionSpec(paper_outer_tree(), paper_inner_tree())
+    recorder = WorkRecorder()
+    run_twisted(spec, instrument=recorder)
+    print(recorder.points)  # the Figure 4(b) schedule
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core import (
+    INNER_TREE,
+    INTERCHANGE,
+    ORIGINAL,
+    OUTER_TREE,
+    TWIST,
+    AccessTraceRecorder,
+    CacheProbe,
+    FootprintRecorder,
+    Instrument,
+    NestedRecursionSpec,
+    OpCounter,
+    ReuseDistanceProbe,
+    Schedule,
+    WorkRecorder,
+    check_transformation,
+    combine,
+    get_schedule,
+    is_outer_parallel,
+    run_interchanged,
+    run_original,
+    run_twisted,
+    twist_with_cutoff,
+)
+from repro.errors import (
+    MemorySimError,
+    ReproError,
+    ScheduleError,
+    SoundnessError,
+    SpecError,
+    TransformError,
+)
+from repro.memory import (
+    AddressMap,
+    CacheHierarchy,
+    CostModel,
+    PerfReport,
+    ReuseDistanceAnalyzer,
+    instruction_overhead,
+    layout_tree,
+    scaled_hierarchy,
+    speedup,
+)
+from repro.spaces import (
+    IndexNode,
+    IterationSpace,
+    TreeNode,
+    balanced_tree,
+    finalize_tree,
+    list_tree,
+    paper_inner_tree,
+    paper_outer_tree,
+    perfect_tree,
+    random_tree,
+    render_schedule,
+    tree_from_nested,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessTraceRecorder",
+    "AddressMap",
+    "CacheHierarchy",
+    "CacheProbe",
+    "CostModel",
+    "FootprintRecorder",
+    "INNER_TREE",
+    "INTERCHANGE",
+    "IndexNode",
+    "Instrument",
+    "IterationSpace",
+    "MemorySimError",
+    "NestedRecursionSpec",
+    "ORIGINAL",
+    "OUTER_TREE",
+    "OpCounter",
+    "PerfReport",
+    "ReproError",
+    "ReuseDistanceAnalyzer",
+    "ReuseDistanceProbe",
+    "Schedule",
+    "ScheduleError",
+    "SoundnessError",
+    "SpecError",
+    "TWIST",
+    "TransformError",
+    "TreeNode",
+    "WorkRecorder",
+    "balanced_tree",
+    "check_transformation",
+    "combine",
+    "finalize_tree",
+    "get_schedule",
+    "instruction_overhead",
+    "is_outer_parallel",
+    "layout_tree",
+    "list_tree",
+    "paper_inner_tree",
+    "paper_outer_tree",
+    "perfect_tree",
+    "random_tree",
+    "render_schedule",
+    "run_interchanged",
+    "run_original",
+    "run_twisted",
+    "scaled_hierarchy",
+    "speedup",
+    "tree_from_nested",
+    "twist_with_cutoff",
+    "__version__",
+]

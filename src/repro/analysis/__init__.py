@@ -1,0 +1,37 @@
+"""Schedule analysis: quantifying the paper's qualitative claims.
+
+* :mod:`repro.analysis.tiles` — rectangle/tile decomposition of
+  recorded schedules (the "nested tiles" of Section 3.2, measured);
+* :mod:`repro.analysis.profiles` — reuse-profile comparison and
+  CDF-dominance checks across schedules (Figure 5, generalized).
+"""
+
+from repro.analysis.profiles import (
+    DominanceReport,
+    compare_profiles,
+    dominance,
+    reuse_profile,
+    working_set_fraction,
+)
+from repro.analysis.tiles import (
+    Tile,
+    TileSummary,
+    balance_profile,
+    rectangle_decomposition,
+    tile_summary,
+    window_balance,
+)
+
+__all__ = [
+    "DominanceReport",
+    "Tile",
+    "TileSummary",
+    "balance_profile",
+    "compare_profiles",
+    "window_balance",
+    "dominance",
+    "rectangle_decomposition",
+    "reuse_profile",
+    "tile_summary",
+    "working_set_fraction",
+]

@@ -1,0 +1,42 @@
+"""Benchmark harness: workloads, runner, reporting, experiment drivers.
+
+* :mod:`repro.bench.workloads` — the six Section 6.1 benchmarks as
+  :class:`BenchmarkCase` objects (scaled inputs);
+* :mod:`repro.bench.machine` — the simulated evaluation machine;
+* :mod:`repro.bench.runner` — instrumented execution → perf reports;
+* :mod:`repro.bench.reporting` — ASCII experiment tables;
+* :mod:`repro.bench.experiments` — one driver per paper figure/table.
+"""
+
+from repro.bench.machine import bench_hierarchy
+from repro.bench.reporting import ExperimentReport, ascii_bar, percent
+from repro.bench.runner import run_case, run_pair
+from repro.bench.workloads import (
+    BenchmarkCase,
+    all_cases,
+    make_knn,
+    make_mm,
+    make_nn,
+    make_pc,
+    make_tj,
+    make_vp,
+    register_spatial_layout,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "ExperimentReport",
+    "all_cases",
+    "ascii_bar",
+    "bench_hierarchy",
+    "make_knn",
+    "make_mm",
+    "make_nn",
+    "make_pc",
+    "make_tj",
+    "make_vp",
+    "percent",
+    "register_spatial_layout",
+    "run_case",
+    "run_pair",
+]

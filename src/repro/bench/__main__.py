@@ -1,0 +1,170 @@
+"""Command-line runner for individual paper experiments.
+
+A lighter-weight alternative to the pytest benchmark suite when you
+want one figure quickly::
+
+    python -m repro.bench fig5                 # Figure 5 CDF table
+    python -m repro.bench fig7 --scale 0.25    # quarter-size speedups
+    python -m repro.bench list                 # available experiments
+    python -m repro.bench all --scale 0.1      # everything, small
+
+Each experiment prints its paper-shaped table to stdout (the same
+renderings the benchmark suite saves under ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+
+def _fig1(scale: float):
+    from repro.bench.experiments import run_fig1_fig4
+
+    return run_fig1_fig4()[0]
+
+
+def _fig5(scale: float):
+    from repro.bench.experiments import run_fig5
+
+    return run_fig5(num_nodes=max(64, int(1024 * scale)))[0]
+
+
+def _fig7(scale: float):
+    from repro.bench.experiments import fig7_report, run_fig7
+
+    return fig7_report(run_fig7(scale=scale))
+
+
+def _fig8(scale: float):
+    from repro.bench.experiments import fig8_reports, run_fig7
+
+    overhead, misses = fig8_reports(run_fig7(scale=scale))
+    return _join(overhead, misses)
+
+
+def _fig9(scale: float):
+    from repro.bench.experiments import run_fig9
+    from repro.bench.experiments.fig9 import DEFAULT_SIZES
+
+    sizes = tuple(max(64, int(size * scale)) for size in DEFAULT_SIZES)
+    return run_fig9(sizes=sizes)[0]
+
+
+def _fig10(scale: float):
+    from repro.bench.experiments import run_fig10
+
+    return run_fig10(num_points=max(256, int(2048 * scale)))[0]
+
+
+def _sec42(scale: float):
+    from repro.bench.experiments import run_sec42
+
+    return run_sec42(num_points=max(256, int(4096 * scale)))[0]
+
+
+def _sec61(scale: float):
+    from repro.bench.experiments import run_sec61
+
+    return run_sec61(scale=min(scale, 0.25))[0]
+
+
+def _sec72(scale: float):
+    from repro.bench.experiments import run_sec72
+
+    return run_sec72(n=max(16, int(48 * scale)))[0]
+
+
+def _sec73(scale: float):
+    from repro.bench.experiments import run_sec73
+
+    return run_sec73(num_nodes=max(100, int(500 * scale)))[0]
+
+
+def _ablations(scale: float):
+    from repro.bench.experiments import run_layout_ablation, run_truncation_ablation
+
+    first = run_truncation_ablation(num_points=max(512, int(4096 * scale)))[0]
+    second = run_layout_ablation(num_nodes=max(200, int(1000 * scale)))[0]
+    return _join(first, second)
+
+
+class _Joined:
+    """Several reports rendered together."""
+
+    def __init__(self, reports):
+        self.reports = reports
+
+    def render(self) -> str:
+        return "\n\n".join(report.render() for report in self.reports)
+
+
+def _join(*reports):
+    return _Joined(list(reports))
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig1": ("Figures 1(c)/4(b) + the Section 3.2 worked example", _fig1),
+    "fig5": ("Figure 5: TJ reuse-distance CDF", _fig5),
+    "fig7": ("Figure 7: speedups on all six benchmarks", _fig7),
+    "fig8": ("Figure 8: instruction overhead + miss rates", _fig8),
+    "fig9": ("Figure 9: PC across input sizes", _fig9),
+    "fig10": ("Figure 10: the Section 7.1 cutoff study", _fig10),
+    "sec42": ("Section 4.2 iteration counts", _sec42),
+    "sec61": ("Section 6.1 benchmark inventory", _sec61),
+    "sec72": ("Section 7.2 extension: multi-level MMM", _sec72),
+    "sec73": ("Section 7.3 extension: task parallelism", _sec73),
+    "ablations": ("Truncation-machinery and layout ablations", _ablations),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run one paper experiment and print its table.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (default 1.0 = paper-shaped sizes)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _runner) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(
+            f"error: unknown experiment {args.experiment!r}; "
+            f"try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        _description, runner = EXPERIMENTS[name]
+        print(runner(args.scale).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Every driver is a pure function from a size ``scale`` to an
+:class:`~repro.bench.reporting.ExperimentReport` (plus raw data), so
+the same code serves the quick integration tests (small scale) and the
+real benchmark harness (scale 1.0).  The mapping to the paper:
+
+==============  ====================================================
+module          reproduces
+==============  ====================================================
+``fig1_fig4``   Figures 1(c) and 4(b): the 7x7 example schedules,
+                plus the Section 3.2 worked reuse distances
+``fig5``        Figure 5: reuse-distance CDF of TJ at 1024 nodes
+``fig7``        Figure 7: speedup of twisting on all six benchmarks
+``fig8``        Figure 8: instruction overhead and L2/L3 miss rates
+``fig9``        Figure 9: PC speedup and miss rates vs input size
+``fig10``       Figure 10: the Section 7.1 cutoff study on PC
+``sec42``       Section 4.2 in-text iteration counts (work overhead)
+``sec61``       Section 6.1 benchmark inventory table
+==============  ====================================================
+"""
+
+from repro.bench.experiments.ablations import (
+    run_layout_ablation,
+    run_truncation_ablation,
+)
+from repro.bench.experiments.fig1_fig4 import run_fig1_fig4
+from repro.bench.experiments.fig5 import run_fig5
+from repro.bench.experiments.fig7 import run_fig7, fig7_report
+from repro.bench.experiments.fig8 import fig8_reports
+from repro.bench.experiments.fig9 import run_fig9
+from repro.bench.experiments.fig10 import run_fig10
+from repro.bench.experiments.sec42 import run_sec42
+from repro.bench.experiments.sec61 import run_sec61
+from repro.bench.experiments.sec72 import run_sec72
+from repro.bench.experiments.sec73 import run_sec73
+
+__all__ = [
+    "fig7_report",
+    "fig8_reports",
+    "run_fig1_fig4",
+    "run_fig5",
+    "run_fig7",
+    "run_fig9",
+    "run_fig10",
+    "run_layout_ablation",
+    "run_sec42",
+    "run_sec61",
+    "run_sec72",
+    "run_sec73",
+    "run_truncation_ablation",
+]

@@ -1,0 +1,85 @@
+"""Figure 10: twisting with a cutoff vs parameterless twisting (§7.1).
+
+"The twisting code will only switch from the original recursion order
+to the interchanged order if the inner tree size is greater than the
+cutoff parameter."  Expected shapes, quoted from the paper:
+
+* 10(a): "implementing cutoff reduces instruction overhead ...
+  instruction overhead is higher for smaller cutoff parameters";
+* 10(b): "If the cutoff value is too large, we get less locality
+  improvement so ... speedup is worse than the parameterless version.
+  Smaller cutoff values can produce better speedup, but the smallest
+  cutoff value does not yield the best speedup ... the parameterless
+  version is not too far off from the best cutoff version."
+
+Like the paper, the study uses a smaller PC input than Figure 7 ("Note
+that we use a smaller input for PC than in the experiments of Section
+6, so the speedup of the baseline parameterless version is lower").
+Cutoffs are in inner-tree *nodes* (our size measure).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.machine import bench_hierarchy
+from repro.bench.reporting import ExperimentReport, percent
+from repro.bench.runner import run_case
+from repro.bench.workloads import make_pc
+from repro.core.schedules import ORIGINAL, TWIST, twist_with_cutoff
+from repro.memory.counters import PerfReport, instruction_overhead, speedup
+
+DEFAULT_CUTOFFS = (4, 16, 64, 256, 1024)
+
+
+def run_fig10(
+    num_points: int = 2048,
+    cutoffs: Sequence[int] = DEFAULT_CUTOFFS,
+    radius: float = 0.35,
+    leaf_size: int = 8,
+) -> tuple[ExperimentReport, dict[str, PerfReport]]:
+    """Sweep cutoff values on a smaller PC input."""
+    case = make_pc(num_points=num_points, radius=radius, leaf_size=leaf_size)
+    reports: dict[str, PerfReport] = {}
+    reports["original"] = run_case(case, ORIGINAL, bench_hierarchy)
+    reports["parameterless"] = run_case(case, TWIST, bench_hierarchy)
+    for cutoff in cutoffs:
+        schedule = twist_with_cutoff(cutoff)
+        reports[schedule.name] = run_case(case, schedule, bench_hierarchy)
+
+    # The Section 7.1 open problem, answered by the cache-aware
+    # estimator: include its pick alongside the sweep.
+    from repro.core.cutoff import cutoff_for_machine
+    from repro.memory.layout import AddressMap
+
+    address_map = AddressMap()
+    case.register_layout(address_map)
+    num_nodes = case.make_spec().outer_root.size * 2  # both trees
+    lines_per_node = address_map.total_lines / max(num_nodes, 1)
+    estimated = cutoff_for_machine(
+        bench_hierarchy(), lines_per_node=lines_per_node
+    )
+    reports[f"auto(cutoff={estimated})"] = run_case(
+        case, twist_with_cutoff(estimated), bench_hierarchy
+    )
+
+    baseline = reports["original"]
+    report = ExperimentReport(
+        title=f"Figure 10: cutoff study on PC ({num_points} points)",
+        columns=["configuration", "instr overhead", "speedup", "L3 miss"],
+    )
+    for name, run in reports.items():
+        if name == "original":
+            continue
+        report.add_row(
+            name,
+            percent(instruction_overhead(baseline, run)),
+            f"{speedup(baseline, run):.2f}x",
+            percent(run.miss_rate("L3")),
+        )
+    report.add_note(
+        "paper shape: cutoff lowers instruction overhead (more for larger "
+        "cutoffs); too-large cutoffs lose locality; the smallest cutoff is "
+        "not the best; parameterless is close to the best cutoff"
+    )
+    return report, reports

@@ -1,0 +1,74 @@
+"""Figures 1(c) and 4(b): the paper's 7x7 worked example.
+
+Renders the original and twisted schedules over the exact trees of
+Figure 1(b) and reports the Section 3.2 reuse distances of inner node
+5 under both schedules.  This experiment has hard expected values —
+the paper prints them — so it doubles as an end-to-end regression
+test (see ``tests/integration/test_paper_examples.py``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentReport
+from repro.core.executors import run_original
+from repro.core.instruments import AccessTraceRecorder, WorkRecorder, combine
+from repro.core.spec import NestedRecursionSpec
+from repro.core.twisting import run_twisted
+from repro.memory.reuse import distances_of_key
+from repro.spaces.iteration_space import IterationSpace, render_schedule
+from repro.spaces.trees import paper_inner_tree, paper_outer_tree
+
+#: The paper's reported reuse distances for inner node 5 (Section 3.2);
+#: None stands for the paper's infinity (cold access).
+PAPER_ORIGINAL_NODE5 = [None, 8, 8, 8, 8, 8, 8]
+PAPER_TWISTED_NODE5 = [None, 10, 3, 3, 10, 3, 3]
+
+
+def run_fig1_fig4() -> tuple[ExperimentReport, dict]:
+    """Reproduce the worked example; returns (report, raw data)."""
+    outer, inner = paper_outer_tree(), paper_inner_tree()
+    spec = NestedRecursionSpec(outer, inner, name="fig1-example")
+    node5 = next(n for n in inner.iter_preorder() if n.label == 5)
+
+    works_original = WorkRecorder()
+    trace_original = AccessTraceRecorder()
+    run_original(spec, instrument=combine(works_original, trace_original))
+    original_node5 = distances_of_key(trace_original.trace, ("inner", node5.number))
+
+    works_twisted = WorkRecorder()
+    trace_twisted = AccessTraceRecorder()
+    run_twisted(spec, instrument=combine(works_twisted, trace_twisted))
+    twisted_node5 = distances_of_key(trace_twisted.trace, ("inner", node5.number))
+
+    space = IterationSpace.from_trees(outer, inner)
+    space.validate_schedule(works_original.points)
+    space.validate_schedule(works_twisted.points)
+
+    report = ExperimentReport(
+        title="Figures 1(c)/4(b) + Section 3.2: the 7x7 worked example",
+        columns=["schedule", "reuse distances of inner node 5", "matches paper"],
+    )
+    report.add_row(
+        "original", _fmt(original_node5), original_node5 == PAPER_ORIGINAL_NODE5
+    )
+    report.add_row(
+        "twisted", _fmt(twisted_node5), twisted_node5 == PAPER_TWISTED_NODE5
+    )
+    report.add_note("original schedule (Figure 1c):")
+    for line in render_schedule(space, works_original.points).splitlines():
+        report.add_note("  " + line)
+    report.add_note("twisted schedule (Figure 4b):")
+    for line in render_schedule(space, works_twisted.points).splitlines():
+        report.add_note("  " + line)
+
+    data = {
+        "original_points": works_original.points,
+        "twisted_points": works_twisted.points,
+        "original_node5": original_node5,
+        "twisted_node5": twisted_node5,
+    }
+    return report, data
+
+
+def _fmt(distances) -> str:
+    return "[" + ", ".join("inf" if d is None else str(d) for d in distances) + "]"

@@ -1,0 +1,72 @@
+"""Figure 7: speedup of recursion twisting on all six benchmarks.
+
+The paper reports speedups between 1.77x (VP) and 10.88x (PC) with a
+geometric mean of 3.94x.  This driver runs every benchmark under the
+original and twisted schedules on the simulated machine and reports
+modeled speedups; Figure 8's counters come from the same runs
+(:mod:`repro.bench.experiments.fig8`), as they did in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.machine import bench_hierarchy
+from repro.bench.reporting import ExperimentReport, ascii_bar
+from repro.bench.runner import run_case
+from repro.bench.workloads import BenchmarkCase, all_cases
+from repro.core.schedules import ORIGINAL, TWIST
+from repro.memory.counters import PerfReport, geomean_speedup, speedup
+
+#: raw data shape: benchmark name -> (baseline report, twisted report)
+Fig7Data = dict[str, tuple[PerfReport, PerfReport]]
+
+
+def run_fig7(
+    scale: float = 1.0, cases: Optional[list[BenchmarkCase]] = None
+) -> Fig7Data:
+    """Run all six benchmarks under original and twisted schedules."""
+    data: Fig7Data = {}
+    for case in cases if cases is not None else all_cases(scale):
+        baseline = run_case(case, ORIGINAL, bench_hierarchy)
+        twisted = run_case(case, TWIST, bench_hierarchy)
+        data[case.name] = (baseline, twisted)
+    return data
+
+
+def fig7_report(data: Fig7Data) -> ExperimentReport:
+    """Render the Figure 7 speedup chart as a table."""
+    report = ExperimentReport(
+        title="Figure 7: speedup of recursion twisting over the baseline",
+        columns=["benchmark", "speedup", "", "baseline cycles", "twisted cycles"],
+    )
+    values = {name: speedup(b, t) for name, (b, t) in data.items()}
+    top = max(values.values()) if values else 1.0
+    for name, (baseline, twisted) in data.items():
+        report.add_row(
+            name,
+            f"{values[name]:.2f}x",
+            ascii_bar(values[name], top, width=30),
+            baseline.cycles,
+            twisted.cycles,
+        )
+    report.add_row(
+        "geomean",
+        f"{geomean_speedup(list(data.values())):.2f}x",
+        "",
+        "",
+        "",
+    )
+    report.add_note("paper: 1.77x (VP) to 10.88x (PC), geomean 3.94x")
+    for name, (baseline, twisted) in data.items():
+        if not _same_result(baseline.result, twisted.result):
+            report.add_note(
+                f"WARNING: {name} results differ between schedules!"
+            )
+    return report
+
+
+def _same_result(a: object, b: object) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+    return a == b

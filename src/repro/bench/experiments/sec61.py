@@ -1,0 +1,135 @@
+"""Section 6.1 benchmark inventory: the methodology table.
+
+The paper's Section 6.1 lists, per benchmark: the input size, the
+baseline running time, and the dependence/truncation classification
+("TJ and MM have no dependences between iterations, and do not have
+irregular truncation.  PC, NN, KNN and VP ... all have dependences
+carried over the inner recursion (though the outer recursion is still
+'parallel' ...), and feature irregular truncation.").
+
+We reproduce the table with scaled inputs and modeled baseline cycles,
+and *derive* the classification programmatically: irregularity from
+the spec (``truncate_inner2`` present) and outer-parallelism from a
+dynamic dependence recording on a reduced-size instance.
+"""
+
+from __future__ import annotations
+
+from repro.bench.machine import bench_hierarchy
+from repro.bench.reporting import ExperimentReport
+from repro.bench.runner import run_case
+from repro.bench.workloads import (
+    BenchmarkCase,
+    make_knn,
+    make_mm,
+    make_nn,
+    make_pc,
+    make_tj,
+    make_vp,
+)
+from repro.core.executors import run_original
+from repro.core.schedules import ORIGINAL
+from repro.core.soundness import FootprintRecorder, is_outer_parallel
+from repro.dualtree.traverser import dual_tree_footprint
+from repro.kernels.matmul import matmul_footprint
+from repro.kernels.treejoin import tree_join_footprint
+
+#: paper-reported baseline times (seconds) for reference columns
+PAPER_BASELINES = {
+    "TJ": ("800K nodes", 20_189),
+    "MM": ("40000x40000", 98_232),
+    "PC": ("600K points", 25_026),
+    "NN": ("1M points", 44_868),
+    "KNN": ("600K points, k=5", 29_758),
+    "VP": ("400K points, k=10", 122_900),
+}
+
+
+def _small_cases() -> list[tuple[BenchmarkCase, object]]:
+    """Reduced instances with footprint functions for the parallel check."""
+    tj = make_tj(127)
+    mm = make_mm(32)
+    pc = make_pc(256)
+    nn = make_nn(256)
+    knn = make_knn(256)
+    vp = make_vp(256)
+    return [
+        (tj, tree_join_footprint),
+        (mm, matmul_footprint),
+        (pc, None),
+        (nn, None),
+        (knn, None),
+        (vp, None),
+    ]
+
+
+def run_sec61(scale: float = 1.0) -> tuple[ExperimentReport, dict]:
+    """Build the inventory table (classification + scaled baselines)."""
+    from repro.bench.workloads import all_cases
+
+    report = ExperimentReport(
+        title="Section 6.1: benchmark inventory (scaled)",
+        columns=[
+            "benchmark",
+            "paper input (baseline s)",
+            "scaled input",
+            "baseline cycles",
+            "irregular trunc",
+            "outer parallel",
+        ],
+    )
+    data: dict[str, dict] = {}
+
+    # Classification on reduced instances (cheap, exact).
+    classification: dict[str, tuple[bool, bool]] = {}
+    for case, footprint in _small_cases():
+        spec = case.make_spec()
+        irregular = spec.is_irregular
+        if footprint is None:
+            # dual-tree: footprint needs the live rules object
+            from repro.core.spec import NestedRecursionSpec
+
+            rules_footprint = _dualtree_footprint_for(case)
+            recorder = FootprintRecorder(rules_footprint)
+        else:
+            recorder = FootprintRecorder(footprint)
+        run_original(spec, instrument=recorder)
+        classification[case.name] = (irregular, is_outer_parallel(recorder))
+
+    for case in all_cases(scale):
+        baseline = run_case(case, ORIGINAL, bench_hierarchy)
+        irregular, parallel = classification[case.name]
+        paper_input, paper_seconds = PAPER_BASELINES[case.name]
+        report.add_row(
+            case.name,
+            f"{paper_input} ({paper_seconds:,d}s)",
+            case.description,
+            baseline.cycles,
+            "yes" if irregular else "no",
+            "yes" if parallel else "no",
+        )
+        data[case.name] = {
+            "baseline": baseline,
+            "irregular": irregular,
+            "outer_parallel": parallel,
+        }
+    report.add_note(
+        "paper classification: TJ/MM regular + dependence-free; "
+        "PC/NN/KNN/VP irregular with inner-carried dependences and "
+        "parallel outer recursions"
+    )
+    return report, data
+
+
+def _dualtree_footprint_for(case: BenchmarkCase):
+    """A footprint closure reading the case's live rules object.
+
+    Dual-tree footprints depend on leaf point ownership only, which is
+    static, so :func:`repro.dualtree.traverser.dual_tree_footprint`
+    works for any of the four algorithms.
+    """
+
+    def footprint(o, i):
+        return dual_tree_footprint(None)(o, i)
+
+    return footprint

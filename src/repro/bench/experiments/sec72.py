@@ -1,0 +1,82 @@
+"""Section 7.2 extension: multi-level twisting on matrix-matrix multiply.
+
+The paper names MMM as the reason to "generalize recursion twisting to
+more than two levels of recursion" — two-level twisting can block two
+of MMM's three dimensions at best.  This experiment runs the
+three-level generalization (:mod:`repro.core.multilevel`) against the
+untransformed triple recursion on the element-granular cache model and
+reports the blocking effect at both cache levels.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentReport, percent
+from repro.core.multilevel import (
+    MultiLevelInstrument,
+    OpCounterN,
+    run_original_n,
+    run_twisted_n,
+)
+from repro.kernels.matmul3 import MatMul3, MatMul3CacheProbe
+from repro.memory.hierarchy import CacheHierarchy, LevelSpec
+
+
+def _machine() -> CacheHierarchy:
+    # Two levels sized so one matrix row set exceeds L1 and one full
+    # matrix exceeds L2 at the default problem size.
+    return CacheHierarchy(
+        [
+            LevelSpec("L1", 16, ways=8).build(),
+            LevelSpec("L2", 128, ways=8).build(),
+        ]
+    )
+
+
+def run_sec72(
+    n: int = 48,
+) -> tuple[ExperimentReport, dict[str, dict[str, float]]]:
+    """Original vs three-level-twisted MMM (``n x n x n``)."""
+    data: dict[str, dict[str, float]] = {}
+    for name, run in (("original", run_original_n), ("twisted-3level", run_twisted_n)):
+        mmm = MatMul3(n=n, m=n, p=n)
+        machine = _machine()
+        probe = MatMul3CacheProbe(mmm, machine)
+        ops = OpCounterN()
+
+        # Compose manually (the N-level instrument API is tiny).
+        class Composed(MultiLevelInstrument):
+            def op(self, kind):
+                ops.op(kind)
+
+            def point(self, nodes):
+                ops.point(nodes)
+                probe.point(nodes)
+
+        run(mmm.make_spec(), instrument=Composed())
+        assert mmm.max_error() < 1e-9
+        stats = machine.stats_by_name()
+        data[name] = {
+            "points": float(ops.work_points),
+            "L1_miss": stats["L1"].miss_rate,
+            "L2_miss": stats["L2"].miss_rate,
+            "memory": float(machine.memory_accesses),
+        }
+
+    report = ExperimentReport(
+        title=f"Section 7.2 extension: 3-level twisting on MMM ({n}^3)",
+        columns=["schedule", "points", "L1 miss", "L2 miss", "memory accesses"],
+    )
+    for name, metrics in data.items():
+        report.add_row(
+            name,
+            int(metrics["points"]),
+            percent(metrics["L1_miss"]),
+            percent(metrics["L2_miss"]),
+            int(metrics["memory"]),
+        )
+    ratio = data["original"]["memory"] / max(data["twisted-3level"]["memory"], 1.0)
+    report.add_note(
+        f"three-level twisting cuts memory traffic {ratio:.1f}x with zero "
+        f"tile-size parameters (the cache-oblivious MMM blocking)"
+    )
+    return report, data

@@ -1,0 +1,98 @@
+"""Section 7.3 extension: task parallelism composed with twisting.
+
+The paper does not evaluate parallel implementations ("We have not
+evaluated parallel implementations of any of our benchmarks") but lays
+out the recipe precisely; this experiment realizes it on the simulated
+machine and reports the two multiplicative effects:
+
+* *parallel speedup* — total task cycles / makespan, bounded by the
+  worker count and the LPT load balance;
+* *locality speedup* — the makespan ratio of original-order tasks vs
+  twisted tasks, each worker running on a private cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentReport
+from repro.core.instruments import CacheProbe, OpCounter, combine
+from repro.core.parallel import ParallelReport, run_task_parallel, task_spec
+from repro.core.schedules import ORIGINAL, TWIST, Schedule
+from repro.kernels.treejoin import TreeJoin
+from repro.memory.costmodel import CostModel, WorkCost, weighted_instructions
+from repro.memory.hierarchy import CacheHierarchy, LevelSpec
+from repro.memory.layout import AddressMap, layout_tree
+
+_WORKER_MODEL = CostModel(hit_latencies=(4, 12), memory_latency=120)
+
+
+def _worker_machine() -> CacheHierarchy:
+    return CacheHierarchy(
+        [
+            LevelSpec("L1", 16, ways=8).build(),
+            LevelSpec("L2", 128, ways=8).build(),
+        ]
+    )
+
+
+def _task_runner(schedule: Schedule, address_map: AddressMap):
+    def run_task(task, instrument):
+        machine = _worker_machine()
+        ops = OpCounter()
+        cache = CacheProbe(address_map, machine)
+        schedule.run(task_spec(task), instrument=combine(ops, cache, instrument))
+        instructions = weighted_instructions(
+            dict(ops.counts), ops.work_points, WorkCost(2.0)
+        )
+        return _WORKER_MODEL.cycles(
+            instructions, cache.cache_level_hits, cache.memory_accesses
+        )
+
+    return run_task
+
+
+def run_sec73(
+    num_nodes: int = 500,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+    spawn_depth: int = 3,
+) -> tuple[ExperimentReport, dict]:
+    """Sweep worker counts for original vs twisted task bodies."""
+    report = ExperimentReport(
+        title=f"Section 7.3 extension: spawned tasks + twisting "
+        f"(TJ, {num_nodes} nodes, spawn depth {spawn_depth})",
+        columns=[
+            "workers",
+            "makespan (original)",
+            "makespan (twisted)",
+            "parallel speedup",
+            "locality speedup",
+        ],
+    )
+    data: dict[int, dict[str, ParallelReport]] = {}
+    for workers in worker_counts:
+        per_schedule: dict[str, ParallelReport] = {}
+        for name, schedule in (("original", ORIGINAL), ("twisted", TWIST)):
+            tj = TreeJoin(num_nodes, num_nodes)
+            address_map = AddressMap()
+            layout_tree(address_map, tj.outer_root, "outer")
+            layout_tree(address_map, tj.inner_root, "inner")
+            per_schedule[name] = run_task_parallel(
+                tj.make_spec(),
+                num_workers=workers,
+                spawn_depth=spawn_depth,
+                schedule=schedule,
+                task_cycles=_task_runner(schedule, address_map),
+            )
+            assert tj.result == tj.expected_total()
+        data[workers] = per_schedule
+        report.add_row(
+            workers,
+            per_schedule["original"].makespan,
+            per_schedule["twisted"].makespan,
+            f"{per_schedule['twisted'].parallel_speedup:.2f}x",
+            f"{per_schedule['original'].makespan / per_schedule['twisted'].makespan:.2f}x",
+        )
+    report.add_note(
+        "the two effects compose: spawning buys load-balanced parallelism, "
+        "twisting inside each task buys per-worker locality (Section 7.3)"
+    )
+    return report, data

@@ -1,0 +1,96 @@
+"""Text reporting: the paper's figures as aligned ASCII tables.
+
+Every experiment driver produces an :class:`ExperimentReport` — a
+titled set of columns plus free-form notes — which renders to a fixed
+table format.  The benchmark suite writes these to ``results/`` and
+echoes them into the pytest terminal summary, so one
+``pytest benchmarks/ --benchmark-only`` run leaves the full
+paper-shaped output behind.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: Where experiment tables are written (created on demand).
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
+
+
+@dataclass
+class ExperimentReport:
+    """A titled table of experiment output."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form note shown under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The aligned ASCII table."""
+        cells = [[_format(value) for value in row] for row in self.rows]
+        widths = [
+            max([len(header)] + [len(row[index]) for row in cells])
+            for index, header in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append(
+            "  ".join(header.rjust(width) for header, width in zip(self.columns, widths))
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def save(self, filename: str, directory: Optional[str] = None) -> str:
+        """Write the rendered table under ``results/``; returns the path."""
+        directory = directory or os.path.abspath(RESULTS_DIR)
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, filename)
+        with open(path, "w") as handle:
+            handle.write(self.render() + "\n")
+        return path
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.01:
+            return f"{value:.4f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,d}"
+    return str(value)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a percentage string."""
+    return f"{100.0 * value:.2f}%"
+
+
+def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
+    """A proportional text bar, for speedup 'charts' in the terminal."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * max(0.0, value) / maximum))
+    return "#" * min(filled, width)

@@ -1,0 +1,84 @@
+"""Instrumented benchmark execution: one run → one perf report.
+
+``run_case`` plays the role of one perf-counter-instrumented execution
+in the paper's evaluation: it builds the address layout, instantiates a
+fresh simulated cache hierarchy, executes the (benchmark, schedule)
+pair with op and cache probes attached, and folds everything through
+the cost model into a :class:`~repro.memory.counters.PerfReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.workloads import BenchmarkCase
+from repro.core.instruments import CacheProbe, OpCounter, combine
+from repro.core.schedules import Schedule
+from repro.memory.costmodel import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    weighted_instructions,
+)
+from repro.memory.counters import PerfReport
+from repro.memory.hierarchy import CacheHierarchy, scaled_hierarchy
+from repro.memory.layout import AddressMap
+
+HierarchyFactory = Callable[[], CacheHierarchy]
+
+
+def run_case(
+    case: BenchmarkCase,
+    schedule: Schedule,
+    hierarchy_factory: HierarchyFactory = scaled_hierarchy,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> PerfReport:
+    """Execute one benchmark under one schedule on a fresh machine."""
+    address_map = AddressMap()
+    case.register_layout(address_map)
+    hierarchy = hierarchy_factory()
+    ops = OpCounter()
+    cache = CacheProbe(address_map, hierarchy)
+
+    spec = case.make_spec()
+    schedule.run(spec, instrument=combine(ops, cache))
+
+    op_counts = dict(ops.counts)
+    # Line-level touches carry an addressing cost; logical accesses are
+    # already implied by the work/visit structure.
+    op_counts["access"] = cache.accesses
+    instructions = weighted_instructions(op_counts, ops.work_points, case.work_cost)
+    cycles = cost_model.cycles(
+        instructions, cache.cache_level_hits, cache.memory_accesses
+    )
+    return PerfReport(
+        benchmark=case.name,
+        schedule=schedule.name,
+        work_points=ops.counts.get("visit", ops.work_points),
+        op_counts=op_counts,
+        accesses=cache.accesses,
+        levels=hierarchy.stats_by_name(),
+        memory_accesses=cache.memory_accesses,
+        instructions=instructions,
+        cycles=cycles,
+        result=case.result(),
+    )
+
+
+def run_pair(
+    case_factory: Callable[[], BenchmarkCase],
+    baseline: Schedule,
+    transformed: Schedule,
+    hierarchy_factory: HierarchyFactory = scaled_hierarchy,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> tuple[PerfReport, PerfReport]:
+    """Run a baseline/transformed pair on identical fresh workloads.
+
+    ``case_factory`` rebuilds the case so the two runs share input data
+    (same seeds) but not mutable rule state.  For cases whose
+    ``make_spec`` already resets state, passing ``lambda: case`` works
+    and avoids rebuilding trees.
+    """
+    case = case_factory()
+    before = run_case(case, baseline, hierarchy_factory, cost_model)
+    after = run_case(case, transformed, hierarchy_factory, cost_model)
+    return before, after

@@ -1,0 +1,158 @@
+"""The paper's contribution: schedules for nested recursive iteration spaces.
+
+* :mod:`repro.core.spec` — the Figure 2 nested recursion template as a
+  declarative :class:`NestedRecursionSpec`;
+* :mod:`repro.core.executors` — the original schedule;
+* :mod:`repro.core.interchange` — recursion interchange (Figure 3);
+* :mod:`repro.core.twisting` — recursion twisting (Figure 4a), with
+  the Section 7.1 cutoff variant;
+* :mod:`repro.core.truncation` — the Section 4 irregular-truncation
+  machinery (Figure 6(b) flags, Section 4.3 counters, Section 4.2
+  subtree truncation);
+* :mod:`repro.core.instruments` — probes for ops, accesses, and work;
+* :mod:`repro.core.soundness` — dependence-order verification and the
+  Section 3.3 outer-parallel criterion;
+* :mod:`repro.core.iterative` — explicit-stack executors for deep
+  spaces;
+* :mod:`repro.core.schedules` — the named schedule registry used by
+  benches and examples.
+"""
+
+from repro.core.cutoff import (
+    auto_cutoff_schedule,
+    cutoff_for_machine,
+    estimate_cutoff,
+)
+from repro.core.executors import run_original
+from repro.core.instruments import (
+    NULL_INSTRUMENT,
+    AccessTraceRecorder,
+    CacheProbe,
+    Instrument,
+    MultiInstrument,
+    OpCounter,
+    ReuseDistanceProbe,
+    WorkCallback,
+    WorkRecorder,
+    combine,
+)
+from repro.core.interchange import run_interchanged
+from repro.core.iterative import (
+    iter_original_points,
+    run_interchanged_iterative,
+    run_original_iterative,
+)
+from repro.core.iterative_twist import run_twisted_iterative
+from repro.core.multilevel import (
+    MultiLevelInstrument,
+    MultiLevelSpec,
+    OpCounterN,
+    PointRecorder,
+    cross_product_size,
+    run_original_n,
+    run_twisted_n,
+)
+from repro.core.parallel import (
+    ParallelReport,
+    Task,
+    WorkerTrace,
+    run_task_parallel,
+    spawn_tasks,
+    task_spec,
+)
+from repro.core.recursion import recursion_guard, required_limit
+from repro.core.schedules import (
+    BY_NAME,
+    INTERCHANGE,
+    INTERCHANGE_SUBTREE,
+    ORIGINAL,
+    TWIST,
+    TWIST_COUNTERS,
+    TWIST_NO_SUBTREE,
+    Schedule,
+    get_schedule,
+    twist_with_cutoff,
+)
+from repro.core.soundness import (
+    FootprintRecorder,
+    SoundnessReport,
+    canonical_form,
+    check_transformation,
+    compare_recordings,
+    is_outer_parallel,
+)
+from repro.core.spec import (
+    INNER_TREE,
+    OUTER_TREE,
+    NestedRecursionSpec,
+)
+from repro.core.truncation import (
+    CounterTruncation,
+    FlagTruncation,
+    NoTruncation,
+    TruncationPolicy,
+    make_policy,
+)
+from repro.core.twisting import run_twisted
+
+__all__ = [
+    "AccessTraceRecorder",
+    "BY_NAME",
+    "CacheProbe",
+    "CounterTruncation",
+    "FlagTruncation",
+    "FootprintRecorder",
+    "INNER_TREE",
+    "INTERCHANGE",
+    "INTERCHANGE_SUBTREE",
+    "Instrument",
+    "MultiInstrument",
+    "MultiLevelInstrument",
+    "MultiLevelSpec",
+    "NULL_INSTRUMENT",
+    "NestedRecursionSpec",
+    "OpCounterN",
+    "PointRecorder",
+    "NoTruncation",
+    "ORIGINAL",
+    "OUTER_TREE",
+    "OpCounter",
+    "ParallelReport",
+    "ReuseDistanceProbe",
+    "Schedule",
+    "Task",
+    "WorkerTrace",
+    "SoundnessReport",
+    "TWIST",
+    "TWIST_COUNTERS",
+    "TWIST_NO_SUBTREE",
+    "TruncationPolicy",
+    "WorkCallback",
+    "WorkRecorder",
+    "auto_cutoff_schedule",
+    "canonical_form",
+    "cutoff_for_machine",
+    "estimate_cutoff",
+    "check_transformation",
+    "combine",
+    "compare_recordings",
+    "cross_product_size",
+    "get_schedule",
+    "is_outer_parallel",
+    "iter_original_points",
+    "make_policy",
+    "recursion_guard",
+    "required_limit",
+    "run_interchanged",
+    "run_interchanged_iterative",
+    "run_original",
+    "run_original_iterative",
+    "run_original_n",
+    "run_task_parallel",
+    "run_twisted_n",
+    "run_twisted",
+    "run_twisted_iterative",
+    "spawn_tasks",
+    "task_spec",
+    "twist_with_cutoff",
+]

@@ -1,0 +1,88 @@
+"""Automatic cutoff estimation (the Section 7.1 open problem).
+
+"The challenge, of course, is determining what this cutoff parameter
+should be: cut off too early and the inner traversals will not fit in
+cache, precluding any locality benefit; cut off too late and much of
+the benefit of providing a cut-off parameter is lost. ... Investigating
+how to set the cutoff parameter correctly in recursion twisting is an
+interesting avenue of future work."
+
+This module implements the natural cache-aware estimator.  The cutoff
+bounds the *inner tree size* below which the schedule stays in the
+plain recursive order; for that to be locality-neutral, the working set
+of the remaining block must fit in the targeted cache.  Once the inner
+tree is down to ``c`` nodes, twisting would next balance the outer side
+to ``~c`` as well, so the block's working set is about
+``2 * c * lines_per_node`` lines.  Solving for the target capacity with
+a safety factor (associativity conflicts, auxiliary state):
+
+``cutoff = capacity_lines / (2 * lines_per_node * safety)``
+
+The estimator is validated by ``benchmarks/test_fig10_cutoff.py``'s
+companion assertion: on the Figure 10 sweep it lands within the
+plateau of good cutoffs (>= 90% of the best swept speedup).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schedules import Schedule, twist_with_cutoff
+from repro.errors import ScheduleError
+from repro.memory.hierarchy import CacheHierarchy
+
+
+def estimate_cutoff(
+    capacity_lines: int,
+    lines_per_node: float = 1.0,
+    safety: float = 2.0,
+) -> int:
+    """Cache-aware cutoff for a single target cache capacity.
+
+    Parameters
+    ----------
+    capacity_lines:
+        Line capacity of the cache level the cutoff should fit
+        (normally the last level: the levels above still benefit from
+        the twisting that happens *above* the cutoff).
+    lines_per_node:
+        Average cache lines touched per iteration-space node (1 for
+        plain tree nodes; higher when leaves carry point data — pass
+        ``address_map.total_lines / num_nodes`` for measured workloads).
+    safety:
+        Headroom divisor for associativity conflicts and bookkeeping
+        state.
+    """
+    if capacity_lines < 1:
+        raise ScheduleError(f"capacity_lines must be >= 1, got {capacity_lines}")
+    if lines_per_node <= 0 or safety <= 0:
+        raise ScheduleError("lines_per_node and safety must be positive")
+    return max(1, int(capacity_lines / (2.0 * lines_per_node * safety)))
+
+
+def cutoff_for_machine(
+    hierarchy: CacheHierarchy,
+    lines_per_node: float = 1.0,
+    safety: float = 2.0,
+    level: Optional[int] = None,
+) -> int:
+    """Estimate the cutoff for a simulated machine's last (or given) level."""
+    index = len(hierarchy.levels) - 1 if level is None else level
+    try:
+        capacity = hierarchy.levels[index].capacity_lines
+    except IndexError:
+        raise ScheduleError(
+            f"hierarchy has {len(hierarchy.levels)} levels; no level {index}"
+        ) from None
+    return estimate_cutoff(capacity, lines_per_node, safety)
+
+
+def auto_cutoff_schedule(
+    hierarchy: CacheHierarchy,
+    lines_per_node: float = 1.0,
+    safety: float = 2.0,
+) -> Schedule:
+    """A ready-to-run twisted schedule with the estimated cutoff."""
+    return twist_with_cutoff(
+        cutoff_for_machine(hierarchy, lines_per_node, safety)
+    )

@@ -1,0 +1,215 @@
+"""Instrumentation probes attached to schedule executions.
+
+Every executor accepts an :class:`Instrument` and reports three kinds
+of events through it:
+
+* ``op(kind)`` — one bookkeeping operation: a recursive call, a
+  truncation check, a flag/counter manipulation, a size comparison.
+  These are the raw material of the instruction-overhead results
+  (Figure 8a and Figure 10a).
+* ``access(tree, node)`` — one logical data touch.  ``tree`` is the
+  *absolute* tree identity (:data:`~repro.core.spec.OUTER_TREE` or
+  :data:`~repro.core.spec.INNER_TREE`), independent of which recursion
+  is currently traversing that tree — exactly the Section 2.1
+  terminology.  Accesses feed the reuse-distance and cache probes.
+* ``work(o, i)`` — one executed iteration (one point of the iteration
+  space).
+
+The concrete instruments below cover everything the experiments need;
+:class:`MultiInstrument` composes several probes into one pass so a
+benchmark execution is instrumented once, not re-run per metric.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Hashable, Optional, Sequence
+
+from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.layout import AddressMap
+from repro.memory.reuse import ReuseDistanceAnalyzer
+from repro.spaces.node import IndexNode
+
+#: Operation kinds emitted by the executors.  Kept as a tuple so tests
+#: can assert executors never emit an unknown kind.
+OP_KINDS = (
+    "call",
+    "visit",
+    "trunc_check",
+    "flag_check",
+    "flag_set",
+    "flag_unset",
+    "size_compare",
+    "twist",
+    "counter_check",
+    "counter_set",
+)
+
+
+class Instrument:
+    """Base probe: every hook is a no-op.
+
+    Subclass and override only what you need; executors call every hook
+    unconditionally.
+    """
+
+    def op(self, kind: str) -> None:
+        """One bookkeeping operation of the given kind."""
+
+    def access(self, tree: str, node: IndexNode) -> None:
+        """One logical data touch on ``node`` of the identified tree."""
+
+    def work(self, o: IndexNode, i: IndexNode) -> None:
+        """One executed iteration at point ``(o, i)``."""
+
+
+#: Shared do-nothing instrument for uninstrumented runs.
+NULL_INSTRUMENT = Instrument()
+
+
+class MultiInstrument(Instrument):
+    """Broadcasts every event to a sequence of child instruments."""
+
+    def __init__(self, children: Sequence[Instrument]) -> None:
+        self.children = list(children)
+
+    def op(self, kind: str) -> None:
+        for child in self.children:
+            child.op(kind)
+
+    def access(self, tree: str, node: IndexNode) -> None:
+        for child in self.children:
+            child.access(tree, node)
+
+    def work(self, o: IndexNode, i: IndexNode) -> None:
+        for child in self.children:
+            child.work(o, i)
+
+
+class OpCounter(Instrument):
+    """Counts bookkeeping operations and work points.
+
+    ``counts`` maps op kind to count; ``work_points`` is the number of
+    executed iterations; ``accesses`` the number of logical touches.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Counter[str] = Counter()
+        self.work_points = 0
+        self.accesses = 0
+
+    def op(self, kind: str) -> None:
+        self.counts[kind] += 1
+
+    def access(self, tree: str, node: IndexNode) -> None:
+        self.accesses += 1
+
+    def work(self, o: IndexNode, i: IndexNode) -> None:
+        self.work_points += 1
+
+
+class WorkRecorder(Instrument):
+    """Records the schedule as a list of ``(outer_label, inner_label)``.
+
+    The label of a node defaults to its pre-order ``number`` when it has
+    no ``label`` attribute (spatial-tree nodes, for instance).
+    """
+
+    def __init__(self) -> None:
+        self.points: list[tuple[Hashable, Hashable]] = []
+
+    def work(self, o: IndexNode, i: IndexNode) -> None:
+        self.points.append(
+            (getattr(o, "label", o.number), getattr(i, "label", i.number))
+        )
+
+
+class AccessTraceRecorder(Instrument):
+    """Records the logical access trace as ``(tree, node_number)`` keys.
+
+    This is the trace format consumed directly by
+    :class:`~repro.memory.reuse.ReuseDistanceAnalyzer` for node-granular
+    reuse studies (Figure 5 counts "tree nodes that are accessed").
+    """
+
+    def __init__(self) -> None:
+        self.trace: list[tuple[str, int]] = []
+
+    def access(self, tree: str, node: IndexNode) -> None:
+        self.trace.append((tree, node.number))
+
+
+class ReuseDistanceProbe(Instrument):
+    """Streams node-granularity accesses into a reuse-distance analyzer.
+
+    Unlike :class:`AccessTraceRecorder` + offline analysis, this keeps
+    only the histogram, so it scales to multi-million-access runs.
+    """
+
+    def __init__(self, analyzer: Optional[ReuseDistanceAnalyzer] = None) -> None:
+        self.analyzer = analyzer or ReuseDistanceAnalyzer()
+
+    def access(self, tree: str, node: IndexNode) -> None:
+        self.analyzer.access((tree, node.number))
+
+
+class CacheProbe(Instrument):
+    """Feeds accesses through an address map into a cache hierarchy.
+
+    Each logical node touch expands to the node's registered cache
+    lines (one line for plain tree nodes; several for nodes that own
+    point data or vector blocks — see :mod:`repro.memory.layout`).
+    Per-level hit counts are tallied for the cost model.
+    """
+
+    def __init__(self, address_map: AddressMap, hierarchy: CacheHierarchy) -> None:
+        self.address_map = address_map
+        self.hierarchy = hierarchy
+        #: hits per level index, plus one slot for memory at the end
+        self.level_hits = [0] * (len(hierarchy.levels) + 1)
+        self.accesses = 0
+
+    def access(self, tree: str, node: IndexNode) -> None:
+        lines = self.address_map.lines_of((tree, node.number))
+        hierarchy_access = self.hierarchy.access
+        for line in lines:
+            self.level_hits[hierarchy_access(line)] += 1
+            self.accesses += 1
+
+    @property
+    def cache_level_hits(self) -> list[int]:
+        """Hit counts per cache level (excluding the memory slot)."""
+        return self.level_hits[:-1]
+
+    @property
+    def memory_accesses(self) -> int:
+        """Accesses that missed in every level."""
+        return self.level_hits[-1]
+
+
+class WorkCallback(Instrument):
+    """Adapts a plain callable into a work-event probe.
+
+    Handy in tests: ``WorkCallback(lambda o, i: pairs.append(...))``.
+    """
+
+    def __init__(self, callback: Callable[[IndexNode, IndexNode], Any]) -> None:
+        self.callback = callback
+
+    def work(self, o: IndexNode, i: IndexNode) -> None:
+        self.callback(o, i)
+
+
+def combine(*instruments: Optional[Instrument]) -> Instrument:
+    """Compose instruments, dropping ``None`` entries.
+
+    Returns :data:`NULL_INSTRUMENT` when nothing is left, a bare
+    instrument when exactly one remains, and a
+    :class:`MultiInstrument` otherwise.
+    """
+    remaining = [probe for probe in instruments if probe is not None]
+    if not remaining:
+        return NULL_INSTRUMENT
+    if len(remaining) == 1:
+        return remaining[0]
+    return MultiInstrument(remaining)

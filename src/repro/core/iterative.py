@@ -1,0 +1,150 @@
+"""Explicit-stack executors for very deep iteration spaces.
+
+The recursive executors mirror the paper's listings, but CPython
+stack frames are expensive and bounded.  For degenerate trees (the
+list trees that make the template equivalent to a loop nest) or very
+large inputs, these stack-machine equivalents execute the *same
+schedules* without native recursion.
+
+Only the original and interchanged orders are provided iteratively —
+they are what the huge-input stress tests need; the twisted schedule's
+depth is bounded by the sum of the tree depths, which
+:mod:`repro.core.recursion` already accommodates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.instruments import NULL_INSTRUMENT, Instrument
+from repro.core.spec import INNER_TREE, OUTER_TREE, NestedRecursionSpec
+from repro.spaces.node import IndexNode
+
+
+def run_original_iterative(
+    spec: NestedRecursionSpec,
+    instrument: Optional[Instrument] = None,
+) -> None:
+    """Original schedule via explicit stacks (no native recursion).
+
+    Emits exactly the same instrumentation events in exactly the same
+    order as :func:`repro.core.executors.run_original`; the unit tests
+    assert trace equality between the two.
+    """
+    ins = instrument or NULL_INSTRUMENT
+    truncate_outer = spec.truncate_outer
+    truncate_inner1 = spec.truncate_inner1
+    truncate_inner2 = spec.truncate_inner2
+    work = spec.work
+    ins_op = ins.op
+    ins_access = ins.access
+    ins_work = ins.work
+
+    spec.reset_truncation_state()
+    outer_stack: list[IndexNode] = [spec.outer_root]
+    while outer_stack:
+        o = outer_stack.pop()
+        ins_op("call")
+        ins_op("trunc_check")
+        if truncate_outer(o):
+            continue
+        # Full inner traversal for this outer node.
+        inner_stack: list[IndexNode] = [spec.inner_root]
+        while inner_stack:
+            i = inner_stack.pop()
+            ins_op("call")
+            ins_op("trunc_check")
+            if truncate_inner1(i):
+                continue
+            ins_op("visit")
+            if truncate_inner2 is not None:
+                ins_op("trunc_check")
+                if truncate_inner2(o, i):
+                    continue
+            ins_access(INNER_TREE, i)
+            ins_access(OUTER_TREE, o)
+            ins_work(o, i)
+            if work is not None:
+                work(o, i)
+            inner_stack.extend(reversed(i.children))
+        outer_stack.extend(reversed(o.children))
+
+
+def iter_original_points(
+    spec: NestedRecursionSpec,
+) -> Iterator[tuple[IndexNode, IndexNode]]:
+    """Yield the executed ``(o, i)`` node pairs of the original schedule.
+
+    A generator form of :func:`run_original_iterative` that performs no
+    instrumentation and does not call ``work`` — useful for oracles and
+    quick iteration-space materialization.
+    """
+    truncate_outer = spec.truncate_outer
+    truncate_inner1 = spec.truncate_inner1
+    truncate_inner2 = spec.truncate_inner2
+    spec.reset_truncation_state()
+    outer_stack: list[IndexNode] = [spec.outer_root]
+    while outer_stack:
+        o = outer_stack.pop()
+        if truncate_outer(o):
+            continue
+        inner_stack: list[IndexNode] = [spec.inner_root]
+        while inner_stack:
+            i = inner_stack.pop()
+            if truncate_inner1(i):
+                continue
+            if truncate_inner2 is not None and truncate_inner2(o, i):
+                continue
+            yield (o, i)
+            inner_stack.extend(reversed(i.children))
+        outer_stack.extend(reversed(o.children))
+
+
+def run_interchanged_iterative(
+    spec: NestedRecursionSpec,
+    instrument: Optional[Instrument] = None,
+) -> None:
+    """Interchanged schedule via explicit stacks — regular specs only.
+
+    The flag machinery needs phase-structured unwinding that is much
+    clearer recursively, so irregular specs must use
+    :func:`repro.core.interchange.run_interchanged`.
+    """
+    from repro.errors import ScheduleError
+
+    if spec.is_irregular:
+        raise ScheduleError(
+            "run_interchanged_iterative supports regular truncation only; "
+            "use run_interchanged for specs with truncate_inner2"
+        )
+    ins = instrument or NULL_INSTRUMENT
+    truncate_outer = spec.truncate_outer
+    truncate_inner1 = spec.truncate_inner1
+    work = spec.work
+    ins_op = ins.op
+    ins_access = ins.access
+    ins_work = ins.work
+
+    spec.reset_truncation_state()
+    inner_tree_stack: list[IndexNode] = [spec.inner_root]
+    while inner_tree_stack:
+        i = inner_tree_stack.pop()
+        ins_op("call")
+        ins_op("trunc_check")
+        if truncate_inner1(i):
+            continue
+        outer_tree_stack: list[IndexNode] = [spec.outer_root]
+        while outer_tree_stack:
+            o = outer_tree_stack.pop()
+            ins_op("call")
+            ins_op("trunc_check")
+            if truncate_outer(o):
+                continue
+            ins_op("visit")
+            ins_access(INNER_TREE, i)
+            ins_access(OUTER_TREE, o)
+            ins_work(o, i)
+            if work is not None:
+                work(o, i)
+            outer_tree_stack.extend(reversed(o.children))
+        inner_tree_stack.extend(reversed(i.children))

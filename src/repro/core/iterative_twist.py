@@ -1,0 +1,154 @@
+"""Explicit-stack recursion twisting for very deep iteration spaces.
+
+The recursive :func:`~repro.core.twisting.run_twisted` mirrors the
+paper's Figure 4(a) directly, but its call depth is the sum of the two
+tree depths — for degenerate (list-shaped) trees, the Section 2.1
+loop-equivalence case, that means tens of thousands of CPython frames
+and a raised recursion limit flirting with C-stack exhaustion.  This
+executor runs the *identical schedule* (same work order, same
+instrumentation event stream — the tests assert byte-for-byte parity)
+on an explicit work stack.
+
+Supported configurations: flags or counters for irregular truncation,
+optional cutoff.  The Section 4.2 *subtree truncation* optimization is
+not supported here: it needs post-order aggregation of the
+"all-truncated" signal through the traversal, which the recursive form
+expresses naturally; deep-space users can simply leave it off (it only
+affects visit counts, never results).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.instruments import NULL_INSTRUMENT, Instrument
+from repro.core.spec import INNER_TREE, OUTER_TREE, NestedRecursionSpec
+from repro.core.truncation import make_policy
+
+# Work-stack entry tags.
+_DISPATCH_REGULAR = 0  # decide regular-vs-swapped for an outer child
+_DISPATCH_SWAPPED = 1  # decide swapped-vs-regular for an inner child
+_RUN_REGULAR = 2  # execute a regular-order block
+_RUN_SWAPPED = 3  # execute a swapped-order block
+_CLOSE_PHASE = 4  # release a truncation phase's flags
+
+
+def run_twisted_iterative(
+    spec: NestedRecursionSpec,
+    instrument: Optional[Instrument] = None,
+    cutoff: Optional[int] = None,
+    use_counters: bool = False,
+) -> None:
+    """Recursion twisting without native recursion.
+
+    Produces exactly the event stream of ``run_twisted(spec,
+    instrument, cutoff=cutoff, use_counters=use_counters,
+    subtree_truncation=False)``.
+    """
+    ins = instrument or NULL_INSTRUMENT
+    policy = make_policy(spec, use_counters)
+    irregular = spec.is_irregular
+    truncate_outer = spec.truncate_outer
+    truncate_inner1 = spec.truncate_inner1
+    truncate_inner2 = spec.truncate_inner2
+    work = spec.work
+    ins_op = ins.op
+    ins_access = ins.access
+    ins_work = ins.work
+
+    def run_inner_regular(o, i_root) -> None:
+        # The regular-order inner traversal (original semantics),
+        # iteratively: identical event order to the recursive version.
+        stack = [i_root]
+        while stack:
+            i = stack.pop()
+            ins_op("call")
+            ins_op("trunc_check")
+            if truncate_inner1(i):
+                continue
+            ins_op("visit")
+            if irregular:
+                ins_op("trunc_check")
+                if truncate_inner2(o, i):
+                    continue
+            ins_access(INNER_TREE, i)
+            ins_access(OUTER_TREE, o)
+            ins_work(o, i)
+            if work is not None:
+                work(o, i)
+            stack.extend(reversed(i.children))
+
+    def run_inner_swapped(o_root, i, frame) -> None:
+        # The swapped-order inner traversal over the outer subtree,
+        # with the flag/counter machinery.
+        stack = [o_root]
+        while stack:
+            o = stack.pop()
+            ins_op("call")
+            ins_op("trunc_check")
+            if truncate_outer(o):
+                continue
+            ins_op("visit")
+            if irregular:
+                skipped = policy.check_and_mark(o, i, frame, ins)
+            else:
+                skipped = False
+            if not skipped:
+                ins_access(INNER_TREE, i)
+                ins_access(OUTER_TREE, o)
+                ins_work(o, i)
+                if work is not None:
+                    work(o, i)
+            stack.extend(reversed(o.children))
+
+    spec.reset_truncation_state()
+    stack: list[tuple] = [(_RUN_REGULAR, spec.outer_root, spec.inner_root)]
+    while stack:
+        entry = stack.pop()
+        tag = entry[0]
+
+        if tag == _RUN_REGULAR:
+            _tag, o, i = entry
+            ins_op("call")
+            ins_op("trunc_check")
+            if truncate_outer(o):
+                continue
+            if not (irregular and policy.subtree_truncated(o, i, ins)):
+                run_inner_regular(o, i)
+            for child in reversed(o.children):
+                stack.append((_DISPATCH_REGULAR, child, i))
+
+        elif tag == _DISPATCH_REGULAR:
+            _tag, child, i = entry
+            ins_op("size_compare")
+            if child.size <= i.size and (cutoff is None or i.size > cutoff):
+                ins_op("twist")
+                stack.append((_RUN_SWAPPED, child, i))
+            else:
+                stack.append((_RUN_REGULAR, child, i))
+
+        elif tag == _RUN_SWAPPED:
+            _tag, o, i = entry
+            ins_op("call")
+            ins_op("trunc_check")
+            if truncate_inner1(i):
+                continue
+            frame = policy.open_phase()
+            run_inner_swapped(o, i, frame)
+            # Close the phase after the children complete: push it
+            # below the child dispatches.
+            stack.append((_CLOSE_PHASE, frame))
+            for child in reversed(i.children):
+                stack.append((_DISPATCH_SWAPPED, o, child))
+
+        elif tag == _DISPATCH_SWAPPED:
+            _tag, o, child = entry
+            ins_op("size_compare")
+            if child.size <= o.size:
+                ins_op("twist")
+                stack.append((_RUN_REGULAR, o, child))
+            else:
+                stack.append((_RUN_SWAPPED, o, child))
+
+        else:  # _CLOSE_PHASE
+            policy.close_phase(entry[1], ins)

@@ -1,0 +1,245 @@
+"""N-level nested recursion and generalized twisting (Section 7.2).
+
+The paper closes Section 7.2 with: "Another useful direction of future
+work is to generalize recursion twisting to more than two levels of
+recursion, to allow it to handle algorithms like matrix-matrix
+multiplication."  This module is that generalization, for regular
+truncation (irregular truncation across three or more dimensions is
+open even as future work).
+
+**The generalized schedule.**  A state of the computation is a set of
+*active* dimensions, each at a subtree root, plus a set of *pinned*
+dimensions fixed at a single node.  One step:
+
+1. pick the active dimension ``d`` whose remaining subtree is largest —
+   that dimension plays the *outer recursion* role (ties flip away from
+   the current outer dimension, then prefer the lowest index);
+2. run the "row": the same algorithm over the remaining dimensions,
+   with ``d`` pinned at its current node;
+3. for each child of ``d``'s node, recurse with ``d`` moved to the
+   child — re-picking the outer role, which is where the twist happens.
+
+For two dimensions this reduces *exactly* to Figure 4(a), including its
+tie behaviour (``o.c1.size <= i.size`` twists on ties in the regular
+order, ``i.c1.size <= o.size`` twists back on ties in the swapped
+order); the tests assert schedule-for-schedule equality with
+:func:`repro.core.twisting.run_twisted`.  For every N it preserves the
+two invariants that matter: each point of the N-dimensional space
+executes exactly once, and each dimension's positions are visited in
+pre-order for any fixed setting of the other dimensions (the
+intra-traversal-order property behind the Section 3.3 soundness
+argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Sequence
+
+from repro.errors import SpecError
+from repro.spaces.node import IndexNode, validate_index_node
+
+WorkN = Callable[..., Any]
+TruncateN = Callable[[IndexNode], bool]
+
+
+def _never(_node: IndexNode) -> bool:
+    return False
+
+
+@dataclass
+class MultiLevelSpec:
+    """An N-level nested recursion: one tree per dimension.
+
+    ``work(*nodes)`` receives one node per dimension, in dimension
+    order.  ``truncates[d]`` bounds dimension ``d`` on its own index
+    (the N-level analog of ``truncateOuter?``/``truncateInner1?``);
+    cross-dimensional (irregular) truncation is not supported.
+    """
+
+    roots: Sequence[IndexNode]
+    work: Optional[WorkN] = None
+    truncates: Optional[Sequence[TruncateN]] = None
+    name: str = "multilevel-recursion"
+
+    def __post_init__(self) -> None:
+        if len(self.roots) < 1:
+            raise SpecError("MultiLevelSpec needs at least one dimension")
+        for root in self.roots:
+            validate_index_node(root)
+        if self.truncates is None:
+            self.truncates = [_never] * len(self.roots)
+        if len(self.truncates) != len(self.roots):
+            raise SpecError(
+                f"{len(self.roots)} dimensions but "
+                f"{len(self.truncates)} truncation predicates"
+            )
+        if self.work is not None and not callable(self.work):
+            raise SpecError("work must be callable or None")
+
+    @property
+    def num_dims(self) -> int:
+        """Number of nesting levels."""
+        return len(self.roots)
+
+
+class MultiLevelInstrument:
+    """Probe interface for N-level executions (all hooks no-ops)."""
+
+    def op(self, kind: str) -> None:
+        """One bookkeeping operation."""
+
+    def point(self, nodes: Sequence[IndexNode]) -> None:
+        """One executed N-dimensional iteration."""
+
+
+NULL_N_INSTRUMENT = MultiLevelInstrument()
+
+
+class PointRecorder(MultiLevelInstrument):
+    """Records the schedule as label tuples."""
+
+    def __init__(self) -> None:
+        self.points: list[tuple[Hashable, ...]] = []
+
+    def point(self, nodes: Sequence[IndexNode]) -> None:
+        self.points.append(
+            tuple(getattr(node, "label", node.number) for node in nodes)
+        )
+
+
+class OpCounterN(MultiLevelInstrument):
+    """Counts ops and executed points."""
+
+    def __init__(self) -> None:
+        from collections import Counter
+
+        self.counts = Counter()
+        self.work_points = 0
+
+    def op(self, kind: str) -> None:
+        self.counts[kind] += 1
+
+    def point(self, nodes: Sequence[IndexNode]) -> None:
+        self.work_points += 1
+
+
+def run_original_n(
+    spec: MultiLevelSpec,
+    instrument: Optional[MultiLevelInstrument] = None,
+) -> None:
+    """The untransformed N-level schedule: dimension 0 outermost.
+
+    For N == 2 this coincides with :func:`repro.core.executors.run_original`.
+    """
+    ins = instrument or NULL_N_INSTRUMENT
+    work = spec.work
+    truncates = list(spec.truncates or [])
+    num_dims = spec.num_dims
+    positions: list[IndexNode] = list(spec.roots)
+
+    def recurse(dim: int) -> None:
+        node = positions[dim]
+        ins.op("call")
+        ins.op("trunc_check")
+        if truncates[dim](node):
+            return
+        if dim == num_dims - 1:
+            ins.point(positions)
+            if work is not None:
+                work(*positions)
+        else:
+            recurse(dim + 1)
+        for child in node.children:
+            positions[dim] = child
+            recurse(dim)
+        positions[dim] = node
+
+    with _guard(spec):
+        recurse(0)
+
+
+def run_twisted_n(
+    spec: MultiLevelSpec,
+    instrument: Optional[MultiLevelInstrument] = None,
+) -> None:
+    """Generalized recursion twisting over N dimensions.
+
+    Parameterless, like the two-level transformation: at every step the
+    largest remaining subtree takes the outer-recursion role, so every
+    dimension's reuse distances shrink geometrically as the recursion
+    deepens — multi-level cache-oblivious blocking in N dimensions.
+    """
+    ins = instrument or NULL_N_INSTRUMENT
+    work = spec.work
+    truncates = list(spec.truncates or [])
+    positions: list[IndexNode] = list(spec.roots)
+
+    def block(active: tuple[int, ...], current_outer: int, forced: int) -> None:
+        if not active:
+            ins.point(positions)
+            if work is not None:
+                work(*positions)
+            return
+        if forced >= 0:
+            # The entry point is the original outermost function: like
+            # Figure 4(a), whose entry is recurseOuter, the first block
+            # runs in the original order and twisting starts at the
+            # recursive descents.
+            outer = forced
+        else:
+            # Twist decision: largest remaining subtree becomes the
+            # outer recursion; ties flip away from the incumbent, then
+            # prefer the lowest dimension index (matches Figure 4(a) at
+            # N == 2, including its tie behaviour).
+            for _dim in active:
+                ins.op("size_compare")
+            outer = max(
+                active,
+                key=lambda dim: (positions[dim].size, dim != current_outer, -dim),
+            )
+        node = positions[outer]
+        ins.op("call")
+        ins.op("trunc_check")
+        if truncates[outer](node):
+            return
+        remaining = tuple(dim for dim in active if dim != outer)
+        block(remaining, outer, -1)
+        for child in node.children:
+            positions[outer] = child
+            block(active, outer, -1)
+        positions[outer] = node
+
+    with _guard(spec):
+        block(tuple(range(spec.num_dims)), -1, 0)
+
+
+def _guard(spec: MultiLevelSpec):
+    """Recursion-limit guard covering the sum of all tree depths."""
+    from repro.spaces.node import tree_depth
+
+    total_depth = sum(tree_depth(root) for root in spec.roots)
+
+    class _Guard:
+        def __enter__(self):
+            import sys
+
+            self.previous = sys.getrecursionlimit()
+            needed = 6 * total_depth + 256
+            if needed > self.previous:
+                sys.setrecursionlimit(needed)
+
+        def __exit__(self, *exc):
+            import sys
+
+            sys.setrecursionlimit(self.previous)
+
+    return _Guard()
+
+
+def cross_product_size(spec: MultiLevelSpec) -> int:
+    """Upper bound on executed points (product of tree sizes)."""
+    total = 1
+    for root in spec.roots:
+        total *= root.size
+    return total

@@ -1,0 +1,211 @@
+"""Task-parallel nested recursion (Section 7.3), simulated.
+
+"Adding parallelism to nested recursion is completely straightforward.
+Recall from Section 3.3 that a sufficient condition for the soundness
+of recursion twisting is if each outer recursive step is independent of
+the rest.  This independence means that the outer recursions can be
+executed in a task-parallel manner ... At any point in the process,
+recursion twisting can be applied to a spawned task to improve its
+locality.  Note, however, that once recursion twisting is applied, it
+is no longer sound to treat outer recursions as independent of one
+another ... so twisting should only be applied once enough parallelism
+has been generated."
+
+This module realizes that recipe on the simulated machine:
+
+1. :func:`spawn_tasks` splits the outer recursion at a *spawn depth*
+   into independent tasks (one per outer subtree), exactly the Cilk
+   ``spawn`` decomposition the paper sketches — and, per the quote,
+   twisting happens only *inside* tasks, never across them;
+2. :func:`run_task_parallel` assigns tasks to simulated workers (greedy
+   longest-processing-time on an O(size-product) cost estimate), runs
+   each task under the chosen schedule on the worker's own private
+   cache hierarchy, and reports the makespan.
+
+Because the workers' caches are private, each task's locality is
+whatever its schedule earns — running the twisted schedule per task
+composes the Section 3 locality benefits with outer parallelism, which
+is the point of Section 7.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.instruments import Instrument, NULL_INSTRUMENT, combine
+from repro.core.schedules import ORIGINAL, Schedule
+from repro.core.spec import NestedRecursionSpec
+from repro.errors import ScheduleError
+from repro.spaces.node import IndexNode
+
+
+@dataclass
+class Task:
+    """One spawned unit: an outer subtree crossed with the inner tree."""
+
+    #: root of the outer subtree this task owns
+    outer_root: IndexNode
+    #: the spec the task executes (shares work/state with its siblings)
+    spec: NestedRecursionSpec
+
+    @property
+    def cost_estimate(self) -> int:
+        """Scheduling weight: the task's iteration-space upper bound."""
+        return self.outer_root.size * self.spec.inner_root.size
+
+
+def spawn_tasks(spec: NestedRecursionSpec, spawn_depth: int) -> list[Task]:
+    """Split the outer recursion into independent tasks.
+
+    Descends ``spawn_depth`` levels of the outer tree; every node *at*
+    that depth roots one task's subtree, and every node *above* it
+    (which the template would have visited on the way down) becomes a
+    single-node task of its own, so the union of task iteration spaces
+    is exactly the original space.
+
+    Only sound when the outer recursion is parallel — the caller can
+    verify that with :func:`repro.core.soundness.is_outer_parallel`.
+    """
+    if spawn_depth < 0:
+        raise ScheduleError(f"spawn_depth must be >= 0, got {spawn_depth}")
+    tasks: list[Task] = []
+
+    def descend(node: IndexNode, depth: int) -> None:
+        if depth == spawn_depth or node.is_leaf:
+            tasks.append(Task(outer_root=node, spec=spec))
+            return
+        # The node itself still owes one inner traversal: emit it as a
+        # single-node task (its subtree minus its children's subtrees).
+        tasks.append(Task(outer_root=_single_node_view(node), spec=spec))
+        for child in node.children:
+            descend(child, depth + 1)
+
+    descend(spec.outer_root, 0)
+    return tasks
+
+
+class _SingleNodeView(IndexNode):
+    """A childless facade over one outer node.
+
+    Lets a spawned parent node run its own inner traversal without
+    re-running its children's (they have their own tasks).  Mirrors how
+    a Cilk version would execute the node's body before spawning the
+    child calls.
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: IndexNode) -> None:
+        super().__init__()
+        self.base = base
+        self.size = 1
+        self.number = base.number
+        self.children = ()
+
+    def __getattr__(self, name):  # pragma: no cover - delegation shim
+        return getattr(self.base, name)
+
+
+def _single_node_view(node: IndexNode) -> IndexNode:
+    return _SingleNodeView(node)
+
+
+@dataclass
+class WorkerTrace:
+    """What one simulated worker executed."""
+
+    worker_id: int
+    tasks: list[Task] = field(default_factory=list)
+    cycles: float = 0.0
+
+
+@dataclass
+class ParallelReport:
+    """Outcome of a simulated task-parallel execution."""
+
+    workers: list[WorkerTrace]
+    #: sum of all workers' cycles (the sequential-equivalent total)
+    total_cycles: float
+    #: slowest worker's cycles — the modeled parallel run time
+    makespan: float
+
+    @property
+    def parallel_speedup(self) -> float:
+        """total work / makespan: the load-balance-limited speedup."""
+        if self.makespan == 0:
+            return float("inf")
+        return self.total_cycles / self.makespan
+
+
+TaskRunner = Callable[[Task, Instrument], float]
+
+
+def run_task_parallel(
+    spec: NestedRecursionSpec,
+    num_workers: int,
+    spawn_depth: int = 3,
+    schedule: Schedule = ORIGINAL,
+    task_cycles: Optional[TaskRunner] = None,
+    instruments: Optional[Sequence[Instrument]] = None,
+) -> ParallelReport:
+    """Execute a spec as spawn-depth-bounded parallel tasks.
+
+    Tasks are assigned greedily (largest estimated cost first, to the
+    least loaded worker) and executed in worker order — which is a
+    *valid* serialization because spawning requires outer-parallelism.
+    ``task_cycles`` measures one task's cost; the default counts
+    executed work points (callers wanting cache-accurate costs pass a
+    closure over :func:`repro.bench.runner`-style probes).
+    ``instruments[w]`` observes worker ``w``'s execution.
+    """
+    if num_workers < 1:
+        raise ScheduleError(f"num_workers must be >= 1, got {num_workers}")
+    if instruments is not None and len(instruments) != num_workers:
+        raise ScheduleError("need exactly one instrument per worker")
+
+    tasks = spawn_tasks(spec, spawn_depth)
+    # Greedy LPT assignment on the static cost estimate.
+    workers = [WorkerTrace(worker_id=w) for w in range(num_workers)]
+    loads = [0 for _ in range(num_workers)]
+    for task in sorted(tasks, key=lambda t: t.cost_estimate, reverse=True):
+        target = loads.index(min(loads))
+        workers[target].tasks.append(task)
+        loads[target] += task.cost_estimate
+
+    def default_task_cycles(task: Task, instrument: Instrument) -> float:
+        from repro.core.instruments import OpCounter
+
+        ops = OpCounter()
+        task_spec = _task_spec(task)
+        schedule.run(task_spec, instrument=combine(ops, instrument))
+        return float(ops.work_points)
+
+    measure = task_cycles or default_task_cycles
+    for worker in workers:
+        probe = instruments[worker.worker_id] if instruments else NULL_INSTRUMENT
+        for task in worker.tasks:
+            worker.cycles += measure(task, probe)
+
+    total = sum(worker.cycles for worker in workers)
+    makespan = max((worker.cycles for worker in workers), default=0.0)
+    return ParallelReport(workers=workers, total_cycles=total, makespan=makespan)
+
+
+def _task_spec(task: Task) -> NestedRecursionSpec:
+    """The task's restriction of the spec to its outer subtree."""
+    spec = task.spec
+    return NestedRecursionSpec(
+        outer_root=task.outer_root,
+        inner_root=spec.inner_root,
+        work=spec.work,
+        truncate_outer=spec.truncate_outer,
+        truncate_inner1=spec.truncate_inner1,
+        truncate_inner2=spec.truncate_inner2,
+        name=f"{spec.name}-task",
+    )
+
+
+def task_spec(task: Task) -> NestedRecursionSpec:
+    """Public accessor for a task's restricted spec."""
+    return _task_spec(task)

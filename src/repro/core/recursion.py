@@ -1,0 +1,53 @@
+"""Recursion-depth management for deep iteration spaces.
+
+The faithful executors are written recursively, like the paper's
+listings.  CPython's default recursion limit (1000) is too small for
+the degenerate (list-shaped) trees that make the template "devolve into
+a doubly-nested loop" (Section 2.1), so every executor wraps its run in
+:func:`recursion_guard`, which raises the limit to cover the combined
+depth of the two trees plus interpreter headroom and restores it
+afterwards.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.spaces.node import IndexNode, tree_depth
+
+#: Stack frames reserved for the interpreter, pytest, and instruments.
+_HEADROOM = 256
+
+#: Frames one template level consumes per tree level (outer + inner
+#: recursive calls, instruments, predicate calls).
+_FRAMES_PER_LEVEL = 4
+
+
+def required_limit(outer_root: IndexNode, inner_root: IndexNode) -> int:
+    """A recursion limit sufficient for any schedule over the two trees.
+
+    Every schedule's call depth is bounded by the sum of the two tree
+    depths (the twisted schedule interleaves the recursions but each
+    call still descends one of the trees by one level).
+    """
+    depth = tree_depth(outer_root) + tree_depth(inner_root)
+    return depth * _FRAMES_PER_LEVEL + _HEADROOM
+
+
+@contextmanager
+def recursion_guard(
+    outer_root: IndexNode,
+    inner_root: IndexNode,
+    minimum: Optional[int] = None,
+) -> Iterator[None]:
+    """Temporarily raise the interpreter recursion limit if needed."""
+    needed = max(required_limit(outer_root, inner_root), minimum or 0)
+    previous = sys.getrecursionlimit()
+    if needed > previous:
+        sys.setrecursionlimit(needed)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)

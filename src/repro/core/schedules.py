@@ -1,0 +1,109 @@
+"""Named schedule registry.
+
+The bench harness and the examples refer to schedules by name
+("original", "interchange", "twist", "twist(cutoff=64)", ...).  This
+module gives each transformation a uniform call signature —
+``schedule.run(spec, instrument)`` — and a canonical name, so the
+experiment drivers can sweep configurations declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.executors import run_original
+from repro.core.instruments import Instrument
+from repro.core.interchange import run_interchanged
+from repro.core.spec import NestedRecursionSpec
+from repro.core.twisting import run_twisted
+from repro.errors import ScheduleError
+
+Runner = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A named, fully configured schedule transformation."""
+
+    name: str
+    _runner: Runner
+
+    def run(
+        self, spec: NestedRecursionSpec, instrument: Optional[Instrument] = None
+    ) -> None:
+        """Execute ``spec`` under this schedule."""
+        self._runner(spec, instrument=instrument)
+
+
+#: The untransformed Figure 2 schedule.
+ORIGINAL = Schedule("original", run_original)
+
+#: Plain recursion interchange (Figure 3 + Section 4 flags).
+INTERCHANGE = Schedule("interchange", run_interchanged)
+
+#: Interchange with the Section 4.2 subtree-truncation optimization.
+INTERCHANGE_SUBTREE = Schedule(
+    "interchange+subtree",
+    lambda spec, instrument=None: run_interchanged(
+        spec, instrument=instrument, subtree_truncation=True
+    ),
+)
+
+#: Parameterless recursion twisting, the paper's evaluated configuration
+#: (flags + subtree truncation).
+TWIST = Schedule("twist", run_twisted)
+
+#: Twisting with the Section 4.3 counter optimization.
+TWIST_COUNTERS = Schedule(
+    "twist+counters",
+    lambda spec, instrument=None: run_twisted(
+        spec, instrument=instrument, use_counters=True
+    ),
+)
+
+#: Twisting without subtree truncation (for the Section 4.2 ablation).
+TWIST_NO_SUBTREE = Schedule(
+    "twist-subtree",
+    lambda spec, instrument=None: run_twisted(
+        spec, instrument=instrument, subtree_truncation=False
+    ),
+)
+
+
+def twist_with_cutoff(cutoff: int) -> Schedule:
+    """The Section 7.1 cutoff variant, as a named schedule."""
+    if cutoff < 0:
+        raise ScheduleError(f"cutoff must be non-negative, got {cutoff}")
+    return Schedule(
+        f"twist(cutoff={cutoff})",
+        lambda spec, instrument=None: run_twisted(
+            spec, instrument=instrument, cutoff=cutoff
+        ),
+    )
+
+
+#: Schedules by bare name, for CLI-ish lookups in examples and benches.
+BY_NAME = {
+    schedule.name: schedule
+    for schedule in (
+        ORIGINAL,
+        INTERCHANGE,
+        INTERCHANGE_SUBTREE,
+        TWIST,
+        TWIST_COUNTERS,
+        TWIST_NO_SUBTREE,
+    )
+}
+
+
+def get_schedule(name: str) -> Schedule:
+    """Look up a schedule by name, supporting ``twist(cutoff=N)``."""
+    if name in BY_NAME:
+        return BY_NAME[name]
+    if name.startswith("twist(cutoff=") and name.endswith(")"):
+        return twist_with_cutoff(int(name[len("twist(cutoff=") : -1]))
+    raise ScheduleError(
+        f"unknown schedule {name!r}; known: {sorted(BY_NAME)} "
+        f"or 'twist(cutoff=N)'"
+    )

@@ -1,0 +1,169 @@
+"""Soundness checking for scheduling transformations (Section 3.3).
+
+A scheduling transformation is sound when every pair of dependent
+``work`` invocations (same location, at least one write) executes in
+the same relative order before and after the transformation.  The
+paper's prototype does *not* verify this automatically — it "relies on
+the programmer to only annotate nested recursive functions that can be
+safely transformed" — but a reproduction can do better: given a
+*footprint* function describing what each ``work(o, i)`` reads and
+writes, this module checks order preservation on concrete executions,
+and implements the paper's conservative sufficient criterion ("if the
+outer recursion is parallel, recursion interchange is sound, and
+therefore recursion twisting is sound").
+
+The order-preservation check uses a canonical form per location:
+``[w, {reads}, w, {reads}, ...]`` — reads between consecutive writes
+commute with each other, writes never commute, and a read never crosses
+a write.  Two schedules preserve all dependences iff every location's
+canonical form matches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.core.instruments import Instrument
+from repro.errors import SoundnessError
+from repro.spaces.node import IndexNode
+
+#: What one work invocation touches: (location, is_write) pairs.
+Footprint = Callable[[IndexNode, IndexNode], Iterable[tuple[Hashable, bool]]]
+
+WorkPointLabel = tuple[Hashable, Hashable]
+
+
+def _label(node: IndexNode) -> Hashable:
+    return getattr(node, "label", node.number)
+
+
+class FootprintRecorder(Instrument):
+    """Records, per location, the ordered access sequence of a run.
+
+    Each entry is ``(work_point_label, is_write)``; the per-location
+    sequences are all the soundness check needs (accesses to different
+    locations always commute).
+    """
+
+    def __init__(self, footprint: Footprint) -> None:
+        self.footprint = footprint
+        self.by_location: dict[Hashable, list[tuple[WorkPointLabel, bool]]] = (
+            defaultdict(list)
+        )
+        self.num_work_points = 0
+
+    def work(self, o: IndexNode, i: IndexNode) -> None:
+        self.num_work_points += 1
+        point = (_label(o), _label(i))
+        for location, is_write in self.footprint(o, i):
+            self.by_location[location].append((point, is_write))
+
+
+def canonical_form(
+    sequence: Sequence[tuple[WorkPointLabel, bool]]
+) -> list[tuple[str, object]]:
+    """Canonicalize one location's access sequence.
+
+    Writes stay ordered; maximal runs of reads between writes become
+    frozen *multisets* (a point may read a location several times).
+    Two sequences have equal canonical forms iff they agree on every
+    read-write and write-write ordering.
+    """
+    form: list[tuple[str, object]] = []
+    reads: dict[WorkPointLabel, int] = defaultdict(int)
+    for point, is_write in sequence:
+        if is_write:
+            if reads:
+                form.append(("reads", frozenset(reads.items())))
+                reads = defaultdict(int)
+            form.append(("write", point))
+        else:
+            reads[point] += 1
+    if reads:
+        form.append(("reads", frozenset(reads.items())))
+    return form
+
+
+@dataclass
+class SoundnessReport:
+    """Outcome of comparing a transformed schedule against the original."""
+
+    #: locations whose dependence order differs (empty = sound)
+    violations: list[Hashable]
+    #: locations checked in total
+    locations_checked: int
+    #: True when the executed work-point multisets matched
+    same_work_points: bool
+
+    @property
+    def is_sound(self) -> bool:
+        """True when no dependence order was violated."""
+        return not self.violations and self.same_work_points
+
+    def raise_if_unsound(self) -> None:
+        """Raise :class:`~repro.errors.SoundnessError` on violations."""
+        if not self.same_work_points:
+            raise SoundnessError(
+                "transformed schedule executes a different set of "
+                "iterations than the original"
+            )
+        if self.violations:
+            raise SoundnessError(
+                f"dependence order violated at {len(self.violations)} "
+                f"location(s), e.g. {self.violations[0]!r}"
+            )
+
+
+def compare_recordings(
+    original: FootprintRecorder, transformed: FootprintRecorder
+) -> SoundnessReport:
+    """Check that ``transformed`` preserves every dependence of ``original``."""
+    violations: list[Hashable] = []
+    locations = set(original.by_location) | set(transformed.by_location)
+    for location in locations:
+        before = canonical_form(original.by_location.get(location, []))
+        after = canonical_form(transformed.by_location.get(location, []))
+        if before != after:
+            violations.append(location)
+    return SoundnessReport(
+        violations=sorted(violations, key=repr),
+        locations_checked=len(locations),
+        same_work_points=original.num_work_points == transformed.num_work_points,
+    )
+
+
+def check_transformation(
+    spec_factory: Callable[[], "object"],
+    footprint: Footprint,
+    run_original: Callable[..., None],
+    run_transformed: Callable[..., None],
+) -> SoundnessReport:
+    """Run both schedules on fresh specs and compare dependence orders.
+
+    ``spec_factory`` must build an independent spec per call (the work
+    function may mutate state, so the two runs cannot share it).
+    """
+    original_recorder = FootprintRecorder(footprint)
+    run_original(spec_factory(), instrument=original_recorder)
+    transformed_recorder = FootprintRecorder(footprint)
+    run_transformed(spec_factory(), instrument=transformed_recorder)
+    return compare_recordings(original_recorder, transformed_recorder)
+
+
+def is_outer_parallel(recorder: FootprintRecorder) -> bool:
+    """The paper's conservative soundness criterion (Section 3.3).
+
+    True when different outer-recursion invocations are independent:
+    no location involved in a write is touched by work points with two
+    different outer indices.  When this holds, recursion interchange —
+    and therefore recursion twisting — is sound.
+    """
+    for accesses in recorder.by_location.values():
+        if not any(is_write for _point, is_write in accesses):
+            continue  # read-only locations never carry dependences
+        outer_indices = {point[0] for point, _is_write in accesses}
+        if len(outer_indices) > 1:
+            return False
+    return True

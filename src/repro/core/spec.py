@@ -1,0 +1,145 @@
+"""The nested recursion template (Figure 2) as a declarative spec.
+
+A :class:`NestedRecursionSpec` captures everything the paper's template
+parameterizes:
+
+* the two trees (really: recursive index spaces) being traversed;
+* ``truncateOuter?`` — bounds the outer recursion on its own index;
+* ``truncateInner1?`` — bounds the inner recursion on its own index;
+* ``truncateInner2?`` — the *irregular* truncation of Section 4,
+  bounding the inner recursion on **both** indices (``None`` marks the
+  regular case, the paper's "no-op" assumption in Sections 2-3);
+* ``work`` — the loop body, called once per executed iteration.
+
+The template's truncation conditions include the implicit ``null``
+checks of the paper's listings; here the equivalent structural bound is
+"a node has no children", so the default truncation predicates are
+constant ``False`` and recursion stops at leaves.  Domain-specific
+predicates (e.g. dual-tree ``Score`` pruning) are layered on top.
+
+The executors in :mod:`repro.core.executors`,
+:mod:`repro.core.interchange` and :mod:`repro.core.twisting` consume a
+spec and realize the original, interchanged, and twisted schedules.
+Crucially (Section 2.1's terminology), a spec names the *trees* — whose
+identity is absolute — while the executors decide which tree each
+*recursion* traverses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import SpecError
+from repro.spaces.node import IndexNode, validate_index_node
+
+#: Absolute tree identities, used to tag data accesses regardless of
+#: which recursion is traversing the tree in a transformed schedule.
+OUTER_TREE = "outer"
+INNER_TREE = "inner"
+
+TruncatePredicate = Callable[[IndexNode], bool]
+Truncate2Predicate = Callable[[IndexNode, IndexNode], bool]
+WorkFunction = Callable[[IndexNode, IndexNode], Any]
+
+
+def _never(_node: IndexNode) -> bool:
+    """Default truncation predicate: rely on structural leaf bounds."""
+    return False
+
+
+@dataclass
+class NestedRecursionSpec:
+    """An instance of the Figure 2 nested recursion template.
+
+    Parameters
+    ----------
+    outer_root, inner_root:
+        Roots of the outer and inner trees.  The same root may be used
+        for both (self-joins are allowed; the locality analysis of
+        Section 3.2 explicitly covers "recursions [that] traverse trees
+        (that could be the same tree)").
+    work:
+        The loop body.  May be ``None`` for pure schedule studies where
+        only the visit order matters.
+    truncate_outer, truncate_inner1:
+        Single-index truncation predicates.  Defaults never truncate
+        (recursion stops at leaves structurally).
+    truncate_inner2:
+        Two-index truncation, or ``None`` when truncation is regular.
+        When present, the transformed schedules automatically engage
+        the Section 4 flag/counter machinery.
+    name:
+        A label for reports.
+    """
+
+    outer_root: IndexNode
+    inner_root: IndexNode
+    work: Optional[WorkFunction] = None
+    truncate_outer: TruncatePredicate = _never
+    truncate_inner1: TruncatePredicate = _never
+    truncate_inner2: Optional[Truncate2Predicate] = None
+    name: str = "nested-recursion"
+
+    def __post_init__(self) -> None:
+        validate_index_node(self.outer_root)
+        validate_index_node(self.inner_root)
+        for predicate_name in ("truncate_outer", "truncate_inner1"):
+            if not callable(getattr(self, predicate_name)):
+                raise SpecError(f"{predicate_name} must be callable")
+        if self.truncate_inner2 is not None and not callable(self.truncate_inner2):
+            raise SpecError("truncate_inner2 must be callable or None")
+        if self.work is not None and not callable(self.work):
+            raise SpecError("work must be callable or None")
+
+    @property
+    def is_irregular(self) -> bool:
+        """True when the iteration space can be non-rectangular.
+
+        Mirrors the prototype tool's analysis step (Section 5): "it
+        determines whether any portion of the inner recursion's
+        truncation condition is dependent on the outer recursion".
+        """
+        return self.truncate_inner2 is not None
+
+    def reset_truncation_state(self) -> None:
+        """Clear flag/counter scratch state on both trees.
+
+        Executors call this before every run so that repeated runs on
+        the same spec are independent.
+        """
+        self.outer_root.reset_truncation_state()
+        if self.inner_root is not self.outer_root:
+            self.inner_root.reset_truncation_state()
+
+    def interchanged(self) -> "NestedRecursionSpec":
+        """The spec a *statically* interchanged program would have.
+
+        Recursion interchange swaps which tree each recursion
+        traverses; a statically interchanged program is simply the
+        template instantiated with the trees (and their single-index
+        truncations) exchanged.  Only valid for regular truncation —
+        with ``truncateInner2?`` present the interchange must go
+        through the flag machinery (Section 4), i.e. through
+        :func:`repro.core.interchange.run_interchanged`, not through a
+        spec-level swap.
+        """
+        if self.is_irregular:
+            raise SpecError(
+                "a spec with truncate_inner2 cannot be interchanged by "
+                "swapping trees; use run_interchanged, which applies the "
+                "Section 4 truncation-flag machinery"
+            )
+        swapped_work = None
+        if self.work is not None:
+            original_work = self.work
+            swapped_work = lambda i, o: original_work(o, i)  # noqa: E731
+        return NestedRecursionSpec(
+            outer_root=self.inner_root,
+            inner_root=self.outer_root,
+            work=swapped_work,
+            truncate_outer=self.truncate_inner1,
+            truncate_inner1=self.truncate_outer,
+            truncate_inner2=None,
+            name=f"{self.name}-interchanged",
+        )

@@ -1,0 +1,182 @@
+"""Irregular-truncation machinery (Section 4 of the paper).
+
+When ``truncateInner2?(o, i)`` is present, the interchanged and twisted
+schedules cannot simply skip recursive calls the way the original code
+does: a truncation discovered at iteration ``(B, 2)`` must also
+suppress the *implicitly* skipped iterations ``(B, 3)`` and ``(B, 4)``
+that other traversals will reach later (Figure 6).  The paper solves
+this with truncation state stored on outer-tree nodes; this module
+implements both variants behind one small policy interface:
+
+* :class:`FlagTruncation` — Figure 6(b): a boolean flag per outer node,
+  a per-phase ``unTrunc`` set, and an unset loop when the inner subtree
+  completes.  This is the baseline mechanism, whose unset loop is the
+  instruction overhead Section 4.3 complains about.
+* :class:`CounterTruncation` — the Section 4.3 optimization: inner
+  nodes carry their pre-order number; an outer node's flag becomes a
+  counter ``c`` with the semantics "inner node ``v`` is truncated for
+  this outer node iff ``v.number < c``".  Setting the flag stores the
+  number of the first inner node *after* the current inner subtree
+  (``i.number + i.size``), so nodes "naturally untruncate" as the
+  traversal passes the subtree boundary — no unset loops at all.
+  Requires a fixed, a-priori traversal order of the inner tree
+  (condition (ii) of Section 4.3), which pre-order numbering provides.
+* :class:`NoTruncation` — the regular case; every hook is a cheap
+  no-op so the regular executors pay nothing.
+
+Both stateful policies also report whether *every* live outer node in a
+subtree ended up truncated, which powers the *subtree truncation*
+optimization of Section 4.2 (cut off the swapped recursion when the
+whole cross product below would be skipped).
+
+A deliberate deviation from the Figure 6(b) listing: we test the flag
+*before* evaluating ``truncateInner2?`` and never re-add an
+already-flagged node to the current phase's ``unTrunc`` set.  The
+listing as printed would let a nested truncation phase unset a flag
+that an *outer* phase still needs (the inner phase's unset loop fires
+first), executing iterations the original code skips.  Checking the
+flag first gives each flag exactly one owning phase.  The
+``TestNestedTruncationRegions`` cases in
+``tests/unit/core/test_truncation.py`` pin this behaviour down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.instruments import Instrument
+from repro.core.spec import NestedRecursionSpec, Truncate2Predicate
+from repro.errors import ScheduleError
+from repro.spaces.node import IndexNode
+
+
+class TruncationPolicy:
+    """Strategy interface used by the interchanged/twisted executors.
+
+    A *phase* corresponds to one ``recurseOuterSwapped`` invocation —
+    the visit of one inner node ``i`` plus the traversal of its
+    subtree.  Flags set while processing ``i`` are owned by that phase
+    and released when it closes.
+    """
+
+    def open_phase(self) -> Optional[list[IndexNode]]:
+        """Begin a swapped-recursion phase; returns the phase frame."""
+        return None
+
+    def close_phase(
+        self, frame: Optional[list[IndexNode]], ins: Instrument
+    ) -> None:
+        """End a phase, releasing any truncation state it owns."""
+
+    def check_and_mark(
+        self, o: IndexNode, i: IndexNode, frame: Optional[list[IndexNode]], ins: Instrument
+    ) -> bool:
+        """Handle one swapped-order visit of ``(o, i)``.
+
+        Returns ``True`` when the point must be skipped — either because
+        ``o`` is already truncated for the current inner region, or
+        because ``truncateInner2?(o, i)`` fires now (in which case the
+        truncation is recorded).  ``False`` means the point executes.
+        """
+        return False
+
+    def subtree_truncated(self, o: IndexNode, i: IndexNode, ins: Instrument) -> bool:
+        """Is the whole inner subtree at ``i`` truncated for node ``o``?
+
+        Used by the *regular-order* phases of the twisted schedule: a
+        flag set during an enclosing swapped phase covers the entire
+        inner subtree about to be traversed for ``o``.
+        """
+        return False
+
+
+class NoTruncation(TruncationPolicy):
+    """Policy for regular specs (``truncateInner2?`` absent)."""
+
+
+class FlagTruncation(TruncationPolicy):
+    """Figure 6(b): boolean flags plus per-phase unset sets."""
+
+    def __init__(self, truncate_inner2: Truncate2Predicate) -> None:
+        self.truncate_inner2 = truncate_inner2
+
+    def open_phase(self) -> list[IndexNode]:
+        return []
+
+    def close_phase(self, frame: Optional[list[IndexNode]], ins: Instrument) -> None:
+        assert frame is not None
+        for node in frame:
+            ins.op("flag_unset")
+            node.trunc = False
+
+    def check_and_mark(
+        self, o: IndexNode, i: IndexNode, frame: Optional[list[IndexNode]], ins: Instrument
+    ) -> bool:
+        ins.op("flag_check")
+        if o.trunc:
+            return True
+        ins.op("trunc_check")
+        if self.truncate_inner2(o, i):
+            ins.op("flag_set")
+            o.trunc = True
+            assert frame is not None
+            frame.append(o)
+            return True
+        return False
+
+    def subtree_truncated(self, o: IndexNode, i: IndexNode, ins: Instrument) -> bool:
+        ins.op("flag_check")
+        return o.trunc
+
+
+class CounterTruncation(TruncationPolicy):
+    """Section 4.3: pre-order counters instead of flags.
+
+    ``o.trunc_counter`` holds the pre-order number of the first inner
+    node at which ``o`` becomes live again (-1 = never truncated).  The
+    policy never unsets anything: passing the recorded boundary
+    untruncates implicitly, which removes the unset loops (and their
+    cache-unfriendly second traversal of outer nodes) entirely.
+    """
+
+    def __init__(self, truncate_inner2: Truncate2Predicate) -> None:
+        self.truncate_inner2 = truncate_inner2
+
+    def check_and_mark(
+        self, o: IndexNode, i: IndexNode, frame: Optional[list[IndexNode]], ins: Instrument
+    ) -> bool:
+        if i.number < 0:
+            raise ScheduleError(
+                "counter truncation requires pre-order numbering on the "
+                "inner tree; build trees via repro.spaces (finalize_tree)"
+            )
+        ins.op("counter_check")
+        if i.number < o.trunc_counter:
+            return True
+        ins.op("trunc_check")
+        if self.truncate_inner2(o, i):
+            ins.op("counter_set")
+            # First pre-order number after i's subtree: descendants of i
+            # occupy [i.number, i.number + i.size).
+            o.trunc_counter = i.number + i.size
+            return True
+        return False
+
+    def subtree_truncated(self, o: IndexNode, i: IndexNode, ins: Instrument) -> bool:
+        ins.op("counter_check")
+        return i.number < o.trunc_counter
+
+
+def make_policy(
+    spec: NestedRecursionSpec, use_counters: bool = False
+) -> TruncationPolicy:
+    """Pick the truncation policy a transformed schedule needs.
+
+    Regular specs get :class:`NoTruncation`; irregular specs get flags
+    by default or counters when ``use_counters`` is set.
+    """
+    if spec.truncate_inner2 is None:
+        return NoTruncation()
+    if use_counters:
+        return CounterTruncation(spec.truncate_inner2)
+    return FlagTruncation(spec.truncate_inner2)

@@ -1,0 +1,171 @@
+"""The four dual-tree benchmarks as runnable algorithm objects.
+
+Each class bundles: point data, spatial trees, a rule set, and a
+``make_spec()`` factory that resets the rule state — so one algorithm
+instance can be executed repeatedly under different schedules with
+comparable, independent results.  These are the PC, NN, KNN, and VP
+benchmarks of Section 6.1:
+
+* :class:`PointCorrelation` — "a 2-point correlation algorithm that
+  determines how clustered a data set is";
+* :class:`NearestNeighbor` — "find the nearest neighbor of each of a
+  set of query points in a set of data points";
+* :class:`KNearestNeighbors` — "like nearest neighbor but finds the k
+  nearest neighbors of each query point" (kd-trees);
+* :class:`VPNearestNeighbors` — "a k-nearest neighbor algorithm that
+  uses a vantage point tree instead of a kd-tree".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.core.spec import NestedRecursionSpec
+from repro.dualtree.kdtree import build_kdtree
+from repro.dualtree.rules import (
+    KNearestNeighborRules,
+    NearestNeighborRules,
+    PointCorrelationRules,
+)
+from repro.dualtree.spatial import SpatialTree
+from repro.dualtree.traverser import dual_tree_spec
+from repro.dualtree.vptree import build_vptree
+
+
+@dataclass
+class PointCorrelation:
+    """Dual-tree 2-point correlation over one point set.
+
+    The point set is indexed twice — a query tree and a reference tree
+    over the same points, the paper's "the inner and outer recursions
+    may traverse the same tree" setting made concrete with two
+    independently built trees.
+    """
+
+    points: np.ndarray
+    radius: float
+    leaf_size: int = 8
+    query_tree: SpatialTree = field(init=False)
+    reference_tree: SpatialTree = field(init=False)
+    rules: PointCorrelationRules = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=float)
+        self.query_tree = build_kdtree(self.points, self.leaf_size)
+        self.reference_tree = build_kdtree(self.points, self.leaf_size)
+        self.rules = PointCorrelationRules(
+            self.query_tree, self.reference_tree, self.radius
+        )
+
+    def make_spec(self) -> NestedRecursionSpec:
+        """Fresh spec with a zeroed pair count."""
+        self.rules = PointCorrelationRules(
+            self.query_tree, self.reference_tree, self.radius
+        )
+        return dual_tree_spec(
+            self.query_tree, self.reference_tree, self.rules, name="PC"
+        )
+
+    @property
+    def result(self) -> int:
+        """Pair count from the most recent run."""
+        return self.rules.count
+
+
+@dataclass
+class NearestNeighbor:
+    """Dual-tree nearest neighbor: queries against a reference set.
+
+    ``exclude_self=True`` supports the same-set variant (each point's
+    nearest *other* point), matching the oracle's flag.
+    """
+
+    queries: np.ndarray
+    references: np.ndarray
+    leaf_size: int = 8
+    exclude_self: bool = False
+    query_tree: SpatialTree = field(init=False)
+    reference_tree: SpatialTree = field(init=False)
+    rules: NearestNeighborRules = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.queries = np.asarray(self.queries, dtype=float)
+        self.references = np.asarray(self.references, dtype=float)
+        self.query_tree = build_kdtree(self.queries, self.leaf_size)
+        self.reference_tree = build_kdtree(self.references, self.leaf_size)
+        self.rules = NearestNeighborRules(
+            self.query_tree, self.reference_tree, exclude_self=self.exclude_self
+        )
+
+    def make_spec(self) -> NestedRecursionSpec:
+        """Fresh spec with reset best-distance state."""
+        self.rules = NearestNeighborRules(
+            self.query_tree, self.reference_tree, exclude_self=self.exclude_self
+        )
+        return dual_tree_spec(
+            self.query_tree, self.reference_tree, self.rules, name="NN"
+        )
+
+    @property
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbor ids, distances) from the most recent run."""
+        return self.rules.best_id, self.rules.best_dist
+
+
+@dataclass
+class KNearestNeighbors:
+    """Dual-tree k-NN over kd-trees (the KNN benchmark, k=5 in §6.1)."""
+
+    queries: np.ndarray
+    references: np.ndarray
+    k: int = 5
+    leaf_size: int = 8
+    exclude_self: bool = False
+    query_tree: SpatialTree = field(init=False)
+    reference_tree: SpatialTree = field(init=False)
+    rules: KNearestNeighborRules = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.queries = np.asarray(self.queries, dtype=float)
+        self.references = np.asarray(self.references, dtype=float)
+        self.query_tree = self._build(self.queries)
+        self.reference_tree = self._build(self.references)
+        self.rules = KNearestNeighborRules(
+            self.query_tree, self.reference_tree, self.k,
+            exclude_self=self.exclude_self,
+        )
+
+    def _build(self, points: np.ndarray) -> SpatialTree:
+        return build_kdtree(points, self.leaf_size)
+
+    def make_spec(self) -> NestedRecursionSpec:
+        """Fresh spec with reset candidate lists."""
+        self.rules = KNearestNeighborRules(
+            self.query_tree, self.reference_tree, self.k,
+            exclude_self=self.exclude_self,
+        )
+        return dual_tree_spec(
+            self.query_tree, self.reference_tree, self.rules, name=self._name()
+        )
+
+    def _name(self) -> str:
+        return "KNN"
+
+    @property
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbor ids, distances), nearest first, from the last run."""
+        return self.rules.neighbor_ids(), self.rules.neighbor_dists()
+
+
+@dataclass
+class VPNearestNeighbors(KNearestNeighbors):
+    """Dual-tree k-NN over vantage-point trees (the VP benchmark, k=10)."""
+
+    k: int = 10
+
+    def _build(self, points: np.ndarray) -> SpatialTree:
+        return build_vptree(points, self.leaf_size)
+
+    def _name(self) -> str:
+        return "VP"

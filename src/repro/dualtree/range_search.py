@@ -1,0 +1,112 @@
+"""Dual-tree range search: a fourth rule set for the framework.
+
+Not one of the paper's evaluated benchmarks, but the canonical "next"
+dual-tree algorithm in Curtin et al.'s catalogue, included to
+demonstrate that the lowering of :mod:`repro.dualtree.traverser` is
+genuinely rule-generic: range search reports, per query point, *which*
+reference points lie within the radius (point correlation only counts
+them).  Because it materializes per-query result lists, it also
+exercises a subtly different dependence pattern — per-query append
+order — which the intra-traversal order preservation of every schedule
+keeps deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spec import NestedRecursionSpec
+from repro.dualtree.kdtree import build_kdtree
+from repro.dualtree.rules import DualTreeRules, _pairwise_distances
+from repro.dualtree.spatial import SpatialNode, SpatialTree
+from repro.dualtree.traverser import dual_tree_spec
+
+
+class RangeSearchRules(DualTreeRules):
+    """Report all (query, reference) pairs within ``radius``.
+
+    Per-query state: the ordered list of in-range reference ids.  The
+    append order for a query is its inner-traversal order, which every
+    schedule preserves, so result lists are identical across schedules
+    (asserted by the tests — a stronger property than set equality).
+    """
+
+    def __init__(
+        self,
+        query_tree: SpatialTree,
+        reference_tree: SpatialTree,
+        radius: float,
+    ) -> None:
+        if radius < 0.0:
+            raise ValueError(f"negative radius {radius}")
+        self.query_tree = query_tree
+        self.reference_tree = reference_tree
+        self.radius = radius
+        self.results: list[list[int]] = [
+            [] for _ in range(query_tree.num_points)
+        ]
+
+    def score(self, q: SpatialNode, r: SpatialNode) -> bool:
+        return q.bound.min_dist(r.bound) > self.radius
+
+    def base_case(self, q: SpatialNode, r: SpatialNode) -> None:
+        q_ids = self.query_tree.indices[q.start : q.end]
+        r_ids = self.reference_tree.indices[r.start : r.end]
+        distances = _pairwise_distances(
+            self.query_tree.points[q_ids], self.reference_tree.points[r_ids]
+        )
+        within = distances <= self.radius
+        for row, query in enumerate(q_ids):
+            hits = np.asarray(r_ids)[within[row]]
+            if hits.size:
+                self.results[query].extend(int(h) for h in hits)
+
+
+@dataclass
+class RangeSearch:
+    """Runnable dual-tree range search over kd-trees."""
+
+    queries: np.ndarray
+    references: np.ndarray
+    radius: float
+    leaf_size: int = 8
+    query_tree: SpatialTree = field(init=False)
+    reference_tree: SpatialTree = field(init=False)
+    rules: RangeSearchRules = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.queries = np.asarray(self.queries, dtype=float)
+        self.references = np.asarray(self.references, dtype=float)
+        self.query_tree = build_kdtree(self.queries, self.leaf_size)
+        self.reference_tree = build_kdtree(self.references, self.leaf_size)
+        self.rules = RangeSearchRules(
+            self.query_tree, self.reference_tree, self.radius
+        )
+
+    def make_spec(self) -> NestedRecursionSpec:
+        """Fresh spec with empty result lists."""
+        self.rules = RangeSearchRules(
+            self.query_tree, self.reference_tree, self.radius
+        )
+        return dual_tree_spec(
+            self.query_tree, self.reference_tree, self.rules, name="RS"
+        )
+
+    @property
+    def result(self) -> list[list[int]]:
+        """Per-query in-range reference ids, in traversal order."""
+        return self.rules.results
+
+
+def brute_range_search(
+    queries: np.ndarray, references: np.ndarray, radius: float
+) -> list[set[int]]:
+    """Oracle: per-query sets of in-range reference ids."""
+    diff = queries[:, None, :] - references[None, :, :]
+    distances = np.sqrt((diff * diff).sum(axis=2))
+    return [
+        set(np.nonzero(distances[q] <= radius)[0].tolist())
+        for q in range(queries.shape[0])
+    ]

@@ -1,0 +1,218 @@
+"""Tree-independent dual-tree rule sets (Curtin et al., ICML 2013).
+
+Curtin et al. factor every dual-tree algorithm into two callbacks:
+
+* ``Score(q_node, r_node)`` — may the pair be *pruned*?  Must be
+  conservative: prune only when no point pair under the two nodes can
+  affect the answer;
+* ``BaseCase(q_point, r_point)`` — the point-pair computation.
+
+Our traverser (:mod:`repro.dualtree.traverser`) maps these onto the
+paper's nested recursion template: ``Score`` becomes the irregular
+``truncateInner2?``, and ``BaseCase`` batches run at leaf-leaf work
+points.  The three rule sets below — point correlation, nearest
+neighbor, k-nearest neighbors — are the algorithms behind the PC, NN,
+KNN, and VP benchmarks (VP is KNN over vantage-point trees).
+
+All rule state is per-query (counts per query leaf, best distances per
+query point), so the *outer recursion is parallel* in the paper's
+Section 3.3 sense: rule state never flows between different query
+leaves.  That is what licenses interchange and twisting on these
+algorithms despite their inner-recursion-carried dependences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dualtree.spatial import SpatialNode, SpatialTree
+
+
+class DualTreeRules:
+    """Base interface: prune test plus leaf-leaf base case."""
+
+    def score(self, q: SpatialNode, r: SpatialNode) -> bool:
+        """Return ``True`` to prune the pair (skip ``r``'s subtree)."""
+        raise NotImplementedError
+
+    def base_case(self, q: SpatialNode, r: SpatialNode) -> None:
+        """Process all point pairs of two leaves."""
+        raise NotImplementedError
+
+
+def _leaf_points(tree: SpatialTree, node: SpatialNode) -> np.ndarray:
+    """The (k, d) array of points owned by a leaf."""
+    return tree.points[tree.indices[node.start : node.end]]
+
+
+def _pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distances between two small point sets."""
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=2))
+
+
+class PointCorrelationRules(DualTreeRules):
+    """2-point correlation: count pairs within ``radius``.
+
+    The classic clustering statistic ("determines how 'clustered' a
+    data set is").  ``Score`` prunes a node pair when even the closest
+    possible points are farther apart than the radius; the base case
+    counts qualifying ordered pairs.  Counting is a commutative
+    reduction, so PC's answer is schedule-independent by construction.
+    """
+
+    def __init__(
+        self,
+        query_tree: SpatialTree,
+        reference_tree: SpatialTree,
+        radius: float,
+        count_self_pairs: bool = True,
+    ) -> None:
+        if radius < 0.0:
+            raise ValueError(f"negative radius {radius}")
+        self.query_tree = query_tree
+        self.reference_tree = reference_tree
+        self.radius = radius
+        self.count_self_pairs = count_self_pairs
+        #: ordered (query, reference) pairs within the radius
+        self.count = 0
+
+    def score(self, q: SpatialNode, r: SpatialNode) -> bool:
+        return q.bound.min_dist(r.bound) > self.radius
+
+    def base_case(self, q: SpatialNode, r: SpatialNode) -> None:
+        distances = _pairwise_distances(
+            _leaf_points(self.query_tree, q), _leaf_points(self.reference_tree, r)
+        )
+        within = distances <= self.radius
+        if not self.count_self_pairs and self.query_tree is self.reference_tree:
+            q_ids = np.asarray(q.point_ids)
+            r_ids = np.asarray(r.point_ids)
+            within &= q_ids[:, None] != r_ids[None, :]
+        self.count += int(within.sum())
+
+
+class NearestNeighborRules(DualTreeRules):
+    """Single nearest neighbor of every query point.
+
+    Per-query state: ``best_dist[q]`` and ``best_id[q]``.  ``Score``
+    prunes a reference node when its closest possible point is farther
+    than the *worst* current best among the queries in the query leaf —
+    the standard dual-tree NN bound.  Because the bound only shrinks,
+    pruning is always conservative, and — as Section 3.3 requires — any
+    schedule that preserves each query leaf's inner-traversal order
+    makes identical pruning decisions.
+    """
+
+    def __init__(
+        self,
+        query_tree: SpatialTree,
+        reference_tree: SpatialTree,
+        exclude_self: bool = False,
+    ) -> None:
+        self.query_tree = query_tree
+        self.reference_tree = reference_tree
+        self.exclude_self = exclude_self
+        n = query_tree.num_points
+        self.best_dist = np.full(n, np.inf)
+        self.best_id = np.full(n, -1, dtype=int)
+
+    def score(self, q: SpatialNode, r: SpatialNode) -> bool:
+        bound = float(self.best_dist[self.query_tree.indices[q.start : q.end]].max())
+        return q.bound.min_dist(r.bound) > bound
+
+    def base_case(self, q: SpatialNode, r: SpatialNode) -> None:
+        q_ids = self.query_tree.indices[q.start : q.end]
+        r_ids = self.reference_tree.indices[r.start : r.end]
+        distances = _pairwise_distances(
+            self.query_tree.points[q_ids], self.reference_tree.points[r_ids]
+        )
+        if self.exclude_self:
+            distances[np.equal.outer(np.asarray(q_ids), np.asarray(r_ids))] = np.inf
+        arg = distances.argmin(axis=1)
+        best_here = distances[np.arange(len(q_ids)), arg]
+        improved = best_here < self.best_dist[q_ids]
+        self.best_dist[q_ids[improved]] = best_here[improved]
+        self.best_id[q_ids[improved]] = np.asarray(r_ids)[arg[improved]]
+
+
+class KNearestNeighborRules(DualTreeRules):
+    """k nearest neighbors of every query point.
+
+    Per-query state is a bounded worst-first candidate list; the prune
+    bound for a query is its current k-th best distance (infinite until
+    k candidates exist), and a query *leaf*'s bound is the max over its
+    queries.  Used by both the KNN benchmark (kd-trees) and the VP
+    benchmark (vantage-point trees) — the rules are tree-independent.
+    """
+
+    def __init__(
+        self,
+        query_tree: SpatialTree,
+        reference_tree: SpatialTree,
+        k: int,
+        exclude_self: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.query_tree = query_tree
+        self.reference_tree = reference_tree
+        self.k = k
+        self.exclude_self = exclude_self
+        n = query_tree.num_points
+        #: kth-best (i.e. worst retained) distance per query
+        self.kth_dist = np.full(n, np.inf)
+        #: per-query candidate lists: sorted [(dist, ref_id), ...]
+        self.neighbors: list[list[tuple[float, int]]] = [[] for _ in range(n)]
+
+    def score(self, q: SpatialNode, r: SpatialNode) -> bool:
+        bound = float(self.kth_dist[self.query_tree.indices[q.start : q.end]].max())
+        return q.bound.min_dist(r.bound) > bound
+
+    def base_case(self, q: SpatialNode, r: SpatialNode) -> None:
+        q_ids = self.query_tree.indices[q.start : q.end]
+        r_ids = self.reference_tree.indices[r.start : r.end]
+        distances = _pairwise_distances(
+            self.query_tree.points[q_ids], self.reference_tree.points[r_ids]
+        )
+        for row, query in enumerate(q_ids):
+            candidates = self.neighbors[query]
+            threshold = self.kth_dist[query]
+            for col, reference in enumerate(r_ids):
+                if self.exclude_self and query == reference:
+                    continue
+                distance = float(distances[row, col])
+                if distance >= threshold and len(candidates) >= self.k:
+                    continue
+                # Insert keeping the list sorted by distance (ties by
+                # reference id for determinism across schedules).
+                entry = (distance, int(reference))
+                lo, hi = 0, len(candidates)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if candidates[mid] < entry:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                candidates.insert(lo, entry)
+                if len(candidates) > self.k:
+                    candidates.pop()
+                if len(candidates) >= self.k:
+                    threshold = candidates[-1][0]
+                    self.kth_dist[query] = threshold
+
+    def neighbor_ids(self) -> np.ndarray:
+        """(n, k) reference ids, nearest first (-1 pads short lists)."""
+        result = np.full((len(self.neighbors), self.k), -1, dtype=int)
+        for query, candidates in enumerate(self.neighbors):
+            for position, (_dist, reference) in enumerate(candidates):
+                result[query, position] = reference
+        return result
+
+    def neighbor_dists(self) -> np.ndarray:
+        """(n, k) distances, nearest first (inf pads short lists)."""
+        result = np.full((len(self.neighbors), self.k), np.inf)
+        for query, candidates in enumerate(self.neighbors):
+            for position, (distance, _reference) in enumerate(candidates):
+                result[query, position] = distance
+        return result

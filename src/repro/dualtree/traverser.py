@@ -1,0 +1,85 @@
+"""Lowering dual-tree algorithms onto the nested recursion template.
+
+This is the bridge between Curtin et al.'s rule sets and the paper's
+transformations: a dual-tree algorithm *is* an instance of the Figure 2
+template —
+
+* the **outer recursion** descends the query tree (``truncateOuter?``
+  is structural: stop at leaves);
+* the **inner recursion** descends the reference tree;
+* ``truncateInner2?(o, i)`` is irregular truncation made of two parts:
+  only query *leaves* run reference traversals (internal query nodes
+  truncate immediately at the reference root), and for query leaves it
+  is the rules' conservative ``Score`` prune;
+* ``work(o, i)`` runs for every surviving (query leaf, reference node)
+  pair — the "iterations" counted in Section 4.2 — and performs the
+  batched ``BaseCase`` when the reference node is a leaf.
+
+Because ``Score`` reads mutable per-query bounds, the truncation is
+*stateful*; correctness under interchange/twisting follows from the
+paper's argument that per-query (intra-traversal) visit order is
+preserved by every schedule, so each query observes the same bound
+evolution and makes the same pruning decisions.  The integration tests
+verify this both ways: identical results *and* identical per-query
+iteration sequences across schedules.
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import NestedRecursionSpec
+from repro.dualtree.rules import DualTreeRules
+from repro.dualtree.spatial import SpatialNode, SpatialTree
+
+
+def dual_tree_spec(
+    query_tree: SpatialTree,
+    reference_tree: SpatialTree,
+    rules: DualTreeRules,
+    name: str = "dual-tree",
+) -> NestedRecursionSpec:
+    """Build the nested-recursion spec of a dual-tree algorithm."""
+    score = rules.score
+    base_case = rules.base_case
+
+    def truncate_inner2(o: SpatialNode, i: SpatialNode) -> bool:
+        # Internal query nodes do not traverse: the template launches an
+        # inner traversal at *every* outer node, so internal nodes
+        # truncate at the reference root (one cheap check each).
+        if o.children:
+            return True
+        return score(o, i)
+
+    def work(o: SpatialNode, i: SpatialNode) -> None:
+        if not i.children:
+            base_case(o, i)
+
+    return NestedRecursionSpec(
+        outer_root=query_tree.root,
+        inner_root=reference_tree.root,
+        work=work,
+        truncate_inner2=truncate_inner2,
+        name=name,
+    )
+
+
+def dual_tree_footprint(rules: DualTreeRules):
+    """Soundness footprint factory for dual-tree specs.
+
+    Models the per-query mutable bound state: a leaf-leaf work point
+    reads the reference points and reads+writes the state of every
+    query in the query leaf.  Since a query belongs to exactly one
+    query leaf, all writes to a location share one outer index — the
+    outer recursion is parallel, which
+    :func:`repro.core.soundness.is_outer_parallel` confirms on runs.
+    """
+
+    def footprint(o: SpatialNode, i: SpatialNode):
+        touches = []
+        if not i.children and o.point_ids is not None:
+            for reference in i.point_ids or []:
+                touches.append((("ref", reference), False))
+            for query in o.point_ids:
+                touches.append((("best", query), True))
+        return touches
+
+    return footprint

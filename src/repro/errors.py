@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch everything the library raises with one ``except`` clause while
+still being able to distinguish configuration mistakes from transformation
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SpecError(ReproError):
+    """A :class:`~repro.core.spec.NestedRecursionSpec` is malformed.
+
+    Raised, for example, when a spec is missing a work function or when a
+    node used as a recursion index does not implement the index-node
+    protocol (``children``/``size`` attributes).
+    """
+
+
+class ScheduleError(ReproError):
+    """A schedule executor was asked to run an unsupported configuration.
+
+    Raised, for example, when the counter optimization of Section 4.3 is
+    requested but the inner tree has not been given a pre-order numbering.
+    """
+
+
+class SoundnessError(ReproError):
+    """A transformed schedule violated a recorded dependence order."""
+
+
+class TransformError(ReproError):
+    """The source-to-source transformation tool rejected the input code.
+
+    This is the Python analog of the "sanity check" failure in the
+    paper's Clang prototype (Section 5): the annotated functions do not
+    conform to the nested recursion template of Figure 2.
+    """
+
+
+class MemorySimError(ReproError):
+    """A memory-hierarchy simulator component was misconfigured."""

@@ -1,0 +1,34 @@
+"""Synthetic kernels: the paper's two simple benchmarks plus loop bridges.
+
+* :mod:`repro.kernels.treejoin` — Tree Join (TJ), Figure 1(a);
+* :mod:`repro.kernels.matmul` — recursive Matrix Multiplication (MM);
+* :mod:`repro.kernels.loops` — loop nests as recursion (Sections 2.1
+  and 7.2), including the divide-and-conquer range trees that connect
+  twisting to cache-oblivious blocking.
+"""
+
+from repro.kernels.loops import (
+    RangeNode,
+    divide_and_conquer_spec,
+    loop_nest_spec,
+    range_tree,
+    unit_work_points,
+)
+from repro.kernels.matmul import MatrixMultiply, matmul_footprint
+from repro.kernels.matmul3 import MatMul3, MatMul3CacheProbe
+from repro.kernels.treejoin import JoinAccumulator, TreeJoin, tree_join_footprint
+
+__all__ = [
+    "JoinAccumulator",
+    "MatMul3",
+    "MatMul3CacheProbe",
+    "MatrixMultiply",
+    "RangeNode",
+    "TreeJoin",
+    "divide_and_conquer_spec",
+    "loop_nest_spec",
+    "matmul_footprint",
+    "range_tree",
+    "tree_join_footprint",
+    "unit_work_points",
+]

@@ -1,0 +1,136 @@
+"""Loop nests as nested recursive iteration spaces (Sections 2.1 & 7.2).
+
+Two bridges between ``for`` loops and the recursion template:
+
+* :func:`loop_nest_spec` — the Section 2.1 degeneration: list-shaped
+  trees make the template *exactly* a doubly-nested loop ("each of the
+  'trees' being linked lists where each node ... represents one value
+  of the corresponding loop index").
+* :func:`divide_and_conquer_spec` — the Section 7.2 construction: "the
+  way in which languages like Cilk handle for loops ... the loops are
+  translated into a divide-and-conquer recursion".  Each loop becomes a
+  balanced recursion over index *ranges*; the body runs at unit-range
+  pairs.  "Applying recursion twisting to [the] resulting nested
+  recursion automatically yields something similar to the
+  cache-oblivious implementation" — the examples and benches
+  demonstrate exactly that on matrix-vector multiplication.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.spec import NestedRecursionSpec
+from repro.spaces.node import IndexNode, finalize_tree
+from repro.spaces.trees import list_tree
+
+LoopBody = Callable[[int, int], None]
+
+
+def loop_nest_spec(n: int, m: int, body: LoopBody, name: str = "loop-nest") -> NestedRecursionSpec:
+    """``for i in range(n): for j in range(m): body(i, j)`` as a spec.
+
+    Built on list trees, so the original schedule is the loop nest's
+    schedule verbatim (row ``i`` ascending, then column ``j``).
+    Twisting such a spec never helps — a list tree's child subtree
+    only shrinks by one per level — which is itself instructive: the
+    benefit of twisting comes from the *logarithmic* size decay of
+    balanced recursion, not from recursion per se.
+    """
+    outer = list_tree(n)
+    inner = list_tree(m)
+
+    # list_tree labels nodes 0..n-1, which *are* the loop indices.
+    def work(o, i):
+        body(o.label, i.label)
+
+    return NestedRecursionSpec(outer, inner, work=work, name=name)
+
+
+class RangeNode(IndexNode):
+    """A half-open index range ``[lo, hi)`` in a divide-and-conquer tree.
+
+    Unit ranges (``hi == lo + 1``) are the leaves where the loop body
+    runs; internal ranges exist purely to schedule, mirroring Yi et
+    al.'s transformation where "the recursive 'spine' of the code is
+    simply used to schedule the underlying affine iteration space"
+    (Section 8).
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        super().__init__()
+        self.lo = lo
+        self.hi = hi
+
+    @property
+    def is_unit(self) -> bool:
+        """True for a single loop index."""
+        return self.hi == self.lo + 1
+
+    @property
+    def label(self) -> tuple[int, int]:
+        """Stable label for recorders and rendering."""
+        return (self.lo, self.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RangeNode[{self.lo}, {self.hi})"
+
+
+def range_tree(lo: int, hi: int) -> RangeNode:
+    """Balanced binary recursion tree over ``[lo, hi)``.
+
+    Ranges split at the midpoint until unit size — the Cilk-style
+    divide-and-conquer shape of Section 7.2 (without a granularity
+    cutoff, so twisting sees the full size hierarchy).
+    """
+    if hi <= lo:
+        raise ValueError(f"empty range [{lo}, {hi})")
+
+    def build(a: int, b: int) -> RangeNode:
+        node = RangeNode(a, b)
+        if b - a > 1:
+            mid = (a + b) // 2
+            node.children = (build(a, mid), build(mid, b))
+        return node
+
+    root = build(lo, hi)
+    finalize_tree(root)
+    return root
+
+
+def divide_and_conquer_spec(
+    n: int, m: int, body: LoopBody, name: str = "dnc-loops"
+) -> NestedRecursionSpec:
+    """The Section 7.2 divide-and-conquer form of a doubly-nested loop.
+
+    The loop body executes exactly once per ``(i, j)`` pair, at
+    unit-range x unit-range work points; all other visited pairs are
+    scheduling spine.  Under ``run_twisted`` the resulting schedule is
+    the familiar recursive blocking of cache-oblivious algorithms.
+    """
+    outer = range_tree(0, n)
+    inner = range_tree(0, m)
+
+    def work(o: RangeNode, i: RangeNode) -> None:
+        if o.is_unit and i.is_unit:
+            body(o.lo, i.lo)
+
+    return NestedRecursionSpec(outer, inner, work=work, name=name)
+
+
+def unit_work_points(points) -> list[tuple[int, int]]:
+    """Filter a recorded schedule down to the executed loop-body pairs.
+
+    ``points`` are ``(outer_label, inner_label)`` entries from a
+    :class:`~repro.core.instruments.WorkRecorder` over range trees;
+    returns the ``(i, j)`` loop indices of unit-range pairs in
+    execution order.
+    """
+    body_points = []
+    for outer_label, inner_label in points:
+        (o_lo, o_hi), (i_lo, i_hi) = outer_label, inner_label
+        if o_hi == o_lo + 1 and i_hi == i_lo + 1:
+            body_points.append((o_lo, i_lo))
+    return body_points

@@ -1,0 +1,116 @@
+"""Matrix Multiplication (MM) — the paper's second synthetic benchmark.
+
+"A simple computation over two matrices where the outer recursion walks
+over the rows of the first matrix and the inner recursion walks over the
+columns of the second.  The work(o, i) performed by the nested recursion
+is a dot product of row o and column i, so the overall computation
+performs a matrix multiplication."
+
+Rows and columns are organized as balanced binary *index trees*: every
+tree node owns one row (respectively column) index, so the cross
+product of the two trees is exactly the ``n x m`` output space, and the
+tree structure gives recursion twisting its size hierarchy.  For the
+memory model, each row and each column is one data block of
+``lines_per_vector`` cache lines (see
+:meth:`MatrixMultiply.register_layout`) — the locality structure is the
+vector outer product analyzed in Section 3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spec import NestedRecursionSpec
+from repro.memory.layout import AddressMap
+from repro.spaces.node import TreeNode
+from repro.spaces.trees import balanced_tree
+
+
+@dataclass
+class MatrixMultiply:
+    """A runnable recursive matrix multiplication ``C = A @ B``.
+
+    ``A`` is ``n x p``, ``B`` is ``p x m``; the outer tree has one node
+    per row of ``A`` and the inner tree one node per column of ``B``.
+    ``C`` is written once per work point, at a unique position, so the
+    computation is dependence-free (as the paper classifies MM).
+    """
+
+    n: int
+    m: int
+    p: int = 8
+    seed: int = 0
+    #: cache lines modeling one row/column vector (the knob that sets
+    #: the working-set-to-cache ratio in the experiments)
+    lines_per_vector: int = 4
+
+    a: np.ndarray = field(init=False)
+    b: np.ndarray = field(init=False)
+    c: np.ndarray = field(init=False)
+    outer_root: TreeNode = field(init=False)
+    inner_root: TreeNode = field(init=False)
+
+    def __post_init__(self) -> None:
+        if min(self.n, self.m, self.p) < 1:
+            raise ValueError("matrix dimensions must be positive")
+        rng = np.random.default_rng(self.seed)
+        self.a = rng.random((self.n, self.p))
+        self.b = rng.random((self.p, self.m))
+        self.c = np.zeros((self.n, self.m))
+        # data = the row/column index owned by the node (BFS order).
+        self.outer_root = balanced_tree(self.n, data=lambda k: k)
+        self.inner_root = balanced_tree(self.m, data=lambda k: k)
+
+    def make_spec(self) -> NestedRecursionSpec:
+        """A fresh spec; clears the output matrix."""
+        self.c = np.zeros((self.n, self.m))
+        a, b, c = self.a, self.b, self.c
+
+        def work(o: TreeNode, i: TreeNode) -> None:
+            row, col = o.data, i.data
+            c[row, col] = float(a[row, :] @ b[:, col])
+
+        return NestedRecursionSpec(
+            outer_root=self.outer_root,
+            inner_root=self.inner_root,
+            work=work,
+            name=f"MM({self.n}x{self.m})",
+        )
+
+    def expected(self) -> np.ndarray:
+        """The oracle product ``A @ B``."""
+        return self.a @ self.b
+
+    def max_error(self) -> float:
+        """Largest absolute deviation of the last run from the oracle."""
+        return float(np.abs(self.c - self.expected()).max())
+
+    def register_layout(self, address_map: AddressMap) -> None:
+        """Register row/column vectors as multi-line blocks.
+
+        Keys follow the ``(tree, node.number)`` convention consumed by
+        :class:`~repro.core.instruments.CacheProbe`: touching an outer
+        node means streaming through its row; touching an inner node
+        means streaming through its column.
+        """
+        for node in self.outer_root.iter_preorder():
+            address_map.register(("outer", node.number), self.lines_per_vector)
+        for node in self.inner_root.iter_preorder():
+            address_map.register(("inner", node.number), self.lines_per_vector)
+
+
+def matmul_footprint(o: TreeNode, i: TreeNode):
+    """Soundness footprint for MM.
+
+    Each work point reads row ``o`` and column ``i`` and writes the
+    unique output cell ``C[o, i]`` — no two iterations share a written
+    location, so every schedule is trivially sound (and the outer
+    recursion is parallel).
+    """
+    return (
+        (("row", o.data), False),
+        (("col", i.data), False),
+        (("out", o.data, i.data), True),
+    )

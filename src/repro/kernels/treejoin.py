@@ -1,0 +1,101 @@
+"""Tree Join (TJ) — the paper's first synthetic benchmark.
+
+"A cross product of two trees where a pair of nodes contribute to a
+computation (this benchmark corresponds to Figure 1(a))" — for every
+node ``o`` of the outer tree and every node ``i`` of the inner tree,
+``join(o.data, i.data)`` feeds an accumulator.  TJ has no dependences
+between iterations (the accumulation is a commutative reduction) and no
+irregular truncation, which makes it the cleanest showcase of the
+locality effects: ``O(m + n)`` data, ``O(mn)`` work (Section 1.1).
+
+TJ is also the workload behind Figure 5's reuse-distance CDF (trees of
+1024 nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.core.spec import NestedRecursionSpec
+from repro.spaces.node import TreeNode
+from repro.spaces.trees import balanced_tree
+
+
+@dataclass
+class JoinAccumulator:
+    """State updated by every join; schedule-independent by design.
+
+    ``total`` is a plain sum, so any execution order yields the same
+    value — the unit tests use this to confirm that all schedules
+    compute the same answer.  ``pairs`` counts work invocations.
+    """
+
+    total: int = 0
+    pairs: int = 0
+
+    def join(self, outer_value: int, inner_value: int) -> None:
+        """The ``join(o.data, i.data)`` of Figure 1(a), line 10."""
+        self.total += outer_value * inner_value
+        self.pairs += 1
+
+
+@dataclass
+class TreeJoin:
+    """A runnable Tree Join instance.
+
+    Builds two independent balanced trees with integer payloads and
+    exposes a fresh :class:`~repro.core.spec.NestedRecursionSpec` per
+    run (the accumulator is reset by :meth:`make_spec`, so repeated
+    runs under different schedules are comparable).
+    """
+
+    outer_nodes: int
+    inner_nodes: int
+    outer_root: TreeNode = field(init=False)
+    inner_root: TreeNode = field(init=False)
+    accumulator: JoinAccumulator = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.outer_nodes < 1 or self.inner_nodes < 1:
+            raise ValueError("TreeJoin requires at least one node per tree")
+        # Payload k+1 keeps every node's contribution non-zero, so a
+        # skipped iteration always perturbs the checksum.
+        self.outer_root = balanced_tree(self.outer_nodes, data=lambda k: k + 1)
+        self.inner_root = balanced_tree(self.inner_nodes, data=lambda k: k + 1)
+        self.accumulator = JoinAccumulator()
+
+    def make_spec(self) -> NestedRecursionSpec:
+        """A fresh spec with a reset accumulator."""
+        self.accumulator = JoinAccumulator()
+        accumulator = self.accumulator
+
+        def work(o: TreeNode, i: TreeNode) -> None:
+            accumulator.join(o.data, i.data)
+
+        return NestedRecursionSpec(
+            outer_root=self.outer_root,
+            inner_root=self.inner_root,
+            work=work,
+            name=f"TJ({self.outer_nodes}x{self.inner_nodes})",
+        )
+
+    def expected_total(self) -> int:
+        """Closed-form checksum: (sum of outer data) * (sum of inner data)."""
+        outer_sum = sum(n.data for n in self.outer_root.iter_preorder())
+        inner_sum = sum(n.data for n in self.inner_root.iter_preorder())
+        return outer_sum * inner_sum
+
+    @property
+    def result(self) -> int:
+        """Checksum accumulated by the most recent run."""
+        return self.accumulator.total
+
+
+def tree_join_footprint(o: TreeNode, i: TreeNode):
+    """Soundness footprint for TJ: reads only.
+
+    The accumulation is a reduction (commutative and associative), so —
+    like the paper, which classifies TJ as having "no dependences
+    between iterations" — the accumulator is not modeled as a written
+    location.  Each iteration reads its two tree nodes.
+    """
+    return ((("outer", o.number), False), (("inner", i.number), False))

@@ -1,0 +1,90 @@
+"""Memory-hierarchy simulation substrate.
+
+This subpackage is the reproduction's stand-in for the paper's
+evaluation hardware (see DESIGN.md Section 2 for the substitution
+argument):
+
+* :mod:`repro.memory.reuse` — exact reuse-distance analysis (the
+  metric of Sections 1.1/3.2 and Figure 5);
+* :mod:`repro.memory.layout` — mapping abstract nodes and data blocks
+  onto cache-line addresses;
+* :mod:`repro.memory.cache` / :mod:`repro.memory.hierarchy` —
+  set-associative LRU caches composed into L1/L2/L3 hierarchies;
+* :mod:`repro.memory.costmodel` — cycles from instructions + misses;
+* :mod:`repro.memory.counters` — perf-style reports and the derived
+  metrics (speedup, instruction overhead, work overhead) the figures
+  plot.
+"""
+
+from repro.memory.cache import (
+    CacheStats,
+    SetAssociativeCache,
+    fully_associative,
+)
+from repro.memory.costmodel import (
+    DEFAULT_COST_MODEL,
+    DEFAULT_OP_WEIGHTS,
+    CostModel,
+    WorkCost,
+    weighted_instructions,
+)
+from repro.memory.counters import (
+    PerfReport,
+    geomean_speedup,
+    instruction_overhead,
+    speedup,
+    work_overhead,
+)
+from repro.memory.hierarchy import (
+    CacheHierarchy,
+    LevelSpec,
+    scaled_hierarchy,
+    tiny_hierarchy,
+    xeon_like_hierarchy,
+)
+from repro.memory.layout import (
+    AddressMap,
+    layout_tree,
+    node_lines,
+    register_blocks,
+)
+from repro.memory.reuse import (
+    FenwickTree,
+    ReuseDistanceAnalyzer,
+    distances_of_key,
+    naive_reuse_distances,
+)
+from repro.memory.tracefile import Trace, from_tuples, load_trace, save_trace
+
+__all__ = [
+    "AddressMap",
+    "CacheHierarchy",
+    "CacheStats",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DEFAULT_OP_WEIGHTS",
+    "FenwickTree",
+    "LevelSpec",
+    "PerfReport",
+    "ReuseDistanceAnalyzer",
+    "SetAssociativeCache",
+    "Trace",
+    "WorkCost",
+    "from_tuples",
+    "load_trace",
+    "save_trace",
+    "distances_of_key",
+    "fully_associative",
+    "geomean_speedup",
+    "instruction_overhead",
+    "layout_tree",
+    "naive_reuse_distances",
+    "node_lines",
+    "register_blocks",
+    "scaled_hierarchy",
+    "speedup",
+    "tiny_hierarchy",
+    "weighted_instructions",
+    "work_overhead",
+    "xeon_like_hierarchy",
+]

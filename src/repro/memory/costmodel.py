@@ -1,0 +1,128 @@
+"""A cycle-level cost model over simulated instruction and miss counts.
+
+The paper reports wall-clock speedups on real hardware.  Our substitute
+(DESIGN.md Section 2) reconstructs time from the two quantities the
+transformation actually changes, both of which we measure exactly:
+
+* the *instruction stream* — every truncation check, recursive call,
+  size comparison, flag/counter manipulation, and ``work`` invocation
+  is counted by the executors (:mod:`repro.core.instruments`);
+* the *memory behaviour* — per-level hit counts from the simulated
+  hierarchy (:mod:`repro.memory.hierarchy`).
+
+``cycles = instructions * base_cpi + sum(level_hits * level_latency)``
+
+Latencies default to Xeon-era round numbers (L1 4, L2 12, L3 40,
+memory 200 cycles).  ``base_cpi`` is the cost of a non-memory
+instruction; per-benchmark *work weights* (how many instructions one
+``work`` invocation is worth) come from the paper's CPI discussion —
+e.g. VP is compute-bound (baseline CPI 0.93) so its work weight is
+large, which is precisely why its speedup is small despite a huge
+miss-rate reduction (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import MemorySimError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency parameters of the simulated machine.
+
+    ``hit_latencies`` must have one entry per cache level, L1 first;
+    ``memory_latency`` is charged to accesses that miss every level.
+    """
+
+    hit_latencies: Sequence[int] = (4, 12, 40)
+    memory_latency: int = 200
+    base_cpi: float = 1.0
+
+    def access_cycles(
+        self, level_hits: Sequence[int], memory_accesses: int
+    ) -> float:
+        """Cycles spent in the memory system.
+
+        ``level_hits[k]`` is the number of accesses satisfied by cache
+        level ``k``.
+        """
+        if len(level_hits) != len(self.hit_latencies):
+            raise MemorySimError(
+                f"cost model has {len(self.hit_latencies)} levels but was "
+                f"given {len(level_hits)} hit counts"
+            )
+        cycles = float(memory_accesses * self.memory_latency)
+        for hits, latency in zip(level_hits, self.hit_latencies):
+            cycles += hits * latency
+        return cycles
+
+    def cycles(
+        self,
+        instructions: float,
+        level_hits: Sequence[int],
+        memory_accesses: int,
+    ) -> float:
+        """Total modeled cycles for one schedule execution."""
+        return instructions * self.base_cpi + self.access_cycles(
+            level_hits, memory_accesses
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass(frozen=True)
+class WorkCost:
+    """How expensive one ``work`` invocation is, per benchmark.
+
+    ``instructions`` is the instruction weight of a single work point
+    (beyond the memory accesses it performs).  The per-benchmark values
+    used by the experiments live in :mod:`repro.bench.workloads`; the
+    calibration rationale is the paper's Section 6.2: "the baseline CPI
+    for PC is 6.7 — the benchmark is highly memory bound — while the
+    baseline CPI for VP is only 0.93".
+    """
+
+    instructions: float = 1.0
+
+    def total(self, work_points: int) -> float:
+        """Instruction cost of ``work_points`` work invocations."""
+        return self.instructions * work_points
+
+
+#: Instruction weights for the bookkeeping operations the executors
+#: count.  One "op" is roughly one ALU-ish instruction; truncation
+#: checks and size comparisons are a couple of loads plus a branch.
+DEFAULT_OP_WEIGHTS: Mapping[str, float] = {
+    "visit": 0.0,  # a marker, not an instruction (Section 4.2 metric)
+    "twist": 0.0,  # a marker: mode switch (its compare is counted already)
+    "call": 2.0,  # call/return pair
+    "trunc_check": 2.0,  # load + branch
+    "flag_check": 2.0,
+    "flag_set": 2.0,  # store + set insert
+    "flag_unset": 2.0,  # per-element of the unTrunc loop (Section 4.3)
+    "size_compare": 2.0,  # two loads + compare (the twist decision)
+    "counter_check": 2.0,
+    "counter_set": 1.0,
+    "access": 1.0,  # address computation of one data touch
+}
+
+
+def weighted_instructions(
+    op_counts: Mapping[str, int],
+    work_points: int,
+    work_cost: WorkCost,
+    op_weights: Mapping[str, float] = DEFAULT_OP_WEIGHTS,
+) -> float:
+    """Fold raw op counts into a single instruction total.
+
+    Unknown op kinds get weight 1.0 so custom instruments can add their
+    own categories without touching this table.
+    """
+    total = work_cost.total(work_points)
+    for kind, count in op_counts.items():
+        total += count * op_weights.get(kind, 1.0)
+    return total

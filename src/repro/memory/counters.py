@@ -1,0 +1,107 @@
+"""Performance-counter-style reports for schedule executions.
+
+The evaluation section of the paper is built from a small set of
+hardware counters: instruction counts (Figure 8a), L2/L3 miss rates
+(Figures 8b and 9b), and the wall-clock times behind the speedups
+(Figures 7, 9a, 10b).  :class:`PerfReport` is our equivalent of one
+perf run: everything measured while executing one (benchmark, schedule)
+pair on the simulated machine, plus the derived metrics the figures
+plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.memory.cache import CacheStats
+
+
+@dataclass
+class PerfReport:
+    """All measurements from one instrumented schedule execution."""
+
+    #: benchmark name, e.g. ``"PC"``
+    benchmark: str
+    #: schedule name, e.g. ``"original"`` or ``"twist"``
+    schedule: str
+    #: number of executed work points ("iterations" in Section 4.2)
+    work_points: int
+    #: raw bookkeeping-operation counts by kind
+    op_counts: Mapping[str, int]
+    #: total data accesses fed to the memory hierarchy
+    accesses: int
+    #: per-level cache statistics, keyed by level name (``"L1"``...)
+    levels: Mapping[str, CacheStats]
+    #: accesses that missed every cache level
+    memory_accesses: int
+    #: weighted instruction total (see ``costmodel.weighted_instructions``)
+    instructions: float
+    #: modeled execution time in cycles
+    cycles: float
+    #: optional benchmark answer, for cross-schedule correctness checks
+    result: object = None
+
+    def miss_rate(self, level: str) -> float:
+        """Local miss rate of the named level (Figure 8b metric)."""
+        return self.levels[level].miss_rate
+
+    @property
+    def cpi(self) -> float:
+        """Modeled cycles per instruction, the Section 6.2 diagnostic."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        rates = " ".join(
+            f"{name}:{stats.miss_rate:6.2%}" for name, stats in self.levels.items()
+        )
+        return (
+            f"{self.benchmark:>4s} {self.schedule:<14s} "
+            f"work={self.work_points:>12,d} instr={self.instructions:>15,.0f} "
+            f"cycles={self.cycles:>16,.0f} miss[{rates}]"
+        )
+
+
+def speedup(baseline: PerfReport, transformed: PerfReport) -> float:
+    """Modeled speedup of ``transformed`` over ``baseline`` (Figure 7).
+
+    Values above 1.0 mean the transformation won.
+    """
+    if transformed.cycles == 0:
+        return float("inf")
+    return baseline.cycles / transformed.cycles
+
+
+def instruction_overhead(baseline: PerfReport, transformed: PerfReport) -> float:
+    """Relative instruction increase of the transformed code (Figure 8a).
+
+    0.0 means no overhead; 0.72 corresponds to the paper's worst-case
+    "72% increase in the number of instructions".
+    """
+    if baseline.instructions == 0:
+        return 0.0
+    return transformed.instructions / baseline.instructions - 1.0
+
+
+def work_overhead(baseline: PerfReport, transformed: PerfReport) -> float:
+    """Relative growth in executed iterations (Section 4.2 metric).
+
+    The paper reports interchange at +349% and twisting at +4% (+1.8%
+    with subtree truncation) on PC; this is that ratio minus one.
+    """
+    if baseline.work_points == 0:
+        return 0.0
+    return transformed.work_points / baseline.work_points - 1.0
+
+
+def geomean_speedup(pairs: list[tuple[PerfReport, PerfReport]]) -> float:
+    """Geometric-mean speedup across benchmarks (the paper's 3.94x)."""
+    if not pairs:
+        return 1.0
+    product = 1.0
+    for baseline, transformed in pairs:
+        product *= speedup(baseline, transformed)
+    return product ** (1.0 / len(pairs))

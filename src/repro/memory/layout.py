@@ -1,0 +1,150 @@
+"""Address layout: mapping abstract iteration-space data onto cache lines.
+
+The schedule executors emit *logical* accesses — "``work`` touched outer
+node ``o`` and inner node ``i``" (Section 3.2's model).  To drive a
+cache simulation, those logical touches must land on addresses.  This
+module assigns cache-line addresses to tree nodes and to auxiliary data
+blocks (e.g. the row/column vectors of the Matrix Multiplication
+kernel).
+
+Three allocation policies are provided, because layout interacts with
+the *spatial* locality that the paper explicitly scopes out (Section 8
+discusses layout transformations as complementary work):
+
+* ``preorder`` — nodes laid out in depth-first order, the layout a
+  bump allocator would produce for a recursively built tree;
+* ``bfs`` — level order, the layout of an array-backed heap;
+* ``random`` — a seeded shuffle, modelling a fragmented heap.
+
+With one node per line (the default, matching the paper's ~64-byte tree
+nodes on 64-byte lines) the policies only differ when ``lines_per_node
+> 1`` or when a cache models spatial prefetch; they exist so the bench
+harness can show the temporal effects are layout-robust.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Optional
+
+from repro.errors import MemorySimError
+from repro.spaces.node import IndexNode
+
+Address = int
+
+
+class AddressMap:
+    """Assigns contiguous line addresses to registered objects.
+
+    Every registered object (tree node, data block) receives a run of
+    ``lines`` consecutive line addresses.  Different trees registered in
+    the same map occupy disjoint address ranges, as separately allocated
+    structures would.
+    """
+
+    def __init__(self) -> None:
+        self._lines: dict[Hashable, tuple[Address, int]] = {}
+        self._next_line: Address = 0
+
+    @property
+    def total_lines(self) -> int:
+        """Total number of line addresses handed out."""
+        return self._next_line
+
+    def register(self, key: Hashable, lines: int = 1) -> Address:
+        """Assign ``lines`` consecutive addresses to ``key``.
+
+        Returns the first line address.  Re-registering a key is an
+        error — address maps describe a fixed allocation.
+        """
+        if lines < 1:
+            raise MemorySimError(f"cannot register {key!r} with {lines} lines")
+        if key in self._lines:
+            raise MemorySimError(f"{key!r} is already registered")
+        base = self._next_line
+        self._lines[key] = (base, lines)
+        self._next_line += lines
+        return base
+
+    def lines_of(self, key: Hashable) -> range:
+        """The line addresses belonging to ``key``."""
+        try:
+            base, lines = self._lines[key]
+        except KeyError:
+            raise MemorySimError(f"{key!r} has no assigned address") from None
+        return range(base, base + lines)
+
+    def address_of(self, key: Hashable) -> Address:
+        """First line address of ``key`` (the common one-line case)."""
+        return self.lines_of(key)[0]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._lines
+
+
+def layout_tree(
+    address_map: AddressMap,
+    root: IndexNode,
+    tree_id: Hashable,
+    policy: str = "preorder",
+    lines_per_node: int = 1,
+    seed: int = 0,
+) -> None:
+    """Register every node of ``root``'s tree in the address map.
+
+    Nodes are keyed ``(tree_id, node.number)`` so that two trees (or the
+    same tree playing both roles) can coexist in one map.  ``policy``
+    selects the allocation order described in the module docstring.
+    """
+    nodes = list(root.iter_preorder())
+    if policy == "preorder":
+        ordered = nodes
+    elif policy == "bfs":
+        ordered = sorted(nodes, key=_bfs_key(root))
+    elif policy == "random":
+        ordered = list(nodes)
+        random.Random(seed).shuffle(ordered)
+    else:
+        raise MemorySimError(f"unknown layout policy {policy!r}")
+    for node in ordered:
+        address_map.register((tree_id, node.number), lines_per_node)
+
+
+def _bfs_key(root: IndexNode):
+    """Sort key assigning each node its BFS (level-order) position."""
+    position: dict[int, int] = {}
+    frontier = [root]
+    counter = 0
+    while frontier:
+        next_frontier: list[IndexNode] = []
+        for node in frontier:
+            position[id(node)] = counter
+            counter += 1
+            next_frontier.extend(node.children)
+        frontier = next_frontier
+    return lambda node: position[id(node)]
+
+
+def node_lines(
+    address_map: AddressMap, tree_id: Hashable, node: IndexNode
+) -> range:
+    """Line addresses of a node registered via :func:`layout_tree`."""
+    return address_map.lines_of((tree_id, node.number))
+
+
+def register_blocks(
+    address_map: AddressMap,
+    block_ids: Iterable[Hashable],
+    lines_per_block: int,
+    prefix: Optional[Hashable] = None,
+) -> None:
+    """Register a family of equally sized data blocks.
+
+    The Matrix Multiplication kernel registers one block per matrix row
+    and one per matrix column; ``work(o, i)`` then touches all lines of
+    row ``o`` and column ``i``, reproducing the vector-outer-product
+    locality structure the paper analyzes in Section 3.2.
+    """
+    for block in block_ids:
+        key = (prefix, block) if prefix is not None else block
+        address_map.register(key, lines_per_block)

@@ -1,0 +1,101 @@
+"""Access-trace persistence: record once, analyze many times.
+
+Schedule executions are expensive (millions of instrumented events);
+analyses are cheap.  This module serializes logical access traces —
+the ``(tree, node_number)`` streams produced by
+:class:`~repro.core.instruments.AccessTraceRecorder` — to a compact
+``.npz`` container so a recorded run can be re-analyzed offline
+(different cache geometries, different reuse questions) without
+re-executing the schedule.
+
+Format: two int64 arrays, ``spaces`` (interned ids of the tree/space
+names) and ``keys`` (node numbers), plus the interning table.  A 10M
+access trace is ~160 MB of numpy data instead of a multi-gigabyte
+pickle of tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MemorySimError
+
+TraceEntry = tuple[str, int]
+
+
+@dataclass
+class Trace:
+    """An in-memory logical access trace."""
+
+    #: per-access space index into :attr:`space_names`
+    spaces: np.ndarray
+    #: per-access node number
+    keys: np.ndarray
+    #: interning table for space names
+    space_names: list[str]
+
+    def __len__(self) -> int:
+        return int(self.spaces.shape[0])
+
+    def __iter__(self):
+        names = self.space_names
+        for space, key in zip(self.spaces, self.keys):
+            yield (names[int(space)], int(key))
+
+    def as_tuples(self) -> list[TraceEntry]:
+        """Materialize as the recorder's tuple format."""
+        return list(self)
+
+    def replay_reuse(self):
+        """Feed the trace into a fresh reuse-distance analyzer."""
+        from repro.memory.reuse import ReuseDistanceAnalyzer
+
+        analyzer = ReuseDistanceAnalyzer()
+        for entry in self:
+            analyzer.access(entry)
+        return analyzer
+
+
+def from_tuples(entries: Sequence[TraceEntry]) -> Trace:
+    """Build a :class:`Trace` from recorder output."""
+    interning: dict[str, int] = {}
+    spaces = np.empty(len(entries), dtype=np.int64)
+    keys = np.empty(len(entries), dtype=np.int64)
+    for position, (space, key) in enumerate(entries):
+        index = interning.setdefault(space, len(interning))
+        spaces[position] = index
+        keys[position] = key
+    return Trace(spaces=spaces, keys=keys, space_names=list(interning))
+
+
+def save_trace(path: str, trace: Trace | Sequence[TraceEntry]) -> None:
+    """Write a trace to an ``.npz`` file."""
+    if not isinstance(trace, Trace):
+        trace = from_tuples(trace)
+    np.savez_compressed(
+        path,
+        spaces=trace.spaces,
+        keys=trace.keys,
+        space_names=np.array(trace.space_names, dtype=object),
+    )
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    try:
+        data = np.load(path, allow_pickle=True)
+    except OSError as error:
+        raise MemorySimError(f"cannot read trace {path!r}: {error}") from error
+    for field in ("spaces", "keys", "space_names"):
+        if field not in data:
+            raise MemorySimError(
+                f"{path!r} is not a trace file (missing {field!r})"
+            )
+    return Trace(
+        spaces=data["spaces"],
+        keys=data["keys"],
+        space_names=[str(name) for name in data["space_names"]],
+    )

@@ -1,0 +1,79 @@
+"""Iteration-space substrate: index nodes, trees, points, and spaces.
+
+This subpackage provides the raw material that nested recursive
+iteration spaces are made of:
+
+* :mod:`repro.spaces.node` — the index-node protocol and labeled tree
+  nodes;
+* :mod:`repro.spaces.trees` — builders for perfect, balanced, list,
+  random, and hand-specified trees (including the paper's Figure 1(b)
+  examples);
+* :mod:`repro.spaces.points` — synthetic point clouds for the dual-tree
+  benchmarks;
+* :mod:`repro.spaces.iteration_space` — materialized 2-D spaces,
+  schedule validation, and the ASCII renderings of Figures 1(c)/4(b).
+"""
+
+from repro.spaces.iteration_space import (
+    IterationSpace,
+    column_major_order,
+    preorder_labels,
+    render_schedule,
+    row_major_order,
+    schedule_order_grid,
+    transposes_to,
+)
+from repro.spaces.node import (
+    IndexNode,
+    TreeNode,
+    finalize_tree,
+    tree_depth,
+    tree_nodes,
+    validate_index_node,
+)
+from repro.spaces.points import (
+    annulus_points,
+    clustered_points,
+    grid_points,
+    uniform_points,
+)
+from repro.spaces.trees import (
+    balanced_tree,
+    letter_labeler,
+    list_tree,
+    paper_inner_tree,
+    paper_outer_tree,
+    perfect_tree,
+    random_tree,
+    relabel_preorder,
+    tree_from_nested,
+)
+
+__all__ = [
+    "IndexNode",
+    "TreeNode",
+    "IterationSpace",
+    "annulus_points",
+    "balanced_tree",
+    "clustered_points",
+    "column_major_order",
+    "finalize_tree",
+    "grid_points",
+    "letter_labeler",
+    "list_tree",
+    "paper_inner_tree",
+    "paper_outer_tree",
+    "perfect_tree",
+    "preorder_labels",
+    "random_tree",
+    "relabel_preorder",
+    "render_schedule",
+    "row_major_order",
+    "schedule_order_grid",
+    "transposes_to",
+    "tree_depth",
+    "tree_from_nested",
+    "tree_nodes",
+    "uniform_points",
+    "validate_index_node",
+]

@@ -1,0 +1,190 @@
+"""Materialized 2-D recursive iteration spaces.
+
+A nested recursion defines a two-dimensional iteration space: one
+dimension per recursion, one point per dynamic invocation of ``work``
+(Figure 1c).  This module materializes such spaces so that schedules —
+recorded as sequences of ``(outer_label, inner_label)`` work points —
+can be inspected, compared, and rendered the way the paper draws them
+(Figures 1c, 4b, and 6a).
+
+It is deliberately independent of :mod:`repro.core`: the executors
+*produce* traces (via :class:`repro.core.instruments.WorkRecorder`), and
+this module *consumes* them, so either side can be tested in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.spaces.node import IndexNode
+
+WorkPoint = tuple[Hashable, Hashable]
+
+
+def preorder_labels(root: IndexNode) -> list[Hashable]:
+    """Labels of a tree in depth-first pre-order.
+
+    Pre-order is the paper's canonical axis order: the columns of
+    Figure 1(c) are the outer tree in pre-order and the rows are the
+    inner tree in pre-order.  Nodes without a ``label`` attribute fall
+    back to their pre-order ``number``.
+    """
+    return [getattr(node, "label", node.number) for node in root.iter_preorder()]
+
+
+@dataclass
+class IterationSpace:
+    """A rectangle of candidate points plus the subset actually executed.
+
+    ``outer_axis``/``inner_axis`` fix the axes (pre-order of the two
+    trees); ``executed`` is the set of points that perform work (the
+    full rectangle when truncation is regular, a proper subset when
+    ``truncateInner2?`` skips iterations as in Figure 6a).
+    """
+
+    outer_axis: list[Hashable]
+    inner_axis: list[Hashable]
+    executed: set[WorkPoint] = field(default_factory=set)
+
+    @classmethod
+    def from_trees(
+        cls,
+        outer_root: IndexNode,
+        inner_root: IndexNode,
+        executed: Optional[Iterable[WorkPoint]] = None,
+    ) -> "IterationSpace":
+        """Build a space whose axes are the two trees in pre-order.
+
+        When ``executed`` is omitted the full rectangle is executed
+        (regular truncation).
+        """
+        outer_axis = preorder_labels(outer_root)
+        inner_axis = preorder_labels(inner_root)
+        if executed is None:
+            points = {(o, i) for o in outer_axis for i in inner_axis}
+        else:
+            points = set(executed)
+        return cls(outer_axis, inner_axis, points)
+
+    @property
+    def num_points(self) -> int:
+        """Number of executed iterations."""
+        return len(self.executed)
+
+    @property
+    def is_rectangular(self) -> bool:
+        """True when every candidate point is executed (regular bounds)."""
+        return self.num_points == len(self.outer_axis) * len(self.inner_axis)
+
+    def skipped(self) -> set[WorkPoint]:
+        """Candidate points that are *not* executed (greyed in Fig. 6a)."""
+        return {
+            (o, i) for o in self.outer_axis for i in self.inner_axis
+        } - self.executed
+
+    def validate_schedule(self, schedule: Sequence[WorkPoint]) -> None:
+        """Check that ``schedule`` enumerates exactly this space, once each.
+
+        Raises ``ValueError`` on duplicated, missing, or extraneous
+        points — the bounds-preservation property that Section 4's
+        machinery exists to guarantee.
+        """
+        seen: set[WorkPoint] = set()
+        for point in schedule:
+            if point in seen:
+                raise ValueError(f"schedule executes {point} more than once")
+            if point not in self.executed:
+                raise ValueError(f"schedule executes out-of-bounds point {point}")
+            seen.add(point)
+        missing = self.executed - seen
+        if missing:
+            raise ValueError(f"schedule misses {len(missing)} points, e.g. {next(iter(missing))}")
+
+
+def schedule_order_grid(
+    space: IterationSpace, schedule: Sequence[WorkPoint]
+) -> list[list[Optional[int]]]:
+    """Visit positions arranged on the space's grid.
+
+    Returns a matrix indexed ``[inner][outer]`` (rows are inner-tree
+    positions, columns outer-tree positions, like the paper's figures)
+    whose entries are the 0-based time step at which the schedule visits
+    that point, or ``None`` for skipped points.
+    """
+    outer_pos = {label: k for k, label in enumerate(space.outer_axis)}
+    inner_pos = {label: k for k, label in enumerate(space.inner_axis)}
+    grid: list[list[Optional[int]]] = [
+        [None] * len(space.outer_axis) for _ in space.inner_axis
+    ]
+    for step, (o, i) in enumerate(schedule):
+        grid[inner_pos[i]][outer_pos[o]] = step
+    return grid
+
+
+def render_schedule(space: IterationSpace, schedule: Sequence[WorkPoint]) -> str:
+    """ASCII rendering of a schedule over the iteration space.
+
+    Each cell shows the visit time step (``.`` for skipped points), with
+    the outer axis across the top — a textual stand-in for the arrows of
+    Figures 1(c) and 4(b).  Example for the paper's 7x7 space::
+
+            A   B   C ...
+        1   0   7  14 ...
+        2   1   8  15 ...
+    """
+    grid = schedule_order_grid(space, schedule)
+    width = max(3, len(str(max(space.num_points - 1, 0))))
+    label_width = max(
+        [len(str(label)) for label in space.inner_axis] + [1]
+    )
+    header = " " * (label_width + 1) + " ".join(
+        str(label).rjust(width) for label in space.outer_axis
+    )
+    lines = [header]
+    for row_label, row in zip(space.inner_axis, grid):
+        cells = " ".join(
+            (str(step) if step is not None else ".").rjust(width) for step in row
+        )
+        lines.append(f"{str(row_label).rjust(label_width)} {cells}")
+    return "\n".join(lines)
+
+
+def column_major_order(space: IterationSpace) -> list[WorkPoint]:
+    """The original schedule: for each outer position, all inner positions.
+
+    This is what the untransformed template of Figure 2 executes on a
+    rectangular space ("column-by-column" in the paper's phrasing).
+    """
+    return [
+        (o, i)
+        for o in space.outer_axis
+        for i in space.inner_axis
+        if (o, i) in space.executed
+    ]
+
+
+def row_major_order(space: IterationSpace) -> list[WorkPoint]:
+    """The interchanged schedule: for each inner position, all outer ones.
+
+    What recursion interchange (Figure 3) executes: "a row-by-row
+    enumeration of the iteration space, instead of column-by-column".
+    """
+    return [
+        (o, i)
+        for i in space.inner_axis
+        for o in space.outer_axis
+        if (o, i) in space.executed
+    ]
+
+
+def transposes_to(
+    first: Sequence[WorkPoint], second: Sequence[WorkPoint]
+) -> bool:
+    """True when ``second`` visits the same points as ``first``.
+
+    Order-insensitive set equality — the basic sanity property shared by
+    every scheduling transformation in the paper (same iterations, new
+    order).
+    """
+    return set(first) == set(second) and len(first) == len(second)

@@ -1,0 +1,88 @@
+"""Synthetic point-set generators for the dual-tree benchmarks.
+
+The paper evaluates the dual-tree benchmarks (PC, NN, KNN, VP) on
+point datasets of 400K-1M points.  The datasets themselves are not
+published, so we generate synthetic point clouds with the properties
+that matter for the algorithms' behaviour:
+
+* *clustered* distributions, which give dual-tree pruning something to
+  prune (uniform data at the right density works too, but clusters make
+  the irregular truncation genuinely irregular);
+* *uniform* distributions, the usual worst-ish case for pruning;
+* deterministic seeding, so every experiment is reproducible.
+
+Points are ``numpy`` arrays of shape ``(n, d)``; all dual-tree code
+consumes that representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_points(n: int, dim: int = 2, seed: int = 0, scale: float = 1.0) -> np.ndarray:
+    """``n`` points uniform in the ``[0, scale)^dim`` box."""
+    if n < 1:
+        raise ValueError("uniform_points requires n >= 1")
+    rng = np.random.default_rng(seed)
+    return rng.random((n, dim)) * scale
+
+
+def clustered_points(
+    n: int,
+    dim: int = 2,
+    clusters: int = 16,
+    spread: float = 0.02,
+    seed: int = 0,
+) -> np.ndarray:
+    """``n`` points drawn from Gaussian blobs around random centers.
+
+    Cluster centers are uniform in the unit box; each point is a center
+    plus isotropic Gaussian noise with standard deviation ``spread``.
+    This is the default workload for the dual-tree experiments: it has
+    high local density (lots of base-case work) and large empty regions
+    (lots of pruning), the regime where dual-tree algorithms shine.
+    """
+    if n < 1:
+        raise ValueError("clustered_points requires n >= 1")
+    if clusters < 1:
+        raise ValueError("clustered_points requires clusters >= 1")
+    rng = np.random.default_rng(seed)
+    centers = rng.random((clusters, dim))
+    assignment = rng.integers(0, clusters, size=n)
+    noise = rng.normal(0.0, spread, size=(n, dim))
+    return centers[assignment] + noise
+
+
+def grid_points(side: int, dim: int = 2, jitter: float = 0.0, seed: int = 0) -> np.ndarray:
+    """A regular ``side^dim`` grid in the unit box, optionally jittered.
+
+    Grids make distance computations and k-NN answers easy to reason
+    about in tests (every interior point has axis neighbours at exactly
+    the grid pitch).
+    """
+    if side < 1:
+        raise ValueError("grid_points requires side >= 1")
+    axes = [np.linspace(0.0, 1.0, side, endpoint=False) for _ in range(dim)]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    pts = np.stack([m.ravel() for m in mesh], axis=1)
+    if jitter > 0.0:
+        rng = np.random.default_rng(seed)
+        pts = pts + rng.normal(0.0, jitter, size=pts.shape)
+    return pts
+
+
+def annulus_points(n: int, inner: float = 0.3, outer: float = 0.5, seed: int = 0) -> np.ndarray:
+    """``n`` 2-D points uniform on an annulus centred in the unit box.
+
+    An adversarial shape for kd-trees (no axis-aligned structure) used
+    by robustness tests; point-correlation counts on an annulus have a
+    sharp density transition at radius ``inner``.
+    """
+    if n < 1:
+        raise ValueError("annulus_points requires n >= 1")
+    rng = np.random.default_rng(seed)
+    theta = rng.random(n) * 2.0 * np.pi
+    # Area-uniform radius in [inner, outer].
+    r = np.sqrt(rng.random(n) * (outer**2 - inner**2) + inner**2)
+    return np.stack([0.5 + r * np.cos(theta), 0.5 + r * np.sin(theta)], axis=1)

@@ -1,0 +1,206 @@
+"""Tree builders for recursive iteration spaces.
+
+The paper's evaluation uses several tree shapes:
+
+* perfect binary trees (the worked examples of Figures 1 and 4 use
+  7-node perfect trees labeled ``A..G`` and ``1..7``);
+* roughly balanced binary trees of arbitrary node count (Tree Join runs
+  on 800K-node trees; any node count must be supported, not just
+  ``2^k - 1``);
+* *list trees* — each node has exactly one child — under which the
+  nested recursion template "devolves into a doubly-nested loop"
+  (Section 2.1), used by the loop-conversion kernel of Section 7.2;
+* random binary trees, used by the property-based tests to check that
+  schedule equivalence does not secretly rely on balance.
+
+All builders return a root whose ``size`` and pre-order ``number``
+fields have been populated via :func:`~repro.spaces.node.finalize_tree`.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Any, Callable, Optional, Sequence
+
+from repro.spaces.node import TreeNode, finalize_tree
+
+
+def perfect_tree(
+    depth: int,
+    labeler: Optional[Callable[[int], Any]] = None,
+    data: Optional[Callable[[int], Any]] = None,
+) -> TreeNode:
+    """Build a perfect binary tree of the given depth (>= 1).
+
+    Nodes are labeled in BFS (level) order starting from 0 unless a
+    ``labeler`` is given; a perfect tree of depth ``d`` has ``2^d - 1``
+    nodes.  ``data(label_index)`` supplies payloads.
+    """
+    if depth < 1:
+        raise ValueError("perfect_tree requires depth >= 1")
+    count = (1 << depth) - 1
+    return balanced_tree(count, labeler=labeler, data=data)
+
+
+def balanced_tree(
+    num_nodes: int,
+    labeler: Optional[Callable[[int], Any]] = None,
+    data: Optional[Callable[[int], Any]] = None,
+) -> TreeNode:
+    """Build a complete (heap-shaped) binary tree with ``num_nodes`` nodes.
+
+    Node ``k`` (BFS order, 0-based) has children ``2k+1`` and ``2k+2``
+    where those indices are in range, giving the canonical "as balanced
+    as possible" shape.  Labels default to the BFS index.
+    """
+    if num_nodes < 1:
+        raise ValueError("balanced_tree requires num_nodes >= 1")
+    labeler = labeler or (lambda k: k)
+    data = data or (lambda k: None)
+    nodes = [TreeNode(labeler(k), data(k)) for k in range(num_nodes)]
+    for k, node in enumerate(nodes):
+        children = []
+        if 2 * k + 1 < num_nodes:
+            children.append(nodes[2 * k + 1])
+        if 2 * k + 2 < num_nodes:
+            children.append(nodes[2 * k + 2])
+        node.children = tuple(children)
+    root = nodes[0]
+    finalize_tree(root)
+    return root
+
+
+def list_tree(
+    num_nodes: int,
+    labeler: Optional[Callable[[int], Any]] = None,
+    data: Optional[Callable[[int], Any]] = None,
+) -> TreeNode:
+    """Build a degenerate tree where every node has one child.
+
+    Under a list tree the recursion template is exactly a ``for`` loop
+    over ``num_nodes`` index values (Section 2.1's closing analogy),
+    which makes these trees the bridge between loop nests and recursive
+    iteration spaces (see :mod:`repro.kernels.loops`).
+    """
+    if num_nodes < 1:
+        raise ValueError("list_tree requires num_nodes >= 1")
+    labeler = labeler or (lambda k: k)
+    data = data or (lambda k: None)
+    nodes = [TreeNode(labeler(k), data(k)) for k in range(num_nodes)]
+    for k in range(num_nodes - 1):
+        nodes[k].children = (nodes[k + 1],)
+    root = nodes[0]
+    finalize_tree(root)
+    return root
+
+
+def random_tree(
+    num_nodes: int,
+    seed: int = 0,
+    labeler: Optional[Callable[[int], Any]] = None,
+    data: Optional[Callable[[int], Any]] = None,
+) -> TreeNode:
+    """Build a random binary tree by uniform random insertion order.
+
+    Each new node is attached to a uniformly chosen free child slot of
+    the existing tree, producing shapes between balanced and degenerate.
+    Deterministic for a given ``seed``.
+    """
+    if num_nodes < 1:
+        raise ValueError("random_tree requires num_nodes >= 1")
+    rng = random.Random(seed)
+    labeler = labeler or (lambda k: k)
+    data = data or (lambda k: None)
+    nodes = [TreeNode(labeler(k), data(k)) for k in range(num_nodes)]
+    # children stored mutably during construction: [left, right]
+    slots: list[list[Optional[TreeNode]]] = [[None, None] for _ in range(num_nodes)]
+    # (node_index, child_position) pairs that are still free
+    free: list[tuple[int, int]] = [(0, 0), (0, 1)]
+    for k in range(1, num_nodes):
+        pick = rng.randrange(len(free))
+        free[pick], free[-1] = free[-1], free[pick]
+        parent, position = free.pop()
+        slots[parent][position] = nodes[k]
+        free.append((k, 0))
+        free.append((k, 1))
+    for k, node in enumerate(nodes):
+        node.children = tuple(child for child in slots[k] if child is not None)
+    root = nodes[0]
+    finalize_tree(root)
+    return root
+
+
+def tree_from_nested(spec: Any) -> TreeNode:
+    """Build a tree from a nested ``(label, left, right)`` description.
+
+    ``spec`` is either a bare label (leaf) or a tuple
+    ``(label, left_spec_or_None, right_spec_or_None)``.  Convenient for
+    writing the exact small trees used in the paper's figures::
+
+        tree_from_nested(("A", ("B", "C", "D"), ("E", "F", "G")))
+    """
+    if not isinstance(spec, tuple):
+        node = TreeNode(spec)
+        finalize_tree(node)
+        return node
+
+    def build(item: Any) -> TreeNode:
+        if not isinstance(item, tuple):
+            return TreeNode(item)
+        label, left, right = item
+        node = TreeNode(label)
+        children = []
+        if left is not None:
+            children.append(build(left))
+        if right is not None:
+            children.append(build(right))
+        node.children = tuple(children)
+        return node
+
+    root = build(spec)
+    finalize_tree(root)
+    return root
+
+
+def paper_outer_tree() -> TreeNode:
+    """The 7-node outer tree of Figure 1(b), labeled ``A..G``.
+
+    Shape: A is the root, B/E its children, with leaves C, D under B and
+    F, G under E — the depth-first pre-order is A, B, C, D, E, F, G.
+    """
+    return tree_from_nested(("A", ("B", "C", "D"), ("E", "F", "G")))
+
+
+def paper_inner_tree() -> TreeNode:
+    """The 7-node inner tree of Figure 1(b), labeled ``1..7``.
+
+    Pre-order traversal visits 1, 2, 3, 4, 5, 6, 7, matching the
+    column order of the Figure 1(c) iteration space.
+    """
+    return tree_from_nested((1, (2, 3, 4), (5, 6, 7)))
+
+
+def letter_labeler(index: int) -> str:
+    """Spreadsheet-style labels: 0 -> 'A', 25 -> 'Z', 26 -> 'AA', ...
+
+    Used by examples and tests that want paper-style alphabetic labels
+    on trees larger than 26 nodes.
+    """
+    letters = []
+    index += 1
+    while index > 0:
+        index, rem = divmod(index - 1, 26)
+        letters.append(string.ascii_uppercase[rem])
+    return "".join(reversed(letters))
+
+
+def relabel_preorder(root: TreeNode, labels: Optional[Sequence[Any]] = None) -> TreeNode:
+    """Overwrite node labels in pre-order (default: 0, 1, 2, ...).
+
+    Useful when a test wants labels that coincide with the pre-order
+    ``number`` field, e.g. to cross-check the Section 4.3 numbering.
+    """
+    for k, node in enumerate(root.iter_preorder()):
+        node.label = labels[k] if labels is not None else k  # type: ignore[attr-defined]
+    return root

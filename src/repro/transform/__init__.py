@@ -1,0 +1,47 @@
+"""Source-to-source transformation tool (the Section 5 prototype).
+
+The paper's prototype is a Clang libtooling pass; this subpackage is
+its Python analog with the same pipeline:
+
+* :mod:`repro.transform.annotations` — programmer markers;
+* :mod:`repro.transform.recognizer` — the template sanity check;
+* :mod:`repro.transform.analysis` — irregular-truncation detection;
+* :mod:`repro.transform.codegen` — synthesis of interchanged and
+  twisted sources (including the Figure 6(b) flag code);
+* :mod:`repro.transform.tool` — the driver (``transform_source``,
+  ``twist_functions``).
+"""
+
+from repro.transform.analysis import TruncationAnalysis, analyze_truncation
+from repro.transform.annotations import inner_recursion, outer_recursion, role_of
+from repro.transform.codegen import (
+    generate_interchanged,
+    generate_module,
+    generate_twisted,
+)
+from repro.transform.recognizer import RecursionTemplate, recognize
+from repro.transform.tool import (
+    TransformResult,
+    find_annotated_pair,
+    transform_annotated_source,
+    transform_source,
+    twist_functions,
+)
+
+__all__ = [
+    "RecursionTemplate",
+    "TransformResult",
+    "TruncationAnalysis",
+    "analyze_truncation",
+    "find_annotated_pair",
+    "generate_interchanged",
+    "generate_module",
+    "generate_twisted",
+    "inner_recursion",
+    "outer_recursion",
+    "recognize",
+    "role_of",
+    "transform_annotated_source",
+    "transform_source",
+    "twist_functions",
+]

@@ -1,0 +1,104 @@
+"""Truncation analysis: regular or irregular? (Section 5, step two.)
+
+"Next, the tool analyzes the nested recursions to decide whether
+irregular truncation is performed (in other words, it determines
+whether any portion of the inner recursion's truncation condition is
+dependent on the outer recursion)."
+
+The inner guard is a boolean expression; we split its top-level ``or``
+into disjuncts and classify each by the parameters it mentions:
+
+* mentions only the inner index → part of ``truncateInner1?``;
+* mentions the outer index → part of ``truncateInner2?`` (irregular).
+
+The split matters because the transformed code places the two parts
+differently: ``truncateInner1?`` bounds the *swapped outer* recursion
+(Figure 3, line 2), while ``truncateInner2?`` becomes flag-managed
+state (Figure 6b).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TransformError
+from repro.transform.recognizer import RecursionTemplate
+
+
+@dataclass
+class TruncationAnalysis:
+    """The inner guard split into its regular and irregular parts."""
+
+    #: disjuncts depending only on the inner index (None = absent)
+    inner1: Optional[ast.expr]
+    #: disjuncts depending on the outer index (None = regular truncation)
+    inner2: Optional[ast.expr]
+
+    @property
+    def is_irregular(self) -> bool:
+        """True when the spec needs the Section 4 machinery."""
+        return self.inner2 is not None
+
+    def inner1_source(self) -> str:
+        """Source of the regular part (``False`` when absent)."""
+        return ast.unparse(self.inner1) if self.inner1 is not None else "False"
+
+    def inner2_source(self) -> str:
+        """Source of the irregular part (``False`` when absent)."""
+        return ast.unparse(self.inner2) if self.inner2 is not None else "False"
+
+
+def _top_level_disjuncts(expr: ast.expr) -> list[ast.expr]:
+    """Split ``a or b or c`` into [a, b, c]; other shapes are one unit."""
+    if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.Or):
+        parts: list[ast.expr] = []
+        for value in expr.values:
+            parts.extend(_top_level_disjuncts(value))
+        return parts
+    return [expr]
+
+
+def _mentions(expr: ast.expr, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name for node in ast.walk(expr)
+    )
+
+
+def _join_or(parts: list[ast.expr]) -> Optional[ast.expr]:
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return ast.BoolOp(op=ast.Or(), values=parts)
+
+
+def analyze_truncation(template: RecursionTemplate) -> TruncationAnalysis:
+    """Classify the inner guard's disjuncts.
+
+    A disjunct mentioning *neither* index is conservatively treated as
+    part of ``truncateInner1?`` (it is invariant across the iteration
+    space, e.g. a global toggle).  A disjunct mentioning *only* the
+    outer index is rejected: the template has no such condition, and
+    honouring one would require restructuring the outer recursion.
+    """
+    inner1_parts: list[ast.expr] = []
+    inner2_parts: list[ast.expr] = []
+    for part in _top_level_disjuncts(template.inner_guard):
+        uses_outer = _mentions(part, template.o_param)
+        uses_inner = _mentions(part, template.i_param)
+        if uses_outer and uses_inner:
+            inner2_parts.append(part)
+        elif uses_outer:
+            raise TransformError(
+                f"inner truncation disjunct {ast.unparse(part)!r} depends "
+                f"only on the outer index {template.o_param!r}; the Figure "
+                f"2 template bounds the outer recursion in "
+                f"{template.outer_name}, not here"
+            )
+        else:
+            inner1_parts.append(part)
+    return TruncationAnalysis(
+        inner1=_join_or(inner1_parts), inner2=_join_or(inner2_parts)
+    )

@@ -1,0 +1,64 @@
+"""Programmer annotations for the transformation tool.
+
+The paper's prototype (Section 5) is annotation-driven: "Using
+annotations, the programmer specifies the two nested recursive
+functions."  In the Python tool the annotations are decorators that
+attach marker metadata and return the function unchanged — the tool
+reads them when scanning a module's source, and they are inert at run
+time.
+
+Example::
+
+    from repro.transform import outer_recursion, inner_recursion
+
+    @outer_recursion(inner="recurse_inner")
+    def recurse_outer(o, i):
+        if o is None:
+            return
+        recurse_inner(o, i)
+        recurse_outer(o.left, i)
+        recurse_outer(o.right, i)
+
+    @inner_recursion
+    def recurse_inner(o, i):
+        if i is None:
+            return
+        join(o, i)
+        recurse_inner(o, i.left)
+        recurse_inner(o, i.right)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+#: Attribute name carrying the marker metadata.
+ROLE_ATTR = "__twist_role__"
+
+
+def outer_recursion(inner: str) -> Callable[[F], F]:
+    """Mark a function as the outer recursion of a nested pair.
+
+    ``inner`` names the inner recursive function the outer one calls.
+    """
+    if not isinstance(inner, str) or not inner:
+        raise TypeError("outer_recursion requires the inner function's name")
+
+    def mark(function: F) -> F:
+        setattr(function, ROLE_ATTR, ("outer", inner))
+        return function
+
+    return mark
+
+
+def inner_recursion(function: F) -> F:
+    """Mark a function as the inner recursion of a nested pair."""
+    setattr(function, ROLE_ATTR, ("inner", None))
+    return function
+
+
+def role_of(function: Callable) -> tuple[str, str | None] | None:
+    """The marker metadata of a function, or ``None`` if unannotated."""
+    return getattr(function, ROLE_ATTR, None)

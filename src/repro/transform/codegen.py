@@ -1,0 +1,268 @@
+"""Code generation: synthesizing interchanged and twisted sources.
+
+Given a recognized :class:`~repro.transform.recognizer.RecursionTemplate`
+and its :class:`~repro.transform.analysis.TruncationAnalysis`, this
+module emits Python source for:
+
+* the interchanged pair ``<outer>_swapped`` / ``<inner>_swapped``
+  (Figure 3; Figure 6(b) when truncation is irregular), and
+* the twisted quartet ``<outer>_twisted`` / ``<inner>_twisted`` /
+  ``<outer>_twisted_swapped`` / ``<inner>_twisted_swapped``
+  (Figure 4(a) with the Section 4 machinery).
+
+The generated code preserves the user's parameter names and child
+expressions verbatim — interchange swaps which *guard* bounds which
+recursion and which *argument* each recursive call advances, exactly as
+in the paper's listings.  Requirements on the user's node type, matching
+the paper's prototype assumptions (Section 5):
+
+* a ``size`` attribute giving the sub-recursion size ("our tool assumes
+  that a method can be called to determine the size of the current
+  sub-recursion ... In the simplest case, this method can simply return
+  the value of a field");
+* for irregular truncation, nodes must accept a boolean ``trunc``
+  attribute (read via ``getattr(..., 'trunc', False)``, so nodes
+  without the attribute start untruncated).
+
+A module-level ``_TWIST_CUTOFF`` constant implements the Section 7.1
+cutoff; it is generated as ``None`` (parameterless) unless a cutoff is
+requested.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Optional
+
+from repro.transform.analysis import TruncationAnalysis
+from repro.transform.recognizer import RecursionTemplate
+
+_PREAMBLE = '''\
+def _twist_size(node):
+    """Sub-recursion size; a truncated (None) child counts as zero."""
+    return node.size if node is not None else 0
+'''
+
+
+def _indent(text: str, levels: int = 1) -> str:
+    return textwrap.indent(text, "    " * levels)
+
+
+def _work_block(template: RecursionTemplate, levels: int) -> str:
+    statements = "\n".join(ast.unparse(stmt) for stmt in template.work_statements)
+    return _indent(statements, levels)
+
+
+def generate_interchanged(
+    template: RecursionTemplate, analysis: TruncationAnalysis
+) -> str:
+    """Source of the interchanged pair (Figure 3 / Figure 6(b))."""
+    if analysis.is_irregular:
+        return _generate_interchanged_irregular(template, analysis)
+    return _generate_interchanged_regular(template, analysis)
+
+
+def _generate_interchanged_regular(
+    template: RecursionTemplate, analysis: TruncationAnalysis
+) -> str:
+    o, i = template.o_param, template.i_param
+    outer, inner = template.outer_name, template.inner_name
+    lines = [
+        f"def {outer}_swapped({o}, {i}):",
+        f'    """Interchanged outer recursion: traverses the inner tree."""',
+        f"    if {analysis.inner1_source()}:",
+        f"        return",
+        f"    {inner}_swapped({o}, {i})",
+    ]
+    for child in template.inner_child_exprs:
+        lines.append(f"    {outer}_swapped({o}, {ast.unparse(child)})")
+    lines += [
+        "",
+        "",
+        f"def {inner}_swapped({o}, {i}):",
+        f'    """Interchanged inner recursion: traverses the outer tree."""',
+        f"    if {ast.unparse(template.outer_guard)}:",
+        f"        return",
+        _work_block(template, 1),
+    ]
+    for child in template.outer_child_exprs:
+        lines.append(f"    {inner}_swapped({ast.unparse(child)}, {i})")
+    return "\n".join(lines) + "\n"
+
+
+def _generate_interchanged_irregular(
+    template: RecursionTemplate, analysis: TruncationAnalysis
+) -> str:
+    o, i = template.o_param, template.i_param
+    outer, inner = template.outer_name, template.inner_name
+    lines = [
+        f"def {outer}_swapped({o}, {i}):",
+        f'    """Interchanged outer recursion with truncation flags (Fig. 6b)."""',
+        f"    if {analysis.inner1_source()}:",
+        f"        return",
+        f"    _untrunc = []",
+        f"    {inner}_swapped({o}, {i}, _untrunc)",
+    ]
+    for child in template.inner_child_exprs:
+        lines.append(f"    {outer}_swapped({o}, {ast.unparse(child)})")
+    lines += [
+        f"    for _node in _untrunc:",
+        f"        _node.trunc = False",
+        "",
+        "",
+        f"def {inner}_swapped({o}, {i}, _untrunc):",
+        f'    """Interchanged inner recursion; skips work for flagged nodes."""',
+        f"    if {ast.unparse(template.outer_guard)}:",
+        f"        return",
+        f"    if not getattr({o}, 'trunc', False):",
+        f"        if {analysis.inner2_source()}:",
+        f"            {o}.trunc = True",
+        f"            _untrunc.append({o})",
+        f"        else:",
+        _work_block(template, 3),
+    ]
+    for child in template.outer_child_exprs:
+        lines.append(f"    {inner}_swapped({ast.unparse(child)}, {i}, _untrunc)")
+    return "\n".join(lines) + "\n"
+
+
+def generate_twisted(
+    template: RecursionTemplate,
+    analysis: TruncationAnalysis,
+    cutoff: Optional[int] = None,
+) -> str:
+    """Source of the twisted quartet (Figure 4(a) + Section 4)."""
+    o, i = template.o_param, template.i_param
+    outer, inner = template.outer_name, template.inner_name
+    irregular = analysis.is_irregular
+    cutoff_literal = "None" if cutoff is None else str(int(cutoff))
+
+    parts: list[str] = [f"_TWIST_CUTOFF = {cutoff_literal}", "", ""]
+
+    # ---- regular-order outer (Figure 4a, lines 1-14) -----------------
+    lines = [
+        f"def {outer}_twisted({o}, {i}):",
+        f'    """Twisted schedule entry point (regular order)."""',
+        f"    if {ast.unparse(template.outer_guard)}:",
+        f"        return",
+    ]
+    if irregular:
+        lines += [
+            f"    if not getattr({o}, 'trunc', False):",
+            f"        {inner}_twisted({o}, {i})",
+        ]
+    else:
+        lines.append(f"    {inner}_twisted({o}, {i})")
+    for index, child in enumerate(template.outer_child_exprs):
+        lines += [
+            f"    _child{index} = {ast.unparse(child)}",
+            f"    if _twist_size(_child{index}) <= _twist_size({i}) and (",
+            f"        _TWIST_CUTOFF is None or _twist_size({i}) > _TWIST_CUTOFF",
+            f"    ):",
+            f"        {outer}_twisted_swapped(_child{index}, {i})",
+            f"    else:",
+            f"        {outer}_twisted(_child{index}, {i})",
+        ]
+    parts.append("\n".join(lines))
+    parts.append("")
+    parts.append("")
+
+    # ---- regular-order inner: the original inner, renamed ------------
+    lines = [
+        f"def {inner}_twisted({o}, {i}):",
+        f'    """Regular-order inner traversal (original semantics)."""',
+        f"    if {ast.unparse(template.inner_guard)}:",
+        f"        return",
+        _work_block(template, 1),
+    ]
+    for child in template.inner_child_exprs:
+        lines.append(f"    {inner}_twisted({o}, {ast.unparse(child)})")
+    parts.append("\n".join(lines))
+    parts.append("")
+    parts.append("")
+
+    # ---- swapped-order outer (Figure 4a, lines 16-29) ----------------
+    lines = [
+        f"def {outer}_twisted_swapped({o}, {i}):",
+        f'    """Twisted schedule, swapped order."""',
+        f"    if {analysis.inner1_source()}:",
+        f"        return",
+    ]
+    if irregular:
+        lines += [
+            f"    _untrunc = []",
+            f"    {inner}_twisted_swapped({o}, {i}, _untrunc)",
+        ]
+    else:
+        lines.append(f"    {inner}_twisted_swapped({o}, {i})")
+    for index, child in enumerate(template.inner_child_exprs):
+        lines += [
+            f"    _child{index} = {ast.unparse(child)}",
+            f"    if _twist_size(_child{index}) <= _twist_size({o}):",
+            f"        {outer}_twisted({o}, _child{index})",
+            f"    else:",
+            f"        {outer}_twisted_swapped({o}, _child{index})",
+        ]
+    if irregular:
+        lines += [
+            f"    for _node in _untrunc:",
+            f"        _node.trunc = False",
+        ]
+    parts.append("\n".join(lines))
+    parts.append("")
+    parts.append("")
+
+    # ---- swapped-order inner ------------------------------------------
+    if irregular:
+        lines = [
+            f"def {inner}_twisted_swapped({o}, {i}, _untrunc):",
+            f'    """Swapped-order inner traversal with truncation flags."""',
+            f"    if {ast.unparse(template.outer_guard)}:",
+            f"        return",
+            f"    if not getattr({o}, 'trunc', False):",
+            f"        if {analysis.inner2_source()}:",
+            f"            {o}.trunc = True",
+            f"            _untrunc.append({o})",
+            f"        else:",
+            _work_block(template, 3),
+        ]
+        for child in template.outer_child_exprs:
+            lines.append(
+                f"    {inner}_twisted_swapped({ast.unparse(child)}, {i}, _untrunc)"
+            )
+    else:
+        lines = [
+            f"def {inner}_twisted_swapped({o}, {i}):",
+            f'    """Swapped-order inner traversal."""',
+            f"    if {ast.unparse(template.outer_guard)}:",
+            f"        return",
+            _work_block(template, 1),
+        ]
+        for child in template.outer_child_exprs:
+            lines.append(f"    {inner}_twisted_swapped({ast.unparse(child)}, {i})")
+    parts.append("\n".join(lines))
+
+    return "\n".join(parts) + "\n"
+
+
+def generate_module(
+    template: RecursionTemplate,
+    analysis: TruncationAnalysis,
+    cutoff: Optional[int] = None,
+    include_original: bool = True,
+) -> str:
+    """A complete generated module: preamble, originals, both transforms."""
+    sections = [_PREAMBLE]
+    if include_original:
+        sections += [template.outer_source, "", template.inner_source, ""]
+    sections += [
+        generate_interchanged(template, analysis),
+        "",
+        generate_twisted(template, analysis, cutoff=cutoff),
+    ]
+    source = "\n".join(sections)
+    # Validate before handing back: the generator must never emit
+    # unparsable code.
+    ast.parse(source)
+    return source

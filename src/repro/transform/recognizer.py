@@ -1,0 +1,310 @@
+"""Template recognition: the tool's "syntactic sanity check" (Section 5).
+
+"Given annotated nested recursive functions, the tool performs a
+syntactic sanity check to make sure that the annotated recursive
+functions conform to the template shown in Figure [2]."  This module is
+that check for Python sources: it parses the two functions and either
+produces a structured :class:`RecursionTemplate` — every piece the code
+generator needs — or raises :class:`~repro.errors.TransformError` with
+a precise explanation of the violation.
+
+The accepted shape, mirroring Figure 2 exactly:
+
+outer function::
+
+    def outer(o, i):
+        if <truncateOuter?(o)>:
+            return
+        inner(o, i)
+        outer(<child-expr-1 of o>, i)
+        ...
+        outer(<child-expr-k of o>, i)
+
+inner function::
+
+    def inner(o, i):
+        if <truncateInner?(o, i)>:
+            return
+        <work statement(s)>
+        inner(o, <child-expr-1 of i>)
+        ...
+        inner(o, <child-expr-m of i>)
+
+Unlike the paper's prototype, which "currently only works with
+recursive methods that make two recursive calls", any positive number
+of recursive calls is accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from dataclasses import dataclass
+
+from repro.errors import TransformError
+
+
+@dataclass
+class RecursionTemplate:
+    """Everything extracted from a conforming nested recursive pair."""
+
+    outer_name: str
+    inner_name: str
+    #: parameter names shared by both functions, in order (outer, inner)
+    o_param: str
+    i_param: str
+    #: ``truncateOuter?`` condition (an ``ast.expr``)
+    outer_guard: ast.expr
+    #: the inner function's full truncation condition
+    inner_guard: ast.expr
+    #: the work statements of the inner function (``ast.stmt`` list)
+    work_statements: list[ast.stmt]
+    #: child expressions advanced by the outer recursion's calls
+    outer_child_exprs: list[ast.expr]
+    #: child expressions advanced by the inner recursion's calls
+    inner_child_exprs: list[ast.expr]
+    #: the original function sources (for round-tripping into output)
+    outer_source: str = ""
+    inner_source: str = ""
+
+    def unparse(self, node: ast.AST) -> str:
+        """Source text of an extracted fragment."""
+        return ast.unparse(node)
+
+
+def _function_def(tree: ast.Module, name: str) -> ast.FunctionDef:
+    """Find a top-level function definition by name."""
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    raise TransformError(f"no top-level function named {name!r} in the source")
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    """All identifier names appearing in an expression."""
+    return {child.id for child in ast.walk(node) if isinstance(child, ast.Name)}
+
+
+def _check_params(function: ast.FunctionDef) -> tuple[str, str]:
+    """The template takes exactly the two index parameters."""
+    args = function.args
+    if (
+        args.posonlyargs
+        or args.kwonlyargs
+        or args.vararg
+        or args.kwarg
+        or len(args.args) != 2
+    ):
+        raise TransformError(
+            f"{function.name} must take exactly two positional parameters "
+            f"(the outer and inner indices), like the Figure 2 template"
+        )
+    return args.args[0].arg, args.args[1].arg
+
+
+def _extract_guard(function: ast.FunctionDef) -> ast.expr:
+    """The leading ``if <cond>: return`` truncation statement."""
+    body = function.body
+    # Tolerate a leading docstring.
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]
+    if not body or not isinstance(body[0], ast.If):
+        raise TransformError(
+            f"{function.name} must start with a truncation check "
+            f"('if <condition>: return')"
+        )
+    guard = body[0]
+    if (
+        len(guard.body) != 1
+        or not isinstance(guard.body[0], ast.Return)
+        or guard.body[0].value is not None
+        or guard.orelse
+    ):
+        raise TransformError(
+            f"{function.name}: the truncation check must be exactly "
+            f"'if <condition>: return' with no else branch"
+        )
+    return guard.test
+
+
+def _stmts_after_guard(function: ast.FunctionDef) -> list[ast.stmt]:
+    body = function.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]
+    return body[1:]
+
+
+def _is_call_to(stmt: ast.stmt, name: str) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Name)
+        and stmt.value.func.id == name
+    )
+
+
+def _call_args(stmt: ast.stmt) -> list[ast.expr]:
+    assert isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+    call = stmt.value
+    if call.keywords:
+        raise TransformError("recursive calls must use positional arguments only")
+    return list(call.args)
+
+
+def recognize(source: str, outer_name: str, inner_name: str) -> RecursionTemplate:
+    """Parse and sanity-check a nested recursive pair.
+
+    ``source`` is module-level Python source containing both function
+    definitions (decorators are permitted and ignored).  Raises
+    :class:`~repro.errors.TransformError` when the code does not match
+    the template.
+    """
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError as error:
+        raise TransformError(f"input source does not parse: {error}") from error
+
+    outer = _function_def(tree, outer_name)
+    inner = _function_def(tree, inner_name)
+
+    o_param, i_param = _check_params(outer)
+    inner_params = _check_params(inner)
+    if inner_params != (o_param, i_param):
+        raise TransformError(
+            f"{inner_name} must use the same parameter names as "
+            f"{outer_name} ({o_param}, {i_param}); got {inner_params}"
+        )
+
+    outer_guard = _extract_guard(outer)
+    if i_param in _names_in(outer_guard):
+        raise TransformError(
+            f"{outer_name}: the outer truncation may only depend on "
+            f"{o_param!r} (the template's truncateOuter? takes the outer "
+            f"index only)"
+        )
+    inner_guard = _extract_guard(inner)
+
+    # --- outer body: inner launch + self-recursive calls -------------
+    outer_rest = _stmts_after_guard(outer)
+    if not outer_rest or not _is_call_to(outer_rest[0], inner_name):
+        raise TransformError(
+            f"{outer_name} must call {inner_name}({o_param}, {i_param}) "
+            f"immediately after its truncation check"
+        )
+    launch_args = _call_args(outer_rest[0])
+    if [ast.unparse(arg) for arg in launch_args] != [o_param, i_param]:
+        raise TransformError(
+            f"{outer_name} must launch the inner recursion on exactly "
+            f"({o_param}, {i_param})"
+        )
+    outer_child_exprs: list[ast.expr] = []
+    for stmt in outer_rest[1:]:
+        if not _is_call_to(stmt, outer_name):
+            raise TransformError(
+                f"{outer_name}: after the inner launch, only recursive "
+                f"calls to itself are allowed; found "
+                f"{ast.unparse(stmt)!r}"
+            )
+        first, second = _require_two_args(stmt, outer_name)
+        if ast.unparse(second) != i_param:
+            raise TransformError(
+                f"{outer_name}: recursive calls must keep the inner index "
+                f"fixed ({i_param}); found {ast.unparse(second)!r}"
+            )
+        if o_param not in _names_in(first):
+            raise TransformError(
+                f"{outer_name}: recursive calls must advance the outer "
+                f"index {o_param!r}; found {ast.unparse(first)!r}"
+            )
+        outer_child_exprs.append(first)
+    if not outer_child_exprs:
+        raise TransformError(f"{outer_name} makes no recursive calls")
+
+    # --- inner body: work + self-recursive calls ----------------------
+    inner_rest = _stmts_after_guard(inner)
+    work_statements: list[ast.stmt] = []
+    inner_child_exprs: list[ast.expr] = []
+    for stmt in inner_rest:
+        if _is_call_to(stmt, inner_name):
+            first, second = _require_two_args(stmt, inner_name)
+            if ast.unparse(first) != o_param:
+                raise TransformError(
+                    f"{inner_name}: recursive calls must keep the outer "
+                    f"index fixed ({o_param}); found {ast.unparse(first)!r}"
+                )
+            if i_param not in _names_in(second):
+                raise TransformError(
+                    f"{inner_name}: recursive calls must advance the inner "
+                    f"index {i_param!r}; found {ast.unparse(second)!r}"
+                )
+            inner_child_exprs.append(second)
+        else:
+            if inner_child_exprs:
+                raise TransformError(
+                    f"{inner_name}: work statements must precede the "
+                    f"recursive calls; found {ast.unparse(stmt)!r} after "
+                    f"a recursive call"
+                )
+            if _contains_call_to(stmt, outer_name) or _contains_call_to(stmt, inner_name):
+                raise TransformError(
+                    f"{inner_name}: work statements must not invoke the "
+                    f"recursive functions"
+                )
+            work_statements.append(stmt)
+    if not inner_child_exprs:
+        raise TransformError(f"{inner_name} makes no recursive calls")
+    if not work_statements:
+        raise TransformError(
+            f"{inner_name} has no work statements — nothing to schedule"
+        )
+
+    return RecursionTemplate(
+        outer_name=outer_name,
+        inner_name=inner_name,
+        o_param=o_param,
+        i_param=i_param,
+        outer_guard=outer_guard,
+        inner_guard=inner_guard,
+        work_statements=work_statements,
+        outer_child_exprs=outer_child_exprs,
+        inner_child_exprs=inner_child_exprs,
+        outer_source=_source_without_decorators(outer),
+        inner_source=_source_without_decorators(inner),
+    )
+
+
+def _source_without_decorators(function: ast.FunctionDef) -> str:
+    """Round-trip source of a function, dropping its decorators.
+
+    The generated module must not re-apply annotation markers (which
+    may not be importable in the execution namespace).
+    """
+    stripped = ast.FunctionDef(
+        name=function.name,
+        args=function.args,
+        body=function.body,
+        decorator_list=[],
+        returns=function.returns,
+        type_comment=None,
+    )
+    return ast.unparse(ast.fix_missing_locations(ast.Module(body=[stripped], type_ignores=[])))
+
+
+def _require_two_args(stmt: ast.stmt, name: str) -> tuple[ast.expr, ast.expr]:
+    args = _call_args(stmt)
+    if len(args) != 2:
+        raise TransformError(
+            f"{name}: recursive calls must pass exactly the two indices"
+        )
+    return args[0], args[1]
+
+
+def _contains_call_to(stmt: ast.stmt, name: str) -> bool:
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == name
+        ):
+            return True
+    return False

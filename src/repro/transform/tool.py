@@ -1,0 +1,173 @@
+"""The transformation tool driver (Section 5's pipeline, end to end).
+
+``transform_source`` runs the full pipeline on source text:
+
+1. **recognize** — syntactic sanity check against the Figure 2
+   template (:mod:`repro.transform.recognizer`);
+2. **analyze** — irregular-truncation detection
+   (:mod:`repro.transform.analysis`);
+3. **generate** — synthesis of the interchanged and twisted code
+   (:mod:`repro.transform.codegen`).
+
+``twist_functions`` is the convenience entry point for live functions:
+it recovers their source with :mod:`inspect`, transforms it, and
+executes the generated module in a namespace seeded with the original
+functions' globals — so work statements calling helper functions keep
+working.  Like the paper's prototype, the tool performs no soundness
+analysis; that is the caller's responsibility (see
+:mod:`repro.core.soundness` for machinery to check it dynamically).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Callable, Optional
+
+from repro.errors import TransformError
+from repro.transform.analysis import TruncationAnalysis, analyze_truncation
+from repro.transform.codegen import generate_module
+from repro.transform.recognizer import RecursionTemplate, recognize
+
+
+@dataclass
+class TransformResult:
+    """Everything the tool produced for one nested recursive pair."""
+
+    template: RecursionTemplate
+    analysis: TruncationAnalysis
+    #: complete generated module source (originals + transforms)
+    source: str
+
+    @property
+    def is_irregular(self) -> bool:
+        """Whether the Section 4 flag code was synthesized."""
+        return self.analysis.is_irregular
+
+    @property
+    def twisted_entry(self) -> str:
+        """Name of the twisted schedule's entry function."""
+        return f"{self.template.outer_name}_twisted"
+
+    @property
+    def interchanged_entry(self) -> str:
+        """Name of the interchanged schedule's entry function."""
+        return f"{self.template.outer_name}_swapped"
+
+    def compile(self, globals_seed: Optional[dict] = None) -> SimpleNamespace:
+        """Execute the generated module; return its namespace.
+
+        ``globals_seed`` supplies the helpers the work statements call
+        (defaults to empty).  Returns a namespace exposing the original
+        and generated functions by name.
+        """
+        namespace = dict(globals_seed or {})
+        exec(compile(self.source, "<twist-generated>", "exec"), namespace)
+        return SimpleNamespace(
+            **{
+                name: value
+                for name, value in namespace.items()
+                if callable(value) and not name.startswith("__")
+            }
+        )
+
+
+def transform_source(
+    source: str,
+    outer_name: str,
+    inner_name: str,
+    cutoff: Optional[int] = None,
+) -> TransformResult:
+    """Run the full tool pipeline on module source text."""
+    template = recognize(source, outer_name, inner_name)
+    analysis = analyze_truncation(template)
+    generated = generate_module(template, analysis, cutoff=cutoff)
+    return TransformResult(template=template, analysis=analysis, source=generated)
+
+
+def find_annotated_pair(source: str) -> tuple[str, str]:
+    """Locate the annotated outer/inner functions in module source.
+
+    Looks for ``@outer_recursion(inner="...")`` and ``@inner_recursion``
+    decorators (by name, so both plain and ``repro.transform.``-qualified
+    usages work).  Returns ``(outer_name, inner_name)``.
+    """
+    tree = ast.parse(textwrap.dedent(source))
+    outer_name: Optional[str] = None
+    declared_inner: Optional[str] = None
+    inner_name: Optional[str] = None
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = _dotted_tail(target)
+            if name == "outer_recursion":
+                outer_name = node.name
+                if isinstance(decorator, ast.Call):
+                    declared_inner = _inner_kwarg(decorator)
+            elif name == "inner_recursion":
+                inner_name = node.name
+    if outer_name is None or inner_name is None:
+        raise TransformError(
+            "could not find an annotated pair: need one @outer_recursion "
+            "and one @inner_recursion function"
+        )
+    if declared_inner is not None and declared_inner != inner_name:
+        raise TransformError(
+            f"@outer_recursion names inner={declared_inner!r} but the "
+            f"@inner_recursion function is {inner_name!r}"
+        )
+    return outer_name, inner_name
+
+
+def _dotted_tail(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _inner_kwarg(call: ast.Call) -> Optional[str]:
+    for keyword in call.keywords:
+        if keyword.arg == "inner" and isinstance(keyword.value, ast.Constant):
+            return str(keyword.value.value)
+    if call.args and isinstance(call.args[0], ast.Constant):
+        return str(call.args[0].value)
+    return None
+
+
+def transform_annotated_source(
+    source: str, cutoff: Optional[int] = None
+) -> TransformResult:
+    """Pipeline entry that discovers the pair from annotations."""
+    outer_name, inner_name = find_annotated_pair(source)
+    return transform_source(source, outer_name, inner_name, cutoff=cutoff)
+
+
+def twist_functions(
+    outer: Callable,
+    inner: Callable,
+    cutoff: Optional[int] = None,
+) -> SimpleNamespace:
+    """Transform two live functions and return runnable replacements.
+
+    The returned namespace contains the original names plus
+    ``<outer>_swapped``/``<inner>_swapped`` and the twisted quartet.
+    The generated code runs against the originals' global namespace, so
+    helpers they call resolve normally.
+    """
+    source = textwrap.dedent(inspect.getsource(outer)) + "\n" + textwrap.dedent(
+        inspect.getsource(inner)
+    )
+    # Strip decorator lines: the generated module should not re-apply
+    # markers (and the decorators may not be importable there).
+    source = "\n".join(
+        line for line in source.splitlines() if not line.lstrip().startswith("@")
+    )
+    result = transform_source(source, outer.__name__, inner.__name__, cutoff=cutoff)
+    return result.compile(globals_seed=dict(outer.__globals__))

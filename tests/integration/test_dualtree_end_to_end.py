@@ -1,0 +1,119 @@
+"""Integration tests: dual-tree algorithms across all schedules.
+
+The strongest cross-cutting guarantee in the reproduction: for every
+dual-tree benchmark, every schedule — original, interchanged, twisted,
+twisted with counters, twisted with cutoff — computes the brute-force
+answer, *and* makes identical pruning decisions (same per-query
+base-case sequences), which is the dynamic counterpart of the paper's
+Section 3.3 soundness argument.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FootprintRecorder,
+    Instrument,
+    is_outer_parallel,
+    run_interchanged,
+    run_original,
+    run_twisted,
+)
+from repro.dualtree import (
+    KNearestNeighbors,
+    NearestNeighbor,
+    PointCorrelation,
+    VPNearestNeighbors,
+    brute_knn,
+    brute_nearest_neighbor,
+    brute_point_correlation,
+    dual_tree_footprint,
+)
+from repro.spaces import clustered_points
+
+SCHEDULES = [
+    ("original", run_original, {}),
+    ("interchange", run_interchanged, {}),
+    ("interchange+counters", run_interchanged, {"use_counters": True}),
+    ("twist", run_twisted, {}),
+    ("twist+counters", run_twisted, {"use_counters": True}),
+    ("twist+cutoff", run_twisted, {"cutoff": 16}),
+]
+
+
+class BaseCaseSequenceRecorder(Instrument):
+    """Records, per query leaf, the sequence of reference leaves."""
+
+    def __init__(self):
+        self.sequences = {}
+
+    def work(self, o, i):
+        if not i.children:
+            self.sequences.setdefault(o.number, []).append(i.number)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return clustered_points(400, clusters=10, spread=0.03, seed=33)
+
+
+class TestPointCorrelation:
+    def test_all_schedules_match_brute_force(self, cloud):
+        expected = brute_point_correlation(cloud, cloud, 0.06)
+        pc = PointCorrelation(cloud, radius=0.06, leaf_size=6)
+        for name, run, kwargs in SCHEDULES:
+            run(pc.make_spec(), **kwargs)
+            assert pc.result == expected, name
+
+
+class TestNearestNeighbor:
+    def test_all_schedules_match_brute_force(self, cloud):
+        queries = cloud
+        references = clustered_points(300, clusters=10, spread=0.03, seed=34)
+        expected_ids, expected_dists = brute_nearest_neighbor(queries, references)
+        nn = NearestNeighbor(queries, references, leaf_size=6)
+        for name, run, kwargs in SCHEDULES:
+            run(nn.make_spec(), **kwargs)
+            ids, dists = nn.result
+            assert np.array_equal(ids, expected_ids), name
+            assert np.allclose(dists, expected_dists), name
+
+
+class TestKnnFamilies:
+    @pytest.mark.parametrize(
+        "cls,k", [(KNearestNeighbors, 5), (VPNearestNeighbors, 10)]
+    )
+    def test_all_schedules_match_brute_force(self, cls, k, cloud):
+        queries = cloud[:250]
+        references = cloud[150:]
+        expected_ids, expected_dists = brute_knn(queries, references, k)
+        algorithm = cls(queries, references, k=k, leaf_size=6)
+        for name, run, kwargs in SCHEDULES:
+            run(algorithm.make_spec(), **kwargs)
+            ids, dists = algorithm.result
+            assert np.allclose(dists, expected_dists), name
+            assert np.array_equal(ids, expected_ids), name
+
+
+class TestPruningDecisionEquivalence:
+    def test_per_query_base_case_sequences_identical(self, cloud):
+        # The mechanism behind soundness with stateful Score pruning:
+        # each query leaf sees the same reference leaves in the same
+        # order under every schedule, so the mutable bounds evolve
+        # identically and pruning is schedule-invariant.
+        nn = NearestNeighbor(cloud, cloud[::-1].copy(), leaf_size=6)
+        reference = BaseCaseSequenceRecorder()
+        run_original(nn.make_spec(), instrument=reference)
+        for name, run, kwargs in SCHEDULES[1:]:
+            recorder = BaseCaseSequenceRecorder()
+            run(nn.make_spec(), instrument=recorder, **kwargs)
+            assert recorder.sequences == reference.sequences, name
+
+
+class TestSoundnessCriterion:
+    def test_dual_tree_outer_recursion_is_parallel(self, cloud):
+        # The paper's Section 6.1 classification, checked dynamically.
+        knn = KNearestNeighbors(cloud[:150], cloud[150:300], k=3, leaf_size=6)
+        recorder = FootprintRecorder(dual_tree_footprint(knn.rules))
+        run_original(knn.make_spec(), instrument=recorder)
+        assert is_outer_parallel(recorder)

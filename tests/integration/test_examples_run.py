@@ -1,0 +1,41 @@
+"""Integration: every example script runs green, end to end.
+
+The examples are executable documentation — each asserts its own
+claims internally (oracle checks, locality wins), so running them is a
+real test, not a smoke ritual.  They execute in subprocesses so import
+state and recursion limits cannot leak between them.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+ALL_EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_every_example_is_covered():
+    # If a new example lands, this list (and so the parametrization)
+    # picks it up automatically; this guard just ensures the directory
+    # is where we think it is.
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

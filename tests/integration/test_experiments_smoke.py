@@ -1,0 +1,132 @@
+"""Integration smoke tests: every experiment driver runs end to end.
+
+Reduced-scale versions of the benchmark experiments, checking the
+report structure and the coarse paper shapes.  The full-scale numbers
+live in ``benchmarks/`` and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    fig7_report,
+    fig8_reports,
+    run_fig5,
+    run_fig7,
+    run_fig9,
+    run_fig10,
+    run_sec42,
+    run_sec61,
+)
+from repro.bench.workloads import (
+    make_knn,
+    make_mm,
+    make_nn,
+    make_pc,
+    make_tj,
+    make_vp,
+)
+from repro.memory.counters import speedup
+
+
+@pytest.fixture(scope="module")
+def tiny_fig7_data():
+    cases = [
+        make_tj(300),
+        make_mm(96),
+        make_pc(768),
+        make_nn(768),
+        make_knn(512),
+        make_vp(512),
+    ]
+    return run_fig7(cases=cases)
+
+
+class TestFig5:
+    def test_cdf_shapes(self):
+        report, data = run_fig5(num_nodes=256)
+        text = report.render()
+        assert "Figure 5" in text
+        original, twisted = data["original"], data["twisted"]
+        # Bimodal original: ~half the accesses at distance <= 2.
+        assert 0.4 < original.fraction_at_most(2) < 0.6
+        # Twisted dominates at mid distances.
+        assert twisted.fraction_at_most(32) > original.fraction_at_most(32)
+
+
+class TestFig7And8:
+    def test_all_benchmarks_present(self, tiny_fig7_data):
+        assert sorted(tiny_fig7_data) == ["KNN", "MM", "NN", "PC", "TJ", "VP"]
+
+    def test_twisting_wins_on_every_benchmark(self, tiny_fig7_data):
+        for name, (baseline, twisted) in tiny_fig7_data.items():
+            assert speedup(baseline, twisted) > 1.0, name
+
+    def test_results_match_across_schedules(self, tiny_fig7_data):
+        for name, (baseline, twisted) in tiny_fig7_data.items():
+            if isinstance(baseline.result, float):
+                assert baseline.result == pytest.approx(twisted.result), name
+            else:
+                assert baseline.result == twisted.result, name
+
+    def test_report_rendering(self, tiny_fig7_data):
+        text = fig7_report(tiny_fig7_data).render()
+        assert "geomean" in text
+        overhead, misses = fig8_reports(tiny_fig7_data)
+        assert "instruction overhead" in overhead.render()
+        assert "L3" in misses.render()
+
+    def test_cache_misses_drop_everywhere_the_baseline_thrashes(
+        self, tiny_fig7_data
+    ):
+        # Twisting eliminates capacity misses at whatever level the
+        # baseline thrashes.  At this reduced scale the working sets
+        # exceed L2 (128 lines) but mostly fit in L3, so L2 carries the
+        # signal — the full-scale benchmarks exercise L3 as well.
+        for name, (baseline, twisted) in tiny_fig7_data.items():
+            assert (
+                twisted.levels["L2"].misses < baseline.levels["L2"].misses / 2
+            ), name
+
+
+class TestFig9:
+    def test_speedup_grows_with_input(self):
+        report, data = run_fig9(sizes=(128, 512, 2048))
+        small = speedup(*data[128])
+        large = speedup(*data[2048])
+        assert large > small
+        assert large > 1.5
+        # Baseline saturates: the fraction of accesses reaching memory
+        # grows with input size.
+        small_ratio = data[128][0].memory_accesses / data[128][0].accesses
+        large_ratio = data[2048][0].memory_accesses / data[2048][0].accesses
+        assert large_ratio > small_ratio
+
+
+class TestFig10:
+    def test_cutoff_monotone_overhead(self):
+        report, runs = run_fig10(num_points=512, cutoffs=(4, 64, 512))
+        base = runs["original"]
+
+        def overhead(name):
+            return runs[name].instructions / base.instructions
+
+        # Larger cutoff -> fewer twists -> less overhead.
+        assert overhead("twist(cutoff=512)") <= overhead("twist(cutoff=64)")
+        assert overhead("twist(cutoff=64)") <= overhead("twist(cutoff=4)")
+        assert overhead("twist(cutoff=4)") <= overhead("parameterless") + 0.05
+
+
+class TestSectionTables:
+    def test_sec42_ordering(self):
+        report, counts = run_sec42(num_points=768)
+        assert counts["original"] <= counts["twist + subtree trunc"]
+        assert counts["twist + subtree trunc"] <= counts["twist (no subtree trunc)"]
+        assert counts["twist (no subtree trunc)"] < counts["interchange"]
+
+    def test_sec61_classification(self):
+        report, data = run_sec61(scale=0.05)
+        assert not data["TJ"]["irregular"] and data["TJ"]["outer_parallel"]
+        assert not data["MM"]["irregular"] and data["MM"]["outer_parallel"]
+        for name in ("PC", "NN", "KNN", "VP"):
+            assert data[name]["irregular"], name
+            assert data[name]["outer_parallel"], name

@@ -1,0 +1,144 @@
+"""Integration: generated code vs library executors on richer shapes.
+
+The paper's prototype "currently only works with recursive methods that
+make two recursive calls"; the Python tool lifts that restriction, so
+these tests exercise ternary trees, single-call (list-like) recursion,
+and cutoff generation end to end against the executors.
+"""
+
+import pytest
+
+from repro.core import NestedRecursionSpec, WorkRecorder, run_original, run_twisted
+from repro.spaces import TreeNode, finalize_tree, list_tree, random_tree
+from repro.transform import transform_source
+
+TERNARY_SOURCE = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.child(0), i)
+    outer(o.child(1), i)
+    outer(o.child(2), i)
+
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+    inner(o, i.child(0))
+    inner(o, i.child(1))
+    inner(o, i.child(2))
+'''
+
+UNARY_SOURCE = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+    inner(o, i.left)
+'''
+
+
+class IndexedTreeNode(TreeNode):
+    """TreeNode with a child(k) accessor returning None when absent."""
+
+    __slots__ = ()
+
+    def child(self, position):
+        if position < len(self.children):
+            return self.children[position]
+        return None
+
+
+def ternary_tree(num_nodes: int) -> IndexedTreeNode:
+    """A complete 3-ary tree with BFS labels."""
+    nodes = [IndexedTreeNode(k) for k in range(num_nodes)]
+    for k, node in enumerate(nodes):
+        children = [
+            nodes[3 * k + offset]
+            for offset in (1, 2, 3)
+            if 3 * k + offset < num_nodes
+        ]
+        node.children = tuple(children)
+    finalize_tree(nodes[0])
+    return nodes[0]
+
+
+class TestTernaryRecursion:
+    def run_generated(self, entry, outer, inner):
+        points = []
+        result = transform_source(TERNARY_SOURCE, "outer", "inner")
+        ns = result.compile({"work": lambda o, i: points.append((o.label, i.label))})
+        getattr(ns, entry)(outer, inner)
+        return points
+
+    def executor_points(self, run, outer, inner, **kwargs):
+        recorder = WorkRecorder()
+        run(NestedRecursionSpec(outer, inner), instrument=recorder, **kwargs)
+        return recorder.points
+
+    @pytest.mark.parametrize("sizes", [(13, 13), (9, 27), (1, 13)])
+    def test_twisted_matches_executor(self, sizes):
+        outer, inner = ternary_tree(sizes[0]), ternary_tree(sizes[1])
+        generated = self.run_generated("outer_twisted", outer, inner)
+        expected = self.executor_points(
+            run_twisted, outer, inner, subtree_truncation=False
+        )
+        assert generated == expected
+
+    def test_original_matches_executor(self):
+        outer, inner = ternary_tree(13), ternary_tree(13)
+        generated = self.run_generated("outer", outer, inner)
+        expected = self.executor_points(run_original, outer, inner)
+        assert generated == expected
+
+
+class TestUnaryRecursion:
+    def test_loops_in_disguise(self):
+        # One recursive call each: the Section 2.1 degeneration.  All
+        # generated schedules must enumerate the full rectangle.
+        points = []
+        result = transform_source(UNARY_SOURCE, "outer", "inner")
+        ns = result.compile({"work": lambda o, i: points.append((o.label, i.label))})
+        outer, inner = list_tree(5), list_tree(4)
+        ns.outer(outer, inner)
+        assert points == [(o, i) for o in range(5) for i in range(4)]
+        points.clear()
+        ns.outer_swapped(outer, inner)
+        assert points == [(o, i) for i in range(4) for o in range(5)]
+        points.clear()
+        ns.outer_twisted(outer, inner)
+        assert sorted(points) == [(o, i) for o in range(5) for i in range(4)]
+
+
+class TestCutoffGeneration:
+    def test_generated_cutoff_matches_executor(self):
+        source_binary = UNARY_SOURCE.replace(
+            "    outer(o.left, i)\n",
+            "    outer(o.left, i)\n    outer(o.right, i)\n",
+        ).replace(
+            "    inner(o, i.left)\n",
+            "    inner(o, i.left)\n    inner(o, i.right)\n",
+        )
+        outer, inner = random_tree(20, seed=9), random_tree(20, seed=10)
+        for cutoff in (0, 3, 50):
+            points = []
+            result = transform_source(source_binary, "outer", "inner", cutoff=cutoff)
+            ns = result.compile(
+                {"work": lambda o, i: points.append((o.label, i.label))}
+            )
+            ns.outer_twisted(outer, inner)
+            expected = WorkRecorder()
+            run_twisted(
+                NestedRecursionSpec(outer, inner),
+                instrument=expected,
+                cutoff=cutoff,
+                subtree_truncation=False,
+            )
+            assert points == expected.points, cutoff

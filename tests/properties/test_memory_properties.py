@@ -1,0 +1,85 @@
+"""Property-based tests for the memory substrate.
+
+The reuse-distance analyzer and the LRU cache are the measurement
+instruments of the whole reproduction — these properties check them
+against independent oracles on arbitrary traces.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, strategies as st
+
+from repro.memory import (
+    ReuseDistanceAnalyzer,
+    fully_associative,
+    naive_reuse_distances,
+)
+from repro.memory.cache import SetAssociativeCache
+
+traces = st.lists(st.integers(min_value=0, max_value=30), max_size=200)
+
+
+class TestReuseAnalyzer:
+    @given(trace=traces)
+    def test_matches_naive_oracle(self, trace):
+        analyzer = ReuseDistanceAnalyzer()
+        assert analyzer.process(trace) == naive_reuse_distances(trace)
+
+    @given(trace=traces)
+    def test_histogram_counts_finite_accesses(self, trace):
+        analyzer = ReuseDistanceAnalyzer()
+        distances = analyzer.process(trace)
+        finite = [d for d in distances if d is not None]
+        assert sum(analyzer.histogram.values()) == len(finite)
+        assert analyzer.cold_accesses == len(trace) - len(finite)
+
+    @given(trace=traces)
+    def test_distance_bounded_by_alphabet(self, trace):
+        analyzer = ReuseDistanceAnalyzer()
+        for distance in analyzer.process(trace):
+            if distance is not None:
+                assert 0 <= distance < len(set(trace))
+
+
+class TestLruCacheAgainstReuseDistance:
+    @given(trace=traces, capacity=st.integers(min_value=1, max_value=16))
+    def test_fully_associative_hit_iff_distance_below_capacity(
+        self, trace, capacity
+    ):
+        # The textbook stack-distance theorem: under fully associative
+        # LRU, an access hits iff its reuse distance < capacity.
+        cache = fully_associative(capacity)
+        distances = naive_reuse_distances(trace)
+        for key, distance in zip(trace, distances):
+            hit = cache.access(key)
+            expected = distance is not None and distance < capacity
+            assert hit == expected
+
+    @given(
+        trace=traces,
+        num_sets=st.integers(min_value=1, max_value=4),
+        ways=st.integers(min_value=1, max_value=4),
+    )
+    def test_set_associative_matches_per_set_model(self, trace, num_sets, ways):
+        # Each set behaves as an independent fully associative LRU over
+        # the addresses mapping to it.
+        cache = SetAssociativeCache(num_sets=num_sets, ways=ways)
+        models = [OrderedDict() for _ in range(num_sets)]
+        for address in trace:
+            model = models[address % num_sets]
+            expected_hit = address in model
+            if expected_hit:
+                model.move_to_end(address)
+            else:
+                if len(model) >= ways:
+                    model.popitem(last=False)
+                model[address] = None
+            assert cache.access(address) == expected_hit
+
+    @given(trace=traces)
+    def test_stats_are_consistent(self, trace):
+        cache = fully_associative(8)
+        for address in trace:
+            cache.access(address)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(trace)

@@ -1,0 +1,89 @@
+"""Property-based tests for N-level nested recursion (Section 7.2 ext.).
+
+The same invariants the 2-level properties pin down, generalized:
+coverage (each N-dimensional point exactly once) and per-dimension
+pre-order preservation, over random dimension counts, tree shapes, and
+per-dimension truncation patterns.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    MultiLevelSpec,
+    PointRecorder,
+    run_original_n,
+    run_twisted_n,
+)
+from repro.spaces import random_tree
+
+dimension_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=12),  # tree size
+        st.integers(min_value=0, max_value=500),  # seed
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def build_spec(dims, truncate_labels=None):
+    roots = [random_tree(size, seed=seed) for size, seed in dims]
+    truncates = None
+    if truncate_labels is not None:
+        truncates = [
+            (lambda labels: (lambda node: node.label in labels))(labels)
+            for labels in truncate_labels
+        ]
+    return MultiLevelSpec(roots=roots, truncates=truncates)
+
+
+def run_points(run, spec):
+    recorder = PointRecorder()
+    run(spec, instrument=recorder)
+    return recorder.points
+
+
+class TestCoverage:
+    @given(dims=dimension_lists)
+    def test_twisted_visits_every_point_once(self, dims):
+        spec = build_spec(dims)
+        original = run_points(run_original_n, spec)
+        twisted = run_points(run_twisted_n, spec)
+        expected = 1
+        for size, _seed in dims:
+            expected *= size
+        assert len(original) == expected
+        assert len(twisted) == len(set(twisted)) == expected
+        assert set(twisted) == set(original)
+
+    @given(
+        dims=dimension_lists,
+        truncated=st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=11), max_size=3),
+            min_size=4,
+            max_size=4,
+        ),
+    )
+    def test_truncated_spaces_agree(self, dims, truncated):
+        spec = build_spec(dims, truncate_labels=truncated[: len(dims)])
+        original = run_points(run_original_n, spec)
+        twisted = run_points(run_twisted_n, spec)
+        assert sorted(original) == sorted(twisted)
+
+
+class TestOrderPreservation:
+    @given(dims=dimension_lists)
+    def test_per_dimension_preorder_preserved(self, dims):
+        spec = build_spec(dims)
+        original = run_points(run_original_n, spec)
+        twisted = run_points(run_twisted_n, spec)
+        for dim in range(len(dims)):
+            groups_original: dict = {}
+            groups_twisted: dict = {}
+            for point in original:
+                key = point[:dim] + point[dim + 1 :]
+                groups_original.setdefault(key, []).append(point[dim])
+            for point in twisted:
+                key = point[:dim] + point[dim + 1 :]
+                groups_twisted.setdefault(key, []).append(point[dim])
+            assert groups_original == groups_twisted

@@ -1,0 +1,69 @@
+"""Property-based tests for spatial trees and dual-tree correctness."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import run_original, run_twisted
+from repro.dualtree import (
+    KNearestNeighbors,
+    PointCorrelation,
+    brute_knn,
+    brute_point_correlation,
+    build_kdtree,
+    build_vptree,
+)
+
+point_clouds = st.builds(
+    lambda n, seed: np.random.default_rng(seed).random((n, 2)),
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=0, max_value=5_000),
+)
+
+
+class TestTreeInvariants:
+    @given(points=point_clouds, leaf_size=st.integers(min_value=1, max_value=8))
+    def test_kdtree_structure(self, points, leaf_size):
+        build_kdtree(points, leaf_size).validate()
+
+    @given(points=point_clouds, leaf_size=st.integers(min_value=1, max_value=8))
+    def test_vptree_structure(self, points, leaf_size):
+        build_vptree(points, leaf_size).validate()
+
+    @given(points=point_clouds)
+    def test_twisting_size_hierarchy_available(self, points):
+        tree = build_kdtree(points, leaf_size=2)
+        for node in tree.root.iter_preorder():
+            assert node.size == 1 + sum(c.size for c in node.children)
+
+
+class TestDualTreeCorrectness:
+    @settings(max_examples=15)
+    @given(
+        points=point_clouds,
+        radius=st.floats(min_value=0.01, max_value=1.5),
+        leaf_size=st.integers(min_value=1, max_value=6),
+    )
+    def test_pc_matches_brute_force_under_twisting(
+        self, points, radius, leaf_size
+    ):
+        pc = PointCorrelation(points, radius=radius, leaf_size=leaf_size)
+        run_twisted(pc.make_spec())
+        assert pc.result == brute_point_correlation(points, points, radius)
+
+    @settings(max_examples=15)
+    @given(
+        points=point_clouds,
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_knn_matches_brute_force_under_all_schedules(self, points, k):
+        queries = points
+        references = points[::-1].copy() + 0.001
+        knn = KNearestNeighbors(queries, references, k=min(k, len(references)))
+        brute_ids, brute_dists = brute_knn(
+            queries, references, min(k, len(references))
+        )
+        for run in (run_original, run_twisted):
+            run(knn.make_spec())
+            ids, dists = knn.result
+            assert np.allclose(dists, brute_dists)
+            assert np.array_equal(ids, brute_ids)

@@ -1,0 +1,132 @@
+"""Property-based tests for the transformation tool.
+
+The generated code must agree with the library executors on arbitrary
+trees and truncation patterns: same executed set, same per-outer-node
+order — and for the twisted entry point, the *exact* schedule of the
+equivalent executor configuration (flags, no subtree truncation).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core import NestedRecursionSpec, WorkRecorder, run_twisted
+from repro.spaces import random_tree
+from repro.transform import transform_source
+
+REGULAR_SOURCE = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+
+IRREGULAR_SOURCE = REGULAR_SOURCE.replace(
+    "if i is None:", "if i is None or blocked(o, i):"
+)
+
+trees = st.builds(
+    random_tree,
+    st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=2_000),
+)
+
+blocked_sets = st.frozensets(
+    st.tuples(
+        st.integers(min_value=0, max_value=19),
+        st.integers(min_value=0, max_value=19),
+    ),
+    max_size=8,
+)
+
+
+def compile_namespace(source, helpers):
+    return transform_source(source, "outer", "inner").compile(helpers)
+
+
+class TestRegularEquivalence:
+    @given(outer=trees, inner=trees)
+    def test_generated_twisted_matches_executor_schedule(self, outer, inner):
+        # Executor configured to mirror the generated code: flag policy,
+        # no subtree truncation (a regular spec uses neither anyway).
+        spec = NestedRecursionSpec(outer, inner)
+        recorder = WorkRecorder()
+        run_twisted(spec, instrument=recorder, subtree_truncation=False)
+
+        generated_points = []
+        ns = compile_namespace(
+            REGULAR_SOURCE,
+            {"work": lambda o, i: generated_points.append((o.label, i.label))},
+        )
+        ns.outer_twisted(outer, inner)
+        assert generated_points == recorder.points
+
+    @given(outer=trees, inner=trees)
+    def test_generated_interchange_is_row_major(self, outer, inner):
+        generated_points = []
+        ns = compile_namespace(
+            REGULAR_SOURCE,
+            {"work": lambda o, i: generated_points.append((o.label, i.label))},
+        )
+        ns.outer_swapped(outer, inner)
+        expected = [
+            (o.label, i.label)
+            for i in inner.iter_preorder()
+            for o in outer.iter_preorder()
+        ]
+        assert generated_points == expected
+
+
+class TestIrregularEquivalence:
+    @given(outer=trees, inner=trees, blocked=blocked_sets)
+    def test_generated_code_preserves_executed_set(self, outer, inner, blocked):
+        def blocked_fn(o, i):
+            return (o.label, i.label) in blocked
+
+        spec = NestedRecursionSpec(
+            outer, inner, truncate_inner2=blocked_fn
+        )
+        reference = WorkRecorder()
+        run_twisted(spec, instrument=reference, subtree_truncation=False)
+
+        for entry in ("outer", "outer_swapped", "outer_twisted"):
+            generated_points = []
+            ns = compile_namespace(
+                IRREGULAR_SOURCE,
+                {
+                    "work": lambda o, i: generated_points.append(
+                        (o.label, i.label)
+                    ),
+                    "blocked": blocked_fn,
+                },
+            )
+            getattr(ns, entry)(outer, inner)
+            assert set(generated_points) == set(reference.points), entry
+            assert len(generated_points) == len(reference.points), entry
+
+    @given(outer=trees, inner=trees, blocked=blocked_sets)
+    def test_generated_twisted_exact_schedule(self, outer, inner, blocked):
+        def blocked_fn(o, i):
+            return (o.label, i.label) in blocked
+
+        spec = NestedRecursionSpec(outer, inner, truncate_inner2=blocked_fn)
+        reference = WorkRecorder()
+        run_twisted(spec, instrument=reference, subtree_truncation=False)
+
+        generated_points = []
+        ns = compile_namespace(
+            IRREGULAR_SOURCE,
+            {
+                "work": lambda o, i: generated_points.append((o.label, i.label)),
+                "blocked": blocked_fn,
+            },
+        )
+        ns.outer_twisted(outer, inner)
+        assert generated_points == reference.points

@@ -1,0 +1,46 @@
+"""Unit tests for the experiment CLI."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bad_scale(self, capsys):
+        assert main(["fig5", "--scale", "0"]) == 2
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "worked example" in out
+        assert "inf, 10, 3, 3, 10, 3, 3" in out
+
+    def test_fig5_scaled(self, capsys):
+        assert main(["fig5", "--scale", "0.1"]) == 0
+        assert "reuse distance r" in capsys.readouterr().out
+
+    def test_sec42_scaled(self, capsys):
+        assert main(["sec42", "--scale", "0.1"]) == 0
+        assert "interchange" in capsys.readouterr().out
+
+    def test_sec72_scaled(self, capsys):
+        assert main(["sec72", "--scale", "0.4"]) == 0
+        assert "twisted-3level" in capsys.readouterr().out
+
+    def test_registry_complete(self):
+        # Every paper artifact has a CLI entry.
+        for expected in (
+            "fig1", "fig5", "fig7", "fig8", "fig9", "fig10",
+            "sec42", "sec61", "sec72", "sec73", "ablations",
+        ):
+            assert expected in EXPERIMENTS

@@ -1,0 +1,59 @@
+"""Unit tests for experiment reporting."""
+
+import os
+
+import pytest
+
+from repro.bench import ExperimentReport, ascii_bar, percent
+
+
+class TestExperimentReport:
+    def test_render_aligns_columns(self):
+        report = ExperimentReport("demo", ["name", "value"])
+        report.add_row("a", 1)
+        report.add_row("long-name", 12345)
+        text = report.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "long-name" in text
+        assert "12,345" in text
+
+    def test_row_arity_checked(self):
+        report = ExperimentReport("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            report.add_row(1)
+
+    def test_notes_rendered(self):
+        report = ExperimentReport("demo", ["x"])
+        report.add_row(1)
+        report.add_note("hello")
+        assert "note: hello" in report.render()
+
+    def test_float_formatting(self):
+        report = ExperimentReport("demo", ["x"])
+        report.add_row(0.00123)
+        report.add_row(3.14159)
+        report.add_row(1234567.0)
+        text = report.render()
+        assert "0.0012" in text
+        assert "3.142" in text
+        assert "1,234,567" in text
+
+    def test_save(self, tmp_path):
+        report = ExperimentReport("demo", ["x"])
+        report.add_row(1)
+        path = report.save("demo.txt", directory=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "== demo ==" in handle.read()
+
+
+class TestHelpers:
+    def test_percent(self):
+        assert percent(0.7234) == "72.34%"
+
+    def test_ascii_bar_proportional(self):
+        assert len(ascii_bar(5, 10, width=10)) == 5
+        assert ascii_bar(10, 10, width=10) == "#" * 10
+        assert ascii_bar(0, 10) == ""
+        assert ascii_bar(1, 0) == ""

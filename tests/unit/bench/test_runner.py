@@ -1,0 +1,51 @@
+"""Unit tests for the instrumented benchmark runner."""
+
+import pytest
+
+from repro.bench import bench_hierarchy, make_tj, run_case, run_pair
+from repro.core.schedules import ORIGINAL, TWIST
+from repro.memory import speedup
+
+
+@pytest.fixture(scope="module")
+def reports():
+    case = make_tj(100)
+    baseline = run_case(case, ORIGINAL, bench_hierarchy)
+    twisted = run_case(case, TWIST, bench_hierarchy)
+    return baseline, twisted
+
+
+class TestRunCase:
+    def test_report_identity(self, reports):
+        baseline, twisted = reports
+        assert baseline.benchmark == "TJ"
+        assert baseline.schedule == "original"
+        assert twisted.schedule == "twist"
+
+    def test_counts_positive(self, reports):
+        baseline, _ = reports
+        assert baseline.work_points == 100 * 100
+        assert baseline.accesses == 2 * 100 * 100
+        assert baseline.instructions > 0
+        assert baseline.cycles > baseline.instructions
+
+    def test_levels_reported(self, reports):
+        baseline, _ = reports
+        assert set(baseline.levels) == {"L1", "L2", "L3"}
+        assert 0.0 <= baseline.miss_rate("L3") <= 1.0
+
+    def test_results_comparable(self, reports):
+        baseline, twisted = reports
+        assert baseline.result == twisted.result
+
+    def test_access_ops_folded_into_instructions(self, reports):
+        baseline, _ = reports
+        assert baseline.op_counts["access"] == baseline.accesses
+
+
+class TestRunPair:
+    def test_shared_workload(self):
+        baseline, twisted = run_pair(lambda: make_tj(64), ORIGINAL, TWIST,
+                                     bench_hierarchy)
+        assert baseline.result == twisted.result
+        assert speedup(baseline, twisted) > 0

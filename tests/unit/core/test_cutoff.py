@@ -1,0 +1,68 @@
+"""Unit tests for the automatic cutoff estimator (§7.1 future work)."""
+
+import pytest
+
+from repro.core import (
+    auto_cutoff_schedule,
+    cutoff_for_machine,
+    estimate_cutoff,
+)
+from repro.errors import ScheduleError
+from repro.memory.hierarchy import tiny_hierarchy
+
+
+class TestEstimator:
+    def test_formula(self):
+        # capacity / (2 * lines_per_node * safety)
+        assert estimate_cutoff(512, lines_per_node=1.0, safety=2.0) == 128
+        assert estimate_cutoff(512, lines_per_node=2.0, safety=2.0) == 64
+
+    def test_floor_at_one(self):
+        assert estimate_cutoff(1) == 1
+        assert estimate_cutoff(2, lines_per_node=10.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            estimate_cutoff(0)
+        with pytest.raises(ScheduleError):
+            estimate_cutoff(16, lines_per_node=0)
+        with pytest.raises(ScheduleError):
+            estimate_cutoff(16, safety=-1)
+
+
+class TestMachineBinding:
+    def test_defaults_to_last_level(self):
+        machine = tiny_hierarchy()  # L3 = 64 lines
+        assert cutoff_for_machine(machine) == estimate_cutoff(64)
+
+    def test_explicit_level(self):
+        machine = tiny_hierarchy()  # L2 = 16 lines
+        assert cutoff_for_machine(machine, level=1) == estimate_cutoff(16)
+
+    def test_bad_level(self):
+        with pytest.raises(ScheduleError, match="no level"):
+            cutoff_for_machine(tiny_hierarchy(), level=9)
+
+    def test_schedule_name_carries_cutoff(self):
+        schedule = auto_cutoff_schedule(tiny_hierarchy())
+        assert schedule.name == f"twist(cutoff={estimate_cutoff(64)})"
+
+
+class TestEndToEnd:
+    def test_estimated_cutoff_is_competitive(self):
+        # On the bench machine + TJ, the estimated cutoff must perform
+        # within 10% of parameterless twisting (it should do at least
+        # as well; the benchmark suite checks it against a full sweep).
+        from repro.bench import bench_hierarchy, make_tj, run_case
+        from repro.core.schedules import ORIGINAL, TWIST
+        from repro.memory import speedup
+
+        case = make_tj(600)
+        machine = bench_hierarchy()
+        schedule = auto_cutoff_schedule(machine, lines_per_node=1.0)
+        baseline = run_case(case, ORIGINAL, bench_hierarchy)
+        parameterless = run_case(case, TWIST, bench_hierarchy)
+        estimated = run_case(case, schedule, bench_hierarchy)
+        assert speedup(baseline, estimated) > 0.9 * speedup(
+            baseline, parameterless
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for instrumentation probes."""
+
+import pytest
+
+from repro.core import (
+    AccessTraceRecorder,
+    CacheProbe,
+    Instrument,
+    MultiInstrument,
+    NULL_INSTRUMENT,
+    NestedRecursionSpec,
+    OpCounter,
+    ReuseDistanceProbe,
+    WorkCallback,
+    WorkRecorder,
+    combine,
+    run_original,
+)
+from repro.memory import AddressMap, layout_tree, tiny_hierarchy
+from repro.spaces import balanced_tree
+
+
+@pytest.fixture
+def spec():
+    return NestedRecursionSpec(balanced_tree(7), balanced_tree(7))
+
+
+class TestNullInstrument:
+    def test_all_hooks_are_noops(self):
+        NULL_INSTRUMENT.op("call")
+        NULL_INSTRUMENT.access("outer", balanced_tree(1))
+        NULL_INSTRUMENT.work(balanced_tree(1), balanced_tree(1))
+
+
+class TestOpCounter:
+    def test_counts_by_kind(self, spec):
+        ops = OpCounter()
+        run_original(spec, instrument=ops)
+        assert ops.work_points == 49
+        assert ops.accesses == 98
+        assert ops.counts["trunc_check"] > 0
+
+
+class TestRecorders:
+    def test_work_recorder_labels(self, spec):
+        recorder = WorkRecorder()
+        run_original(spec, instrument=recorder)
+        assert len(recorder.points) == 49
+        assert recorder.points[0] == (0, 0)  # balanced_tree labels
+
+    def test_access_trace_keys(self, spec):
+        trace = AccessTraceRecorder()
+        run_original(spec, instrument=trace)
+        assert len(trace.trace) == 98
+        trees = {tree for tree, _number in trace.trace}
+        assert trees == {"outer", "inner"}
+
+    def test_work_callback(self, spec):
+        seen = []
+        run_original(spec, instrument=WorkCallback(lambda o, i: seen.append(1)))
+        assert len(seen) == 49
+
+
+class TestReuseProbe:
+    def test_streams_into_analyzer(self, spec):
+        probe = ReuseDistanceProbe()
+        run_original(spec, instrument=probe)
+        assert probe.analyzer.num_accesses == 98
+        # 14 distinct nodes -> 14 cold accesses
+        assert probe.analyzer.cold_accesses == 14
+
+
+class TestCacheProbe:
+    def test_expands_nodes_to_lines(self, spec):
+        amap = AddressMap()
+        layout_tree(amap, spec.outer_root, "outer", lines_per_node=2)
+        layout_tree(amap, spec.inner_root, "inner", lines_per_node=2)
+        probe = CacheProbe(amap, tiny_hierarchy())
+        run_original(spec, instrument=probe)
+        assert probe.accesses == 98 * 2
+        assert sum(probe.level_hits) == probe.accesses
+        assert probe.memory_accesses >= 14  # at least the cold lines
+
+    def test_level_hits_shape(self, spec):
+        amap = AddressMap()
+        layout_tree(amap, spec.outer_root, "outer")
+        layout_tree(amap, spec.inner_root, "inner")
+        probe = CacheProbe(amap, tiny_hierarchy())
+        run_original(spec, instrument=probe)
+        assert len(probe.cache_level_hits) == 3
+
+
+class TestComposition:
+    def test_combine_drops_none(self):
+        ops = OpCounter()
+        assert combine(None, ops) is ops
+        assert combine(None, None) is NULL_INSTRUMENT
+        assert isinstance(combine(OpCounter(), OpCounter()), MultiInstrument)
+
+    def test_multi_broadcasts_everything(self, spec):
+        a, b = OpCounter(), OpCounter()
+        run_original(spec, instrument=MultiInstrument([a, b]))
+        assert a.counts == b.counts
+        assert a.work_points == b.work_points == 49
+
+    def test_custom_instrument_subclass(self, spec):
+        class OnlyWork(Instrument):
+            def __init__(self):
+                self.count = 0
+
+            def work(self, o, i):
+                self.count += 1
+
+        probe = OnlyWork()
+        run_original(spec, instrument=probe)
+        assert probe.count == 49

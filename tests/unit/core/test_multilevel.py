@@ -1,0 +1,154 @@
+"""Unit tests for N-level nested recursion and generalized twisting."""
+
+import pytest
+
+from repro.core import (
+    MultiLevelSpec,
+    NestedRecursionSpec,
+    OpCounterN,
+    PointRecorder,
+    WorkRecorder,
+    cross_product_size,
+    run_original,
+    run_original_n,
+    run_twisted,
+    run_twisted_n,
+)
+from repro.errors import SpecError
+from repro.spaces import balanced_tree, paper_inner_tree, paper_outer_tree, random_tree
+
+
+class TestSpecValidation:
+    def test_needs_dimensions(self):
+        with pytest.raises(SpecError):
+            MultiLevelSpec(roots=[])
+
+    def test_truncate_arity_checked(self):
+        with pytest.raises(SpecError, match="truncation predicates"):
+            MultiLevelSpec(
+                roots=[balanced_tree(3), balanced_tree(3)],
+                truncates=[lambda n: False],
+            )
+
+    def test_cross_product_size(self):
+        spec = MultiLevelSpec(roots=[balanced_tree(3), balanced_tree(5)])
+        assert cross_product_size(spec) == 15
+
+
+class TestTwoLevelEquivalence:
+    """At N == 2, both N-level executors must match the Figure 2/4
+    executors schedule-for-schedule, including tie behaviour."""
+
+    def two_level_points(self, run, outer, inner):
+        spec = NestedRecursionSpec(outer, inner)
+        recorder = WorkRecorder()
+        run(spec, instrument=recorder)
+        return recorder.points
+
+    def n_level_points(self, run, outer, inner):
+        spec = MultiLevelSpec(roots=[outer, inner])
+        recorder = PointRecorder()
+        run(spec, instrument=recorder)
+        return recorder.points
+
+    def test_original_matches_on_paper_trees(self):
+        outer, inner = paper_outer_tree(), paper_inner_tree()
+        assert self.n_level_points(run_original_n, outer, inner) == (
+            self.two_level_points(run_original, outer, inner)
+        )
+
+    def test_twisted_matches_on_paper_trees(self):
+        outer, inner = paper_outer_tree(), paper_inner_tree()
+        assert self.n_level_points(run_twisted_n, outer, inner) == (
+            self.two_level_points(run_twisted, outer, inner)
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_twisted_matches_on_random_trees(self, seed):
+        outer = random_tree(17, seed=seed)
+        inner = random_tree(23, seed=seed + 100)
+        assert self.n_level_points(run_twisted_n, outer, inner) == (
+            self.two_level_points(run_twisted, outer, inner)
+        )
+
+
+class TestThreeLevels:
+    def spec(self, sizes=(5, 4, 3)):
+        return MultiLevelSpec(roots=[balanced_tree(s) for s in sizes])
+
+    def test_original_covers_cross_product(self):
+        recorder = PointRecorder()
+        run_original_n(self.spec(), instrument=recorder)
+        assert len(recorder.points) == 60
+        assert len(set(recorder.points)) == 60
+
+    def test_original_is_lexicographic(self):
+        recorder = PointRecorder()
+        run_original_n(self.spec((2, 2, 2)), instrument=recorder)
+        # Dimension 0 outermost, each dimension in pre-order.
+        assert recorder.points[0] == (0, 0, 0)
+        assert recorder.points[1] == (0, 0, 1)
+        assert recorder.points[2] == (0, 1, 0)
+
+    def test_twisted_covers_cross_product(self):
+        original, twisted = PointRecorder(), PointRecorder()
+        spec = self.spec((7, 7, 7))
+        run_original_n(spec, instrument=original)
+        run_twisted_n(spec, instrument=twisted)
+        assert sorted(twisted.points) == sorted(original.points)
+        assert twisted.points != original.points  # it really reorders
+
+    def test_per_dimension_order_preserved(self):
+        # For any fixed setting of the other dims, each dimension's
+        # positions appear in pre-order (the soundness invariant).
+        spec = self.spec((5, 4, 3))
+        original, twisted = PointRecorder(), PointRecorder()
+        run_original_n(spec, instrument=original)
+        run_twisted_n(spec, instrument=twisted)
+        for dim in range(3):
+            groups_o, groups_t = {}, {}
+            for point in original.points:
+                key = point[:dim] + point[dim + 1 :]
+                groups_o.setdefault(key, []).append(point[dim])
+            for point in twisted.points:
+                key = point[:dim] + point[dim + 1 :]
+                groups_t.setdefault(key, []).append(point[dim])
+            assert groups_o == groups_t
+
+    def test_truncation_per_dimension(self):
+        spec = MultiLevelSpec(
+            roots=[balanced_tree(7), balanced_tree(7), balanced_tree(7)],
+            truncates=[
+                lambda n: False,
+                lambda n: n.label == 1,  # prune subtree of node 1 in dim 1
+                lambda n: False,
+            ],
+        )
+        original, twisted = PointRecorder(), PointRecorder()
+        run_original_n(spec, instrument=original)
+        run_twisted_n(spec, instrument=twisted)
+        assert sorted(original.points) == sorted(twisted.points)
+        pruned_dim1 = {p[1] for p in original.points}
+        assert 1 not in pruned_dim1
+        assert 3 not in pruned_dim1  # descendant implicitly pruned
+
+    def test_single_dimension_degenerates_to_walk(self):
+        spec = MultiLevelSpec(roots=[balanced_tree(7)])
+        for run in (run_original_n, run_twisted_n):
+            recorder = PointRecorder()
+            run(spec, instrument=recorder)
+            assert recorder.points == [(k,) for k in [0, 1, 3, 4, 2, 5, 6]]
+
+    def test_four_dimensions(self):
+        spec = MultiLevelSpec(roots=[balanced_tree(3)] * 4)
+        original, twisted = PointRecorder(), PointRecorder()
+        run_original_n(spec, instrument=original)
+        run_twisted_n(spec, instrument=twisted)
+        assert sorted(original.points) == sorted(twisted.points)
+        assert len(original.points) == 81
+
+    def test_op_counter(self):
+        ops = OpCounterN()
+        run_twisted_n(self.spec((3, 3, 3)), instrument=ops)
+        assert ops.work_points == 27
+        assert ops.counts["size_compare"] > 0

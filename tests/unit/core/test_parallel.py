@@ -1,0 +1,119 @@
+"""Unit tests for the Section 7.3 task-parallel extension."""
+
+import pytest
+
+from repro.core import (
+    NestedRecursionSpec,
+    WorkRecorder,
+    run_original,
+    run_task_parallel,
+    spawn_tasks,
+    task_spec,
+)
+from repro.core.schedules import ORIGINAL, TWIST
+from repro.errors import ScheduleError
+from repro.kernels import TreeJoin
+from repro.spaces import balanced_tree, paper_inner_tree, paper_outer_tree
+
+
+def paper_spec(**kwargs):
+    return NestedRecursionSpec(paper_outer_tree(), paper_inner_tree(), **kwargs)
+
+
+class TestSpawnTasks:
+    def test_depth_zero_is_one_task(self):
+        tasks = spawn_tasks(paper_spec(), 0)
+        assert len(tasks) == 1
+        assert tasks[0].outer_root.size == 7
+
+    def test_depth_one_splits_root_and_children(self):
+        tasks = spawn_tasks(paper_spec(), 1)
+        # One single-node task for the root + one per child subtree.
+        assert len(tasks) == 3
+        assert sorted(task.outer_root.size for task in tasks) == [1, 3, 3]
+
+    def test_tasks_partition_the_iteration_space(self):
+        spec = paper_spec()
+        reference = WorkRecorder()
+        run_original(spec, instrument=reference)
+        collected = []
+        for task in spawn_tasks(spec, 2):
+            recorder = WorkRecorder()
+            run_original(task_spec(task), instrument=recorder)
+            collected.extend(recorder.points)
+        assert sorted(collected) == sorted(reference.points)
+
+    def test_leaves_do_not_overspawn(self):
+        tasks = spawn_tasks(paper_spec(), 10)  # deeper than the tree
+        assert len(tasks) == 7  # one per outer node
+        assert all(task.outer_root.size == 1 or task.outer_root.is_leaf
+                   for task in tasks)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ScheduleError):
+            spawn_tasks(paper_spec(), -1)
+
+    def test_cost_estimate(self):
+        tasks = spawn_tasks(paper_spec(), 1)
+        assert {task.cost_estimate for task in tasks} == {7, 21}
+
+
+class TestRunTaskParallel:
+    def test_correct_result_under_twisting(self):
+        tj = TreeJoin(63, 63)
+        spec = tj.make_spec()
+        run_task_parallel(spec, num_workers=4, spawn_depth=2, schedule=TWIST)
+        assert tj.result == tj.expected_total()
+
+    def test_makespan_at_most_total(self):
+        report = run_task_parallel(paper_spec(), num_workers=3, spawn_depth=2)
+        assert 0 < report.makespan <= report.total_cycles
+        assert report.parallel_speedup >= 1.0
+
+    def test_single_worker_equals_sequential_total(self):
+        report = run_task_parallel(paper_spec(), num_workers=1, spawn_depth=2)
+        assert report.makespan == report.total_cycles
+        assert report.parallel_speedup == 1.0
+
+    def test_more_workers_never_slower(self):
+        spec_factory = lambda: NestedRecursionSpec(
+            balanced_tree(127), balanced_tree(127)
+        )
+        one = run_task_parallel(spec_factory(), num_workers=1, spawn_depth=3)
+        four = run_task_parallel(spec_factory(), num_workers=4, spawn_depth=3)
+        assert four.makespan <= one.makespan
+        assert four.parallel_speedup > 2.0  # decent load balance
+
+    def test_work_conserved_across_workers(self):
+        report = run_task_parallel(paper_spec(), num_workers=2, spawn_depth=2)
+        assert report.total_cycles == 49  # default cost = work points
+
+    def test_per_worker_instruments(self):
+        recorders = [WorkRecorder(), WorkRecorder()]
+        run_task_parallel(
+            paper_spec(), num_workers=2, spawn_depth=2, instruments=recorders
+        )
+        merged = recorders[0].points + recorders[1].points
+        assert len(merged) == 49
+        assert len(recorders[0].points) > 0 and len(recorders[1].points) > 0
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            run_task_parallel(paper_spec(), num_workers=0)
+        with pytest.raises(ScheduleError):
+            run_task_parallel(paper_spec(), num_workers=2, instruments=[WorkRecorder()])
+
+    def test_irregular_truncation_inside_tasks(self):
+        spec = paper_spec(
+            truncate_inner2=lambda o, i: o.label == "B" and i.label == 2
+        )
+        seen = []
+        recorders = [WorkRecorder(), WorkRecorder(), WorkRecorder()]
+        run_task_parallel(
+            spec, num_workers=3, spawn_depth=2, schedule=TWIST,
+            instruments=recorders,
+        )
+        for recorder in recorders:
+            seen.extend(recorder.points)
+        assert len(seen) == 46
+        assert ("B", 2) not in set(seen)

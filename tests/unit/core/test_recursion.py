@@ -1,0 +1,44 @@
+"""Unit tests for recursion-limit management."""
+
+import sys
+
+from repro.core import recursion_guard, required_limit
+from repro.spaces import balanced_tree, list_tree
+
+
+class TestRequiredLimit:
+    def test_scales_with_depth(self):
+        shallow = required_limit(balanced_tree(7), balanced_tree(7))
+        deep = required_limit(list_tree(500), list_tree(500))
+        assert deep > shallow
+        assert deep >= 1000 * 4  # both depths, 4 frames per level
+
+    def test_includes_headroom(self):
+        assert required_limit(balanced_tree(1), balanced_tree(1)) > 200
+
+
+class TestGuard:
+    def test_raises_limit_temporarily(self):
+        before = sys.getrecursionlimit()
+        with recursion_guard(list_tree(2000), list_tree(2000)):
+            assert sys.getrecursionlimit() >= 4000
+        assert sys.getrecursionlimit() == before
+
+    def test_never_lowers_limit(self):
+        before = sys.getrecursionlimit()
+        with recursion_guard(balanced_tree(1), balanced_tree(1)):
+            assert sys.getrecursionlimit() >= before
+        assert sys.getrecursionlimit() == before
+
+    def test_minimum_override(self):
+        with recursion_guard(balanced_tree(1), balanced_tree(1), minimum=123456):
+            assert sys.getrecursionlimit() >= 123456
+
+    def test_restores_on_exception(self):
+        before = sys.getrecursionlimit()
+        try:
+            with recursion_guard(list_tree(2000), list_tree(2000)):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert sys.getrecursionlimit() == before

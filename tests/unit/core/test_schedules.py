@@ -1,0 +1,59 @@
+"""Unit tests for the named schedule registry."""
+
+import pytest
+
+from repro.core import (
+    BY_NAME,
+    INTERCHANGE,
+    NestedRecursionSpec,
+    ORIGINAL,
+    TWIST,
+    TWIST_COUNTERS,
+    WorkRecorder,
+    get_schedule,
+    twist_with_cutoff,
+)
+from repro.errors import ScheduleError
+from repro.spaces import paper_inner_tree, paper_outer_tree
+
+
+def spec():
+    return NestedRecursionSpec(paper_outer_tree(), paper_inner_tree())
+
+
+class TestRegistry:
+    def test_names_are_canonical(self):
+        assert ORIGINAL.name == "original"
+        assert INTERCHANGE.name == "interchange"
+        assert TWIST.name == "twist"
+        for name, schedule in BY_NAME.items():
+            assert schedule.name == name
+
+    def test_lookup_by_name(self):
+        assert get_schedule("original") is ORIGINAL
+        assert get_schedule("twist+counters") is TWIST_COUNTERS
+
+    def test_lookup_cutoff_syntax(self):
+        schedule = get_schedule("twist(cutoff=16)")
+        assert schedule.name == "twist(cutoff=16)"
+
+    def test_unknown_name(self):
+        with pytest.raises(ScheduleError, match="unknown schedule"):
+            get_schedule("loop-skewing")
+
+    def test_negative_cutoff(self):
+        with pytest.raises(ScheduleError):
+            twist_with_cutoff(-1)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", sorted(BY_NAME))
+    def test_every_schedule_runs_and_covers_space(self, name):
+        recorder = WorkRecorder()
+        get_schedule(name).run(spec(), instrument=recorder)
+        assert len(set(recorder.points)) == 49
+
+    def test_cutoff_schedule_runs(self):
+        recorder = WorkRecorder()
+        twist_with_cutoff(3).run(spec(), instrument=recorder)
+        assert len(recorder.points) == 49

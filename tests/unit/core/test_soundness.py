@@ -1,0 +1,136 @@
+"""Unit tests for the soundness checker (Section 3.3)."""
+
+import pytest
+
+from repro.core import (
+    FootprintRecorder,
+    NestedRecursionSpec,
+    canonical_form,
+    check_transformation,
+    compare_recordings,
+    is_outer_parallel,
+    run_interchanged,
+    run_original,
+    run_twisted,
+)
+from repro.errors import SoundnessError
+from repro.spaces import balanced_tree, paper_inner_tree, paper_outer_tree
+
+
+class TestCanonicalForm:
+    def test_reads_between_writes_commute(self):
+        a = [(("p", 1), False), (("q", 1), False), (("r", 1), True)]
+        b = [(("q", 1), False), (("p", 1), False), (("r", 1), True)]
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_write_order_matters(self):
+        a = [(("p", 1), True), (("q", 1), True)]
+        b = [(("q", 1), True), (("p", 1), True)]
+        assert canonical_form(a) != canonical_form(b)
+
+    def test_read_cannot_cross_write(self):
+        a = [(("p", 1), False), (("w", 1), True)]
+        b = [(("w", 1), True), (("p", 1), False)]
+        assert canonical_form(a) != canonical_form(b)
+
+    def test_duplicate_reads_counted(self):
+        a = [(("p", 1), False), (("p", 1), False)]
+        b = [(("p", 1), False)]
+        assert canonical_form(a) != canonical_form(b)
+
+
+def read_only_footprint(o, i):
+    return [(("outer", o.number), False), (("inner", i.number), False)]
+
+
+def accumulator_footprint(o, i):
+    # Every iteration writes one shared location: fully serialized.
+    return [("acc", True)]
+
+
+def per_outer_footprint(o, i):
+    # Per-outer-index accumulators: outer-parallel dependence shape.
+    return [(("acc", o.number), True)]
+
+
+class TestTransformationChecks:
+    def spec_factory(self, **kwargs):
+        return lambda: NestedRecursionSpec(
+            paper_outer_tree(), paper_inner_tree(), **kwargs
+        )
+
+    def test_read_only_is_always_sound(self):
+        report = check_transformation(
+            self.spec_factory(), read_only_footprint, run_original, run_twisted
+        )
+        assert report.is_sound
+        report.raise_if_unsound()
+
+    def test_shared_accumulator_breaks_interchange(self):
+        # A single written location serializes ALL iterations; changing
+        # any order is flagged.
+        report = check_transformation(
+            self.spec_factory(), accumulator_footprint, run_original, run_interchanged
+        )
+        assert not report.is_sound
+        with pytest.raises(SoundnessError, match="dependence order"):
+            report.raise_if_unsound()
+
+    def test_per_outer_state_is_sound_under_twisting(self):
+        # The paper's common case: intra-traversal dependences only.
+        report = check_transformation(
+            self.spec_factory(), per_outer_footprint, run_original, run_twisted
+        )
+        assert report.is_sound
+
+    def test_different_iteration_sets_detected(self):
+        def run_truncated(spec, instrument=None):
+            truncated = NestedRecursionSpec(
+                spec.outer_root,
+                spec.inner_root,
+                work=spec.work,
+                truncate_outer=lambda o: o.label == "E",
+            )
+            run_original(truncated, instrument=instrument)
+
+        report = check_transformation(
+            self.spec_factory(), read_only_footprint, run_original, run_truncated
+        )
+        assert not report.same_work_points
+        with pytest.raises(SoundnessError, match="different set"):
+            report.raise_if_unsound()
+
+
+class TestOuterParallel:
+    def run_with(self, footprint):
+        spec = NestedRecursionSpec(paper_outer_tree(), paper_inner_tree())
+        recorder = FootprintRecorder(footprint)
+        run_original(spec, instrument=recorder)
+        return recorder
+
+    def test_read_only_is_parallel(self):
+        assert is_outer_parallel(self.run_with(read_only_footprint))
+
+    def test_shared_writes_are_not_parallel(self):
+        assert not is_outer_parallel(self.run_with(accumulator_footprint))
+
+    def test_per_outer_writes_are_parallel(self):
+        assert is_outer_parallel(self.run_with(per_outer_footprint))
+
+    def test_read_only_shared_location_is_fine(self):
+        def footprint(o, i):
+            return [("shared", False), (("acc", o.number), True)]
+
+        assert is_outer_parallel(self.run_with(footprint))
+
+
+class TestCompareRecordings:
+    def test_counts_locations(self):
+        a = FootprintRecorder(read_only_footprint)
+        b = FootprintRecorder(read_only_footprint)
+        spec = NestedRecursionSpec(balanced_tree(3), balanced_tree(3))
+        run_original(spec, instrument=a)
+        run_original(spec, instrument=b)
+        report = compare_recordings(a, b)
+        assert report.is_sound
+        assert report.locations_checked == 6

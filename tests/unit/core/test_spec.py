@@ -1,0 +1,85 @@
+"""Unit tests for the nested recursion template spec."""
+
+import pytest
+
+from repro.core import NestedRecursionSpec, WorkRecorder, run_original
+from repro.errors import SpecError
+from repro.spaces import balanced_tree, paper_inner_tree, paper_outer_tree
+
+
+class TestConstruction:
+    def test_minimal_spec(self):
+        spec = NestedRecursionSpec(balanced_tree(3), balanced_tree(3))
+        assert not spec.is_irregular
+
+    def test_irregular_flag(self):
+        spec = NestedRecursionSpec(
+            balanced_tree(3),
+            balanced_tree(3),
+            truncate_inner2=lambda o, i: False,
+        )
+        assert spec.is_irregular
+
+    def test_rejects_non_node_roots(self):
+        with pytest.raises(SpecError):
+            NestedRecursionSpec("not-a-node", balanced_tree(3))
+
+    def test_rejects_uncallable_predicates(self):
+        with pytest.raises(SpecError):
+            NestedRecursionSpec(
+                balanced_tree(3), balanced_tree(3), truncate_outer="nope"
+            )
+        with pytest.raises(SpecError):
+            NestedRecursionSpec(
+                balanced_tree(3), balanced_tree(3), truncate_inner2="nope"
+            )
+        with pytest.raises(SpecError):
+            NestedRecursionSpec(balanced_tree(3), balanced_tree(3), work="nope")
+
+    def test_same_tree_for_both_roles(self):
+        tree = balanced_tree(7)
+        spec = NestedRecursionSpec(tree, tree)
+        recorder = WorkRecorder()
+        run_original(spec, instrument=recorder)
+        assert len(recorder.points) == 49
+
+
+class TestResetTruncationState:
+    def test_clears_both_trees(self):
+        outer, inner = balanced_tree(3), balanced_tree(3)
+        spec = NestedRecursionSpec(outer, inner)
+        outer.trunc = True
+        inner.trunc_counter = 9
+        spec.reset_truncation_state()
+        assert outer.trunc is False
+        assert inner.trunc_counter == -1
+
+
+class TestStaticInterchange:
+    def test_swaps_trees_and_work_args(self):
+        seen = []
+        spec = NestedRecursionSpec(
+            paper_outer_tree(),
+            paper_inner_tree(),
+            work=lambda o, i: seen.append((o.label, i.label)),
+        )
+        swapped = spec.interchanged()
+        assert swapped.outer_root is spec.inner_root
+        assert swapped.inner_root is spec.outer_root
+        run_original(swapped)
+        # Work still receives (outer-tree node, inner-tree node).
+        assert seen[0] == ("A", 1)
+        assert seen[1] == ("B", 1)  # row-major order
+
+    def test_rejects_irregular(self):
+        spec = NestedRecursionSpec(
+            balanced_tree(3),
+            balanced_tree(3),
+            truncate_inner2=lambda o, i: False,
+        )
+        with pytest.raises(SpecError, match="run_interchanged"):
+            spec.interchanged()
+
+    def test_without_work(self):
+        spec = NestedRecursionSpec(balanced_tree(3), balanced_tree(3))
+        assert spec.interchanged().work is None

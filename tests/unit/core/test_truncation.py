@@ -1,0 +1,146 @@
+"""Unit tests for the Section 4 truncation policies."""
+
+import pytest
+
+from repro.core import (
+    CounterTruncation,
+    FlagTruncation,
+    NestedRecursionSpec,
+    NoTruncation,
+    WorkRecorder,
+    make_policy,
+    run_original,
+    run_twisted,
+    run_interchanged,
+)
+from repro.core.instruments import NULL_INSTRUMENT, OpCounter
+from repro.errors import ScheduleError
+from repro.spaces import balanced_tree, paper_inner_tree, paper_outer_tree
+
+
+class TestPolicySelection:
+    def test_regular_gets_noop(self):
+        spec = NestedRecursionSpec(balanced_tree(3), balanced_tree(3))
+        assert isinstance(make_policy(spec), NoTruncation)
+
+    def test_irregular_gets_flags_by_default(self):
+        spec = NestedRecursionSpec(
+            balanced_tree(3), balanced_tree(3), truncate_inner2=lambda o, i: False
+        )
+        assert isinstance(make_policy(spec), FlagTruncation)
+
+    def test_counters_on_request(self):
+        spec = NestedRecursionSpec(
+            balanced_tree(3), balanced_tree(3), truncate_inner2=lambda o, i: False
+        )
+        assert isinstance(make_policy(spec, use_counters=True), CounterTruncation)
+
+
+class TestFlagPolicy:
+    def test_set_check_unset_cycle(self):
+        policy = FlagTruncation(lambda o, i: True)
+        o, i = balanced_tree(1), balanced_tree(1)
+        frame = policy.open_phase()
+        assert policy.check_and_mark(o, i, frame, NULL_INSTRUMENT) is True
+        assert o.trunc is True
+        # Second check sees the flag without re-evaluating the predicate.
+        assert policy.check_and_mark(o, i, frame, NULL_INSTRUMENT) is True
+        assert frame == [o]  # added exactly once
+        policy.close_phase(frame, NULL_INSTRUMENT)
+        assert o.trunc is False
+
+    def test_subtree_truncated_reads_flag(self):
+        policy = FlagTruncation(lambda o, i: False)
+        o, i = balanced_tree(1), balanced_tree(1)
+        assert policy.subtree_truncated(o, i, NULL_INSTRUMENT) is False
+        o.trunc = True
+        assert policy.subtree_truncated(o, i, NULL_INSTRUMENT) is True
+
+
+class TestCounterPolicy:
+    def test_counter_covers_subtree_then_expires(self):
+        inner = balanced_tree(7)  # numbers 0..6, subtree of node 1 = {1,2,3}
+        node1 = next(n for n in inner.iter_preorder() if n.number == 1)
+        node4 = next(n for n in inner.iter_preorder() if n.number == 4)
+        policy = CounterTruncation(lambda o, i: i.number == 1)
+        o = balanced_tree(1)
+        assert policy.check_and_mark(o, node1, None, NULL_INSTRUMENT) is True
+        assert o.trunc_counter == node1.number + node1.size  # == 4
+        # Descendant of 1 (number 2 < 4): still truncated.
+        node2 = next(n for n in inner.iter_preorder() if n.number == 2)
+        assert policy.check_and_mark(o, node2, None, NULL_INSTRUMENT) is True
+        # Past the subtree (number 4): naturally untruncated.
+        assert policy.check_and_mark(o, node4, None, NULL_INSTRUMENT) is False
+
+    def test_requires_numbering(self):
+        from repro.spaces.node import TreeNode
+
+        unnumbered = TreeNode("x")  # finalize_tree never called
+        policy = CounterTruncation(lambda o, i: True)
+        with pytest.raises(ScheduleError, match="pre-order numbering"):
+            policy.check_and_mark(balanced_tree(1), unnumbered, None, NULL_INSTRUMENT)
+
+    def test_no_unset_needed(self):
+        policy = CounterTruncation(lambda o, i: True)
+        assert policy.open_phase() is None
+        policy.close_phase(None, NULL_INSTRUMENT)  # must be a no-op
+
+
+class TestNestedTruncationRegions:
+    """Regression for the Figure 6(b) double-add hazard (see
+    repro.core.truncation module docs): when an outer node is truncated
+    at an inner node AND at one of its descendants, the inner phase
+    must not unset the outer phase's flag early."""
+
+    def predicate(self, o, i):
+        # B truncated for the whole subtree of 2, and (vacuously)
+        # "again" at node 3 inside it.
+        return o.label == "B" and i.label in (2, 3)
+
+    def test_all_schedules_agree_with_original(self):
+        spec = NestedRecursionSpec(
+            paper_outer_tree(),
+            paper_inner_tree(),
+            truncate_inner2=self.predicate,
+        )
+        original = WorkRecorder()
+        run_original(spec, instrument=original)
+        # Original: (B,2),(B,3),(B,4) skipped (3's condition is shadowed).
+        assert len(original.points) == 46
+
+        for run, kwargs in [
+            (run_interchanged, {}),
+            (run_interchanged, {"use_counters": True}),
+            (run_twisted, {}),
+            (run_twisted, {"use_counters": True}),
+        ]:
+            recorder = WorkRecorder()
+            run(spec, instrument=recorder, **kwargs)
+            assert set(recorder.points) == set(original.points), kwargs
+
+    def test_overlapping_regions_for_different_outer_nodes(self):
+        spec = NestedRecursionSpec(
+            paper_outer_tree(),
+            paper_inner_tree(),
+            truncate_inner2=lambda o, i: (o.label, i.label) in {
+                ("B", 2), ("C", 1), ("E", 5), ("F", 2), ("F", 5)
+            },
+        )
+        original, twisted = WorkRecorder(), WorkRecorder()
+        run_original(spec, instrument=original)
+        run_twisted(spec, instrument=twisted)
+        assert set(original.points) == set(twisted.points)
+
+
+class TestOpAccounting:
+    def test_flag_ops_counted(self):
+        spec = NestedRecursionSpec(
+            paper_outer_tree(),
+            paper_inner_tree(),
+            truncate_inner2=lambda o, i: o.label == "B" and i.label == 2,
+        )
+        ops = OpCounter()
+        run_interchanged(spec, instrument=ops)
+        assert ops.counts["flag_set"] == 1
+        assert ops.counts["flag_unset"] == 1
+        assert ops.counts["flag_check"] == 49

@@ -1,0 +1,77 @@
+"""Unit tests for the runnable dual-tree algorithm objects."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_original, run_twisted
+from repro.dualtree import (
+    KNearestNeighbors,
+    NearestNeighbor,
+    PointCorrelation,
+    VPNearestNeighbors,
+    brute_knn,
+    brute_nearest_neighbor,
+    brute_point_correlation,
+)
+from repro.spaces import clustered_points
+
+
+@pytest.fixture
+def queries():
+    return clustered_points(150, seed=20)
+
+
+@pytest.fixture
+def references():
+    return clustered_points(180, seed=21)
+
+
+class TestPointCorrelation:
+    def test_matches_brute_force(self, queries):
+        pc = PointCorrelation(queries, radius=0.08)
+        run_original(pc.make_spec())
+        assert pc.result == brute_point_correlation(queries, queries, 0.08)
+
+    def test_make_spec_resets_count(self, queries):
+        pc = PointCorrelation(queries, radius=0.08)
+        run_original(pc.make_spec())
+        first = pc.result
+        run_original(pc.make_spec())
+        assert pc.result == first  # not doubled
+
+
+class TestNearestNeighbor:
+    def test_matches_brute_force(self, queries, references):
+        nn = NearestNeighbor(queries, references)
+        run_twisted(nn.make_spec())
+        ids, dists = nn.result
+        brute_ids, brute_dists = brute_nearest_neighbor(queries, references)
+        assert np.array_equal(ids, brute_ids)
+        assert np.allclose(dists, brute_dists)
+
+
+class TestKnnAndVp:
+    @pytest.mark.parametrize("cls,k", [(KNearestNeighbors, 4), (VPNearestNeighbors, 6)])
+    def test_matches_brute_force(self, cls, k, queries, references):
+        algorithm = cls(queries, references, k=k)
+        run_twisted(algorithm.make_spec())
+        ids, dists = algorithm.result
+        brute_ids, brute_dists = brute_knn(queries, references, k)
+        assert np.allclose(dists, brute_dists)
+        assert np.array_equal(ids, brute_ids)
+
+    def test_vp_uses_vp_trees(self, queries, references):
+        from repro.dualtree.boxes import Ball
+
+        vp = VPNearestNeighbors(queries, references, k=2)
+        assert isinstance(vp.query_tree.root.bound, Ball)
+
+    def test_knn_uses_kd_trees(self, queries, references):
+        from repro.dualtree.boxes import HRect
+
+        knn = KNearestNeighbors(queries, references, k=2)
+        assert isinstance(knn.query_tree.root.bound, HRect)
+
+    def test_default_ks_match_paper(self, queries, references):
+        assert KNearestNeighbors(queries, references).k == 5
+        assert VPNearestNeighbors(queries, references).k == 10

@@ -1,0 +1,57 @@
+"""Unit tests for the brute-force oracles."""
+
+import numpy as np
+import pytest
+
+from repro.dualtree import brute_knn, brute_nearest_neighbor, brute_point_correlation
+
+
+@pytest.fixture
+def tiny():
+    queries = np.array([[0.0, 0.0], [1.0, 0.0]])
+    references = np.array([[0.0, 0.1], [1.0, 0.2], [5.0, 5.0]])
+    return queries, references
+
+
+class TestPointCorrelation:
+    def test_counts_ordered_pairs(self, tiny):
+        queries, references = tiny
+        assert brute_point_correlation(queries, references, radius=0.25) == 2
+        assert brute_point_correlation(queries, references, radius=100.0) == 6
+
+    def test_self_pair_exclusion(self):
+        pts = np.zeros((4, 2))
+        assert brute_point_correlation(pts, pts, radius=0.1) == 16
+        assert (
+            brute_point_correlation(pts, pts, radius=0.1, count_self_pairs=False)
+            == 12
+        )
+
+
+class TestNearestNeighbor:
+    def test_ids_and_distances(self, tiny):
+        queries, references = tiny
+        ids, dists = brute_nearest_neighbor(queries, references)
+        assert ids.tolist() == [0, 1]
+        assert dists == pytest.approx([0.1, 0.2])
+
+    def test_exclude_self(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        ids, _dists = brute_nearest_neighbor(pts, pts, exclude_self=True)
+        assert (ids != np.arange(3)).all()
+
+
+class TestKnn:
+    def test_ordering_nearest_first(self, tiny):
+        queries, references = tiny
+        ids, dists = brute_knn(queries, references, k=3)
+        assert ids.shape == (2, 3)
+        assert (np.diff(dists, axis=1) >= 0).all()
+        assert ids[0, 0] == 0 and ids[1, 0] == 1
+
+    def test_tie_break_by_reference_id(self):
+        queries = np.array([[0.0, 0.0]])
+        references = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0]])
+        ids, dists = brute_knn(queries, references, k=3)
+        assert dists[0].tolist() == [1.0, 1.0, 1.0]
+        assert ids[0].tolist() == [0, 1, 2]

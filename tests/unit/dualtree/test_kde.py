@@ -1,0 +1,86 @@
+"""Unit tests for approximate dual-tree kernel density estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import OpCounter, run_interchanged, run_original, run_twisted
+from repro.dualtree import KernelDensity, brute_kde, gaussian_kernel
+from repro.spaces import clustered_points
+
+
+@pytest.fixture
+def data():
+    queries = clustered_points(150, clusters=6, seed=70)
+    references = clustered_points(200, clusters=6, seed=71)
+    return queries, references
+
+
+class TestKernel:
+    def test_at_zero(self):
+        assert gaussian_kernel(0.0, 1.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        values = [gaussian_kernel(d, 0.5) for d in (0.0, 0.1, 0.5, 1.0, 5.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_bandwidth_scaling(self):
+        assert gaussian_kernel(1.0, 1.0) == pytest.approx(math.exp(-0.5))
+        assert gaussian_kernel(2.0, 2.0) == pytest.approx(math.exp(-0.5))
+
+
+class TestAccuracy:
+    def test_within_analytic_error_bound(self, data):
+        queries, references = data
+        kde = KernelDensity(queries, references, bandwidth=0.1, epsilon=1e-3)
+        run_original(kde.make_spec())
+        exact = brute_kde(queries, references, 0.1)
+        assert np.abs(kde.result - exact).max() <= kde.error_bound()
+
+    def test_epsilon_zero_is_exact(self, data):
+        queries, references = data
+        kde = KernelDensity(queries, references, bandwidth=0.1, epsilon=0.0)
+        run_original(kde.make_spec())
+        exact = brute_kde(queries, references, 0.1)
+        assert np.allclose(kde.result, exact)
+
+    def test_larger_epsilon_prunes_more(self, data):
+        queries, references = data
+
+        def visits(epsilon):
+            kde = KernelDensity(queries, references, bandwidth=0.1, epsilon=epsilon)
+            ops = OpCounter()
+            run_original(kde.make_spec(), instrument=ops)
+            return ops.counts["visit"], kde.rules.pruned_contributions
+
+        tight_visits, tight_pruned = visits(1e-6)
+        loose_visits, loose_pruned = visits(1e-2)
+        assert loose_visits < tight_visits
+        assert loose_pruned >= tight_pruned
+
+
+class TestScheduleInvariance:
+    def test_bit_identical_across_schedules(self, data):
+        # The KDE Score is a pure function of node geometry, so every
+        # schedule resolves exactly the same pairs the same way.
+        queries, references = data
+        kde = KernelDensity(queries, references, bandwidth=0.08, epsilon=5e-4)
+        results = []
+        for run in (run_original, run_interchanged, run_twisted):
+            run(kde.make_spec())
+            results.append(kde.result.copy())
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+
+class TestValidation:
+    def test_bad_bandwidth(self, data):
+        queries, references = data
+        with pytest.raises(ValueError):
+            KernelDensity(queries, references, bandwidth=0.0)
+
+    def test_bad_epsilon(self, data):
+        queries, references = data
+        with pytest.raises(ValueError):
+            KernelDensity(queries, references, epsilon=-1.0)

@@ -1,0 +1,122 @@
+"""Unit tests for the dual-tree rule sets."""
+
+import numpy as np
+import pytest
+
+from repro.dualtree import (
+    KNearestNeighborRules,
+    NearestNeighborRules,
+    PointCorrelationRules,
+    build_kdtree,
+)
+from repro.spaces import clustered_points
+
+
+@pytest.fixture
+def trees():
+    q = build_kdtree(clustered_points(60, seed=1), leaf_size=4)
+    r = build_kdtree(clustered_points(80, seed=2), leaf_size=4)
+    return q, r
+
+
+class TestPointCorrelationRules:
+    def test_score_prunes_far_pairs(self, trees):
+        q, r = trees
+        rules = PointCorrelationRules(q, r, radius=1e-9)
+        far_q = q.leaves()[0]
+        far_r = max(
+            r.leaves(), key=lambda leaf: far_q.bound.min_dist(leaf.bound)
+        )
+        if far_q.bound.min_dist(far_r.bound) > 0:
+            assert rules.score(far_q, far_r) is True
+
+    def test_score_keeps_overlapping_pairs(self, trees):
+        q, r = trees
+        rules = PointCorrelationRules(q, r, radius=10.0)
+        assert rules.score(q.root, r.root) is False
+
+    def test_base_case_counts_pairs(self, trees):
+        q, r = trees
+        rules = PointCorrelationRules(q, r, radius=100.0)
+        leaf_q, leaf_r = q.leaves()[0], r.leaves()[0]
+        rules.base_case(leaf_q, leaf_r)
+        assert rules.count == leaf_q.count * leaf_r.count
+
+    def test_self_pair_exclusion(self):
+        pts = clustered_points(20, seed=3)
+        tree_a = build_kdtree(pts, leaf_size=4)
+        rules = PointCorrelationRules(tree_a, tree_a, radius=100.0,
+                                      count_self_pairs=False)
+        for leaf in tree_a.leaves():
+            rules.base_case(leaf, leaf)
+        # Diagonal pairs excluded.
+        expected = sum(leaf.count * leaf.count - leaf.count for leaf in tree_a.leaves())
+        assert rules.count == expected
+
+    def test_negative_radius_rejected(self, trees):
+        with pytest.raises(ValueError):
+            PointCorrelationRules(*trees, radius=-1.0)
+
+
+class TestNearestNeighborRules:
+    def test_base_case_updates_best(self, trees):
+        q, r = trees
+        rules = NearestNeighborRules(q, r)
+        leaf_q, leaf_r = q.leaves()[0], r.leaves()[0]
+        rules.base_case(leaf_q, leaf_r)
+        for query in leaf_q.point_ids:
+            assert np.isfinite(rules.best_dist[query])
+            assert rules.best_id[query] in leaf_r.point_ids
+
+    def test_best_only_improves(self, trees):
+        q, r = trees
+        rules = NearestNeighborRules(q, r)
+        leaf_q = q.leaves()[0]
+        for leaf_r in r.leaves():
+            before = rules.best_dist[leaf_q.point_ids].copy()
+            rules.base_case(leaf_q, leaf_r)
+            after = rules.best_dist[leaf_q.point_ids]
+            assert (after <= before + 1e-12).all()
+
+    def test_score_uses_worst_query_bound(self, trees):
+        q, r = trees
+        rules = NearestNeighborRules(q, r)
+        leaf_q = q.leaves()[0]
+        # With infinite bounds nothing is prunable.
+        assert rules.score(leaf_q, r.root) is False
+
+    def test_exclude_self(self):
+        pts = clustered_points(30, seed=4)
+        tree = build_kdtree(pts, leaf_size=4)
+        rules = NearestNeighborRules(tree, tree, exclude_self=True)
+        for leaf in tree.leaves():
+            rules.base_case(leaf, leaf)
+        assert (rules.best_id[np.arange(30)] != np.arange(30)).all()
+
+
+class TestKnnRules:
+    def test_candidates_sorted_and_bounded(self, trees):
+        q, r = trees
+        rules = KNearestNeighborRules(q, r, k=3)
+        leaf_q = q.leaves()[0]
+        for leaf_r in r.leaves():
+            rules.base_case(leaf_q, leaf_r)
+        for query in leaf_q.point_ids:
+            candidates = rules.neighbors[query]
+            assert len(candidates) == 3
+            distances = [d for d, _ in candidates]
+            assert distances == sorted(distances)
+            assert rules.kth_dist[query] == pytest.approx(distances[-1])
+
+    def test_neighbor_arrays(self, trees):
+        q, r = trees
+        rules = KNearestNeighborRules(q, r, k=2)
+        ids = rules.neighbor_ids()
+        dists = rules.neighbor_dists()
+        assert ids.shape == (q.num_points, 2)
+        assert (ids == -1).all()
+        assert np.isinf(dists).all()
+
+    def test_k_validation(self, trees):
+        with pytest.raises(ValueError):
+            KNearestNeighborRules(*trees, k=0)

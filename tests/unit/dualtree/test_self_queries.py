@@ -1,0 +1,60 @@
+"""Unit tests for same-set (exclude-self) dual-tree queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_original, run_twisted
+from repro.dualtree import (
+    KNearestNeighbors,
+    NearestNeighbor,
+    brute_knn,
+    brute_nearest_neighbor,
+)
+from repro.spaces import clustered_points
+
+
+@pytest.fixture
+def points():
+    return clustered_points(160, clusters=8, seed=60)
+
+
+class TestSelfNearestNeighbor:
+    def test_matches_brute_force(self, points):
+        nn = NearestNeighbor(points, points, exclude_self=True)
+        run_twisted(nn.make_spec())
+        ids, dists = nn.result
+        brute_ids, brute_dists = brute_nearest_neighbor(
+            points, points, exclude_self=True
+        )
+        assert np.array_equal(ids, brute_ids)
+        assert np.allclose(dists, brute_dists)
+
+    def test_never_returns_self(self, points):
+        nn = NearestNeighbor(points, points, exclude_self=True)
+        run_original(nn.make_spec())
+        ids, _ = nn.result
+        assert (ids != np.arange(len(points))).all()
+
+    def test_without_flag_self_wins(self, points):
+        nn = NearestNeighbor(points, points)
+        run_original(nn.make_spec())
+        ids, dists = nn.result
+        assert (ids == np.arange(len(points))).all()
+        assert np.allclose(dists, 0.0)
+
+
+class TestSelfKnn:
+    def test_matches_brute_force(self, points):
+        knn = KNearestNeighbors(points, points, k=3, exclude_self=True)
+        run_twisted(knn.make_spec())
+        ids, dists = knn.result
+        brute_ids, brute_dists = brute_knn(points, points, 3, exclude_self=True)
+        assert np.allclose(dists, brute_dists)
+        assert np.array_equal(ids, brute_ids)
+
+    def test_self_not_among_neighbors(self, points):
+        knn = KNearestNeighbors(points, points, k=4, exclude_self=True)
+        run_original(knn.make_spec())
+        ids, _ = knn.result
+        for query in range(len(points)):
+            assert query not in ids[query]

@@ -1,0 +1,88 @@
+"""Unit tests for the loop-to-recursion bridges (Sections 2.1 / 7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WorkRecorder, run_original, run_twisted
+from repro.kernels import (
+    divide_and_conquer_spec,
+    loop_nest_spec,
+    range_tree,
+    unit_work_points,
+)
+
+
+class TestLoopNestSpec:
+    def test_executes_loop_order(self):
+        visits = []
+        spec = loop_nest_spec(3, 2, lambda i, j: visits.append((i, j)))
+        run_original(spec)
+        assert visits == [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_twisting_list_trees_preserves_body_count(self):
+        visits = []
+        spec = loop_nest_spec(4, 4, lambda i, j: visits.append((i, j)))
+        run_twisted(spec)
+        assert sorted(visits) == [(i, j) for i in range(4) for j in range(4)]
+
+
+class TestRangeTree:
+    def test_covers_range_with_unit_leaves(self):
+        root = range_tree(0, 10)
+        units = sorted(
+            node.lo for node in root.iter_preorder() if node.is_unit
+        )
+        assert units == list(range(10))
+
+    def test_midpoint_split(self):
+        root = range_tree(0, 8)
+        assert root.children[0].hi == 4
+        assert root.children[1].lo == 4
+
+    def test_balanced_depth(self):
+        from repro.spaces import tree_depth
+
+        assert tree_depth(range_tree(0, 64)) == 7  # log2(64) + 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            range_tree(3, 3)
+
+
+class TestDivideAndConquer:
+    def test_original_order_is_row_major(self):
+        recorder = WorkRecorder()
+        spec = divide_and_conquer_spec(4, 3, lambda i, j: None)
+        run_original(spec, instrument=recorder)
+        assert unit_work_points(recorder.points) == [
+            (i, j) for i in range(4) for j in range(3)
+        ]
+
+    def test_body_runs_once_per_pair(self):
+        counts = np.zeros((5, 7), dtype=int)
+
+        def body(i, j):
+            counts[i, j] += 1
+
+        run_twisted(divide_and_conquer_spec(5, 7, body))
+        assert (counts == 1).all()
+
+    def test_twisted_order_is_blocked(self):
+        recorder = WorkRecorder()
+        run_twisted(divide_and_conquer_spec(8, 8, lambda i, j: None),
+                    instrument=recorder)
+        order = unit_work_points(recorder.points)
+        assert sorted(order) == [(i, j) for i in range(8) for j in range(8)]
+        # Not row-major: twisting reorders into recursive tiles.
+        assert order != [(i, j) for i in range(8) for j in range(8)]
+
+    def test_matvec_correct_under_twisting(self):
+        rng = np.random.default_rng(1)
+        a, x = rng.random((9, 6)), rng.random(6)
+        y = np.zeros(9)
+
+        def body(i, j):
+            y[i] += a[i, j] * x[j]
+
+        run_twisted(divide_and_conquer_spec(9, 6, body))
+        assert np.allclose(y, a @ x)

@@ -1,0 +1,42 @@
+"""Unit tests for the Tree Join kernel."""
+
+import pytest
+
+from repro.core import run_interchanged, run_original, run_twisted
+from repro.kernels import TreeJoin, tree_join_footprint
+
+
+class TestTreeJoin:
+    def test_result_matches_closed_form(self):
+        tj = TreeJoin(31, 15)
+        run_original(tj.make_spec())
+        assert tj.result == tj.expected_total()
+
+    def test_all_schedules_agree(self):
+        tj = TreeJoin(31, 31)
+        results = []
+        for run in (run_original, run_interchanged, run_twisted):
+            run(tj.make_spec())
+            results.append(tj.result)
+        assert len(set(results)) == 1
+        assert results[0] == tj.expected_total()
+
+    def test_pair_count(self):
+        tj = TreeJoin(10, 12)
+        run_original(tj.make_spec())
+        assert tj.accumulator.pairs == 120
+
+    def test_make_spec_resets_accumulator(self):
+        tj = TreeJoin(7, 7)
+        run_original(tj.make_spec())
+        run_original(tj.make_spec())
+        assert tj.result == tj.expected_total()
+
+    def test_rejects_empty_trees(self):
+        with pytest.raises(ValueError):
+            TreeJoin(0, 5)
+
+    def test_footprint_is_read_only(self):
+        tj = TreeJoin(3, 3)
+        touches = tree_join_footprint(tj.outer_root, tj.inner_root)
+        assert all(not is_write for _loc, is_write in touches)

@@ -1,0 +1,115 @@
+"""Unit tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.errors import MemorySimError
+from repro.memory import SetAssociativeCache, fully_associative
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = fully_associative(4)
+        assert cache.access(1) is False
+        assert cache.access(1) is True
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = fully_associative(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 1 becomes MRU
+        cache.access(3)  # evicts 2 (LRU)
+        assert cache.contains(1)
+        assert not cache.contains(2)
+        assert cache.contains(3)
+        assert cache.stats.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        cache = fully_associative(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)
+        cache.access(3)
+        assert cache.access(1) is True  # survived because refreshed
+
+    def test_capacity(self):
+        cache = SetAssociativeCache(num_sets=4, ways=3)
+        assert cache.capacity_lines == 12
+
+
+class TestSetMapping:
+    def test_addresses_map_by_modulo(self):
+        cache = SetAssociativeCache(num_sets=2, ways=1)
+        cache.access(0)  # set 0
+        cache.access(1)  # set 1
+        assert cache.contains(0) and cache.contains(1)
+        cache.access(2)  # set 0: evicts 0
+        assert not cache.contains(0)
+        assert cache.contains(1)
+
+    def test_conflict_misses_with_low_associativity(self):
+        # Two lines in the same set of a direct-mapped cache always
+        # conflict even though capacity would fit both.
+        cache = SetAssociativeCache(num_sets=2, ways=1)
+        for _round in range(3):
+            cache.access(0)
+            cache.access(2)
+        assert cache.stats.hits == 0
+
+    def test_full_associativity_avoids_conflicts(self):
+        cache = fully_associative(2)
+        for _round in range(3):
+            cache.access(0)
+            cache.access(2)
+        assert cache.stats.hits == 4
+
+
+class TestMaintenance:
+    def test_flush_keeps_stats(self):
+        cache = fully_associative(4)
+        cache.access(1)
+        cache.flush()
+        assert not cache.contains(1)
+        assert cache.stats.accesses == 1
+
+    def test_reset_stats_keeps_contents(self):
+        cache = fully_associative(4)
+        cache.access(1)
+        cache.reset_stats()
+        assert cache.contains(1)
+        assert cache.stats.accesses == 0
+
+    def test_contains_does_not_mutate(self):
+        cache = fully_associative(2)
+        cache.access(1)
+        cache.access(2)
+        cache.contains(1)  # must NOT refresh recency
+        before = cache.stats.accesses
+        cache.access(3)  # evicts 1 (still LRU)
+        assert not cache.contains(1)
+        assert cache.stats.accesses == before + 1
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = fully_associative(4)
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_idle_rates_are_zero(self):
+        cache = fully_associative(4)
+        assert cache.stats.miss_rate == 0.0
+        assert cache.stats.hit_rate == 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(MemorySimError):
+            SetAssociativeCache(num_sets=0, ways=1)
+        with pytest.raises(MemorySimError):
+            SetAssociativeCache(num_sets=1, ways=0)

@@ -1,0 +1,63 @@
+"""Unit tests for the cycle cost model."""
+
+import pytest
+
+from repro.errors import MemorySimError
+from repro.memory import (
+    DEFAULT_OP_WEIGHTS,
+    CostModel,
+    WorkCost,
+    weighted_instructions,
+)
+
+
+class TestCostModel:
+    def test_access_cycles(self):
+        model = CostModel(hit_latencies=(1, 10), memory_latency=100)
+        assert model.access_cycles([5, 2], 3) == 5 * 1 + 2 * 10 + 3 * 100
+
+    def test_total_cycles_include_instructions(self):
+        model = CostModel(hit_latencies=(1,), memory_latency=10, base_cpi=2.0)
+        assert model.cycles(100, [0], 0) == 200.0
+
+    def test_level_count_mismatch(self):
+        model = CostModel(hit_latencies=(1, 2, 3))
+        with pytest.raises(MemorySimError):
+            model.access_cycles([1, 2], 0)
+
+    def test_default_model_is_three_level(self):
+        from repro.memory import DEFAULT_COST_MODEL
+
+        assert len(DEFAULT_COST_MODEL.hit_latencies) == 3
+
+
+class TestWorkCost:
+    def test_total(self):
+        assert WorkCost(instructions=5.0).total(10) == 50.0
+
+    def test_default_weight(self):
+        assert WorkCost().total(3) == 3.0
+
+
+class TestWeightedInstructions:
+    def test_known_kinds_use_table(self):
+        total = weighted_instructions(
+            {"call": 10}, work_points=0, work_cost=WorkCost(1.0)
+        )
+        assert total == 10 * DEFAULT_OP_WEIGHTS["call"]
+
+    def test_unknown_kinds_default_to_one(self):
+        total = weighted_instructions(
+            {"exotic": 7}, work_points=0, work_cost=WorkCost(1.0)
+        )
+        assert total == 7.0
+
+    def test_visits_are_free(self):
+        total = weighted_instructions(
+            {"visit": 1000}, work_points=0, work_cost=WorkCost(1.0)
+        )
+        assert total == 0.0
+
+    def test_work_weight_applies(self):
+        total = weighted_instructions({}, work_points=4, work_cost=WorkCost(2.5))
+        assert total == 10.0

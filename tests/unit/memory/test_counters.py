@@ -1,0 +1,75 @@
+"""Unit tests for perf reports and derived metrics."""
+
+import pytest
+
+from repro.memory import (
+    PerfReport,
+    geomean_speedup,
+    instruction_overhead,
+    speedup,
+    work_overhead,
+)
+from repro.memory.cache import CacheStats
+
+
+def make_report(cycles=100.0, instructions=50.0, work_points=10, l3_missrate=0.5):
+    accesses = 100
+    misses = int(accesses * l3_missrate)
+    stats = CacheStats(accesses=accesses, hits=accesses - misses, misses=misses)
+    return PerfReport(
+        benchmark="X",
+        schedule="original",
+        work_points=work_points,
+        op_counts={"call": 5},
+        accesses=accesses,
+        levels={"L2": CacheStats(accesses=10, hits=5, misses=5), "L3": stats},
+        memory_accesses=misses,
+        instructions=instructions,
+        cycles=cycles,
+    )
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(make_report(cycles=200), make_report(cycles=100)) == 2.0
+
+    def test_speedup_infinite_guard(self):
+        assert speedup(make_report(), make_report(cycles=0)) == float("inf")
+
+    def test_instruction_overhead(self):
+        base = make_report(instructions=100)
+        transformed = make_report(instructions=172)
+        assert instruction_overhead(base, transformed) == pytest.approx(0.72)
+
+    def test_instruction_overhead_zero_base(self):
+        assert instruction_overhead(make_report(instructions=0), make_report()) == 0.0
+
+    def test_work_overhead(self):
+        base = make_report(work_points=100)
+        transformed = make_report(work_points=104)
+        assert work_overhead(base, transformed) == pytest.approx(0.04)
+
+    def test_geomean(self):
+        pairs = [
+            (make_report(cycles=400), make_report(cycles=100)),  # 4x
+            (make_report(cycles=100), make_report(cycles=100)),  # 1x
+        ]
+        assert geomean_speedup(pairs) == pytest.approx(2.0)
+
+    def test_geomean_empty(self):
+        assert geomean_speedup([]) == 1.0
+
+
+class TestReportAccessors:
+    def test_miss_rate_lookup(self):
+        report = make_report(l3_missrate=0.25)
+        assert report.miss_rate("L3") == pytest.approx(0.25)
+
+    def test_cpi(self):
+        report = make_report(cycles=100, instructions=50)
+        assert report.cpi == 2.0
+        assert make_report(instructions=0).cpi == 0.0
+
+    def test_summary_mentions_everything(self):
+        text = make_report().summary()
+        assert "X" in text and "original" in text and "L3" in text

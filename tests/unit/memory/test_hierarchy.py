@@ -1,0 +1,85 @@
+"""Unit tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.errors import MemorySimError
+from repro.memory import CacheHierarchy, LevelSpec, scaled_hierarchy, tiny_hierarchy
+from repro.memory.hierarchy import xeon_like_hierarchy
+
+
+class TestAccessRouting:
+    def test_first_access_reaches_memory(self):
+        machine = tiny_hierarchy()
+        assert machine.access(1) == machine.memory_level
+        assert machine.memory_accesses == 1
+
+    def test_second_access_hits_l1(self):
+        machine = tiny_hierarchy()
+        machine.access(1)
+        assert machine.access(1) == 0
+
+    def test_l1_eviction_falls_to_l2(self):
+        machine = tiny_hierarchy()  # L1 = 4 lines (2-way)
+        # Lines mapping to the same L1 set: stride = num_sets = 2.
+        lines = [0, 2, 4, 6]
+        for line in lines:
+            machine.access(line)
+        # 0 evicted from its L1 set (2-way) but resident in L2.
+        assert machine.access(0) == 1
+
+    def test_access_all(self):
+        machine = tiny_hierarchy()
+        machine.access_all([1, 2, 3])
+        assert machine.levels[0].stats.accesses == 3
+
+
+class TestStats:
+    def test_local_miss_rates(self):
+        machine = tiny_hierarchy()
+        machine.access(1)  # miss everywhere
+        machine.access(1)  # L1 hit
+        stats = machine.stats_by_name()
+        assert stats["L1"].accesses == 2
+        assert stats["L1"].misses == 1
+        assert stats["L2"].accesses == 1  # only the L1 miss
+        assert stats["L2"].miss_rate == 1.0
+
+    def test_stats_ordering(self):
+        machine = tiny_hierarchy()
+        assert [level.name for level in machine.levels] == ["L1", "L2", "L3"]
+        assert len(machine.stats()) == 3
+
+    def test_reset(self):
+        machine = tiny_hierarchy()
+        machine.access(1)
+        machine.reset_stats()
+        assert machine.memory_accesses == 0
+        assert machine.stats_by_name()["L1"].accesses == 0
+
+    def test_flush_forces_misses(self):
+        machine = tiny_hierarchy()
+        machine.access(1)
+        machine.flush()
+        assert machine.access(1) == machine.memory_level
+
+
+class TestConfigurations:
+    def test_scaled_hierarchy_shape(self):
+        machine = scaled_hierarchy()
+        assert [level.capacity_lines for level in machine.levels] == [32, 256, 4096]
+
+    def test_xeon_hierarchy_shape(self):
+        machine = xeon_like_hierarchy()
+        assert [level.capacity_lines for level in machine.levels] == [
+            512,
+            4096,
+            327_680,
+        ]
+
+    def test_level_spec_validates_geometry(self):
+        with pytest.raises(MemorySimError):
+            LevelSpec("bad", capacity_lines=10, ways=4).build()
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(MemorySimError):
+            CacheHierarchy([])

@@ -1,0 +1,113 @@
+"""Unit tests for address layout."""
+
+import pytest
+
+from repro.errors import MemorySimError
+from repro.memory import AddressMap, layout_tree, node_lines, register_blocks
+from repro.spaces import balanced_tree
+
+
+class TestAddressMap:
+    def test_sequential_allocation(self):
+        amap = AddressMap()
+        assert amap.register("a", 2) == 0
+        assert amap.register("b", 3) == 2
+        assert amap.total_lines == 5
+        assert list(amap.lines_of("a")) == [0, 1]
+        assert list(amap.lines_of("b")) == [2, 3, 4]
+
+    def test_address_of_first_line(self):
+        amap = AddressMap()
+        amap.register("x", 4)
+        assert amap.address_of("x") == 0
+
+    def test_contains(self):
+        amap = AddressMap()
+        amap.register("x")
+        assert "x" in amap
+        assert "y" not in amap
+
+    def test_rejects_duplicate_registration(self):
+        amap = AddressMap()
+        amap.register("x")
+        with pytest.raises(MemorySimError, match="already registered"):
+            amap.register("x")
+
+    def test_rejects_zero_lines(self):
+        with pytest.raises(MemorySimError):
+            AddressMap().register("x", 0)
+
+    def test_unknown_key(self):
+        with pytest.raises(MemorySimError, match="no assigned address"):
+            AddressMap().lines_of("ghost")
+
+
+class TestTreeLayout:
+    def test_every_node_registered(self):
+        amap = AddressMap()
+        root = balanced_tree(15)
+        layout_tree(amap, root, "t")
+        for node in root.iter_preorder():
+            assert ("t", node.number) in amap
+        assert amap.total_lines == 15
+
+    def test_preorder_policy_matches_preorder(self):
+        amap = AddressMap()
+        root = balanced_tree(7)
+        layout_tree(amap, root, "t", policy="preorder")
+        addresses = [
+            amap.address_of(("t", node.number)) for node in root.iter_preorder()
+        ]
+        assert addresses == sorted(addresses)
+
+    def test_bfs_policy_orders_by_level(self):
+        amap = AddressMap()
+        root = balanced_tree(7)
+        layout_tree(amap, root, "t", policy="bfs")
+        # BFS labels equal balanced_tree's labels, so address order
+        # should follow label order.
+        by_label = sorted(root.iter_preorder(), key=lambda n: n.label)
+        addresses = [amap.address_of(("t", node.number)) for node in by_label]
+        assert addresses == sorted(addresses)
+
+    def test_random_policy_is_seeded(self):
+        root = balanced_tree(31)
+        a, b = AddressMap(), AddressMap()
+        layout_tree(a, root, "t", policy="random", seed=3)
+        layout_tree(b, root, "t", policy="random", seed=3)
+        assert all(
+            a.address_of(("t", n.number)) == b.address_of(("t", n.number))
+            for n in root.iter_preorder()
+        )
+
+    def test_unknown_policy(self):
+        with pytest.raises(MemorySimError, match="unknown layout policy"):
+            layout_tree(AddressMap(), balanced_tree(3), "t", policy="zigzag")
+
+    def test_two_trees_disjoint(self):
+        amap = AddressMap()
+        a, b = balanced_tree(7), balanced_tree(7)
+        layout_tree(amap, a, "a")
+        layout_tree(amap, b, "b")
+        lines_a = {line for n in a.iter_preorder() for line in amap.lines_of(("a", n.number))}
+        lines_b = {line for n in b.iter_preorder() for line in amap.lines_of(("b", n.number))}
+        assert lines_a.isdisjoint(lines_b)
+
+    def test_node_lines_helper(self):
+        amap = AddressMap()
+        root = balanced_tree(3)
+        layout_tree(amap, root, "t", lines_per_node=2)
+        assert len(node_lines(amap, "t", root)) == 2
+
+
+class TestBlocks:
+    def test_register_blocks_with_prefix(self):
+        amap = AddressMap()
+        register_blocks(amap, range(3), lines_per_block=4, prefix="row")
+        assert len(amap.lines_of(("row", 1))) == 4
+        assert amap.total_lines == 12
+
+    def test_register_blocks_bare_keys(self):
+        amap = AddressMap()
+        register_blocks(amap, ["x", "y"], lines_per_block=1)
+        assert "x" in amap and "y" in amap

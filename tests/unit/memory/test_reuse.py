@@ -1,0 +1,114 @@
+"""Unit tests for reuse-distance analysis (Olken + naive oracle)."""
+
+import pytest
+
+from repro.memory import (
+    FenwickTree,
+    ReuseDistanceAnalyzer,
+    distances_of_key,
+    naive_reuse_distances,
+)
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        tree = FenwickTree(8)
+        tree.add(0, 3)
+        tree.add(3, 2)
+        tree.add(7, 1)
+        assert tree.prefix_sum(0) == 3
+        assert tree.prefix_sum(2) == 3
+        assert tree.prefix_sum(3) == 5
+        assert tree.prefix_sum(7) == 6
+
+    def test_range_sum(self):
+        tree = FenwickTree(10)
+        for index in range(10):
+            tree.add(index, 1)
+        assert tree.range_sum(2, 5) == 4
+        assert tree.range_sum(5, 2) == 0
+        assert tree.range_sum(0, 9) == 10
+
+    def test_grow_preserves_contents(self):
+        tree = FenwickTree(4)
+        tree.add(1, 5)
+        tree.add(3, 7)
+        tree.grow(32)
+        assert len(tree) == 32
+        assert tree.prefix_sum(3) == 12
+        tree.add(20, 1)
+        assert tree.prefix_sum(31) == 13
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+
+class TestNaiveOracle:
+    def test_textbook_example(self):
+        # a b c a : distance of second 'a' is 2 (b and c in between)
+        assert naive_reuse_distances(["a", "b", "c", "a"]) == [None, None, None, 2]
+
+    def test_immediate_reuse_is_zero(self):
+        assert naive_reuse_distances(["x", "x"]) == [None, 0]
+
+    def test_duplicates_between_count_once(self):
+        # a b b a : only one unique location between
+        assert naive_reuse_distances(["a", "b", "b", "a"]) == [None, None, 0, 1]
+
+
+class TestAnalyzer:
+    def test_matches_naive_on_fixed_trace(self):
+        trace = ["a", "b", "a", "c", "b", "a", "a", "d", "c", "b"]
+        analyzer = ReuseDistanceAnalyzer()
+        assert analyzer.process(trace) == naive_reuse_distances(trace)
+
+    def test_cold_access_counting(self):
+        analyzer = ReuseDistanceAnalyzer()
+        analyzer.process(["a", "b", "a"])
+        assert analyzer.cold_accesses == 2
+        assert analyzer.num_accesses == 3
+
+    def test_histogram_accumulates(self):
+        analyzer = ReuseDistanceAnalyzer()
+        analyzer.process(["a", "b", "a", "b", "a"])
+        # distances: a@2 -> 1, b@3 -> 1, a@4 -> 1
+        assert analyzer.histogram == {1: 3}
+
+    def test_cdf_monotone_and_bounded(self):
+        analyzer = ReuseDistanceAnalyzer()
+        analyzer.process(list("abcabcxyzabc"))
+        cdf = analyzer.cdf()
+        fractions = [fraction for _d, fraction in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] <= 1.0
+
+    def test_fraction_at_most(self):
+        analyzer = ReuseDistanceAnalyzer()
+        analyzer.process(["a", "a", "b", "a"])
+        # distances: 0 (a), 1 (a after b)
+        assert analyzer.fraction_at_most(0) == pytest.approx(1 / 4)
+        assert analyzer.fraction_at_most(1) == pytest.approx(2 / 4)
+
+    def test_mean_finite_distance(self):
+        analyzer = ReuseDistanceAnalyzer()
+        analyzer.process(["a", "b", "a", "b"])  # distances 1, 1
+        assert analyzer.mean_finite_distance() == pytest.approx(1.0)
+        assert ReuseDistanceAnalyzer().mean_finite_distance() == 0.0
+
+    def test_grows_past_initial_capacity(self):
+        analyzer = ReuseDistanceAnalyzer()
+        trace = [k % 7 for k in range(5000)]
+        distances = analyzer.process(trace)
+        assert distances[-1] == 6  # steady-state round-robin distance
+
+    def test_empty_cdf(self):
+        assert ReuseDistanceAnalyzer().cdf() == []
+
+
+class TestDistancesOfKey:
+    def test_selects_single_key(self):
+        trace = ["a", "b", "a", "c", "a"]
+        assert distances_of_key(trace, "a") == [None, 1, 1]
+        assert distances_of_key(trace, "b") == [None]
+        assert distances_of_key(trace, "zzz") == []

@@ -1,0 +1,114 @@
+"""Unit tests for materialized iteration spaces and schedule rendering."""
+
+import pytest
+
+from repro.spaces import (
+    IterationSpace,
+    column_major_order,
+    paper_inner_tree,
+    paper_outer_tree,
+    preorder_labels,
+    render_schedule,
+    row_major_order,
+    schedule_order_grid,
+    transposes_to,
+)
+
+
+@pytest.fixture
+def space():
+    return IterationSpace.from_trees(paper_outer_tree(), paper_inner_tree())
+
+
+class TestConstruction:
+    def test_axes_are_preorder(self, space):
+        assert space.outer_axis == ["A", "B", "C", "D", "E", "F", "G"]
+        assert space.inner_axis == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_full_rectangle_by_default(self, space):
+        assert space.num_points == 49
+        assert space.is_rectangular
+        assert space.skipped() == set()
+
+    def test_explicit_executed_subset(self):
+        space = IterationSpace.from_trees(
+            paper_outer_tree(),
+            paper_inner_tree(),
+            executed=[("A", 1), ("B", 2)],
+        )
+        assert space.num_points == 2
+        assert not space.is_rectangular
+        assert ("A", 7) in space.skipped()
+
+    def test_preorder_labels_fall_back_to_number(self):
+        from repro.spaces import balanced_tree
+        from repro.spaces.node import IndexNode, finalize_tree
+
+        a = IndexNode()
+        b = IndexNode()
+        a.children = (b,)
+        finalize_tree(a)
+        assert preorder_labels(a) == [0, 1]
+
+
+class TestValidation:
+    def test_accepts_exact_enumeration(self, space):
+        space.validate_schedule(column_major_order(space))
+
+    def test_rejects_duplicates(self, space):
+        schedule = column_major_order(space)
+        with pytest.raises(ValueError, match="more than once"):
+            space.validate_schedule(schedule + [schedule[0]])
+
+    def test_rejects_missing(self, space):
+        with pytest.raises(ValueError, match="misses"):
+            space.validate_schedule(column_major_order(space)[:-1])
+
+    def test_rejects_out_of_bounds(self, space):
+        schedule = column_major_order(space)[:-1] + [("Z", 99)]
+        with pytest.raises(ValueError, match="out-of-bounds"):
+            space.validate_schedule(schedule)
+
+
+class TestOrders:
+    def test_column_major_is_original(self, space):
+        order = column_major_order(space)
+        assert order[:8] == [
+            ("A", 1), ("A", 2), ("A", 3), ("A", 4),
+            ("A", 5), ("A", 6), ("A", 7), ("B", 1),
+        ]
+
+    def test_row_major_is_interchange(self, space):
+        order = row_major_order(space)
+        assert order[:8] == [
+            ("A", 1), ("B", 1), ("C", 1), ("D", 1),
+            ("E", 1), ("F", 1), ("G", 1), ("A", 2),
+        ]
+
+    def test_transposes_to(self, space):
+        assert transposes_to(column_major_order(space), row_major_order(space))
+        assert not transposes_to(column_major_order(space), column_major_order(space)[:-1])
+
+
+class TestRendering:
+    def test_grid_positions(self, space):
+        grid = schedule_order_grid(space, column_major_order(space))
+        # grid[inner][outer]: (A,1) is step 0, (A,2) step 1, (B,1) step 7
+        assert grid[0][0] == 0
+        assert grid[1][0] == 1
+        assert grid[0][1] == 7
+
+    def test_skipped_cells_render_as_dots(self):
+        space = IterationSpace.from_trees(
+            paper_outer_tree(), paper_inner_tree(),
+            executed=[("A", 1)],
+        )
+        text = render_schedule(space, [("A", 1)])
+        assert "." in text
+        assert text.splitlines()[1].strip().startswith("1")
+
+    def test_render_includes_headers(self, space):
+        text = render_schedule(space, column_major_order(space))
+        header = text.splitlines()[0]
+        for label in "ABCDEFG":
+            assert label in header

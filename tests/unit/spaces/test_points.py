@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic point-set generators."""
+
+import numpy as np
+import pytest
+
+from repro.spaces import annulus_points, clustered_points, grid_points, uniform_points
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        pts = uniform_points(100, dim=3, seed=1)
+        assert pts.shape == (100, 3)
+        assert pts.min() >= 0.0 and pts.max() < 1.0
+
+    def test_scale(self):
+        pts = uniform_points(500, seed=1, scale=4.0)
+        assert pts.max() > 1.5  # almost surely
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_points(10, seed=2), uniform_points(10, seed=2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            uniform_points(0)
+
+
+class TestClustered:
+    def test_shape(self):
+        pts = clustered_points(64, dim=2, clusters=4, seed=0)
+        assert pts.shape == (64, 2)
+
+    def test_clusters_are_tight(self):
+        # With tiny spread, points concentrate near <=4 centers: the
+        # mean nearest-neighbor distance is far below uniform's.
+        pts = clustered_points(200, clusters=4, spread=0.001, seed=3)
+        diffs = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(-1))
+        np.fill_diagonal(diffs, np.inf)
+        assert np.median(diffs.min(axis=1)) < 0.01
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            clustered_points(0)
+        with pytest.raises(ValueError):
+            clustered_points(10, clusters=0)
+
+
+class TestGrid:
+    def test_exact_grid(self):
+        pts = grid_points(4, dim=2)
+        assert pts.shape == (16, 2)
+        assert sorted(set(pts[:, 0])) == [0.0, 0.25, 0.5, 0.75]
+
+    def test_jitter_perturbs(self):
+        flat = grid_points(3)
+        noisy = grid_points(3, jitter=0.01, seed=1)
+        assert not np.array_equal(flat, noisy)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            grid_points(0)
+
+
+class TestAnnulus:
+    def test_radii_within_band(self):
+        pts = annulus_points(300, inner=0.2, outer=0.4, seed=2)
+        radii = np.sqrt(((pts - 0.5) ** 2).sum(axis=1))
+        assert radii.min() >= 0.2 - 1e-9
+        assert radii.max() <= 0.4 + 1e-9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            annulus_points(0)

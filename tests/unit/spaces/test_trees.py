@@ -1,0 +1,127 @@
+"""Unit tests for the tree builders."""
+
+import pytest
+
+from repro.spaces import (
+    balanced_tree,
+    letter_labeler,
+    list_tree,
+    paper_inner_tree,
+    paper_outer_tree,
+    perfect_tree,
+    random_tree,
+    relabel_preorder,
+    tree_depth,
+)
+
+
+class TestBalancedTree:
+    def test_node_count(self):
+        for n in (1, 2, 3, 7, 10, 100):
+            assert balanced_tree(n).size == n
+
+    def test_heap_shape_depth(self):
+        assert tree_depth(balanced_tree(1)) == 1
+        assert tree_depth(balanced_tree(7)) == 3
+        assert tree_depth(balanced_tree(8)) == 4
+        assert tree_depth(balanced_tree(1023)) == 10
+
+    def test_bfs_labels(self):
+        root = balanced_tree(5)
+        assert root.label == 0
+        assert {c.label for c in root.children} == {1, 2}
+
+    def test_data_callback(self):
+        root = balanced_tree(4, data=lambda k: k * 10)
+        assert sorted(n.data for n in root.iter_preorder()) == [0, 10, 20, 30]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            balanced_tree(0)
+
+
+class TestPerfectTree:
+    def test_sizes(self):
+        assert perfect_tree(1).size == 1
+        assert perfect_tree(3).size == 7
+        assert perfect_tree(5).size == 31
+
+    def test_all_internal_nodes_have_two_children(self):
+        root = perfect_tree(4)
+        for node in root.iter_preorder():
+            assert len(node.children) in (0, 2)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            perfect_tree(0)
+
+
+class TestListTree:
+    def test_is_degenerate(self):
+        root = list_tree(6)
+        depths = tree_depth(root)
+        assert depths == 6
+        for node in root.iter_preorder():
+            assert len(node.children) <= 1
+
+    def test_labels_are_loop_indices(self):
+        root = list_tree(4)
+        assert [n.label for n in root.iter_preorder()] == [0, 1, 2, 3]
+
+    def test_sizes_decrease_by_one(self):
+        root = list_tree(5)
+        assert [n.size for n in root.iter_preorder()] == [5, 4, 3, 2, 1]
+
+
+class TestRandomTree:
+    def test_deterministic_for_seed(self):
+        a = random_tree(50, seed=3)
+        b = random_tree(50, seed=3)
+        assert [n.label for n in a.iter_preorder()] == [
+            n.label for n in b.iter_preorder()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_tree(50, seed=1)
+        b = random_tree(50, seed=2)
+        assert [n.label for n in a.iter_preorder()] != [
+            n.label for n in b.iter_preorder()
+        ]
+
+    def test_size_and_binary(self):
+        root = random_tree(64, seed=9)
+        assert root.size == 64
+        for node in root.iter_preorder():
+            assert len(node.children) <= 2
+
+
+class TestPaperTrees:
+    def test_outer_preorder_is_alphabetical(self):
+        labels = [n.label for n in paper_outer_tree().iter_preorder()]
+        assert labels == ["A", "B", "C", "D", "E", "F", "G"]
+
+    def test_inner_preorder_is_numeric(self):
+        labels = [n.label for n in paper_inner_tree().iter_preorder()]
+        assert labels == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_shapes_are_perfect_depth_three(self):
+        assert tree_depth(paper_outer_tree()) == 3
+        assert paper_outer_tree().size == 7
+
+
+class TestHelpers:
+    def test_letter_labeler(self):
+        assert letter_labeler(0) == "A"
+        assert letter_labeler(25) == "Z"
+        assert letter_labeler(26) == "AA"
+        assert letter_labeler(27) == "AB"
+
+    def test_relabel_preorder_defaults_to_numbers(self):
+        root = paper_outer_tree()
+        relabel_preorder(root)
+        assert [n.label for n in root.iter_preorder()] == list(range(7))
+
+    def test_relabel_preorder_custom(self):
+        root = balanced_tree(3)
+        relabel_preorder(root, ["x", "y", "z"])
+        assert [n.label for n in root.iter_preorder()] == ["x", "y", "z"]

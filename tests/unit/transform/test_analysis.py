@@ -1,0 +1,68 @@
+"""Unit tests for irregular-truncation analysis."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transform import analyze_truncation, recognize
+
+
+def template_with_guard(guard: str):
+    source = f'''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+
+def inner(o, i):
+    if {guard}:
+        return
+    work(o, i)
+    inner(o, i.left)
+'''
+    return recognize(source, "outer", "inner")
+
+
+class TestClassification:
+    def test_pure_inner_guard_is_regular(self):
+        analysis = analyze_truncation(template_with_guard("i is None"))
+        assert not analysis.is_irregular
+        assert analysis.inner1_source() == "i is None"
+        assert analysis.inner2_source() == "False"
+
+    def test_mixed_guard_is_irregular(self):
+        analysis = analyze_truncation(
+            template_with_guard("i is None or too_far(o, i)")
+        )
+        assert analysis.is_irregular
+        assert analysis.inner1_source() == "i is None"
+        assert analysis.inner2_source() == "too_far(o, i)"
+
+    def test_multiple_disjuncts_grouped(self):
+        analysis = analyze_truncation(
+            template_with_guard(
+                "i is None or i.depth > 5 or prune(o, i) or far(o, i)"
+            )
+        )
+        assert analysis.inner1_source() == "i is None or i.depth > 5"
+        assert analysis.inner2_source() == "prune(o, i) or far(o, i)"
+
+    def test_index_free_disjunct_is_regular(self):
+        analysis = analyze_truncation(
+            template_with_guard("i is None or GLOBAL_DISABLE")
+        )
+        assert not analysis.is_irregular
+        assert "GLOBAL_DISABLE" in analysis.inner1_source()
+
+    def test_outer_only_disjunct_rejected(self):
+        with pytest.raises(TransformError, match="depends only on the outer"):
+            analyze_truncation(template_with_guard("i is None or o.skip"))
+
+    def test_non_or_shapes_are_one_unit(self):
+        # An 'and' at top level mentioning both indices: one irregular
+        # unit, nothing split.
+        analysis = analyze_truncation(
+            template_with_guard("i is None or (bad(i) and bad2(o))")
+        )
+        assert analysis.is_irregular
+        assert analysis.inner2_source() == "bad(i) and bad2(o)"

@@ -1,0 +1,90 @@
+"""Unit tests for the transformation tool's CLI."""
+
+import ast
+
+import pytest
+
+from repro.transform.__main__ import main
+
+ANNOTATED = '''
+from repro.transform import outer_recursion, inner_recursion
+
+@outer_recursion(inner="inner")
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+@inner_recursion
+def inner(o, i):
+    if i is None or prune(o, i):
+        return
+    work(o, i)
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "user_code.py"
+    path.write_text(ANNOTATED)
+    return path
+
+
+class TestCli:
+    def test_writes_output_file(self, source_file, tmp_path):
+        out = tmp_path / "generated.py"
+        assert main([str(source_file), "-o", str(out)]) == 0
+        generated = out.read_text()
+        ast.parse(generated)
+        assert "def outer_twisted(" in generated
+        assert "_untrunc" in generated  # irregular: flag code synthesized
+
+    def test_stdout_default(self, source_file, capsys):
+        assert main([str(source_file)]) == 0
+        captured = capsys.readouterr()
+        assert "def outer_swapped(" in captured.out
+
+    def test_explicit_names(self, source_file, capsys):
+        assert main([str(source_file), "--outer", "outer", "--inner", "inner"]) == 0
+        assert "outer_twisted" in capsys.readouterr().out
+
+    def test_cutoff_flag(self, source_file, capsys):
+        assert main([str(source_file), "--cutoff", "32"]) == 0
+        assert "_TWIST_CUTOFF = 32" in capsys.readouterr().out
+
+    def test_print_analysis(self, source_file, capsys):
+        assert main([str(source_file), "--print-analysis"]) == 0
+        err = capsys.readouterr().err
+        assert "irregular" in err
+        assert "prune(o, i)" in err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "ghost.py")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_nonconforming_source(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("def outer(o, i):\n    pass\n")
+        assert main([str(path), "--outer", "outer", "--inner", "inner"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_mismatched_name_flags(self, source_file, capsys):
+        assert main([str(source_file), "--outer", "outer"]) == 2
+
+    def test_generated_module_is_executable(self, source_file, tmp_path):
+        out = tmp_path / "generated.py"
+        main([str(source_file), "-o", str(out)])
+        from repro.spaces import paper_inner_tree, paper_outer_tree
+
+        executed = []
+        namespace = {
+            "work": lambda o, i: executed.append((o.label, i.label)),
+            "prune": lambda o, i: o.label == "B" and i.label == 2,
+        }
+        exec(compile(out.read_text(), str(out), "exec"), namespace)
+        namespace["outer_twisted"](paper_outer_tree(), paper_inner_tree())
+        assert len(executed) == 46

@@ -1,0 +1,147 @@
+"""Unit tests for the template recognizer (the §5 sanity check)."""
+
+import ast
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transform import recognize
+
+GOOD = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+
+
+class TestAcceptance:
+    def test_extracts_template_parts(self):
+        template = recognize(GOOD, "outer", "inner")
+        assert (template.o_param, template.i_param) == ("o", "i")
+        assert ast.unparse(template.outer_guard) == "o is None"
+        assert ast.unparse(template.inner_guard) == "i is None"
+        assert [ast.unparse(e) for e in template.outer_child_exprs] == [
+            "o.left",
+            "o.right",
+        ]
+        assert [ast.unparse(e) for e in template.inner_child_exprs] == [
+            "i.left",
+            "i.right",
+        ]
+        assert len(template.work_statements) == 1
+
+    def test_docstrings_tolerated(self):
+        source = GOOD.replace(
+            "def outer(o, i):\n    if",
+            'def outer(o, i):\n    "doc"\n    if',
+        )
+        recognize(source, "outer", "inner")
+
+    def test_arbitrary_fanout_accepted(self):
+        source = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.c1, i)
+    outer(o.c2, i)
+    outer(o.c3, i)
+
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+    inner(o, i.c1)
+'''
+        template = recognize(source, "outer", "inner")
+        assert len(template.outer_child_exprs) == 3
+        assert len(template.inner_child_exprs) == 1
+
+    def test_multiple_work_statements(self):
+        source = GOOD.replace("work(o, i)", "work(o, i)\n    log(o)")
+        template = recognize(source, "outer", "inner")
+        assert len(template.work_statements) == 2
+
+    def test_decorators_stripped_from_roundtrip(self):
+        source = "@mark\n" + GOOD.lstrip()
+        template = recognize(source, "outer", "inner")
+        assert "@mark" not in template.outer_source
+
+
+class TestRejection:
+    def reject(self, source, pattern):
+        with pytest.raises(TransformError, match=pattern):
+            recognize(source, "outer", "inner")
+
+    def test_missing_function(self):
+        self.reject("def outer(o, i):\n    pass", "no top-level function named 'inner'")
+
+    def test_syntax_error(self):
+        self.reject("def outer(o, i:\n", "does not parse")
+
+    def test_wrong_arity(self):
+        self.reject(GOOD.replace("def outer(o, i):", "def outer(o):"), "two positional")
+
+    def test_mismatched_param_names(self):
+        self.reject(GOOD.replace("def inner(o, i):", "def inner(x, y):"), "same parameter names")
+
+    def test_missing_guard(self):
+        self.reject(
+            GOOD.replace("if o is None:\n        return\n    inner", "inner"),
+            "truncation check",
+        )
+
+    def test_guard_with_else(self):
+        bad = GOOD.replace(
+            "if o is None:\n        return",
+            "if o is None:\n        return\n    else:\n        pass",
+        )
+        self.reject(bad, "no else branch")
+
+    def test_outer_guard_using_inner_index(self):
+        self.reject(GOOD.replace("if o is None:", "if o is None or i is None:"),
+                    "only depend on")
+
+    def test_outer_without_inner_launch(self):
+        self.reject(GOOD.replace("    inner(o, i)\n    outer(o.left, i)",
+                                 "    outer(o.left, i)"), "immediately after")
+
+    def test_outer_recursion_changing_inner_index(self):
+        self.reject(GOOD.replace("outer(o.left, i)", "outer(o.left, i.left)"),
+                    "keep the inner index fixed")
+
+    def test_inner_recursion_changing_outer_index(self):
+        self.reject(GOOD.replace("inner(o, i.left)", "inner(o.left, i.left)"),
+                    "keep the outer index fixed")
+
+    def test_work_after_recursive_call(self):
+        bad = GOOD.replace(
+            "    inner(o, i.left)\n    inner(o, i.right)",
+            "    inner(o, i.left)\n    work(o, i)\n    inner(o, i.right)",
+        )
+        self.reject(bad, "must precede")
+
+    def test_no_work(self):
+        self.reject(GOOD.replace("    work(o, i)\n", ""), "no work statements")
+
+    def test_no_recursive_calls_in_inner(self):
+        bad = GOOD.replace("    inner(o, i.left)\n    inner(o, i.right)\n", "")
+        self.reject(bad, "no recursive calls")
+
+    def test_work_invoking_recursion(self):
+        self.reject(GOOD.replace("work(o, i)", "work(inner(o, i), i)"),
+                    "must not invoke")
+
+    def test_keyword_recursive_call(self):
+        self.reject(GOOD.replace("outer(o.left, i)", "outer(o.left, i=i)"),
+                    "positional arguments only")
