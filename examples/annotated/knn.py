@@ -1,0 +1,35 @@
+"""k-Nearest Neighbors (KNN, §6.1) as annotated user code for the lint pass.
+
+Like NN but the pruning bound is the distance to the *k-th* best
+neighbor found so far, kept on the query node.  Same adaptive shape:
+writes are outer-keyed (each query node owns its ``kth`` bound and
+neighbor heap), but the guard reads state the work updates, so the
+verdict is *needs-dynamic-check* (TW023) rather than a static proof.
+The ``o.heap.push(...)`` call is a known-mutating method on an
+outer-keyed receiver — inferred as an outer-keyed write, not a hole.
+"""
+
+from repro.transform import inner_recursion, outer_recursion
+
+# lint: assume-pure: mindist, kth_best, candidates
+
+
+@outer_recursion(inner="knn_inner")
+def knn_outer(o, i):
+    """Outer recursion over the query tree."""
+    if o is None:
+        return
+    knn_inner(o, i)
+    knn_outer(o.left, i)
+    knn_outer(o.right, i)
+
+
+@inner_recursion
+def knn_inner(o, i):
+    """Inner recursion over the data tree, pruned by the k-th bound."""
+    if i is None or mindist(o, i) > o.kth:
+        return
+    o.heap.push(candidates(o, i))
+    o.kth = kth_best(o.heap)
+    knn_inner(o, i.left)
+    knn_inner(o, i.right)

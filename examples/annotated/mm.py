@@ -1,0 +1,36 @@
+"""Matrix Multiply (MM, §6.1) as annotated user code for the lint pass.
+
+The recursive-matmul shape: the outer tree indexes rows, the inner
+tree indexes columns, and each work point writes one output cell of a
+module-level table.  The write target is *global*, but its subscript
+key mentions the outer index — ``C[o.number, i.number]`` — which is
+exactly the "write keyed by the outer index" form of the §3.3
+criterion (each outer row owns a disjoint slice of ``C``).  The
+``dot`` helper is declared pure with an in-source pragma, so the
+verdict is *interchange-safe*.
+"""
+
+from repro.transform import inner_recursion, outer_recursion
+
+#: output cells, keyed by (row number, column number)
+C = {}
+
+
+@outer_recursion(inner="mm_inner")
+def mm_outer(o, i):
+    """Outer recursion over the row tree."""
+    if o is None:
+        return
+    mm_inner(o, i)
+    mm_outer(o.left, i)
+    mm_outer(o.right, i)
+
+
+@inner_recursion
+def mm_inner(o, i):
+    """Inner recursion over the column tree: compute one cell."""
+    if i is None:
+        return
+    C[o.number, i.number] = dot(o.data, i.data)  # lint: assume-pure: dot
+    mm_inner(o, i.left)
+    mm_inner(o, i.right)

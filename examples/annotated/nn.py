@@ -1,0 +1,36 @@
+"""Nearest Neighbor (NN, §6.1) as annotated user code for the lint pass.
+
+The adaptive-pruning case.  The inner guard compares the lower-bound
+distance to the query node's *current best* — state the work itself
+tightens as the traversal proceeds.  All writes are keyed by the outer
+index (each query node owns its ``best``), but how much of the inner
+tree gets pruned depends on the order work executes, so static
+analysis cannot prove schedule equivalence: the guard-reads-what-work-
+writes dependence is flagged as TW023 and the verdict is
+*needs-dynamic-check* — confirm with
+:func:`repro.core.soundness.check_transformation` on concrete inputs.
+"""
+
+from repro.transform import inner_recursion, outer_recursion
+
+# lint: assume-pure: mindist, closest_in
+
+
+@outer_recursion(inner="nn_inner")
+def nn_outer(o, i):
+    """Outer recursion over the query tree."""
+    if o is None:
+        return
+    nn_inner(o, i)
+    nn_outer(o.left, i)
+    nn_outer(o.right, i)
+
+
+@inner_recursion
+def nn_inner(o, i):
+    """Inner recursion over the data tree, pruned by the current best."""
+    if i is None or mindist(o, i) > o.best:
+        return
+    o.best = min(o.best, closest_in(o, i))
+    nn_inner(o, i.left)
+    nn_inner(o, i.right)

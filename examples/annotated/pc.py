@@ -1,0 +1,34 @@
+"""Point Correlation (PC, §6.1) as annotated user code for the lint pass.
+
+The irregular-but-provable case.  The inner guard prunes by geometry —
+the distance between the two nodes' bounding volumes against the query
+radius — so it depends on *both* indices (irregular truncation, §4),
+but only on fields that never change during the traversal.  The single
+write accumulates the pair count into the outer node, so the §3.3
+criterion still holds and the verdict is *twist-safe*: sound via the
+Section 4 flag machinery the generated code includes.
+"""
+
+from repro.transform import inner_recursion, outer_recursion
+
+# lint: assume-pure: pairs_within
+
+
+@outer_recursion(inner="pc_inner")
+def pc_outer(o, i):
+    """Outer recursion over the query tree."""
+    if o is None:
+        return
+    pc_inner(o, i)
+    pc_outer(o.left, i)
+    pc_outer(o.right, i)
+
+
+@inner_recursion
+def pc_inner(o, i):
+    """Inner recursion over the reference tree, pruned by geometry."""
+    if i is None or (o.cx - i.cx) ** 2 + (o.cy - i.cy) ** 2 > (o.reach + i.reach) ** 2:
+        return
+    o.data = o.data + pairs_within(o, i)
+    pc_inner(o, i.left)
+    pc_inner(o, i.right)

@@ -1,0 +1,32 @@
+"""Tree Join (TJ, §6.1) as annotated user code for the lint pass.
+
+The simplest benchmark shape: regular truncation (each guard tests only
+its own index against ``None``) and a single work statement that
+accumulates into a field of the *outer* node.  Every write is keyed by
+the outer index, so the §3.3 criterion holds outright and
+``python -m repro.transform lint examples/annotated/tj.py`` reports
+*interchange-safe* — and, because the write stays inside the outer
+subtree each task owns, task-parallel execution (§7.3) is safe too.
+"""
+
+from repro.transform import inner_recursion, outer_recursion
+
+
+@outer_recursion(inner="tj_inner")
+def tj_outer(o, i):
+    """Outer recursion: walk the outer tree, launching inner joins."""
+    if o is None:
+        return
+    tj_inner(o, i)
+    tj_outer(o.left, i)
+    tj_outer(o.right, i)
+
+
+@inner_recursion
+def tj_inner(o, i):
+    """Inner recursion: join the outer node against the inner tree."""
+    if i is None:
+        return
+    o.data = o.data + o.data * i.data
+    tj_inner(o, i.left)
+    tj_inner(o, i.right)

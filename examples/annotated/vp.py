@@ -1,0 +1,35 @@
+"""Vantage-Point k-NN (VP, §6.1) as annotated user code for the lint pass.
+
+The same k-nearest-neighbors computation as KNN but over a vantage
+point tree: the pruning test uses the triangle inequality on distances
+to the vantage point instead of a kd-box lower bound.  The safety
+structure is identical — outer-keyed writes, but an adaptive guard
+that reads the query node's evolving ``kth`` bound — so the verdict is
+*needs-dynamic-check* (TW023), resolved per input by the dynamic
+checker in :mod:`repro.core.soundness`.
+"""
+
+from repro.transform import inner_recursion, outer_recursion
+
+# lint: assume-pure: vpdist, kth_best, candidates
+
+
+@outer_recursion(inner="vp_inner")
+def vp_outer(o, i):
+    """Outer recursion over the query tree."""
+    if o is None:
+        return
+    vp_inner(o, i)
+    vp_outer(o.left, i)
+    vp_outer(o.right, i)
+
+
+@inner_recursion
+def vp_inner(o, i):
+    """Inner recursion over the vantage point tree."""
+    if i is None or vpdist(o, i) - i.radius > o.kth:
+        return
+    o.heap.push(candidates(o, i))
+    o.kth = kth_best(o.heap)
+    vp_inner(o, i.left)
+    vp_inner(o, i.right)

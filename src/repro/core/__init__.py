@@ -80,6 +80,7 @@ from repro.core.soundness import (
     check_transformation,
     compare_recordings,
     is_outer_parallel,
+    outer_parallel_violations,
 )
 from repro.core.spec import (
     INNER_TREE,
@@ -139,6 +140,7 @@ __all__ = [
     "cross_product_size",
     "get_schedule",
     "is_outer_parallel",
+    "outer_parallel_violations",
     "iter_original_points",
     "make_policy",
     "recursion_guard",

@@ -17,6 +17,13 @@ The order-preservation check uses a canonical form per location:
 commute with each other, writes never commute, and a read never crosses
 a write.  Two schedules preserve all dependences iff every location's
 canonical form matches.
+
+The static counterpart of this module is
+:mod:`repro.transform.lint`, which decides the same "every write is
+keyed by the outer index" criterion from the AST instead of from a
+concrete run; the two share the footprint vocabulary (locations,
+read/write accesses, outer-keying) and are cross-validated against
+each other by ``tests/properties/test_lint_properties.py``.
 """
 
 from __future__ import annotations
@@ -152,18 +159,34 @@ def check_transformation(
     return compare_recordings(original_recorder, transformed_recorder)
 
 
-def is_outer_parallel(recorder: FootprintRecorder) -> bool:
-    """The paper's conservative soundness criterion (Section 3.3).
+def outer_parallel_violations(recorder: FootprintRecorder) -> list[Hashable]:
+    """Locations refuting the §3.3 criterion on a concrete run.
 
-    True when different outer-recursion invocations are independent:
-    no location involved in a write is touched by work points with two
-    different outer indices.  When this holds, recursion interchange —
-    and therefore recursion twisting — is sound.
+    A location violates "the outer recursion is parallel" when it is
+    involved in at least one write and is touched by work points with
+    two different outer indices — i.e. the write is **not keyed by the
+    outer index**.  This is the same write-keying vocabulary the static
+    analyzer (:mod:`repro.transform.lint.footprints`) decides from the
+    AST; its ``TW010``/``TW011`` findings are the static counterparts
+    of the locations returned here, and the cross-validation property
+    tests assert a static safe verdict implies this list is empty.
     """
-    for accesses in recorder.by_location.values():
+    violations: list[Hashable] = []
+    for location, accesses in recorder.by_location.items():
         if not any(is_write for _point, is_write in accesses):
             continue  # read-only locations never carry dependences
         outer_indices = {point[0] for point, _is_write in accesses}
         if len(outer_indices) > 1:
-            return False
-    return True
+            violations.append(location)
+    return violations
+
+
+def is_outer_parallel(recorder: FootprintRecorder) -> bool:
+    """The paper's conservative soundness criterion (Section 3.3).
+
+    True when different outer-recursion invocations are independent
+    (see :func:`outer_parallel_violations`).  When this holds,
+    recursion interchange — and therefore recursion twisting — is
+    sound, and the outer recursion may be task-parallelized (§7.3).
+    """
+    return not outer_parallel_violations(recorder)

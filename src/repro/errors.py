@@ -40,7 +40,36 @@ class TransformError(ReproError):
     This is the Python analog of the "sanity check" failure in the
     paper's Clang prototype (Section 5): the annotated functions do not
     conform to the nested recursion template of Figure 2.
+
+    Every instance carries a stable diagnostic ``code`` from the
+    ``TW0xx`` catalog (see :mod:`repro.transform.lint.diagnostics` and
+    ``docs/DIAGNOSTICS.md``) so tooling can dispatch on the failure
+    class without parsing the message: ``TW001`` for unparsable input,
+    ``TW002`` for template violations (the default), ``TW003`` for
+    outer-only truncation disjuncts.
     """
+
+    def __init__(self, message: str, *, code: str = "TW002") -> None:
+        super().__init__(message)
+        #: stable machine-readable diagnostic code (``TW0xx``)
+        self.code = code
+
+
+class LintError(TransformError):
+    """The static schedule-safety analyzer rejected the annotated pair.
+
+    Raised by :func:`repro.transform.tool.transform_source` (and
+    friends) when linting is enabled and the analyzer proves the
+    annotation unsafe — the static analog of a
+    :class:`SoundnessError`.  ``report`` carries the full
+    :class:`~repro.transform.lint.report.LintReport` with every
+    diagnostic, so callers can render or serialize the findings.
+    """
+
+    def __init__(self, message: str, *, code: str = "TW010", report: object = None) -> None:
+        super().__init__(message, code=code)
+        #: the full lint report that produced the rejection
+        self.report = report
 
 
 class MemorySimError(ReproError):

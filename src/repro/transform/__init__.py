@@ -8,8 +8,10 @@ its Python analog with the same pipeline:
 * :mod:`repro.transform.analysis` — irregular-truncation detection;
 * :mod:`repro.transform.codegen` — synthesis of interchanged and
   twisted sources (including the Figure 6(b) flag code);
+* :mod:`repro.transform.lint` — the static schedule-safety analyzer
+  (footprints, purity, task-parallel races, ``TW0xx`` diagnostics);
 * :mod:`repro.transform.tool` — the driver (``transform_source``,
-  ``twist_functions``).
+  ``twist_functions``), which gates codegen on the analyzer's verdict.
 """
 
 from repro.transform.analysis import TruncationAnalysis, analyze_truncation
@@ -18,6 +20,14 @@ from repro.transform.codegen import (
     generate_interchanged,
     generate_module,
     generate_twisted,
+)
+from repro.transform.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    Verdict,
+    lint_source,
+    lint_template,
 )
 from repro.transform.recognizer import RecursionTemplate, recognize
 from repro.transform.tool import (
@@ -29,15 +39,21 @@ from repro.transform.tool import (
 )
 
 __all__ = [
+    "Diagnostic",
+    "LintReport",
     "RecursionTemplate",
+    "Severity",
     "TransformResult",
     "TruncationAnalysis",
+    "Verdict",
     "analyze_truncation",
     "find_annotated_pair",
     "generate_interchanged",
     "generate_module",
     "generate_twisted",
     "inner_recursion",
+    "lint_source",
+    "lint_template",
     "outer_recursion",
     "recognize",
     "role_of",

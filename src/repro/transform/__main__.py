@@ -1,42 +1,91 @@
 """Command-line interface of the transformation tool.
 
-The Python counterpart of running the paper's Clang tool over a source
-file::
+Two subcommands (the bare legacy form ``python -m repro.transform
+INPUT.py`` still works and means ``transform``)::
 
-    python -m repro.transform INPUT.py [-o OUTPUT.py]
+    python -m repro.transform transform INPUT.py [-o OUTPUT.py]
         [--outer NAME --inner NAME]      # or rely on annotations
         [--cutoff N]                     # Section 7.1 cutoff
-        [--print-analysis]               # report template + truncation info
+        [--print-analysis]               # report template + truncation
+        [--json]                         # machine-readable result
+        [--no-lint]                      # skip the safety analyzer
+        [--allow-unproven]               # generate despite lint errors
+        [--assume-pure NAMES]            # comma-separated pure helpers
 
-Reads a Python module containing a nested recursive pair (annotated
-with ``@outer_recursion``/``@inner_recursion``, or named explicitly),
-sanity-checks it against the Figure 2 template, and writes a module
-with the interchanged and twisted versions appended.
+    python -m repro.transform lint INPUT.py
+        [--outer NAME --inner NAME] [--json] [--assume-pure NAMES]
+
+Exit codes are stable and distinct per failure class:
+
+==  ============================================================
+0   success (for ``lint``: statically safe)
+1   template violation (the Figure 2 sanity check failed)
+2   usage or I/O error
+3   input source does not parse
+4   lint verdict *unsafe* (refuted; ``transform`` refused codegen)
+5   lint verdict *needs-dynamic-check* (``lint`` only)
+==  ============================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import Optional
 
-from repro.errors import TransformError
-from repro.transform.tool import transform_annotated_source, transform_source
+from repro.errors import LintError, TransformError
+from repro.transform.lint import Verdict, lint_source
+from repro.transform.tool import (
+    TransformResult,
+    transform_annotated_source,
+    transform_source,
+)
+
+EXIT_OK = 0
+EXIT_TEMPLATE_VIOLATION = 1
+EXIT_USAGE = 2
+EXIT_PARSE_ERROR = 3
+EXIT_UNSAFE = 4
+EXIT_NEEDS_DYNAMIC_CHECK = 5
+
+
+def _split_names(text: Optional[str]) -> tuple[str, ...]:
+    if not text:
+        return ()
+    return tuple(name.strip() for name in text.split(",") if name.strip())
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("input", help="Python source file")
+    parser.add_argument("--outer", help="outer recursive function name")
+    parser.add_argument("--inner", help="inner recursive function name")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON result on stdout",
+    )
+    parser.add_argument(
+        "--assume-pure",
+        metavar="NAMES",
+        help="comma-separated helper names the analyzer may treat as "
+        "read-only (adds to in-source '# lint: assume-pure:' pragmas)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``transform`` subcommand's argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.transform",
         description="Synthesize interchanged and twisted versions of an "
         "annotated nested recursive pair (ASPLOS'17 recursion twisting).",
     )
-    parser.add_argument("input", help="Python source file to transform")
+    _add_common_arguments(parser)
     parser.add_argument(
         "-o",
         "--output",
         help="write the generated module here (default: stdout)",
     )
-    parser.add_argument("--outer", help="outer recursive function name")
-    parser.add_argument("--inner", help="inner recursive function name")
     parser.add_argument(
         "--cutoff",
         type=int,
@@ -50,33 +99,141 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the recognized template and truncation analysis "
         "to stderr",
     )
+    parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the static schedule-safety analyzer entirely",
+    )
+    parser.add_argument(
+        "--allow-unproven",
+        action="store_true",
+        help="generate code even when the analyzer refutes safety "
+        "(findings are still reported on stderr)",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def build_lint_parser() -> argparse.ArgumentParser:
+    """The ``lint`` subcommand's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.transform lint",
+        description="Statically analyze an annotated nested recursive "
+        "pair for schedule safety (footprints, purity, task-parallel "
+        "races) and report TW0xx diagnostics with a verdict.",
+    )
+    _add_common_arguments(parser)
+    return parser
+
+
+def _read_input(path: str) -> Optional[str]:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return None
+
+
+def _transform_error_exit(error: TransformError) -> int:
+    print(f"error: {error}", file=sys.stderr)
+    return EXIT_PARSE_ERROR if error.code == "TW001" else EXIT_TEMPLATE_VIOLATION
+
+
+def _lint_main(argv: list[str]) -> int:
+    args = build_lint_parser().parse_args(argv)
+    if bool(args.outer) != bool(args.inner):
+        print("error: --outer and --inner must be given together", file=sys.stderr)
+        return EXIT_USAGE
+    source = _read_input(args.input)
+    if source is None:
+        return EXIT_USAGE
+
+    report = lint_source(
+        source,
+        args.outer or None,
+        args.inner or None,
+        assume_pure=_split_names(args.assume_pure),
+        filename=args.input,
+    )
+    if args.json:
+        print(report.dumps())
+    else:
+        print(report.render())
+
+    codes = report.codes()
+    if "TW001" in codes:
+        return EXIT_PARSE_ERROR
+    if codes & {"TW002", "TW003"}:
+        return EXIT_TEMPLATE_VIOLATION
+    if report.verdict is Verdict.UNSAFE:
+        return EXIT_UNSAFE
+    if report.verdict is Verdict.NEEDS_DYNAMIC_CHECK:
+        return EXIT_NEEDS_DYNAMIC_CHECK
+    return EXIT_OK
+
+
+def _transform_json(result: TransformResult) -> dict:
+    template = result.template
+    payload = {
+        "outer": template.outer_name,
+        "inner": template.inner_name,
+        "params": [template.o_param, template.i_param],
+        "irregular": result.is_irregular,
+        "entries": {
+            "interchanged": result.interchanged_entry,
+            "twisted": result.twisted_entry,
+        },
+        "truncation": {
+            "inner1": result.analysis.inner1_source(),
+            "inner2": result.analysis.inner2_source(),
+        },
+        "source": result.source,
+        "lint": result.lint_report.to_json() if result.lint_report else None,
+    }
+    return payload
+
+
+def _transform_main(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
     if bool(args.outer) != bool(args.inner):
         print("error: --outer and --inner must be given together", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    source = _read_input(args.input)
+    if source is None:
+        return EXIT_USAGE
 
-    try:
-        with open(args.input) as handle:
-            source = handle.read()
-    except OSError as error:
-        print(f"error: cannot read {args.input}: {error}", file=sys.stderr)
-        return 2
-
+    assume_pure = _split_names(args.assume_pure)
     try:
         if args.outer:
             result = transform_source(
-                source, args.outer, args.inner, cutoff=args.cutoff
+                source,
+                args.outer,
+                args.inner,
+                cutoff=args.cutoff,
+                lint=not args.no_lint,
+                allow_unproven=args.allow_unproven,
+                assume_pure=assume_pure,
             )
         else:
-            result = transform_annotated_source(source, cutoff=args.cutoff)
-    except TransformError as error:
+            result = transform_annotated_source(
+                source,
+                cutoff=args.cutoff,
+                lint=not args.no_lint,
+                allow_unproven=args.allow_unproven,
+                assume_pure=assume_pure,
+            )
+    except LintError as error:
+        if error.report is not None:
+            print(error.report.render(), file=sys.stderr)
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_UNSAFE
+    except TransformError as error:
+        return _transform_error_exit(error)
+
+    report = result.lint_report
+    if report is not None and report.diagnostics:
+        # Surface non-blocking findings without polluting stdout.
+        print(report.render(), file=sys.stderr)
 
     if args.print_analysis:
         template = result.template
@@ -96,12 +253,28 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
 
+    if args.json:
+        output_text = json.dumps(_transform_json(result), indent=2, sort_keys=True)
+    else:
+        output_text = result.source
     if args.output:
         with open(args.output, "w") as handle:
-            handle.write(result.source)
+            handle.write(output_text)
     else:
-        sys.stdout.write(result.source)
-    return 0
+        sys.stdout.write(output_text)
+        if args.json:
+            sys.stdout.write("\n")
+    return EXIT_OK
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
+    if argv and argv[0] == "transform":
+        argv = argv[1:]
+    return _transform_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

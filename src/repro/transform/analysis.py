@@ -60,9 +60,48 @@ def _top_level_disjuncts(expr: ast.expr) -> list[ast.expr]:
     return [expr]
 
 
-def _mentions(expr: ast.expr, name: str) -> bool:
+def guard_aliases(expr: ast.expr, roots: tuple[str, ...]) -> dict[str, str]:
+    """Resolve simple local aliases of the index parameters in a guard.
+
+    A walrus assignment such as ``(oo := o)`` introduces a local alias
+    of an index parameter that remains live in *later* disjuncts of the
+    same guard, where a purely syntactic name check would miss it —
+    ``i is None or ((oo := o) is i) or oo.deep`` mentions the outer
+    index in its third disjunct only through ``oo``.  This resolves
+    name-to-name walrus chains to their root parameter (transitively:
+    ``(a := o)``, ``(b := a)`` both map to ``o``) and returns the
+    ``alias -> parameter`` map.  Only plain ``Name := Name`` bindings
+    are aliases; anything fancier keeps its own identity.
+    """
+    direct: dict[str, str] = {}
+    for node in ast.walk(expr):
+        if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            if isinstance(node.value, ast.Name):
+                direct[node.target.id] = node.value.id
+            else:
+                # Rebinding to a non-name expression kills any alias.
+                direct.pop(node.target.id, None)
+    resolved: dict[str, str] = {}
+    for alias in direct:
+        seen = {alias}
+        target = direct[alias]
+        while target in direct and target not in seen:
+            seen.add(target)
+            target = direct[target]
+        if target in roots:
+            resolved[alias] = target
+    return resolved
+
+
+def _mentions(
+    expr: ast.expr, name: str, aliases: Optional[dict[str, str]] = None
+) -> bool:
+    """True when ``expr`` mentions ``name`` directly or through an alias."""
+    aliases = aliases or {}
     return any(
-        isinstance(node, ast.Name) and node.id == name for node in ast.walk(expr)
+        isinstance(node, ast.Name)
+        and (node.id == name or aliases.get(node.id) == name)
+        for node in ast.walk(expr)
     )
 
 
@@ -82,12 +121,20 @@ def analyze_truncation(template: RecursionTemplate) -> TruncationAnalysis:
     space, e.g. a global toggle).  A disjunct mentioning *only* the
     outer index is rejected: the template has no such condition, and
     honouring one would require restructuring the outer recursion.
+
+    Index-parameter *aliases* introduced by walrus assignments are
+    resolved before classifying (:func:`guard_aliases`), so a disjunct
+    reading the outer index through ``(oo := o)`` is still recognized
+    as irregular rather than silently misfiled into the regular part.
     """
+    aliases = guard_aliases(
+        template.inner_guard, (template.o_param, template.i_param)
+    )
     inner1_parts: list[ast.expr] = []
     inner2_parts: list[ast.expr] = []
     for part in _top_level_disjuncts(template.inner_guard):
-        uses_outer = _mentions(part, template.o_param)
-        uses_inner = _mentions(part, template.i_param)
+        uses_outer = _mentions(part, template.o_param, aliases)
+        uses_inner = _mentions(part, template.i_param, aliases)
         if uses_outer and uses_inner:
             inner2_parts.append(part)
         elif uses_outer:
@@ -95,10 +142,53 @@ def analyze_truncation(template: RecursionTemplate) -> TruncationAnalysis:
                 f"inner truncation disjunct {ast.unparse(part)!r} depends "
                 f"only on the outer index {template.o_param!r}; the Figure "
                 f"2 template bounds the outer recursion in "
-                f"{template.outer_name}, not here"
+                f"{template.outer_name}, not here",
+                code="TW003",
             )
         else:
             inner1_parts.append(part)
+    _check_alias_locality(inner1_parts, inner2_parts, aliases)
     return TruncationAnalysis(
         inner1=_join_or(inner1_parts), inner2=_join_or(inner2_parts)
     )
+
+
+def _check_alias_locality(
+    inner1_parts: list[ast.expr],
+    inner2_parts: list[ast.expr],
+    aliases: dict[str, str],
+) -> None:
+    """Reject aliases that cross the inner1/inner2 split.
+
+    The two guard parts are emitted into *different* generated
+    functions (Figure 3 line 2 vs. Figure 6b), so a walrus alias
+    defined in one part and read in the other would be an unbound name
+    in the generated code.  Within one part the original evaluation
+    order is preserved, so same-bucket uses are fine.
+    """
+    if not aliases:
+        return
+    for bucket in (inner1_parts, inner2_parts):
+        defined = {
+            node.target.id
+            for part in bucket
+            for node in ast.walk(part)
+            if isinstance(node, ast.NamedExpr)
+            and isinstance(node.target, ast.Name)
+        }
+        for part in bucket:
+            for node in ast.walk(part):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in aliases
+                    and node.id not in defined
+                ):
+                    raise TransformError(
+                        f"truncation disjunct {ast.unparse(part)!r} reads "
+                        f"the alias {node.id!r} (= {aliases[node.id]!r}), "
+                        f"but the walrus defining it lands in the other "
+                        f"part of the regular/irregular split; the "
+                        f"generated code would leave it unbound — inline "
+                        f"the index parameter instead"
+                    )

@@ -1,0 +1,263 @@
+"""Structured diagnostics for the schedule-safety analyzer.
+
+Every finding the linter can produce is registered here under a stable
+``TW0xx`` code (catalogued for humans in ``docs/DIAGNOSTICS.md``), with
+a severity and an indication of which verdict dimension it affects:
+
+``schedule``
+    the sequential §3.3 schedule-equivalence argument (interchange /
+    twisting soundness);
+``parallel``
+    only the §7.3 task-parallel execution (a finding here does not
+    demote the sequential verdict);
+``input``
+    the input could not be brought to the Figure 2 template at all.
+
+Severities follow the usual compiler convention: ``error`` findings
+refute the safety proof (verdict *unsafe*), ``warning`` findings leave
+a hole in it (verdict *needs-dynamic-check*), ``info`` findings record
+assumptions the proof leans on without weakening it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Severity(enum.Enum):
+    """How strongly a finding bears on the safety verdict."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalog entry for one stable diagnostic code."""
+
+    #: the stable code, e.g. ``"TW010"``
+    code: str
+    #: one-line human title (also the docs heading)
+    title: str
+    #: default severity of findings with this code
+    severity: Severity
+    #: which verdict dimension the code affects (see module docstring)
+    affects: str
+
+
+#: The full catalog of stable diagnostic codes.
+CATALOG: dict[str, CodeInfo] = {
+    info.code: info
+    for info in [
+        # --- input / template (TW00x) --------------------------------
+        CodeInfo(
+            "TW001",
+            "input source does not parse",
+            Severity.ERROR,
+            "input",
+        ),
+        CodeInfo(
+            "TW002",
+            "annotated pair violates the Figure 2 template",
+            Severity.ERROR,
+            "input",
+        ),
+        CodeInfo(
+            "TW003",
+            "truncation disjunct depends only on the outer index",
+            Severity.ERROR,
+            "input",
+        ),
+        # --- work footprint (TW01x) ----------------------------------
+        CodeInfo(
+            "TW010",
+            "write keyed by the inner index (outer recursion not parallel)",
+            Severity.ERROR,
+            "schedule",
+        ),
+        CodeInfo(
+            "TW011",
+            "write to shared state keyed by neither index",
+            Severity.ERROR,
+            "schedule",
+        ),
+        CodeInfo(
+            "TW012",
+            "write through an unresolvable target (footprint incomplete)",
+            Severity.WARNING,
+            "schedule",
+        ),
+        CodeInfo(
+            "TW013",
+            "call to unknown helper (footprint incomplete)",
+            Severity.WARNING,
+            "schedule",
+        ),
+        CodeInfo(
+            "TW015",
+            "multi-hop write assumes per-node ownership of the path",
+            Severity.INFO,
+            "schedule",
+        ),
+        # --- purity (TW02x) ------------------------------------------
+        CodeInfo(
+            "TW020",
+            "side-effecting truncation guard",
+            Severity.ERROR,
+            "schedule",
+        ),
+        CodeInfo(
+            "TW021",
+            "call to unknown helper in guard or child expression "
+            "(purity unknown)",
+            Severity.WARNING,
+            "schedule",
+        ),
+        CodeInfo(
+            "TW022",
+            "side-effecting child expression",
+            Severity.ERROR,
+            "schedule",
+        ),
+        CodeInfo(
+            "TW023",
+            "adaptive truncation: guard reads state the work writes",
+            Severity.WARNING,
+            "schedule",
+        ),
+        CodeInfo(
+            "TW024",
+            "work mutates traversal structure (size/children/index "
+            "binding)",
+            Severity.ERROR,
+            "schedule",
+        ),
+        # --- task parallelism (TW03x) --------------------------------
+        CodeInfo(
+            "TW030",
+            "cross-task shared-state race under the task-parallel "
+            "executor",
+            Severity.WARNING,
+            "parallel",
+        ),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, pinned to a source span.
+
+    ``line``/``col`` are 1-based line and 0-based column of the AST
+    node that triggered the finding (0/0 when no span applies, e.g. a
+    parse failure without location).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    line: int = 0
+    col: int = 0
+    #: optional remediation hint rendered below the message
+    hint: Optional[str] = None
+
+    def format(self, filename: str = "<source>") -> str:
+        """Render the classic ``file:line:col: severity[code]`` line."""
+        text = (
+            f"{filename}:{self.line}:{self.col}: "
+            f"{self.severity}[{self.code}]: {self.message}"
+        )
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict:
+        """JSON-ready dict (stable keys; used by ``--json``)."""
+        payload = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "line": self.line,
+            "col": self.col,
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+
+def make_diagnostic(
+    code: str,
+    message: str,
+    node: object = None,
+    hint: Optional[str] = None,
+) -> Diagnostic:
+    """Build a diagnostic, pulling severity from the catalog.
+
+    ``node`` may be any object with ``lineno``/``col_offset`` (an AST
+    node) or ``None`` for findings without a source span.  Unknown
+    codes are a programming error, not an input error.
+    """
+    if code not in CATALOG:
+        raise KeyError(f"diagnostic code {code!r} is not in the catalog")
+    return Diagnostic(
+        code=code,
+        severity=CATALOG[code].severity,
+        message=message,
+        line=getattr(node, "lineno", 0) or 0,
+        col=getattr(node, "col_offset", 0) or 0,
+        hint=hint,
+    )
+
+
+@dataclass
+class DiagnosticSink:
+    """Collector the analysis passes emit into.
+
+    Deduplicates exact repeats (same code, span, and message) so one
+    unknown helper called in a loop does not flood the report, and
+    honours per-line ``# lint: ignore[TW0xx]`` suppressions.
+    """
+
+    #: line -> set of codes suppressed on that line
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: findings dropped by a suppression pragma (kept for reporting)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+
+    def emit(
+        self,
+        code: str,
+        message: str,
+        node: object = None,
+        hint: Optional[str] = None,
+    ) -> None:
+        """Record one finding (deduplicated, suppression-aware)."""
+        diagnostic = make_diagnostic(code, message, node, hint)
+        if diagnostic.code in self.suppressions.get(diagnostic.line, set()):
+            self.suppressed.append(diagnostic)
+            return
+        if diagnostic not in self.diagnostics:
+            self.diagnostics.append(diagnostic)
+
+    def extend(self, other: "DiagnosticSink") -> None:
+        """Fold another sink's findings into this one."""
+        for diagnostic in other.diagnostics:
+            if diagnostic not in self.diagnostics:
+                self.diagnostics.append(diagnostic)
+        self.suppressed.extend(other.suppressed)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Findings that refute the safety proof."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Findings that leave a hole in the safety proof."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]

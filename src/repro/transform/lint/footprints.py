@@ -1,0 +1,654 @@
+"""Static read/write footprint inference for work statements.
+
+The §3.3 soundness criterion — "if the outer recursion is parallel,
+recursion interchange is sound, and therefore recursion twisting is
+sound" — is a statement about the *footprint* of ``work(o, i)``: every
+location involved in a write must be touched by work points of a single
+outer index.  :mod:`repro.core.soundness` checks this dynamically by
+recording concrete accesses; this module decides it from the AST.
+
+The abstraction is the :class:`AccessPath`: a base *region* (rooted at
+the outer index, the inner index, module/global state, a fresh local,
+or unknown) plus a chain of attribute/subscript steps, annotated with
+the index parameters that *key* it.  A write is provably outer-keyed
+when ``"outer"`` is among its keys — ``o.count = ...``,
+``table[o.number] = ...``, ``t = o.left; t.data = ...`` all qualify —
+and the analyzer resolves simple local aliases, loop targets, augmented
+assigns, known-mutating method calls, ``setattr``, and ``global``
+declarations to get there.
+
+Two standing assumptions, recorded as INFO diagnostics where relevant:
+distinct index nodes are distinct objects (attribute paths rooted at
+different outer nodes do not alias), and subscript keys derived from an
+index node (``o.number``) are injective across nodes.  Both match how
+the executors and the paper's prototype use the template.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.transform.lint.diagnostics import DiagnosticSink
+from repro.transform.recognizer import RecursionTemplate
+
+
+class Region(enum.Enum):
+    """Where an access path is rooted."""
+
+    OUTER = "outer"
+    INNER = "inner"
+    GLOBAL = "global"
+    LOCAL = "local"
+    UNKNOWN = "unknown"
+
+
+#: Fields the traversal machinery itself reads: the twist decision
+#: compares ``size``, child expressions walk ``children``/``left``/
+#: ``right``, and the Section 4 flag code owns the truncation scratch.
+STRUCTURAL_FIELDS = frozenset(
+    {"size", "children", "left", "right", "trunc", "trunc_counter", "number"}
+)
+
+#: Builtins that neither mutate their arguments nor touch shared state.
+PURE_BUILTINS = frozenset(
+    {
+        "abs", "all", "any", "bool", "divmod", "enumerate", "float",
+        "frozenset", "getattr", "hasattr", "hash", "int", "isinstance",
+        "issubclass", "len", "max", "min", "pow", "range", "repr",
+        "reversed", "round", "sorted", "str", "sum", "tuple", "zip",
+    }
+)
+
+#: Constructors returning a fresh object (safe alias target: LOCAL).
+FRESH_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+#: Modules whose attribute calls are assumed pure.
+PURE_MODULES = frozenset({"math", "np", "numpy", "operator", "itertools"})
+
+#: Method names that mutate their receiver.
+KNOWN_MUTATING_METHODS = frozenset(
+    {
+        "add", "append", "clear", "discard", "extend", "insert", "pop",
+        "popitem", "push", "remove", "reverse", "setdefault", "sort",
+        "update", "write", "writelines",
+    }
+)
+
+#: Method names that are pure queries of their receiver.
+KNOWN_PURE_METHODS = frozenset(
+    {
+        "copy", "count", "endswith", "format", "get", "index", "items",
+        "join", "keys", "lower", "split", "startswith", "strip", "upper",
+        "values",
+    }
+)
+
+#: Calls with ambient side effects (I/O, dynamic code, mutation).
+IMPURE_CALLS = frozenset(
+    {"print", "input", "open", "exec", "eval", "compile", "next", "__import__"}
+)
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """A resolved heap path: region + root name + normalized steps.
+
+    ``steps`` holds attribute names verbatim and ``"[]"`` for
+    subscripts; ``keyed_by`` collects which index parameters key the
+    path (via its root or any subscript key expression).
+    """
+
+    region: Region
+    root: str
+    steps: tuple[str, ...] = ()
+    keyed_by: frozenset[str] = frozenset()
+
+    def child(self, step: str, extra_keys: Iterable[str] = ()) -> "AccessPath":
+        """Extend the path by one attribute/subscript step."""
+        return AccessPath(
+            region=self.region,
+            root=self.root,
+            steps=self.steps + (step,),
+            keyed_by=self.keyed_by | frozenset(extra_keys),
+        )
+
+    @property
+    def display(self) -> str:
+        """Human-readable rendering, e.g. ``o.best`` or ``table[...]``."""
+        text = self.root
+        for step in self.steps:
+            text += "[...]" if step == "[]" else f".{step}"
+        return text
+
+    @property
+    def attribute_depth(self) -> int:
+        """Number of attribute (non-subscript) hops in the path."""
+        return sum(1 for step in self.steps if step != "[]")
+
+    def overlaps(self, other: "AccessPath") -> bool:
+        """Conservative may-alias test between two resolved paths.
+
+        Paths overlap when they share a root region (same global root
+        for module state) and one's step chain is a prefix of the
+        other's.  Zero-step reads of an index *parameter* are identity
+        uses (``i is None``) and never overlap a heap write, so both
+        sides must carry at least one step when rooted at an index.
+        """
+        if self.region is not other.region:
+            return False
+        if self.region in (Region.LOCAL, Region.UNKNOWN):
+            return False
+        if self.region is Region.GLOBAL and self.root != other.root:
+            return False
+        if self.region in (Region.OUTER, Region.INNER):
+            if not self.steps or not other.steps:
+                return False
+        shorter, longer = sorted((self.steps, other.steps), key=len)
+        return longer[: len(shorter)] == shorter
+
+
+@dataclass(frozen=True)
+class Access:
+    """One inferred read or write of an :class:`AccessPath`."""
+
+    path: AccessPath
+    is_write: bool
+    line: int = 0
+    col: int = 0
+
+
+@dataclass
+class WorkFootprint:
+    """Everything the work statements were inferred to touch."""
+
+    writes: list[Access] = field(default_factory=list)
+    reads: list[Access] = field(default_factory=list)
+
+    @property
+    def outer_keyed_writes(self) -> list[Access]:
+        """Writes provably private to one outer index (§3.3-safe)."""
+        return [w for w in self.writes if "outer" in w.path.keyed_by]
+
+    @property
+    def shared_writes(self) -> list[Access]:
+        """Writes visible across outer indices (inner-keyed or global)."""
+        return [
+            w
+            for w in self.writes
+            if "outer" not in w.path.keyed_by
+            and w.path.region not in (Region.LOCAL, Region.UNKNOWN)
+        ]
+
+    def to_json(self) -> list[dict]:
+        """JSON-ready write summary (used by ``--json`` reporting)."""
+        return [
+            {
+                "path": access.path.display,
+                "region": access.path.region.value,
+                "keyed_by": sorted(access.path.keyed_by),
+                "line": access.line,
+            }
+            for access in self.writes
+        ]
+
+
+_LOCAL = AccessPath(Region.LOCAL, "<local>")
+_UNKNOWN = AccessPath(Region.UNKNOWN, "<unknown>")
+
+
+class FootprintAnalyzer:
+    """AST walker that infers the footprint of a statement list.
+
+    One instance analyzes one context (the work statements, or a guard
+    or child expression via :meth:`scan_expression`); ``context`` is
+    ``"work"``, ``"guard"``, or ``"child"`` and selects which
+    diagnostic codes misbehaviour maps to (an unknown call is a
+    footprint hole in work, a purity hole in a guard).
+    """
+
+    def __init__(
+        self,
+        template: RecursionTemplate,
+        sink: DiagnosticSink,
+        assume_pure: Iterable[str] = (),
+        context: str = "work",
+    ) -> None:
+        self.template = template
+        self.sink = sink
+        self.assume_pure = frozenset(assume_pure)
+        self.context = context
+        self.footprint = WorkFootprint()
+        #: local name -> resolved alias target
+        self.aliases: dict[str, AccessPath] = {}
+        self.globals_declared: set[str] = set()
+
+    # --- name/path resolution ---------------------------------------
+
+    def resolve_name(self, name: str) -> AccessPath:
+        """Resolve a bare name to its region under the current env."""
+        if name == self.template.o_param:
+            return AccessPath(Region.OUTER, name, (), frozenset({"outer"}))
+        if name == self.template.i_param:
+            return AccessPath(Region.INNER, name, (), frozenset({"inner"}))
+        if name in self.aliases:
+            return self.aliases[name]
+        return AccessPath(Region.GLOBAL, name)
+
+    def resolve_chain(self, expr: ast.expr) -> AccessPath:
+        """Resolve a Name/Attribute/Subscript chain to an access path."""
+        if isinstance(expr, ast.Name):
+            return self.resolve_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self.resolve_chain(expr.value).child(expr.attr)
+        if isinstance(expr, ast.Subscript):
+            base = self.resolve_chain(expr.value)
+            keys = self._index_params_in(expr.slice)
+            self.scan_expression(expr.slice)
+            return base.child("[]", keys)
+        return _UNKNOWN
+
+    def _index_params_in(self, expr: ast.expr) -> set[str]:
+        """Which index parameters a subscript key mentions (alias-aware)."""
+        keys: set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                resolved = self.resolve_name(node.id)
+                if resolved.region is Region.OUTER:
+                    keys.add("outer")
+                elif resolved.region is Region.INNER:
+                    keys.add("inner")
+        return keys
+
+    def _value_alias(self, value: ast.expr) -> AccessPath:
+        """What an assignment's RHS binds the target name to."""
+        if isinstance(value, (ast.Name, ast.Attribute, ast.Subscript)):
+            return self.resolve_chain(value)
+        if isinstance(value, ast.Constant):
+            return _LOCAL
+        if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            element_paths = [self._value_alias(elt) for elt in value.elts]
+            if all(p.region is Region.LOCAL for p in element_paths):
+                return _LOCAL
+            return _UNKNOWN  # container literal capturing shared refs
+        if isinstance(value, ast.Dict):
+            parts = list(value.keys) + list(value.values)
+            paths = [self._value_alias(p) for p in parts if p is not None]
+            if all(p.region is Region.LOCAL for p in paths):
+                return _LOCAL
+            return _UNKNOWN
+        if isinstance(value, (ast.BinOp, ast.UnaryOp, ast.Compare, ast.BoolOp)):
+            return _LOCAL  # operators yield fresh values
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name) and func.id in FRESH_CONSTRUCTORS:
+                return _LOCAL
+            return _UNKNOWN
+        return _UNKNOWN
+
+    # --- recording ----------------------------------------------------
+
+    def record_read(self, path: AccessPath, node: ast.AST) -> None:
+        """Record one read access (LOCAL reads carry no dependence)."""
+        if path.region is Region.LOCAL:
+            return
+        self.footprint.reads.append(
+            Access(path, False, getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+        )
+
+    def record_write(self, path: AccessPath, node: ast.AST) -> None:
+        """Record one write and emit its safety classification."""
+        if path.region is Region.LOCAL:
+            return  # function-local scratch: reset every invocation
+        self.footprint.writes.append(
+            Access(path, True, getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+        )
+        if self.context != "work":
+            code = "TW020" if self.context == "guard" else "TW022"
+            self.sink.emit(
+                code,
+                f"{self.context} expression writes {path.display!r}; "
+                f"truncation and child selection must be pure — a "
+                f"side-effecting decision silently changes which "
+                f"schedule the generated code executes",
+                node,
+            )
+            return
+        if path.region is Region.UNKNOWN:
+            self.sink.emit(
+                "TW012",
+                f"cannot resolve the target of this write "
+                f"({path.display!r}); the inferred footprint is "
+                f"incomplete",
+                node,
+                hint="assign through a simple alias of an index "
+                "parameter, or verify dynamically with "
+                "repro.core.soundness",
+            )
+            return
+        final = path.steps[-1] if path.steps else ""
+        structural = final in STRUCTURAL_FIELDS or (
+            final == "[]" and len(path.steps) >= 2 and path.steps[-2] == "children"
+        )
+        if path.region in (Region.OUTER, Region.INNER) and structural:
+            self.sink.emit(
+                "TW024",
+                f"work writes {path.display!r}, a field the traversal "
+                f"machinery reads (twist decisions compare 'size', "
+                f"child expressions walk the tree, Section 4 owns the "
+                f"truncation flags); mutating it changes the schedule "
+                f"itself",
+                node,
+            )
+            return
+        if "outer" in path.keyed_by:
+            if path.attribute_depth >= 2:
+                self.sink.emit(
+                    "TW015",
+                    f"write {path.display!r} is outer-keyed only under "
+                    f"the assumption that each outer node owns the "
+                    f"object behind this multi-hop path",
+                    node,
+                )
+            return  # provably private to one outer index
+        if "inner" in path.keyed_by:
+            self.sink.emit(
+                "TW010",
+                f"write {path.display!r} is keyed by the inner index "
+                f"{self.template.i_param!r}: two different outer "
+                f"iterations write the same location, so the outer "
+                f"recursion is not parallel and the §3.3 criterion "
+                f"fails",
+                node,
+            )
+            return
+        self.sink.emit(
+            "TW011",
+            f"write {path.display!r} targets shared state keyed by "
+            f"neither index; every work point touches the same "
+            f"location, so no reordering of the iteration space "
+            f"preserves its dependences",
+            node,
+        )
+
+    # --- statement walking -------------------------------------------
+
+    def analyze_statements(self, statements: Iterable[ast.stmt]) -> WorkFootprint:
+        """Walk the work statements, populating the footprint and sink."""
+        for stmt in statements:
+            self._visit_stmt(stmt)
+        return self.footprint
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self.scan_expression(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self.scan_expression(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self._assign_target(stmt.target, stmt.value, augmented=True)
+            else:
+                path = self.resolve_chain(stmt.target)
+                self.record_read(path, stmt.target)
+                self.record_write(path, stmt.target)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.scan_expression(stmt.value)
+                self._assign_target(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.scan_expression(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.scan_expression(stmt.test)
+            for child in stmt.body + stmt.orelse:
+                self._visit_stmt(child)
+        elif isinstance(stmt, ast.While):
+            self.scan_expression(stmt.test)
+            for child in stmt.body + stmt.orelse:
+                self._visit_stmt(child)
+        elif isinstance(stmt, ast.For):
+            self._visit_for(stmt)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.scan_expression(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars, item.context_expr)
+            for child in stmt.body:
+                self._visit_stmt(child)
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            self.globals_declared.update(stmt.names)
+            for name in stmt.names:
+                self.aliases.pop(name, None)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self.record_write(self.resolve_chain(target), target)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self.scan_expression(value)
+        elif isinstance(stmt, ast.Assert):
+            self.scan_expression(stmt.test)
+            if stmt.msg is not None:
+                self.scan_expression(stmt.msg)
+        elif isinstance(stmt, ast.Pass):
+            pass
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self.sink.emit(
+                "TW012",
+                f"nested {type(stmt).__name__} {stmt.name!r} is not "
+                f"analyzed; its effects are invisible to the footprint",
+                stmt,
+            )
+        else:
+            self.sink.emit(
+                "TW012",
+                f"statement form {type(stmt).__name__} is not modeled; "
+                f"the inferred footprint is incomplete",
+                stmt,
+            )
+
+    def _visit_for(self, stmt: ast.For) -> None:
+        self.scan_expression(stmt.iter)
+        iter_path = (
+            self.resolve_chain(stmt.iter)
+            if isinstance(stmt.iter, (ast.Name, ast.Attribute, ast.Subscript))
+            else _UNKNOWN
+        )
+        if isinstance(stmt.target, ast.Name):
+            if iter_path.region in (Region.OUTER, Region.INNER, Region.GLOBAL):
+                # Items of a resolved container inherit its keying:
+                # ``for c in o.children`` binds outer-keyed nodes.
+                self.aliases[stmt.target.id] = iter_path.child("[]")
+            elif iter_path.region is Region.LOCAL:
+                self.aliases[stmt.target.id] = _LOCAL
+            else:
+                self.aliases[stmt.target.id] = _UNKNOWN
+        else:
+            for node in ast.walk(stmt.target):
+                if isinstance(node, ast.Name):
+                    self.aliases[node.id] = _UNKNOWN
+        for child in stmt.body + stmt.orelse:
+            self._visit_stmt(child)
+
+    def _assign_target(
+        self, target: ast.expr, value: ast.expr, augmented: bool = False
+    ) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in (self.template.o_param, self.template.i_param):
+                self.sink.emit(
+                    "TW024",
+                    f"work rebinds the index parameter {name!r}; the "
+                    f"recursive calls that follow would advance a "
+                    f"different position than the schedule analysis "
+                    f"assumes",
+                    target,
+                )
+                return
+            if name in self.globals_declared:
+                path = AccessPath(Region.GLOBAL, name)
+                if augmented:
+                    self.record_read(path, target)
+                self.record_write(path, target)
+                return
+            if augmented:
+                # Augmented assignment reads the prior local binding.
+                self.aliases.setdefault(name, _LOCAL)
+                return
+            self.aliases[name] = self._value_alias(value)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            path = self.resolve_chain(target)
+            if augmented:
+                self.record_read(path, target)
+            self.record_write(path, target)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                inner = element.value if isinstance(element, ast.Starred) else element
+                self._assign_target(inner, ast.Constant(value=None))
+        else:
+            self.sink.emit(
+                "TW012",
+                f"assignment target {ast.unparse(target)!r} is not "
+                f"modeled; the inferred footprint is incomplete",
+                target,
+            )
+
+    # --- expression walking ------------------------------------------
+
+    def scan_expression(self, expr: ast.expr) -> None:
+        """Record reads and classify calls within one expression."""
+        if isinstance(expr, ast.Name):
+            if isinstance(expr.ctx, ast.Load):
+                self.record_read(self.resolve_name(expr.id), expr)
+            return
+        if isinstance(expr, (ast.Attribute, ast.Subscript)):
+            self.record_read(self.resolve_chain(expr), expr)
+            return
+        if isinstance(expr, ast.Call):
+            self._handle_call(expr)
+            return
+        if isinstance(expr, ast.NamedExpr):
+            self.scan_expression(expr.value)
+            if isinstance(expr.target, ast.Name):
+                name = expr.target.id
+                if name in (self.template.o_param, self.template.i_param):
+                    code = "TW020" if self.context == "guard" else "TW024"
+                    self.sink.emit(
+                        code,
+                        f"walrus assignment rebinds the index parameter "
+                        f"{name!r}",
+                        expr,
+                    )
+                else:
+                    self.aliases[name] = self._value_alias(expr.value)
+            return
+        if isinstance(expr, (ast.Lambda, ast.GeneratorExp)):
+            self.sink.emit(
+                "TW013" if self.context == "work" else "TW021",
+                f"{type(expr).__name__} is not analyzed; treat its "
+                f"body's effects as unknown",
+                expr,
+            )
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.scan_expression(child)
+            elif isinstance(child, ast.comprehension):
+                self.scan_expression(child.iter)
+                for condition in child.ifs:
+                    self.scan_expression(condition)
+
+    def _handle_call(self, call: ast.Call) -> None:
+        for arg in call.args:
+            value = arg.value if isinstance(arg, ast.Starred) else arg
+            self.scan_expression(value)
+        for keyword in call.keywords:
+            self.scan_expression(keyword.value)
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.assume_pure or name in PURE_BUILTINS:
+                return
+            if name in FRESH_CONSTRUCTORS:
+                return
+            if name in ("setattr", "delattr") and call.args:
+                path = self.resolve_chain(call.args[0])
+                attr = (
+                    call.args[1].value
+                    if name == "setattr"
+                    and len(call.args) >= 2
+                    and isinstance(call.args[1], ast.Constant)
+                    and isinstance(call.args[1].value, str)
+                    else "[]"
+                )
+                self.record_write(path.child(str(attr)), call)
+                return
+            if name in IMPURE_CALLS:
+                self.record_write(AccessPath(Region.GLOBAL, f"<{name}>"), call)
+                return
+            self._unknown_call(call, name)
+            return
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                resolved = self.resolve_name(base.id)
+                if resolved.region is Region.GLOBAL and base.id in PURE_MODULES:
+                    return
+            method = func.attr
+            if method in KNOWN_MUTATING_METHODS:
+                self.record_write(self.resolve_chain(base), call)
+                return
+            if method in KNOWN_PURE_METHODS:
+                self.scan_expression(base)
+                return
+            self.scan_expression(base)
+            self._unknown_call(call, f"{ast.unparse(base)}.{method}")
+            return
+        self.scan_expression(func)
+        self._unknown_call(call, ast.unparse(func))
+
+    def _unknown_call(self, call: ast.Call, name: str) -> None:
+        if self.context == "work":
+            self.sink.emit(
+                "TW013",
+                f"call to unknown helper {name!r}: its effects are "
+                f"invisible, so the inferred footprint is incomplete",
+                call,
+                hint=f"declare it with '# lint: assume-pure: {name}' "
+                f"or --assume-pure if it only reads its arguments",
+            )
+        else:
+            self.sink.emit(
+                "TW021",
+                f"call to unknown helper {name!r} in a "
+                f"{self.context} expression: cannot prove the "
+                f"truncation/child decision is pure",
+                call,
+                hint=f"declare it with '# lint: assume-pure: {name}' "
+                f"or --assume-pure if it is side-effect free",
+            )
+
+
+def analyze_work(
+    template: RecursionTemplate,
+    sink: DiagnosticSink,
+    assume_pure: Iterable[str] = (),
+) -> WorkFootprint:
+    """Infer the footprint of a template's work statements."""
+    analyzer = FootprintAnalyzer(template, sink, assume_pure, context="work")
+    return analyzer.analyze_statements(template.work_statements)
+
+
+def analyze_expression(
+    template: RecursionTemplate,
+    expr: ast.expr,
+    sink: DiagnosticSink,
+    assume_pure: Iterable[str] = (),
+    context: str = "guard",
+) -> WorkFootprint:
+    """Infer the footprint of a guard or child expression."""
+    analyzer = FootprintAnalyzer(template, sink, assume_pure, context=context)
+    analyzer.scan_expression(expr)
+    return analyzer.footprint

@@ -1,0 +1,74 @@
+"""Cross-task race detection for the §7.3 task-parallel executor.
+
+:func:`repro.core.parallel.spawn_tasks` splits the outer recursion
+into one task per outer subtree; every task then crosses its subtree
+with the *whole shared inner tree*.  A write is task-private exactly
+when it is keyed by the outer index — the same criterion as §3.3 — so
+any write rooted in the inner tree or in module-global state is
+reachable from two spawned tasks at once and races under parallel
+execution.
+
+Findings here (TW030) affect only the ``parallel_safe`` dimension of
+the report: a sequentially-unsafe shared write already carries its
+TW010/TW011 error, and TW030 adds the distinct "this also races under
+run_task_parallel" signal the executor integration needs.
+"""
+
+from __future__ import annotations
+
+from repro.transform.lint.diagnostics import DiagnosticSink
+from repro.transform.lint.footprints import Region, WorkFootprint
+from repro.transform.recognizer import RecursionTemplate
+
+
+def check_parallel_safety(
+    template: RecursionTemplate,
+    work: WorkFootprint,
+    sink: DiagnosticSink,
+) -> bool:
+    """Intersect write footprints across spawnable outer subtrees.
+
+    Returns True when no cross-task race was found.  Writes whose
+    target could not be resolved (TW012 already emitted) leave the
+    question open and make the result False as well — an unprovable
+    task decomposition is not a safe one.
+    """
+    safe = True
+    for write in work.writes:
+        if "outer" in write.path.keyed_by:
+            continue  # private to one outer subtree, hence to one task
+        if write.path.region is Region.LOCAL:
+            continue
+        if write.path.region is Region.UNKNOWN:
+            safe = False
+            continue
+        safe = False
+        shared_in = (
+            "the shared inner tree"
+            if write.path.region is Region.INNER
+            or "inner" in write.path.keyed_by
+            else "module-global state"
+        )
+        sink.emit(
+            "TW030",
+            f"write {write.path.display!r} lands in {shared_in}, which "
+            f"every task spawned by repro.core.parallel.spawn_tasks "
+            f"reaches concurrently: tasks race on it under "
+            f"run_task_parallel (§7.3)",
+            _span(write),
+            hint="key the write by the outer index, or keep this "
+            "benchmark sequential",
+        )
+    return safe
+
+
+def _span(access) -> object:
+    """Adapt an Access back into a node-like span for diagnostics."""
+
+    class _Span:
+        """Minimal lineno/col_offset carrier."""
+
+        lineno = access.line
+        col_offset = access.col
+
+    return _Span()

@@ -1,0 +1,121 @@
+"""Purity checks for guards, child expressions, and size state.
+
+The generated schedules re-evaluate the truncation guards and child
+expressions in different orders and different *numbers of times* than
+the original recursion (the swapped outer recursion evaluates
+``truncateInner1?`` once per inner node, Figure 6b re-tests
+``truncateInner2?`` under the flag protocol, the twist decision reads
+``size`` at every recursive call).  Schedule equivalence therefore
+requires these expressions to be pure functions of the iteration point:
+
+* a *side-effecting* guard or child expression (TW020/TW022) breaks
+  equivalence outright — the KDE approximate-Score case, where a
+  twisting decision that mutated the score silently changed results,
+  is the cautionary tale;
+* a guard that *reads state the work writes* (TW023) is pure but
+  **adaptive**: its value depends on how much work has already
+  executed, so different schedules truncate different subtrees.  That
+  is exactly the NN/KNN/VP pruning pattern — not wrong, but not
+  statically provable, hence *needs-dynamic-check*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.transform.analysis import guard_aliases
+from repro.transform.lint.diagnostics import DiagnosticSink
+from repro.transform.lint.footprints import (
+    WorkFootprint,
+    analyze_expression,
+)
+from repro.transform.recognizer import RecursionTemplate
+
+
+def check_guard_purity(
+    template: RecursionTemplate,
+    sink: DiagnosticSink,
+    assume_pure: Iterable[str] = (),
+) -> WorkFootprint:
+    """Check both truncation guards; return the *inner* guard's reads.
+
+    Emits TW020 for writes/impure calls inside a guard and TW021 for
+    calls whose purity is unknown.  Walrus aliases of the index
+    parameters are legal in guards (the analyzer resolves them); a
+    walrus that *rebinds* an index parameter is flagged as TW020 by the
+    footprint machinery.
+    """
+    # Resolving guard aliases up front keeps the reads attributable to
+    # the right index parameter (shared vocabulary with analyze_truncation).
+    guard_aliases(template.inner_guard, (template.o_param, template.i_param))
+    outer_reads = analyze_expression(
+        template, template.outer_guard, sink, assume_pure, context="guard"
+    )
+    inner_reads = analyze_expression(
+        template, template.inner_guard, sink, assume_pure, context="guard"
+    )
+    merged = WorkFootprint(
+        writes=outer_reads.writes + inner_reads.writes,
+        reads=outer_reads.reads + inner_reads.reads,
+    )
+    return merged
+
+
+def check_child_purity(
+    template: RecursionTemplate,
+    sink: DiagnosticSink,
+    assume_pure: Iterable[str] = (),
+) -> None:
+    """Check every child expression of both recursions (TW022/TW021).
+
+    Child expressions are the template's "increment operations"; the
+    twisted code evaluates them in a different interleaving than the
+    original, so a child expression that pops, caches, or logs changes
+    the traversal itself.
+    """
+    for child in template.outer_child_exprs + template.inner_child_exprs:
+        analyze_expression(template, child, sink, assume_pure, context="child")
+
+
+def check_adaptive_truncation(
+    template: RecursionTemplate,
+    guard_reads: WorkFootprint,
+    work: WorkFootprint,
+    sink: DiagnosticSink,
+) -> bool:
+    """Flag guards that read locations the work writes (TW023).
+
+    Returns True when an adaptive dependence was found.  The check
+    intersects the guard's read paths with the work's write paths
+    using the conservative may-alias test of
+    :meth:`~repro.transform.lint.footprints.AccessPath.overlaps`.
+    """
+    adaptive = False
+    for read in guard_reads.reads:
+        for write in work.writes:
+            if read.path.overlaps(write.path):
+                adaptive = True
+                sink.emit(
+                    "TW023",
+                    f"truncation guard reads {read.path.display!r}, "
+                    f"which the work writes ({write.path.display!r} at "
+                    f"line {write.line}): pruning adapts to execution "
+                    f"order, so schedule equivalence depends on the "
+                    f"input and must be checked dynamically "
+                    f"(repro.core.soundness.check_transformation)",
+                    _span(read),
+                )
+                break
+    return adaptive
+
+
+def _span(access) -> object:
+    """Adapt an Access back into a node-like span for diagnostics."""
+
+    class _Span:
+        """Minimal lineno/col_offset carrier."""
+
+        lineno = access.line
+        col_offset = access.col
+
+    return _Span()

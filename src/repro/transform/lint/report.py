@@ -1,0 +1,153 @@
+"""Verdicts and the lint report: aggregation, rendering, JSON.
+
+The verdict lattice, from strongest to weakest:
+
+``interchange-safe``
+    every write is keyed by the outer index, all decision expressions
+    are pure, truncation is regular — the §3.3 sufficient criterion
+    holds outright, so interchange *and* twisting are sound;
+``twist-safe``
+    the same proof with irregular truncation: sound via the Section 4
+    flag machinery the generated code already includes;
+``needs-dynamic-check``
+    no refutation, but the proof has holes (unknown helper calls,
+    adaptive pruning, unresolved write targets) — run
+    :func:`repro.core.soundness.check_transformation` on concrete
+    inputs;
+``unsafe``
+    a finding refutes the criterion (inner-keyed or global write,
+    side-effecting decision, structural mutation, template violation).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.transform.lint.diagnostics import (
+    CATALOG,
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+)
+from repro.transform.lint.footprints import WorkFootprint
+
+
+class Verdict(enum.Enum):
+    """Overall schedule-safety classification of an annotated pair."""
+
+    INTERCHANGE_SAFE = "interchange-safe"
+    TWIST_SAFE = "twist-safe"
+    NEEDS_DYNAMIC_CHECK = "needs-dynamic-check"
+    UNSAFE = "unsafe"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_statically_safe(self) -> bool:
+        """True when the §3.3 proof went through with no holes."""
+        return self in (Verdict.INTERCHANGE_SAFE, Verdict.TWIST_SAFE)
+
+
+def derive_verdict(sink: DiagnosticSink, irregular: bool) -> Verdict:
+    """Fold the collected diagnostics into one verdict.
+
+    Parallel-only findings (``affects == "parallel"``) do not demote
+    the sequential verdict; they surface through ``parallel_safe``.
+    """
+    schedule_relevant = [
+        d for d in sink.diagnostics if CATALOG[d.code].affects != "parallel"
+    ]
+    if any(d.severity is Severity.ERROR for d in schedule_relevant):
+        return Verdict.UNSAFE
+    if any(d.severity is Severity.WARNING for d in schedule_relevant):
+        return Verdict.NEEDS_DYNAMIC_CHECK
+    return Verdict.TWIST_SAFE if irregular else Verdict.INTERCHANGE_SAFE
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run concluded about an annotated pair."""
+
+    verdict: Verdict
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: findings dropped by ``# lint: ignore[...]`` pragmas
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    #: False when a cross-task race (TW030) or unknown write exists
+    parallel_safe: bool = True
+    #: whether the pair uses irregular (§4) truncation; None = unknown
+    irregular: Optional[bool] = None
+    #: the inferred work footprint (None when recognition failed)
+    footprint: Optional[WorkFootprint] = None
+    #: names of the annotated pair, when recognition got that far
+    outer_name: Optional[str] = None
+    inner_name: Optional[str] = None
+    filename: str = "<source>"
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Findings that refute the safety proof."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Findings that leave a hole in the safety proof."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        """True when the verdict is backed by at least one error."""
+        return bool(self.errors)
+
+    def codes(self) -> set[str]:
+        """The set of diagnostic codes present in the report."""
+        return {d.code for d in self.diagnostics}
+
+    def render(self) -> str:
+        """Human-readable multi-line report (the CLI's default output)."""
+        lines: list[str] = []
+        for diagnostic in sorted(
+            self.diagnostics, key=lambda d: (d.line, d.col, d.code)
+        ):
+            lines.append(diagnostic.format(self.filename))
+        pair = (
+            f"{self.outer_name}/{self.inner_name}"
+            if self.outer_name and self.inner_name
+            else "<unrecognized>"
+        )
+        summary = (
+            f"{pair}: verdict: {self.verdict} "
+            f"({len(self.errors)} error(s), {len(self.warnings)} "
+            f"warning(s))"
+        )
+        if self.irregular is not None:
+            summary += f"; truncation: {'irregular' if self.irregular else 'regular'}"
+        summary += f"; task-parallel: {'safe' if self.parallel_safe else 'UNSAFE'}"
+        if self.suppressed:
+            summary += f"; {len(self.suppressed)} finding(s) suppressed"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON-ready dict with stable keys (the ``--json`` payload)."""
+        return {
+            "verdict": str(self.verdict),
+            "parallel_safe": self.parallel_safe,
+            "irregular": self.irregular,
+            "outer": self.outer_name,
+            "inner": self.inner_name,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "suppressed": [d.to_json() for d in self.suppressed],
+            "writes": self.footprint.to_json() if self.footprint else [],
+            "counts": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+            },
+        }
+
+    def dumps(self) -> str:
+        """Serialized JSON text of :meth:`to_json`."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)

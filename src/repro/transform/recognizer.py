@@ -162,7 +162,9 @@ def recognize(source: str, outer_name: str, inner_name: str) -> RecursionTemplat
     try:
         tree = ast.parse(textwrap.dedent(source))
     except SyntaxError as error:
-        raise TransformError(f"input source does not parse: {error}") from error
+        raise TransformError(
+            f"input source does not parse: {error}", code="TW001"
+        ) from error
 
     outer = _function_def(tree, outer_name)
     inner = _function_def(tree, inner_name)

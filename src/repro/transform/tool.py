@@ -13,9 +13,17 @@
 it recovers their source with :mod:`inspect`, transforms it, and
 executes the generated module in a namespace seeded with the original
 functions' globals — so work statements calling helper functions keep
-working.  Like the paper's prototype, the tool performs no soundness
-analysis; that is the caller's responsibility (see
-:mod:`repro.core.soundness` for machinery to check it dynamically).
+working.
+
+Unlike the paper's prototype — which "relies on the programmer to only
+annotate nested recursive functions that can be safely transformed" —
+the pipeline runs the static schedule-safety analyzer
+(:mod:`repro.transform.lint`) between analysis and codegen.  When the
+analyzer *refutes* safety (an error-severity ``TW0xx`` finding), the
+tool refuses to generate code unless ``allow_unproven=True``; holes in
+the proof (verdict *needs-dynamic-check*) never block, they are
+surfaced on the result's ``lint_report`` for the caller to follow up
+with :mod:`repro.core.soundness`.
 """
 
 from __future__ import annotations
@@ -23,13 +31,14 @@ from __future__ import annotations
 import ast
 import inspect
 import textwrap
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from types import SimpleNamespace
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
-from repro.errors import TransformError
+from repro.errors import LintError, TransformError
 from repro.transform.analysis import TruncationAnalysis, analyze_truncation
 from repro.transform.codegen import generate_module
+from repro.transform.lint import LintReport, collect_pragmas, lint_template
 from repro.transform.recognizer import RecursionTemplate, recognize
 
 
@@ -41,6 +50,8 @@ class TransformResult:
     analysis: TruncationAnalysis
     #: complete generated module source (originals + transforms)
     source: str
+    #: schedule-safety lint findings (None when linting was disabled)
+    lint_report: Optional[LintReport] = field(default=None)
 
     @property
     def is_irregular(self) -> bool:
@@ -80,12 +91,51 @@ def transform_source(
     outer_name: str,
     inner_name: str,
     cutoff: Optional[int] = None,
+    *,
+    lint: bool = True,
+    allow_unproven: bool = False,
+    assume_pure: Iterable[str] = (),
 ) -> TransformResult:
-    """Run the full tool pipeline on module source text."""
+    """Run the full tool pipeline on module source text.
+
+    With ``lint`` enabled (the default) the static schedule-safety
+    analyzer runs between truncation analysis and codegen; a verdict
+    of *unsafe* raises :class:`~repro.errors.LintError` unless
+    ``allow_unproven`` is set, in which case generation proceeds and
+    the findings ride along on ``lint_report``.  ``assume_pure`` names
+    helper functions the analyzer may treat as read-only (the in-source
+    ``# lint: assume-pure:`` pragma adds to it).
+    """
     template = recognize(source, outer_name, inner_name)
     analysis = analyze_truncation(template)
+    report: Optional[LintReport] = None
+    if lint:
+        pragma_pure, suppressions = collect_pragmas(source)
+        report = lint_template(
+            template,
+            analysis,
+            assume_pure=frozenset(assume_pure) | pragma_pure,
+            suppressions=suppressions,
+        )
+        if report.has_errors and not allow_unproven:
+            first = report.errors[0]
+            raise LintError(
+                f"static schedule-safety analysis refuted "
+                f"{outer_name}/{inner_name}: "
+                f"[{first.code}] {first.message} "
+                f"({len(report.errors)} error(s) total; pass "
+                f"allow_unproven=True / --allow-unproven to generate "
+                f"anyway)",
+                code=first.code,
+                report=report,
+            )
     generated = generate_module(template, analysis, cutoff=cutoff)
-    return TransformResult(template=template, analysis=analysis, source=generated)
+    return TransformResult(
+        template=template,
+        analysis=analysis,
+        source=generated,
+        lint_report=report,
+    )
 
 
 def find_annotated_pair(source: str) -> tuple[str, str]:
@@ -95,7 +145,12 @@ def find_annotated_pair(source: str) -> tuple[str, str]:
     decorators (by name, so both plain and ``repro.transform.``-qualified
     usages work).  Returns ``(outer_name, inner_name)``.
     """
-    tree = ast.parse(textwrap.dedent(source))
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError as error:
+        raise TransformError(
+            f"input source does not parse: {error}", code="TW001"
+        ) from error
     outer_name: Optional[str] = None
     declared_inner: Optional[str] = None
     inner_name: Optional[str] = None
@@ -142,17 +197,34 @@ def _inner_kwarg(call: ast.Call) -> Optional[str]:
 
 
 def transform_annotated_source(
-    source: str, cutoff: Optional[int] = None
+    source: str,
+    cutoff: Optional[int] = None,
+    *,
+    lint: bool = True,
+    allow_unproven: bool = False,
+    assume_pure: Iterable[str] = (),
 ) -> TransformResult:
     """Pipeline entry that discovers the pair from annotations."""
     outer_name, inner_name = find_annotated_pair(source)
-    return transform_source(source, outer_name, inner_name, cutoff=cutoff)
+    return transform_source(
+        source,
+        outer_name,
+        inner_name,
+        cutoff=cutoff,
+        lint=lint,
+        allow_unproven=allow_unproven,
+        assume_pure=assume_pure,
+    )
 
 
 def twist_functions(
     outer: Callable,
     inner: Callable,
     cutoff: Optional[int] = None,
+    *,
+    lint: bool = True,
+    allow_unproven: bool = False,
+    assume_pure: Iterable[str] = (),
 ) -> SimpleNamespace:
     """Transform two live functions and return runnable replacements.
 
@@ -169,5 +241,13 @@ def twist_functions(
     source = "\n".join(
         line for line in source.splitlines() if not line.lstrip().startswith("@")
     )
-    result = transform_source(source, outer.__name__, inner.__name__, cutoff=cutoff)
+    result = transform_source(
+        source,
+        outer.__name__,
+        inner.__name__,
+        cutoff=cutoff,
+        lint=lint,
+        allow_unproven=allow_unproven,
+        assume_pure=assume_pure,
+    )
     return result.compile(globals_seed=dict(outer.__globals__))

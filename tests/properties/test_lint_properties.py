@@ -1,0 +1,238 @@
+"""Cross-validation: static lint verdicts vs. dynamic soundness (§3.3).
+
+The static analyzer (:mod:`repro.transform.lint`) and the dynamic
+checker (:mod:`repro.core.soundness`) decide the same criterion —
+"every write is keyed by the outer index" — from opposite ends: the
+AST versus a concrete recorded run.  These properties pin the two
+together over arbitrary trees:
+
+* a **statically safe** verdict (interchange-safe / twist-safe) implies
+  the recorded run satisfies §3.3 (``is_outer_parallel``) and that the
+  generated interchanged *and* twisted schedules preserve every
+  dependence of the original (``compare_recordings(...).is_sound``);
+* a **statically refuted** verdict (TW010/TW011) is witnessed
+  dynamically: on any input with at least two outer nodes the recorded
+  run has ``outer_parallel_violations``.
+
+Methodology: each case pairs work *source* (what the linter sees) with
+the equivalent dynamic *footprint function* (what the recorder sees).
+The executed module is a shadow whose work is ``probe(o, i)`` feeding
+the recorder — valid because every case's guards are pure functions of
+the immutable labels, so the shadow executes the exact schedule the
+real work would.
+"""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.soundness import (
+    FootprintRecorder,
+    compare_recordings,
+    is_outer_parallel,
+    outer_parallel_violations,
+)
+from repro.spaces import random_tree
+from repro.transform import transform_source
+from repro.transform.lint import lint_source
+
+SOURCE = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+def inner(o, i):
+    if {guard}:
+        return
+    {work}
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+
+
+def far(o, i):
+    """Pure irregular-truncation predicate over immutable labels."""
+    return (o.label * 7 + i.label) % 3 == 0
+
+
+@dataclass(frozen=True)
+class Case:
+    """One work/guard shape with its ground-truth dynamic footprint."""
+
+    name: str
+    work: str
+    guard: str
+    footprint: Callable
+    #: the verdict the linter must reach on this source
+    static_safe: bool
+
+
+def fp_outer_data(o, i):
+    return [
+        (("odata", o.label), True),
+        (("odata", o.label), False),
+        (("idata", i.label), False),
+    ]
+
+
+def fp_inner_data(o, i):
+    return [
+        (("idata", i.label), True),
+        (("idata", i.label), False),
+        (("odata", o.label), False),
+    ]
+
+
+def fp_outer_table(o, i):
+    return [
+        (("table", o.label), True),
+        (("odata", o.label), False),
+        (("idata", i.label), False),
+    ]
+
+
+def fp_global_total(o, i):
+    return [
+        (("total",), True),
+        (("total",), False),
+        (("odata", o.label), False),
+    ]
+
+
+SAFE_CASES = [
+    Case(
+        "outer-attribute",
+        "o.data = o.data + i.data",
+        "i is None",
+        fp_outer_data,
+        True,
+    ),
+    Case(
+        "outer-keyed-table",
+        "table[o.label] = o.data * i.data",
+        "i is None",
+        fp_outer_table,
+        True,
+    ),
+    Case(
+        "irregular-pure-guard",
+        "o.data = o.data + i.data",
+        "i is None or far(o, i)",
+        fp_outer_data,
+        True,
+    ),
+]
+
+REFUTED_CASES = [
+    Case(
+        "inner-attribute",
+        "i.data = i.data + o.data",
+        "i is None",
+        fp_inner_data,
+        False,
+    ),
+    Case(
+        "global-accumulator",
+        "global total\n    total = total + o.data",
+        "i is None",
+        fp_global_total,
+        False,
+    ),
+]
+
+#: transform results cached per case: codegen is deterministic and the
+#: hypothesis loop would otherwise re-run it hundreds of times.
+_TRANSFORMED: dict[str, object] = {}
+
+
+def schedules_of(case: Case, outer_tree, inner_tree):
+    """Record all three generated schedules through the shadow probe."""
+    if case.name not in _TRANSFORMED:
+        shadow = SOURCE.format(guard=case.guard, work="probe(o, i)")
+        _TRANSFORMED[case.name] = transform_source(
+            shadow, "outer", "inner", lint=False
+        )
+    result = _TRANSFORMED[case.name]
+    recorders = {}
+    for entry in ("outer", "outer_swapped", "outer_twisted"):
+        recorder = FootprintRecorder(case.footprint)
+        namespace = result.compile({"probe": recorder.work, "far": far})
+        getattr(namespace, entry)(outer_tree, inner_tree)
+        recorders[entry] = recorder
+    return recorders
+
+
+def lint_case(case: Case):
+    source = SOURCE.format(guard=case.guard, work=case.work)
+    return lint_source(source, "outer", "inner", assume_pure={"far"})
+
+
+tree_sizes = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=1_000)
+
+
+class TestStaticSafeImpliesDynamicallySound:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        case=st.sampled_from(SAFE_CASES),
+        outer_n=tree_sizes,
+        inner_n=tree_sizes,
+        outer_seed=seeds,
+        inner_seed=seeds,
+    )
+    def test_safe_verdict_backed_by_recorded_run(
+        self, case, outer_n, inner_n, outer_seed, inner_seed
+    ):
+        report = lint_case(case)
+        assert report.verdict.is_statically_safe, (case.name, report.render())
+
+        recorders = schedules_of(
+            case,
+            random_tree(outer_n, seed=outer_seed),
+            random_tree(inner_n, seed=inner_seed),
+        )
+        original = recorders["outer"]
+        # The §3.3 criterion the linter proved holds on the actual run...
+        assert is_outer_parallel(original), case.name
+        # ...and the generated schedules preserve every dependence.
+        for entry in ("outer_swapped", "outer_twisted"):
+            verdict = compare_recordings(original, recorders[entry])
+            assert verdict.is_sound, (case.name, entry, verdict.violations)
+
+    def test_irregular_case_is_twist_safe_not_interchange_safe(self):
+        report = lint_case(SAFE_CASES[2])
+        assert report.verdict.value == "twist-safe"
+        assert report.irregular is True
+
+
+class TestStaticRefutationWitnessedDynamically:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        case=st.sampled_from(REFUTED_CASES),
+        outer_n=st.integers(min_value=2, max_value=12),
+        inner_n=tree_sizes,
+        outer_seed=seeds,
+        inner_seed=seeds,
+    )
+    def test_unsafe_verdict_witnessed_by_recorded_run(
+        self, case, outer_n, inner_n, outer_seed, inner_seed
+    ):
+        report = lint_case(case)
+        assert report.verdict.value == "unsafe", case.name
+        assert report.codes() & {"TW010", "TW011"}
+
+        recorders = schedules_of(
+            case,
+            random_tree(outer_n, seed=outer_seed),
+            random_tree(inner_n, seed=inner_seed),
+        )
+        # With >= 2 outer nodes every refuted case's shared location is
+        # written under two different outer indices: the exact dynamic
+        # counterpart of TW010/TW011.
+        violations = outer_parallel_violations(recorders["outer"])
+        assert violations, case.name
+        assert not is_outer_parallel(recorders["outer"])

@@ -1,0 +1,1 @@
+"""Unit tests for the static schedule-safety analyzer."""

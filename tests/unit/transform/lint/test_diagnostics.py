@@ -1,0 +1,156 @@
+"""Unit tests for the diagnostics engine: catalog, rendering, sinks."""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.transform.lint import collect_pragmas, lint_source
+from repro.transform.lint.diagnostics import (
+    CATALOG,
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    make_diagnostic,
+)
+
+DOCS = Path(__file__).resolve().parents[4] / "docs" / "DIAGNOSTICS.md"
+
+
+class TestCatalog:
+    def test_codes_are_stable_and_well_formed(self):
+        for code, info in CATALOG.items():
+            assert re.fullmatch(r"TW0\d\d", code)
+            assert info.code == code
+            assert info.title
+            assert info.affects in ("input", "schedule", "parallel")
+
+    def test_expected_codes_present(self):
+        assert {
+            "TW001", "TW002", "TW003", "TW010", "TW011", "TW012",
+            "TW013", "TW015", "TW020", "TW021", "TW022", "TW023",
+            "TW024", "TW030",
+        } <= set(CATALOG)
+
+    def test_severity_conventions(self):
+        assert CATALOG["TW010"].severity is Severity.ERROR
+        assert CATALOG["TW013"].severity is Severity.WARNING
+        assert CATALOG["TW015"].severity is Severity.INFO
+        assert CATALOG["TW030"].affects == "parallel"
+
+    def test_docs_catalog_in_sync(self):
+        """Every catalog code has a docs section and vice versa."""
+        text = DOCS.read_text()
+        documented = set(re.findall(r"^### (TW0\d\d)", text, re.MULTILINE))
+        assert documented == set(CATALOG)
+        # Titles appear verbatim so the docs never drift from the code.
+        for info in CATALOG.values():
+            assert info.title in text
+
+
+class TestDiagnostic:
+    def test_format_classic_line(self):
+        diag = Diagnostic("TW010", Severity.ERROR, "boom", line=4, col=2)
+        assert diag.format("f.py") == "f.py:4:2: error[TW010]: boom"
+
+    def test_format_includes_hint(self):
+        diag = Diagnostic(
+            "TW013", Severity.WARNING, "unknown", line=1, col=0, hint="declare it"
+        )
+        assert "hint: declare it" in diag.format()
+
+    def test_json_round_trip(self):
+        diag = make_diagnostic(
+            "TW011", "shared", ast.parse("x = 1").body[0], hint="fix"
+        )
+        payload = diag.to_json()
+        assert payload == {
+            "code": "TW011",
+            "severity": "error",
+            "message": "shared",
+            "line": 1,
+            "col": 0,
+            "hint": "fix",
+        }
+
+    def test_unknown_code_is_programming_error(self):
+        with pytest.raises(KeyError, match="TW999"):
+            make_diagnostic("TW999", "nope")
+
+    def test_span_defaults_to_zero(self):
+        diag = make_diagnostic("TW001", "no parse")
+        assert (diag.line, diag.col) == (0, 0)
+
+
+class TestSink:
+    def test_deduplicates_exact_repeats(self):
+        sink = DiagnosticSink()
+        node = ast.parse("f()").body[0].value
+        sink.emit("TW013", "same", node)
+        sink.emit("TW013", "same", node)
+        assert len(sink.diagnostics) == 1
+
+    def test_errors_and_warnings_partition(self):
+        sink = DiagnosticSink()
+        sink.emit("TW010", "err")
+        sink.emit("TW013", "warn")
+        sink.emit("TW015", "info")
+        assert [d.code for d in sink.errors] == ["TW010"]
+        assert [d.code for d in sink.warnings] == ["TW013"]
+
+    def test_suppression_moves_finding_aside(self):
+        sink = DiagnosticSink(suppressions={3: {"TW013"}})
+        node = ast.parse("\n\nf()").body[0].value
+        assert node.lineno == 3
+        sink.emit("TW013", "ignored", node)
+        assert sink.diagnostics == []
+        assert [d.code for d in sink.suppressed] == ["TW013"]
+
+
+TEMPLATE = '''
+from repro.transform import outer_recursion, inner_recursion
+
+@outer_recursion(inner="inner")
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+@inner_recursion
+def inner(o, i):
+    if i is None:
+        return
+    {work}
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+
+
+class TestPragmas:
+    def test_collect_assume_pure(self):
+        pure, _ = collect_pragmas("# lint: assume-pure: dist, count_pairs\n")
+        assert pure == {"dist", "count_pairs"}
+
+    def test_collect_ignores_with_line_numbers(self):
+        _, ignores = collect_pragmas("x = 1\ny = f()  # lint: ignore[TW013]\n")
+        assert ignores == {2: {"TW013"}}
+
+    def test_ignore_pragma_suppresses_in_lint_source(self):
+        noisy = TEMPLATE.format(work="mystery(o, i)")
+        quiet = TEMPLATE.format(work="mystery(o, i)  # lint: ignore[TW013]")
+        assert "TW013" in lint_source(noisy).codes()
+        report = lint_source(quiet)
+        assert "TW013" not in report.codes()
+        assert [d.code for d in report.suppressed] == ["TW013"]
+        assert report.verdict.value == "interchange-safe"
+
+    def test_assume_pure_pragma_silences_unknown_helper(self):
+        source = TEMPLATE.format(
+            work="o.data = mystery(o, i)  # lint: assume-pure: mystery"
+        )
+        report = lint_source(source)
+        assert report.codes() == set()
+        assert report.verdict.value == "interchange-safe"

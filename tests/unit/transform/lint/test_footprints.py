@@ -1,0 +1,188 @@
+"""Unit tests for static footprint inference over work statements."""
+
+from repro.transform import recognize
+from repro.transform.lint.diagnostics import DiagnosticSink
+from repro.transform.lint.footprints import AccessPath, Region, analyze_work
+
+
+def footprint_of(work: str, assume_pure=()):
+    """Recognize a pair whose inner body runs ``work`` and analyze it."""
+    indented = "\n".join(
+        "    " + line for line in work.strip().splitlines()
+    )
+    source = f'''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+def inner(o, i):
+    if i is None:
+        return
+{indented}
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+    template = recognize(source, "outer", "inner")
+    sink = DiagnosticSink()
+    fp = analyze_work(template, sink, assume_pure)
+    return fp, sink
+
+
+def codes(sink):
+    return {d.code for d in sink.diagnostics}
+
+
+class TestWriteClassification:
+    def test_outer_attribute_write_is_outer_keyed(self):
+        fp, sink = footprint_of("o.data = o.data + i.data")
+        assert codes(sink) == set()
+        (write,) = fp.writes
+        assert write.path.region is Region.OUTER
+        assert "outer" in write.path.keyed_by
+        assert fp.outer_keyed_writes == [write]
+        assert fp.shared_writes == []
+
+    def test_inner_attribute_write_flagged(self):
+        fp, sink = footprint_of("i.data = i.data + o.data")
+        assert codes(sink) == {"TW010"}
+        (write,) = fp.writes
+        assert write.path.region is Region.INNER
+        assert fp.shared_writes == [write]
+
+    def test_global_scalar_write_flagged(self):
+        _, sink = footprint_of("global total\ntotal = total + o.data")
+        assert codes(sink) == {"TW011"}
+
+    def test_subscript_keyed_by_outer_is_safe(self):
+        fp, sink = footprint_of("table[o.number] = o.data * i.data")
+        assert codes(sink) == set()
+        (write,) = fp.writes
+        assert write.path.region is Region.GLOBAL
+        assert "outer" in write.path.keyed_by
+
+    def test_subscript_keyed_by_inner_only_flagged(self):
+        _, sink = footprint_of("table[i.number] = o.data")
+        assert codes(sink) == {"TW010"}
+
+    def test_unkeyed_subscript_flagged(self):
+        _, sink = footprint_of("table[0] = o.data")
+        assert codes(sink) == {"TW011"}
+
+    def test_augassign_records_read_and_write(self):
+        fp, sink = footprint_of("o.data += i.data")
+        assert codes(sink) == set()
+        assert any(r.path.display == "o.data" for r in fp.reads)
+        assert any(w.path.display == "o.data" for w in fp.writes)
+
+    def test_structural_mutation_flagged(self):
+        _, sink = footprint_of("o.size = 0")
+        assert codes(sink) == {"TW024"}
+
+    def test_index_rebind_flagged(self):
+        _, sink = footprint_of("o = i")
+        assert codes(sink) == {"TW024"}
+
+    def test_multi_hop_write_is_info_only(self):
+        fp, sink = footprint_of("o.stats.best = i.data")
+        assert codes(sink) == {"TW015"}
+        (write,) = fp.writes
+        assert "outer" in write.path.keyed_by
+
+
+class TestAliases:
+    def test_alias_of_outer_child_keeps_keying(self):
+        fp, sink = footprint_of("t = o.stats\nt.best = i.data")
+        assert codes(sink) == {"TW015"}
+        (write,) = fp.writes
+        assert write.path.display == "o.stats.best"
+
+    def test_alias_of_inner_child_flagged(self):
+        _, sink = footprint_of("t = i.left\nt.data = 1")
+        assert codes(sink) == {"TW010"}
+
+    def test_local_scratch_writes_ignored(self):
+        fp, sink = footprint_of("acc = 0\nacc = acc + i.data\no.data = acc")
+        assert codes(sink) == set()
+        assert [w.path.display for w in fp.writes] == ["o.data"]
+
+    def test_for_loop_target_inherits_container_keying(self):
+        fp, sink = footprint_of("for c in o.parts:\n    c.data = i.data")
+        assert codes(sink) == {"TW015"}
+        (write,) = fp.writes
+        assert "outer" in write.path.keyed_by
+
+    def test_fresh_constructor_is_local(self):
+        fp, sink = footprint_of("buf = list()\nbuf.append(i.data)")
+        assert codes(sink) == set()
+        assert fp.writes == []
+
+
+class TestCalls:
+    def test_unknown_helper_is_footprint_hole(self):
+        _, sink = footprint_of("work(o, i)")
+        assert codes(sink) == {"TW013"}
+        (diag,) = sink.diagnostics
+        assert "work" in diag.message
+        assert diag.hint and "assume-pure" in diag.hint
+
+    def test_assume_pure_silences_helper(self):
+        _, sink = footprint_of("work(o, i)", assume_pure={"work"})
+        assert codes(sink) == set()
+
+    def test_pure_builtins_silent(self):
+        _, sink = footprint_of("o.data = max(o.data, abs(i.data))")
+        assert codes(sink) == set()
+
+    def test_mutating_method_on_outer_receiver_is_keyed_write(self):
+        fp, sink = footprint_of("o.heap.push(i.data)")
+        assert codes(sink) == set()
+        (write,) = fp.writes
+        assert write.path.display == "o.heap"
+        assert "outer" in write.path.keyed_by
+
+    def test_mutating_method_on_global_flagged(self):
+        _, sink = footprint_of("results.append(i.data)")
+        assert codes(sink) == {"TW011"}
+
+    def test_impure_call_is_global_write(self):
+        _, sink = footprint_of("print(o.data)")
+        assert codes(sink) == {"TW011"}
+
+    def test_setattr_resolved_like_attribute_store(self):
+        fp, sink = footprint_of("setattr(o, 'data', i.data)")
+        assert codes(sink) == set()
+        (write,) = fp.writes
+        assert write.path.display == "o.data"
+
+    def test_pure_module_call_silent(self):
+        _, sink = footprint_of("o.data = math.sqrt(i.data)")
+        assert codes(sink) == set()
+
+
+class TestAccessPathOverlaps:
+    def test_prefix_overlap(self):
+        a = AccessPath(Region.OUTER, "o", ("best",), frozenset({"outer"}))
+        b = AccessPath(Region.OUTER, "o", ("best", "value"), frozenset({"outer"}))
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_disjoint_fields_do_not_overlap(self):
+        a = AccessPath(Region.OUTER, "o", ("best",))
+        b = AccessPath(Region.OUTER, "o", ("count",))
+        assert not a.overlaps(b)
+
+    def test_bare_parameter_read_never_overlaps_heap_write(self):
+        bare = AccessPath(Region.INNER, "i", ())
+        write = AccessPath(Region.INNER, "i", ("data",))
+        assert not bare.overlaps(write)
+
+    def test_distinct_global_roots_do_not_overlap(self):
+        a = AccessPath(Region.GLOBAL, "table", ("[]",))
+        b = AccessPath(Region.GLOBAL, "other", ("[]",))
+        assert not a.overlaps(b)
+
+    def test_local_never_overlaps(self):
+        a = AccessPath(Region.LOCAL, "<local>", ("x",))
+        assert not a.overlaps(a)

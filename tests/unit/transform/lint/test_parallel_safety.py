@@ -1,0 +1,102 @@
+"""Unit tests for §7.3 cross-task race detection (TW030)."""
+
+from repro.transform import recognize
+from repro.transform.lint import lint_source
+from repro.transform.lint.diagnostics import DiagnosticSink
+from repro.transform.lint.footprints import analyze_work
+from repro.transform.lint.parallel_safety import check_parallel_safety
+
+
+def analyzed(work: str):
+    indented = "\n".join("    " + line for line in work.strip().splitlines())
+    source = f'''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+def inner(o, i):
+    if i is None:
+        return
+{indented}
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+    template = recognize(source, "outer", "inner")
+    sink = DiagnosticSink()
+    footprint = analyze_work(template, sink)
+    return template, footprint
+
+
+class TestCheckParallelSafety:
+    def test_outer_keyed_write_is_task_private(self):
+        template, fp = analyzed("o.data = o.data + i.data")
+        sink = DiagnosticSink()
+        assert check_parallel_safety(template, fp, sink)
+        assert sink.diagnostics == []
+
+    def test_inner_write_races_via_shared_inner_tree(self):
+        template, fp = analyzed("i.data = i.data + 1")
+        sink = DiagnosticSink()
+        assert not check_parallel_safety(template, fp, sink)
+        (diag,) = sink.diagnostics
+        assert diag.code == "TW030"
+        assert "shared inner tree" in diag.message
+
+    def test_global_write_races_via_module_state(self):
+        template, fp = analyzed("global total\ntotal = total + 1")
+        sink = DiagnosticSink()
+        assert not check_parallel_safety(template, fp, sink)
+        (diag,) = sink.diagnostics
+        assert diag.code == "TW030"
+        assert "module-global state" in diag.message
+
+    def test_outer_keyed_table_write_is_task_private(self):
+        template, fp = analyzed("table[o.number] = i.data")
+        sink = DiagnosticSink()
+        assert check_parallel_safety(template, fp, sink)
+
+    def test_unresolved_write_is_unproven_not_raced(self):
+        # ``t`` aliases an unknown call result: no TW030 message, but
+        # the decomposition is not provably safe either.
+        template, fp = analyzed("t = pick(o)\nt.data = 1")
+        sink = DiagnosticSink()
+        assert not check_parallel_safety(template, fp, sink)
+        assert all(d.code != "TW030" for d in sink.diagnostics)
+
+
+class TestReportIntegration:
+    SOURCE = '''
+from repro.transform import outer_recursion, inner_recursion
+
+@outer_recursion(inner="inner")
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+@inner_recursion
+def inner(o, i):
+    if i is None:
+        return
+    {work}
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+
+    def test_parallel_only_finding_does_not_demote_verdict(self):
+        # An inner-keyed write is both TW010 (sequential) and TW030
+        # (parallel); the sequential verdict comes from TW010 alone.
+        report = lint_source(self.SOURCE.format(work="i.data = o.data"))
+        assert report.verdict.value == "unsafe"
+        assert not report.parallel_safe
+        assert {"TW010", "TW030"} <= report.codes()
+
+    def test_safe_benchmark_is_parallel_safe(self):
+        report = lint_source(self.SOURCE.format(work="o.data = i.data"))
+        assert report.verdict.value == "interchange-safe"
+        assert report.parallel_safe

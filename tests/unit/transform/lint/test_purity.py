@@ -1,0 +1,120 @@
+"""Unit tests for guard/child purity and adaptive-truncation checks."""
+
+from repro.transform import recognize
+from repro.transform.lint.diagnostics import DiagnosticSink
+from repro.transform.lint.footprints import analyze_work
+from repro.transform.lint.purity import (
+    check_adaptive_truncation,
+    check_child_purity,
+    check_guard_purity,
+)
+
+
+def make_template(guard="i is None", work="o.data = o.data + i.data",
+                  inner_child="i.left"):
+    source = f'''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+def inner(o, i):
+    if {guard}:
+        return
+    {work}
+    inner(o, {inner_child})
+    inner(o, i.right)
+'''
+    return recognize(source, "outer", "inner")
+
+
+def run_checks(template, assume_pure=()):
+    sink = DiagnosticSink()
+    work = analyze_work(template, sink, assume_pure)
+    guard_reads = check_guard_purity(template, sink, assume_pure)
+    check_child_purity(template, sink, assume_pure)
+    adaptive = check_adaptive_truncation(template, guard_reads, work, sink)
+    return sink, adaptive
+
+
+def codes(sink):
+    return {d.code for d in sink.diagnostics}
+
+
+class TestGuardPurity:
+    def test_pure_guard_is_silent(self):
+        sink, adaptive = run_checks(make_template("i is None or i.data > 0"))
+        assert codes(sink) == set()
+        assert not adaptive
+
+    def test_unknown_call_in_guard_is_tw021(self):
+        sink, _ = run_checks(make_template("i is None or prune(o, i)"))
+        assert "TW021" in codes(sink)
+        (diag,) = [d for d in sink.diagnostics if d.code == "TW021"]
+        assert "prune" in diag.message
+
+    def test_assume_pure_clears_guard_call(self):
+        sink, _ = run_checks(
+            make_template("i is None or prune(o, i)"), assume_pure={"prune"}
+        )
+        assert codes(sink) == set()
+
+    def test_mutating_guard_is_tw020(self):
+        sink, _ = run_checks(make_template("i is None or i.visits.append(1)"))
+        assert "TW020" in codes(sink)
+
+    def test_guard_reads_include_both_guards(self):
+        template = make_template("i is None or i.data > o.reach")
+        sink = DiagnosticSink()
+        reads = check_guard_purity(template, sink)
+        displays = {r.path.display for r in reads.reads}
+        assert "i.data" in displays
+        assert "o.reach" in displays
+
+
+class TestChildPurity:
+    def test_pure_child_expressions_silent(self):
+        sink, _ = run_checks(make_template())
+        assert codes(sink) == set()
+
+    def test_unknown_call_in_child_is_tw021(self):
+        sink, _ = run_checks(make_template(inner_child="next_node(i)"))
+        assert "TW021" in codes(sink)
+
+    def test_mutating_child_is_tw022(self):
+        sink, _ = run_checks(make_template(inner_child="i.queue.pop()"))
+        assert "TW022" in codes(sink)
+
+
+class TestAdaptiveTruncation:
+    def test_guard_reading_work_written_field_is_adaptive(self):
+        sink, adaptive = run_checks(
+            make_template(
+                guard="i is None or i.data > o.best",
+                work="o.best = min(o.best, i.data)",
+            )
+        )
+        assert adaptive
+        assert "TW023" in codes(sink)
+        (diag,) = [d for d in sink.diagnostics if d.code == "TW023"]
+        assert "o.best" in diag.message
+
+    def test_guard_reading_untouched_field_is_not_adaptive(self):
+        sink, adaptive = run_checks(
+            make_template(
+                guard="i is None or i.data > o.reach",
+                work="o.count = o.count + 1",
+            )
+        )
+        assert not adaptive
+        assert "TW023" not in codes(sink)
+
+    def test_bare_index_test_is_not_adaptive(self):
+        # ``i is None`` reads the parameter identity, not heap state.
+        sink, adaptive = run_checks(
+            make_template(guard="i is None", work="o.data = i.data")
+        )
+        assert not adaptive
+        assert codes(sink) == set()

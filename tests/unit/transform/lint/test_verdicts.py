@@ -1,0 +1,141 @@
+"""Verdict tests: the six paper benchmarks and crafted-unsafe cases.
+
+The acceptance bar for the analyzer (§3.3, §6.1): TJ and MM prove
+*interchange-safe*, PC proves *twist-safe* (irregular but pure), the
+adaptive benchmarks NN/KNN/VP come back *needs-dynamic-check*, and
+crafted violations — inner-keyed writes, side-effecting decisions,
+cross-task shared accumulators — are rejected with stable codes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.transform.lint import Verdict, lint_source
+
+ANNOTATED = Path(__file__).resolve().parents[4] / "examples" / "annotated"
+
+
+def lint_benchmark(name: str):
+    path = ANNOTATED / f"{name}.py"
+    return lint_source(path.read_text(), filename=path.name)
+
+
+class TestPaperBenchmarks:
+    @pytest.mark.parametrize("name", ["tj", "mm"])
+    def test_regular_benchmarks_are_interchange_safe(self, name):
+        report = lint_benchmark(name)
+        assert report.verdict is Verdict.INTERCHANGE_SAFE
+        assert report.irregular is False
+        assert report.parallel_safe
+        assert report.errors == []
+
+    def test_pc_is_twist_safe(self):
+        report = lint_benchmark("pc")
+        assert report.verdict is Verdict.TWIST_SAFE
+        assert report.irregular is True
+        assert report.parallel_safe
+        assert report.verdict.is_statically_safe
+
+    @pytest.mark.parametrize("name", ["nn", "knn", "vp"])
+    def test_adaptive_benchmarks_need_dynamic_check(self, name):
+        report = lint_benchmark(name)
+        assert report.verdict is Verdict.NEEDS_DYNAMIC_CHECK
+        assert "TW023" in report.codes()
+        assert not report.verdict.is_statically_safe
+        # Adaptive pruning leaves a proof hole, not a refutation.
+        assert report.errors == []
+
+    def test_mm_write_is_outer_keyed_through_subscript(self):
+        report = lint_benchmark("mm")
+        (write,) = report.footprint.writes
+        assert write.path.display == "C[...]"
+        assert "outer" in write.path.keyed_by
+
+
+TEMPLATE = '''
+from repro.transform import outer_recursion, inner_recursion
+
+@outer_recursion(inner="inner")
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+
+@inner_recursion
+def inner(o, i):
+    if {guard}:
+        return
+    {work}
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+
+
+def lint_case(work, guard="i is None"):
+    return lint_source(TEMPLATE.format(work=work, guard=guard))
+
+
+class TestCraftedUnsafeCases:
+    def test_inner_keyed_write_rejected(self):
+        report = lint_case("i.data = i.data + o.data")
+        assert report.verdict is Verdict.UNSAFE
+        assert "TW010" in report.codes()
+        assert not report.parallel_safe
+
+    def test_shared_accumulator_rejected(self):
+        report = lint_case("counts.append((o.number, i.number))")
+        assert report.verdict is Verdict.UNSAFE
+        assert {"TW011", "TW030"} <= report.codes()
+        assert not report.parallel_safe
+
+    def test_side_effecting_guard_rejected(self):
+        report = lint_case(
+            "o.data = o.data + i.data",
+            guard="i is None or i.log.append(1)",
+        )
+        assert report.verdict is Verdict.UNSAFE
+        assert "TW020" in report.codes()
+
+    def test_structural_mutation_rejected(self):
+        report = lint_case("o.size = o.size - 1")
+        assert report.verdict is Verdict.UNSAFE
+        assert "TW024" in report.codes()
+
+    def test_outer_only_disjunct_rejected_as_diagnostic(self):
+        report = lint_case("o.data = i.data", guard="i is None or o.skip")
+        assert report.verdict is Verdict.UNSAFE
+        assert "TW003" in report.codes()
+
+
+class TestVerdictDerivation:
+    def test_unknown_helper_degrades_to_dynamic_check(self):
+        report = lint_case("work(o, i)")
+        assert report.verdict is Verdict.NEEDS_DYNAMIC_CHECK
+        assert "TW013" in report.codes()
+
+    def test_info_findings_do_not_degrade(self):
+        report = lint_case("o.stats.best = i.data")
+        assert report.verdict is Verdict.INTERCHANGE_SAFE
+        assert "TW015" in report.codes()
+
+    def test_unrecognized_source_is_unsafe_with_template_code(self):
+        report = lint_source("def solo(o, i):\n    pass\n")
+        assert report.verdict is Verdict.UNSAFE
+        assert report.codes() & {"TW001", "TW002"}
+        assert not report.parallel_safe
+
+    def test_unparsable_source_is_unsafe_with_parse_code(self):
+        report = lint_source("def broken(:\n")
+        assert report.verdict is Verdict.UNSAFE
+        assert "TW001" in report.codes()
+
+    def test_render_mentions_verdict_and_pair(self):
+        report = lint_case("o.data = i.data")
+        text = report.render()
+        assert "outer/inner" in text
+        assert "verdict: interchange-safe" in text
+        assert "truncation: regular" in text
+        assert "task-parallel: safe" in text

@@ -66,3 +66,57 @@ class TestClassification:
         )
         assert analysis.is_irregular
         assert analysis.inner2_source() == "bad(i) and bad2(o)"
+
+
+class TestGuardAliases:
+    """Regression: walrus aliases of the index parameters (the old
+    ``_mentions`` name-equality test was blind to them, silently
+    misfiling irregular disjuncts into the regular bucket)."""
+
+    def test_walrus_alias_of_outer_makes_disjunct_irregular(self):
+        analysis = analyze_truncation(
+            template_with_guard("i is None or ((oo := o) is not None and far(oo, i))")
+        )
+        assert analysis.is_irregular
+        assert "far(oo, i)" in analysis.inner2_source()
+
+    def test_walrus_alias_of_inner_stays_regular(self):
+        analysis = analyze_truncation(
+            template_with_guard("(ii := i) is None or ii.depth > 5")
+        )
+        assert not analysis.is_irregular
+
+    def test_transitive_alias_chain_resolved(self):
+        analysis = analyze_truncation(
+            template_with_guard(
+                "i is None or ((a := o) is not None and (b := a) is not None and far(b, i))"
+            )
+        )
+        assert analysis.is_irregular
+
+    def test_alias_of_outer_only_disjunct_still_rejected(self):
+        # The alias must not launder an outer-only disjunct past TW003.
+        with pytest.raises(TransformError, match="depends only on the outer"):
+            analyze_truncation(
+                template_with_guard(
+                    "i is None or ((oo := o) is not None and oo.skip)"
+                )
+            )
+
+    def test_guard_aliases_helper(self):
+        import ast
+
+        from repro.transform.analysis import guard_aliases
+
+        expr = ast.parse("(a := o) and (b := a) and (c := other)", mode="eval").body
+        aliases = guard_aliases(expr, ("o", "i"))
+        assert aliases == {"a": "o", "b": "o"}
+
+    def test_mentions_is_alias_aware(self):
+        import ast
+
+        from repro.transform.analysis import _mentions
+
+        expr = ast.parse("far(oo, i)", mode="eval").body
+        assert not _mentions(expr, "o")
+        assert _mentions(expr, "o", {"oo": "o"})

@@ -1,0 +1,297 @@
+"""Error-path tests: every recognizer/analysis TransformError.
+
+Each raise site is pinned down by its stable diagnostic code *and* a
+message substring, so refactors cannot silently reroute a failure into
+a vaguer message or the wrong exit-code class (the CLI maps TW001 to
+exit 3 and everything else here to exit 1).
+"""
+
+import pytest
+
+from repro.errors import LintError, TransformError
+from repro.transform import analyze_truncation, recognize
+from repro.transform.tool import find_annotated_pair
+
+VALID_OUTER = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+    outer(o.right, i)
+'''
+
+VALID_INNER = '''
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+    inner(o, i.left)
+    inner(o, i.right)
+'''
+
+
+def expect(source, match, code="TW002", outer="outer", inner="inner"):
+    with pytest.raises(TransformError, match=match) as excinfo:
+        recognize(source, outer, inner)
+    assert excinfo.value.code == code
+    return excinfo.value
+
+
+class TestRecognizerErrors:
+    def test_unparsable_source_tw001(self):
+        error = expect("def broken(:\n", "does not parse", code="TW001")
+        assert error.code == "TW001"
+
+    def test_missing_function(self):
+        expect(VALID_OUTER, "no top-level function named 'inner'")
+
+    def test_wrong_arity(self):
+        source = "def outer(o):\n    pass\n" + VALID_INNER
+        expect(source, "exactly two positional parameters")
+
+    def test_missing_guard(self):
+        source = "def outer(o, i):\n    inner(o, i)\n" + VALID_INNER
+        expect(source, "must start with a truncation check")
+
+    def test_guard_with_else(self):
+        source = '''
+def outer(o, i):
+    if o is None:
+        return
+    else:
+        pass
+    inner(o, i)
+    outer(o.left, i)
+''' + VALID_INNER
+        expect(source, "no else branch")
+
+    def test_keyword_recursive_call(self):
+        source = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o=o.left, i=i)
+''' + VALID_INNER
+        expect(source, "positional arguments only")
+
+    def test_mismatched_parameter_names(self):
+        source = VALID_OUTER + '''
+def inner(a, b):
+    if b is None:
+        return
+    work(a, b)
+    inner(a, b.left)
+'''
+        expect(source, "same parameter names")
+
+    def test_outer_guard_reads_inner_index(self):
+        source = '''
+def outer(o, i):
+    if o is None or i is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+''' + VALID_INNER
+        expect(source, "may only depend on 'o'")
+
+    def test_outer_missing_inner_launch(self):
+        source = '''
+def outer(o, i):
+    if o is None:
+        return
+    outer(o.left, i)
+''' + VALID_INNER
+        expect(source, "immediately after its truncation check")
+
+    def test_inner_launch_wrong_arguments(self):
+        source = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o.left, i)
+    outer(o.left, i)
+''' + VALID_INNER
+        expect(source, "launch the inner recursion on exactly")
+
+    def test_outer_body_with_stray_statement(self):
+        source = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    helper(o)
+    outer(o.left, i)
+''' + VALID_INNER
+        expect(source, "only recursive calls to itself")
+
+    def test_outer_call_varies_inner_index(self):
+        source = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i.left)
+''' + VALID_INNER
+        expect(source, "keep the inner index fixed")
+
+    def test_outer_call_does_not_advance(self):
+        source = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(None, i)
+''' + VALID_INNER
+        expect(source, "advance the outer index")
+
+    def test_outer_without_recursive_calls(self):
+        source = '''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+''' + VALID_INNER
+        expect(source, "makes no recursive calls")
+
+    def test_inner_call_varies_outer_index(self):
+        source = VALID_OUTER + '''
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+    inner(o.left, i.left)
+'''
+        expect(source, "keep the outer index fixed")
+
+    def test_inner_call_does_not_advance(self):
+        source = VALID_OUTER + '''
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+    inner(o, None)
+'''
+        expect(source, "advance the inner index")
+
+    def test_work_after_recursive_call(self):
+        source = VALID_OUTER + '''
+def inner(o, i):
+    if i is None:
+        return
+    inner(o, i.left)
+    work(o, i)
+'''
+        expect(source, "work statements must precede")
+
+    def test_work_invoking_recursive_function(self):
+        source = VALID_OUTER + '''
+def inner(o, i):
+    if i is None:
+        return
+    log(inner(o, i.left))
+    inner(o, i.left)
+'''
+        expect(source, "must not invoke the recursive functions")
+
+    def test_inner_without_recursive_calls(self):
+        source = VALID_OUTER + '''
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+'''
+        expect(source, "makes no recursive calls")
+
+    def test_inner_without_work(self):
+        source = VALID_OUTER + '''
+def inner(o, i):
+    if i is None:
+        return
+    inner(o, i.left)
+'''
+        expect(source, "no work statements")
+
+    def test_recursive_call_wrong_argument_count(self):
+        source = VALID_OUTER + '''
+def inner(o, i):
+    if i is None:
+        return
+    work(o, i)
+    inner(o, i.left, 1)
+'''
+        expect(source, "exactly the two indices")
+
+
+class TestAnnotationErrors:
+    def test_unparsable_annotated_source_tw001(self):
+        with pytest.raises(TransformError, match="does not parse") as excinfo:
+            find_annotated_pair("def broken(:\n")
+        assert excinfo.value.code == "TW001"
+
+    def test_missing_annotations(self):
+        with pytest.raises(TransformError, match="annotated pair") as excinfo:
+            find_annotated_pair("def f(o, i):\n    pass\n")
+        assert excinfo.value.code == "TW002"
+
+    def test_mismatched_inner_declaration(self):
+        source = '''
+from repro.transform import outer_recursion, inner_recursion
+
+@outer_recursion(inner="other")
+def outer(o, i):
+    pass
+
+@inner_recursion
+def inner(o, i):
+    pass
+'''
+        with pytest.raises(TransformError, match="inner='other'") as excinfo:
+            find_annotated_pair(source)
+        assert excinfo.value.code == "TW002"
+
+
+class TestAnalysisErrors:
+    def template_with_guard(self, guard):
+        source = f'''
+def outer(o, i):
+    if o is None:
+        return
+    inner(o, i)
+    outer(o.left, i)
+
+def inner(o, i):
+    if {guard}:
+        return
+    work(o, i)
+    inner(o, i.left)
+'''
+        return recognize(source, "outer", "inner")
+
+    def test_outer_only_disjunct_tw003(self):
+        with pytest.raises(
+            TransformError, match="depends only on the outer index"
+        ) as excinfo:
+            analyze_truncation(self.template_with_guard("i is None or o.skip"))
+        assert excinfo.value.code == "TW003"
+
+    def test_cross_bucket_alias_rejected(self):
+        # The walrus defining ``ii`` lands in the regular part (inner
+        # index only); the irregular disjunct reads it, but the two
+        # parts are emitted into *different* generated functions, so
+        # the alias would be an unbound name there.
+        guard = "(ii := i) is None or far(o, ii)"
+        with pytest.raises(TransformError, match="leave it unbound"):
+            analyze_truncation(self.template_with_guard(guard))
+
+
+class TestErrorHierarchy:
+    def test_default_code_is_template_violation(self):
+        assert TransformError("boom").code == "TW002"
+
+    def test_lint_error_is_transform_error(self):
+        error = LintError("refuted", code="TW010")
+        assert isinstance(error, TransformError)
+        assert error.code == "TW010"
+        assert error.report is None
