@@ -5,12 +5,15 @@
 * :mod:`repro.bench.machine` — the simulated evaluation machine;
 * :mod:`repro.bench.runner` — instrumented execution → perf reports;
 * :mod:`repro.bench.reporting` — ASCII experiment tables;
-* :mod:`repro.bench.experiments` — one driver per paper figure/table.
+* :mod:`repro.bench.experiments` — one driver per paper figure/table;
+* :mod:`repro.bench.wallclock` — real-time recursive vs batched
+  backend comparison (emits ``BENCH_batched.json``).
 """
 
 from repro.bench.machine import bench_hierarchy
 from repro.bench.reporting import ExperimentReport, ascii_bar, percent
 from repro.bench.runner import run_case, run_pair
+from repro.bench.wallclock import run_wallclock, time_backend, write_bench_json
 from repro.bench.workloads import (
     BenchmarkCase,
     all_cases,
@@ -39,4 +42,7 @@ __all__ = [
     "register_spatial_layout",
     "run_case",
     "run_pair",
+    "run_wallclock",
+    "time_backend",
+    "write_bench_json",
 ]

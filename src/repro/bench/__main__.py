@@ -82,6 +82,15 @@ def _sec73(scale: float):
     return run_sec73(num_nodes=max(100, int(500 * scale)))[0]
 
 
+def _wallclock(scale: float):
+    from repro.bench.wallclock import run_wallclock, write_bench_json
+
+    report, payload = run_wallclock(scale=scale)
+    path = write_bench_json(payload)
+    report.add_note(f"JSON payload written to {path}")
+    return report
+
+
 def _ablations(scale: float):
     from repro.bench.experiments import run_layout_ablation, run_truncation_ablation
 
@@ -116,6 +125,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "sec72": ("Section 7.2 extension: multi-level MMM", _sec72),
     "sec73": ("Section 7.3 extension: task parallelism", _sec73),
     "ablations": ("Truncation-machinery and layout ablations", _ablations),
+    "wallclock": (
+        "Wall-clock: recursive vs batched backends (writes BENCH_batched.json)",
+        _wallclock,
+    ),
 }
 
 

@@ -1,0 +1,141 @@
+"""Wall-clock comparison of the recursive and batched backends.
+
+The simulated-machine experiments measure *locality*; this module
+measures *real time*: for each Section 6.1 benchmark it runs the same
+schedule once through the recursive executors and once through the
+frontier-batched executors of :mod:`repro.core.batched`, timing both
+with :func:`time.perf_counter` and checking that the results are
+bit-identical.
+
+The driver emits a machine-readable ``BENCH_batched.json`` next to the
+rendered table.  Its schema::
+
+    {
+      "experiment": "wallclock_batched",
+      "scale": 1.0,            # workload scale factor
+      "repeats": 3,            # best-of-N timing
+      "results": [
+        {
+          "benchmark": "TJ",
+          "schedule": "original",
+          "recursive_s": 0.65,   # best-of-N wall-clock, recursive
+          "batched_s": 0.12,     # best-of-N wall-clock, batched
+          "speedup": 5.4,        # recursive_s / batched_s
+          "results_match": true  # repr-identical benchmark results
+        },
+        ...
+      ]
+    }
+
+Run it from the CLI as ``python -m repro.bench wallclock``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional, Sequence
+
+from repro.bench.reporting import ExperimentReport
+from repro.bench.workloads import BenchmarkCase, all_cases
+from repro.core.schedules import Schedule, get_schedule
+
+#: Schedules timed by default: the untransformed baseline plus the
+#: paper's headline transformation.
+DEFAULT_SCHEDULES = ("original", "twist")
+
+
+def time_backend(
+    case: BenchmarkCase,
+    schedule: Schedule,
+    backend: str,
+    repeats: int = 3,
+) -> tuple[float, object]:
+    """Best-of-``repeats`` wall-clock seconds for one configuration.
+
+    Each repeat rebuilds the spec via ``case.make_spec()`` (which
+    resets benchmark state), so accumulating results never compound.
+    Returns ``(seconds, result)`` where ``result`` is the benchmark's
+    result probe after the final repeat.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        spec = case.make_spec()
+        start = time.perf_counter()
+        schedule.run(spec, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best, case.result()
+
+
+def run_wallclock(
+    scale: float = 1.0,
+    schedule_names: Sequence[str] = DEFAULT_SCHEDULES,
+    repeats: int = 3,
+    cases: Optional[list[BenchmarkCase]] = None,
+) -> tuple[ExperimentReport, dict]:
+    """Time recursive vs batched backends on the six benchmarks.
+
+    Returns ``(report, payload)``: the rendered ASCII table and the
+    JSON-serializable payload written to ``BENCH_batched.json``.
+    """
+    cases = all_cases(scale) if cases is None else cases
+    report = ExperimentReport(
+        title="Wall-clock: recursive vs batched executors",
+        columns=[
+            "benchmark",
+            "schedule",
+            "recursive (s)",
+            "batched (s)",
+            "speedup",
+            "match",
+        ],
+    )
+    entries = []
+    for case in cases:
+        for name in schedule_names:
+            schedule = get_schedule(name)
+            recursive_s, recursive_result = time_backend(
+                case, schedule, "recursive", repeats
+            )
+            batched_s, batched_result = time_backend(
+                case, schedule, "batched", repeats
+            )
+            speedup = recursive_s / batched_s if batched_s > 0 else float("inf")
+            match = repr(recursive_result) == repr(batched_result)
+            report.add_row(
+                case.name,
+                name,
+                recursive_s,
+                batched_s,
+                f"{speedup:.2f}x",
+                "yes" if match else "NO",
+            )
+            entries.append(
+                {
+                    "benchmark": case.name,
+                    "schedule": name,
+                    "recursive_s": round(recursive_s, 6),
+                    "batched_s": round(batched_s, 6),
+                    "speedup": round(speedup, 3),
+                    "results_match": match,
+                }
+            )
+    report.add_note(
+        f"best-of-{repeats} wall-clock timings at scale {scale:g}; "
+        "'match' checks bit-identical benchmark results across backends"
+    )
+    payload = {
+        "experiment": "wallclock_batched",
+        "scale": scale,
+        "repeats": repeats,
+        "results": entries,
+    }
+    return report, payload
+
+
+def write_bench_json(payload: dict, path: str = "BENCH_batched.json") -> str:
+    """Write the wall-clock payload as indented JSON; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -14,10 +14,20 @@
   Section 3.3 outer-parallel criterion;
 * :mod:`repro.core.iterative` — explicit-stack executors for deep
   spaces;
+* :mod:`repro.core.batched` — frontier-batched explicit-stack
+  executors dispatching vectorized leaf-work blocks, bit-identical to
+  the recursive executors;
 * :mod:`repro.core.schedules` — the named schedule registry used by
   benches and examples.
 """
 
+from repro.core.batched import (
+    DEFAULT_BATCH_SIZE,
+    BatchDispatcher,
+    run_interchanged_batched,
+    run_original_batched,
+    run_twisted_batched,
+)
 from repro.core.cutoff import (
     auto_cutoff_schedule,
     cutoff_for_machine,
@@ -60,8 +70,14 @@ from repro.core.parallel import (
     spawn_tasks,
     task_spec,
 )
-from repro.core.recursion import recursion_guard, required_limit
+from repro.core.recursion import (
+    MAX_SAFE_RECURSION_LIMIT,
+    exceeds_safe_depth,
+    recursion_guard,
+    required_limit,
+)
 from repro.core.schedules import (
+    BACKENDS,
     BY_NAME,
     INTERCHANGE,
     INTERCHANGE_SUBTREE,
@@ -98,8 +114,12 @@ from repro.core.twisting import run_twisted
 
 __all__ = [
     "AccessTraceRecorder",
+    "BACKENDS",
     "BY_NAME",
+    "BatchDispatcher",
     "CacheProbe",
+    "DEFAULT_BATCH_SIZE",
+    "MAX_SAFE_RECURSION_LIMIT",
     "CounterTruncation",
     "FlagTruncation",
     "FootprintRecorder",
@@ -138,6 +158,7 @@ __all__ = [
     "combine",
     "compare_recordings",
     "cross_product_size",
+    "exceeds_safe_depth",
     "get_schedule",
     "is_outer_parallel",
     "outer_parallel_violations",
@@ -146,10 +167,13 @@ __all__ = [
     "recursion_guard",
     "required_limit",
     "run_interchanged",
+    "run_interchanged_batched",
     "run_interchanged_iterative",
     "run_original",
+    "run_original_batched",
     "run_original_iterative",
     "run_original_n",
+    "run_twisted_batched",
     "run_task_parallel",
     "run_twisted_n",
     "run_twisted",

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.instruments import NULL_INSTRUMENT, Instrument
-from repro.core.recursion import recursion_guard
+from repro.core.recursion import exceeds_safe_depth, recursion_guard
 from repro.core.spec import INNER_TREE, OUTER_TREE, NestedRecursionSpec
 
 
@@ -28,7 +28,18 @@ def run_original(
     spec: NestedRecursionSpec,
     instrument: Optional[Instrument] = None,
 ) -> None:
-    """Execute the spec in the original nested-recursion order."""
+    """Execute the spec in the original nested-recursion order.
+
+    Iteration spaces too deep for safe Python recursion are routed
+    through the explicit-stack batched executor, which emits the exact
+    same instrumentation event sequence (see
+    :mod:`repro.core.batched`'s exactness contract).
+    """
+    if exceeds_safe_depth(spec.outer_root, spec.inner_root):
+        from repro.core.batched import run_original_batched
+
+        run_original_batched(spec, instrument)
+        return
     ins = instrument or NULL_INSTRUMENT
     truncate_outer = spec.truncate_outer
     truncate_inner1 = spec.truncate_inner1

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.instruments import NULL_INSTRUMENT, Instrument
-from repro.core.recursion import recursion_guard
+from repro.core.recursion import exceeds_safe_depth, recursion_guard
 from repro.core.spec import INNER_TREE, OUTER_TREE, NestedRecursionSpec
 from repro.core.truncation import make_policy
 
@@ -49,7 +49,21 @@ def run_interchanged(
     subtree_truncation:
         Enable the Section 4.2 early cut-off when a whole outer
         subtree is truncated for the current inner node.
+
+    Iteration spaces too deep for safe Python recursion are routed
+    through the explicit-stack batched executor, which emits the exact
+    same instrumentation event sequence.
     """
+    if exceeds_safe_depth(spec.outer_root, spec.inner_root):
+        from repro.core.batched import run_interchanged_batched
+
+        run_interchanged_batched(
+            spec,
+            instrument,
+            use_counters=use_counters,
+            subtree_truncation=subtree_truncation,
+        )
+        return
     ins = instrument or NULL_INSTRUMENT
     policy = make_policy(spec, use_counters)
     irregular = spec.is_irregular

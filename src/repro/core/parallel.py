@@ -35,7 +35,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.instruments import Instrument, NULL_INSTRUMENT, combine
 from repro.core.schedules import ORIGINAL, Schedule
-from repro.core.spec import NestedRecursionSpec
+from repro.core.spec import NestedRecursionSpec, _never
 from repro.errors import ScheduleError
 from repro.spaces.node import IndexNode
 
@@ -48,11 +48,35 @@ class Task:
     outer_root: IndexNode
     #: the spec the task executes (shares work/state with its siblings)
     spec: NestedRecursionSpec
+    #: memoized scheduling weight (computed on first use)
+    _cost: Optional[int] = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def cost_estimate(self) -> int:
-        """Scheduling weight: the task's iteration-space upper bound."""
-        return self.outer_root.size * self.spec.inner_root.size
+        """Scheduling weight for LPT assignment.
+
+        Without further information this is the task's iteration-space
+        upper bound, ``|outer subtree| * |inner tree|``.  When the spec
+        declares ``outer_launches_work``, only outer positions that can
+        launch a real inner traversal are charged the inner-tree cost;
+        the rest cost one visit each.  This is what keeps dual-tree
+        estimates honest: a single-node task over an *internal* query
+        node executes almost nothing, and charging it a full inner
+        traversal used to skew LPT toward placing real work badly.
+        """
+        if self._cost is None:
+            inner_size = self.spec.inner_root.size
+            launches = self.spec.outer_launches_work
+            if launches is None:
+                self._cost = self.outer_root.size * inner_size
+            else:
+                launching = sum(
+                    1
+                    for node in self.outer_root.iter_preorder()
+                    if launches(_real_node(node))
+                )
+                self._cost = launching * inner_size + self.outer_root.size
+        return self._cost
 
 
 def spawn_tasks(spec: NestedRecursionSpec, spawn_depth: int) -> list[Task]:
@@ -92,6 +116,15 @@ class _SingleNodeView(IndexNode):
     re-running its children's (they have their own tasks).  Mirrors how
     a Cilk version would execute the node's body before spawning the
     child calls.
+
+    The facade controls *traversal structure only*.  Spec callables
+    that inspect the node's identity (``children``, ``size``) to make
+    semantic decisions — dual-tree truncation asking "is this query
+    node a leaf?" — must see the real node, or an internal node
+    masquerades as a leaf and executes iterations the sequential
+    schedule truncates.  :func:`_task_spec` therefore rewires those
+    predicates through :func:`_real_node`; data attributes (payloads,
+    bounds, point ids) delegate to the base node transparently.
     """
 
     __slots__ = ("base",)
@@ -109,6 +142,11 @@ class _SingleNodeView(IndexNode):
 
 def _single_node_view(node: IndexNode) -> IndexNode:
     return _SingleNodeView(node)
+
+
+def _real_node(node: IndexNode) -> IndexNode:
+    """The underlying tree node behind a (possible) single-node view."""
+    return node.base if isinstance(node, _SingleNodeView) else node
 
 
 @dataclass
@@ -148,6 +186,7 @@ def run_task_parallel(
     schedule: Schedule = ORIGINAL,
     task_cycles: Optional[TaskRunner] = None,
     instruments: Optional[Sequence[Instrument]] = None,
+    backend: str = "recursive",
 ) -> ParallelReport:
     """Execute a spec as spawn-depth-bounded parallel tasks.
 
@@ -157,7 +196,10 @@ def run_task_parallel(
     ``task_cycles`` measures one task's cost; the default counts
     executed work points (callers wanting cache-accurate costs pass a
     closure over :func:`repro.bench.runner`-style probes).
-    ``instruments[w]`` observes worker ``w``'s execution.
+    ``instruments[w]`` observes worker ``w``'s execution.  ``backend``
+    selects each task's executor (``"recursive"`` or ``"batched"``);
+    task specs always carry per-task isolated truncation state, so
+    either backend may simulate sibling tasks concurrently.
     """
     if num_workers < 1:
         raise ScheduleError(f"num_workers must be >= 1, got {num_workers}")
@@ -178,7 +220,7 @@ def run_task_parallel(
 
         ops = OpCounter()
         task_spec = _task_spec(task)
-        schedule.run(task_spec, instrument=combine(ops, instrument))
+        schedule.run(task_spec, instrument=combine(ops, instrument), backend=backend)
         return float(ops.work_points)
 
     measure = task_cycles or default_task_cycles
@@ -193,15 +235,53 @@ def run_task_parallel(
 
 
 def _task_spec(task: Task) -> NestedRecursionSpec:
-    """The task's restriction of the spec to its outer subtree."""
+    """The task's restriction of the spec to its outer subtree.
+
+    Carries every execution-relevant field of the parent spec, with two
+    adjustments:
+
+    * ``isolated_truncation`` is forced on, so each task's Section 4
+      flag/counter state lives in its own policy-local storage instead
+      of on the shared trees — concurrently simulated sibling tasks can
+      no longer leak truncation state to one another;
+    * when the task's outer root is a single-node view, predicates that
+      make decisions from outer-node *identity* (``truncate_outer``,
+      ``truncate_inner2`` and its block form, ``outer_launches_work``)
+      are rewired to see the real node, so an internal node never
+      masquerades as a leaf (see :class:`_SingleNodeView`).
+    """
     spec = task.spec
+    truncate_outer = spec.truncate_outer
+    truncate_inner2 = spec.truncate_inner2
+    truncate_inner2_batch = spec.truncate_inner2_batch
+    outer_launches_work = spec.outer_launches_work
+    if isinstance(task.outer_root, _SingleNodeView):
+        if truncate_outer is not _never:
+            base_truncate_outer = truncate_outer
+            truncate_outer = lambda o: base_truncate_outer(_real_node(o))  # noqa: E731
+        if truncate_inner2 is not None:
+            base_truncate_inner2 = truncate_inner2
+            truncate_inner2 = lambda o, i: base_truncate_inner2(  # noqa: E731
+                _real_node(o), i
+            )
+        if truncate_inner2_batch is not None:
+            base_t2_batch = truncate_inner2_batch
+            truncate_inner2_batch = lambda o: base_t2_batch(_real_node(o))  # noqa: E731
+        if outer_launches_work is not None:
+            base_launches = outer_launches_work
+            outer_launches_work = lambda o: base_launches(_real_node(o))  # noqa: E731
     return NestedRecursionSpec(
         outer_root=task.outer_root,
         inner_root=spec.inner_root,
         work=spec.work,
-        truncate_outer=spec.truncate_outer,
+        truncate_outer=truncate_outer,
         truncate_inner1=spec.truncate_inner1,
-        truncate_inner2=spec.truncate_inner2,
+        truncate_inner2=truncate_inner2,
+        truncate_inner2_batch=truncate_inner2_batch,
+        work_batch=spec.work_batch,
+        truncation_observes_work=spec.truncation_observes_work,
+        isolated_truncation=True,
+        outer_launches_work=outer_launches_work,
         name=f"{spec.name}-task",
     )
 

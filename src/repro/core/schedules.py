@@ -5,6 +5,16 @@ The bench harness and the examples refer to schedules by name
 module gives each transformation a uniform call signature —
 ``schedule.run(spec, instrument)`` — and a canonical name, so the
 experiment drivers can sweep configurations declaratively.
+
+Every schedule carries two interchangeable backends:
+
+* ``recursive`` — the faithful recursive executors, structured like
+  the paper's listings;
+* ``batched`` — the explicit-stack executors of
+  :mod:`repro.core.batched`, which defer work into vectorized blocks
+  while emitting the exact same instrumentation event sequence.
+
+Pick one per run via ``schedule.run(spec, instrument, backend=...)``.
 """
 
 from __future__ import annotations
@@ -12,6 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.core.batched import (
+    run_interchanged_batched,
+    run_original_batched,
+    run_twisted_batched,
+)
 from repro.core.executors import run_original
 from repro.core.instruments import Instrument
 from repro.core.interchange import run_interchanged
@@ -21,6 +36,9 @@ from repro.errors import ScheduleError
 
 Runner = Callable[..., None]
 
+#: Backend names accepted by :meth:`Schedule.run`.
+BACKENDS = ("recursive", "batched")
+
 
 @dataclass(frozen=True)
 class Schedule:
@@ -28,19 +46,35 @@ class Schedule:
 
     name: str
     _runner: Runner
+    _batched_runner: Runner
 
     def run(
-        self, spec: NestedRecursionSpec, instrument: Optional[Instrument] = None
+        self,
+        spec: NestedRecursionSpec,
+        instrument: Optional[Instrument] = None,
+        backend: str = "recursive",
     ) -> None:
-        """Execute ``spec`` under this schedule."""
-        self._runner(spec, instrument=instrument)
+        """Execute ``spec`` under this schedule.
+
+        ``backend`` selects the recursive executors (default) or the
+        batched explicit-stack ones; both produce identical results
+        and identical instrumentation events.
+        """
+        if backend == "recursive":
+            self._runner(spec, instrument=instrument)
+        elif backend == "batched":
+            self._batched_runner(spec, instrument=instrument)
+        else:
+            raise ScheduleError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}"
+            )
 
 
 #: The untransformed Figure 2 schedule.
-ORIGINAL = Schedule("original", run_original)
+ORIGINAL = Schedule("original", run_original, run_original_batched)
 
 #: Plain recursion interchange (Figure 3 + Section 4 flags).
-INTERCHANGE = Schedule("interchange", run_interchanged)
+INTERCHANGE = Schedule("interchange", run_interchanged, run_interchanged_batched)
 
 #: Interchange with the Section 4.2 subtree-truncation optimization.
 INTERCHANGE_SUBTREE = Schedule(
@@ -48,16 +82,22 @@ INTERCHANGE_SUBTREE = Schedule(
     lambda spec, instrument=None: run_interchanged(
         spec, instrument=instrument, subtree_truncation=True
     ),
+    lambda spec, instrument=None: run_interchanged_batched(
+        spec, instrument=instrument, subtree_truncation=True
+    ),
 )
 
 #: Parameterless recursion twisting, the paper's evaluated configuration
 #: (flags + subtree truncation).
-TWIST = Schedule("twist", run_twisted)
+TWIST = Schedule("twist", run_twisted, run_twisted_batched)
 
 #: Twisting with the Section 4.3 counter optimization.
 TWIST_COUNTERS = Schedule(
     "twist+counters",
     lambda spec, instrument=None: run_twisted(
+        spec, instrument=instrument, use_counters=True
+    ),
+    lambda spec, instrument=None: run_twisted_batched(
         spec, instrument=instrument, use_counters=True
     ),
 )
@@ -66,6 +106,9 @@ TWIST_COUNTERS = Schedule(
 TWIST_NO_SUBTREE = Schedule(
     "twist-subtree",
     lambda spec, instrument=None: run_twisted(
+        spec, instrument=instrument, subtree_truncation=False
+    ),
+    lambda spec, instrument=None: run_twisted_batched(
         spec, instrument=instrument, subtree_truncation=False
     ),
 )
@@ -78,6 +121,9 @@ def twist_with_cutoff(cutoff: int) -> Schedule:
     return Schedule(
         f"twist(cutoff={cutoff})",
         lambda spec, instrument=None: run_twisted(
+            spec, instrument=instrument, cutoff=cutoff
+        ),
+        lambda spec, instrument=None: run_twisted_batched(
             spec, instrument=instrument, cutoff=cutoff
         ),
     )

@@ -28,7 +28,7 @@ identity is absolute — while the executors decide which tree each
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import SpecError
 from repro.spaces.node import IndexNode, validate_index_node
@@ -41,6 +41,7 @@ INNER_TREE = "inner"
 TruncatePredicate = Callable[[IndexNode], bool]
 Truncate2Predicate = Callable[[IndexNode, IndexNode], bool]
 WorkFunction = Callable[[IndexNode, IndexNode], Any]
+BatchWorkFunction = Callable[[Sequence[IndexNode], Sequence[IndexNode]], Any]
 
 
 def _never(_node: IndexNode) -> bool:
@@ -69,6 +70,43 @@ class NestedRecursionSpec:
         Two-index truncation, or ``None`` when truncation is regular.
         When present, the transformed schedules automatically engage
         the Section 4 flag/counter machinery.
+    work_batch:
+        Optional vectorized form of ``work``: receives two parallel
+        sequences of nodes and must be semantically equivalent to
+        calling ``work(o, i)`` on each pair in order.  The batched
+        executor (:mod:`repro.core.batched`) dispatches accumulated
+        leaf-level blocks through it; the recursive executors ignore
+        it.
+    truncation_observes_work:
+        ``True`` when ``truncate_inner2`` reads state that ``work``
+        writes (the stateful dual-tree bounds of NN/KNN).  The batched
+        executor then flushes pending work for an outer node before
+        evaluating its truncation, so deferral never changes a
+        truncation decision.  Irrelevant for the recursive executors,
+        which never defer.
+    truncate_inner2_batch:
+        Optional block form of ``truncate_inner2`` for *stateless*
+        truncation: called with one outer node, it returns either a
+        scalar bool (the decision is uniform over every inner node), a
+        boolean array indexed by inner-node pre-order ``number``, or
+        ``None`` (block evaluation unavailable for this node — fall
+        back to per-pair calls).  Every produced decision must equal
+        ``truncate_inner2(o, i)`` exactly.  Only the batched executor's
+        uninstrumented fast paths consume it, and only when
+        ``truncation_observes_work`` is ``False`` (a stateful
+        truncation cannot legally be pre-evaluated).
+    isolated_truncation:
+        ``True`` to keep Section 4 flag/counter state in per-run
+        policy-local storage instead of on the (possibly shared) tree
+        nodes.  Task-parallel execution (:mod:`repro.core.parallel`)
+        sets this on each task's restricted spec so concurrently
+        simulated tasks cannot leak truncation state to one another.
+    outer_launches_work:
+        Optional predicate telling the task scheduler which outer
+        positions can launch a non-trivial inner traversal (e.g. only
+        query *leaves* in a dual-tree algorithm).  ``None`` means every
+        position may; used only for cost estimation, never for
+        execution.
     name:
         A label for reports.
     """
@@ -79,6 +117,11 @@ class NestedRecursionSpec:
     truncate_outer: TruncatePredicate = _never
     truncate_inner1: TruncatePredicate = _never
     truncate_inner2: Optional[Truncate2Predicate] = None
+    truncate_inner2_batch: Optional[Callable[[IndexNode], Any]] = None
+    work_batch: Optional[BatchWorkFunction] = None
+    truncation_observes_work: bool = False
+    isolated_truncation: bool = False
+    outer_launches_work: Optional[TruncatePredicate] = None
     name: str = "nested-recursion"
 
     def __post_init__(self) -> None:
@@ -89,8 +132,22 @@ class NestedRecursionSpec:
                 raise SpecError(f"{predicate_name} must be callable")
         if self.truncate_inner2 is not None and not callable(self.truncate_inner2):
             raise SpecError("truncate_inner2 must be callable or None")
+        if self.truncate_inner2_batch is not None:
+            if not callable(self.truncate_inner2_batch):
+                raise SpecError("truncate_inner2_batch must be callable or None")
+            if self.truncate_inner2 is None:
+                raise SpecError(
+                    "truncate_inner2_batch requires truncate_inner2 (it is "
+                    "an accelerated form of it, not a replacement)"
+                )
         if self.work is not None and not callable(self.work):
             raise SpecError("work must be callable or None")
+        if self.work_batch is not None and not callable(self.work_batch):
+            raise SpecError("work_batch must be callable or None")
+        if self.outer_launches_work is not None and not callable(
+            self.outer_launches_work
+        ):
+            raise SpecError("outer_launches_work must be callable or None")
 
     @property
     def is_irregular(self) -> bool:
@@ -106,8 +163,14 @@ class NestedRecursionSpec:
         """Clear flag/counter scratch state on both trees.
 
         Executors call this before every run so that repeated runs on
-        the same spec are independent.
+        the same spec are independent.  Specs with
+        ``isolated_truncation`` keep their state in policy-local
+        storage, so there is nothing on the (shared) trees to reset —
+        touching them here would clobber sibling tasks running
+        concurrently over the same trees.
         """
+        if self.isolated_truncation:
+            return
         self.outer_root.reset_truncation_state()
         if self.inner_root is not self.outer_root:
             self.inner_root.reset_truncation_state()
@@ -134,6 +197,10 @@ class NestedRecursionSpec:
         if self.work is not None:
             original_work = self.work
             swapped_work = lambda i, o: original_work(o, i)  # noqa: E731
+        swapped_batch = None
+        if self.work_batch is not None:
+            original_batch = self.work_batch
+            swapped_batch = lambda is_, os: original_batch(os, is_)  # noqa: E731
         return NestedRecursionSpec(
             outer_root=self.inner_root,
             inner_root=self.outer_root,
@@ -141,5 +208,6 @@ class NestedRecursionSpec:
             truncate_outer=self.truncate_inner1,
             truncate_inner1=self.truncate_outer,
             truncate_inner2=None,
+            work_batch=swapped_batch,
             name=f"{self.name}-interchanged",
         )

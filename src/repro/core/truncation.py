@@ -95,10 +95,36 @@ class NoTruncation(TruncationPolicy):
 
 
 class FlagTruncation(TruncationPolicy):
-    """Figure 6(b): boolean flags plus per-phase unset sets."""
+    """Figure 6(b): boolean flags plus per-phase unset sets.
 
-    def __init__(self, truncate_inner2: Truncate2Predicate) -> None:
+    ``isolated=True`` keeps the flags in a policy-local set instead of
+    on the nodes themselves — same decisions, same instrumentation
+    events, but zero writes to (possibly shared) tree state.  This is
+    what gives each task of a task-parallel execution its own private
+    truncation state (Section 7.3 requires tasks to be independent).
+    """
+
+    def __init__(
+        self, truncate_inner2: Truncate2Predicate, isolated: bool = False
+    ) -> None:
         self.truncate_inner2 = truncate_inner2
+        self.isolated = isolated
+        #: policy-local flag storage (identity-keyed) when isolated
+        self._flags: set[IndexNode] = set()
+
+    def _flagged(self, node: IndexNode) -> bool:
+        if self.isolated:
+            return node in self._flags
+        return node.trunc
+
+    def _set_flag(self, node: IndexNode, value: bool) -> None:
+        if self.isolated:
+            if value:
+                self._flags.add(node)
+            else:
+                self._flags.discard(node)
+        else:
+            node.trunc = value
 
     def open_phase(self) -> list[IndexNode]:
         return []
@@ -107,18 +133,18 @@ class FlagTruncation(TruncationPolicy):
         assert frame is not None
         for node in frame:
             ins.op("flag_unset")
-            node.trunc = False
+            self._set_flag(node, False)
 
     def check_and_mark(
         self, o: IndexNode, i: IndexNode, frame: Optional[list[IndexNode]], ins: Instrument
     ) -> bool:
         ins.op("flag_check")
-        if o.trunc:
+        if self._flagged(o):
             return True
         ins.op("trunc_check")
         if self.truncate_inner2(o, i):
             ins.op("flag_set")
-            o.trunc = True
+            self._set_flag(o, True)
             assert frame is not None
             frame.append(o)
             return True
@@ -126,7 +152,7 @@ class FlagTruncation(TruncationPolicy):
 
     def subtree_truncated(self, o: IndexNode, i: IndexNode, ins: Instrument) -> bool:
         ins.op("flag_check")
-        return o.trunc
+        return self._flagged(o)
 
 
 class CounterTruncation(TruncationPolicy):
@@ -137,10 +163,25 @@ class CounterTruncation(TruncationPolicy):
     policy never unsets anything: passing the recorded boundary
     untruncates implicitly, which removes the unset loops (and their
     cache-unfriendly second traversal of outer nodes) entirely.
+
+    As with :class:`FlagTruncation`, ``isolated=True`` keeps the
+    counters in a policy-local dict instead of the nodes' own
+    ``trunc_counter`` slots, so concurrent task simulations over shared
+    trees cannot observe each other's truncation state.
     """
 
-    def __init__(self, truncate_inner2: Truncate2Predicate) -> None:
+    def __init__(
+        self, truncate_inner2: Truncate2Predicate, isolated: bool = False
+    ) -> None:
         self.truncate_inner2 = truncate_inner2
+        self.isolated = isolated
+        #: policy-local counter storage (identity-keyed) when isolated
+        self._counters: dict[IndexNode, int] = {}
+
+    def _counter(self, node: IndexNode) -> int:
+        if self.isolated:
+            return self._counters.get(node, -1)
+        return node.trunc_counter
 
     def check_and_mark(
         self, o: IndexNode, i: IndexNode, frame: Optional[list[IndexNode]], ins: Instrument
@@ -151,20 +192,24 @@ class CounterTruncation(TruncationPolicy):
                 "inner tree; build trees via repro.spaces (finalize_tree)"
             )
         ins.op("counter_check")
-        if i.number < o.trunc_counter:
+        if i.number < self._counter(o):
             return True
         ins.op("trunc_check")
         if self.truncate_inner2(o, i):
             ins.op("counter_set")
             # First pre-order number after i's subtree: descendants of i
             # occupy [i.number, i.number + i.size).
-            o.trunc_counter = i.number + i.size
+            boundary = i.number + i.size
+            if self.isolated:
+                self._counters[o] = boundary
+            else:
+                o.trunc_counter = boundary
             return True
         return False
 
     def subtree_truncated(self, o: IndexNode, i: IndexNode, ins: Instrument) -> bool:
         ins.op("counter_check")
-        return i.number < o.trunc_counter
+        return i.number < self._counter(o)
 
 
 def make_policy(
@@ -173,10 +218,14 @@ def make_policy(
     """Pick the truncation policy a transformed schedule needs.
 
     Regular specs get :class:`NoTruncation`; irregular specs get flags
-    by default or counters when ``use_counters`` is set.
+    by default or counters when ``use_counters`` is set.  Specs marked
+    ``isolated_truncation`` get policy-local state storage so runs over
+    shared trees stay independent.
     """
     if spec.truncate_inner2 is None:
         return NoTruncation()
     if use_counters:
-        return CounterTruncation(spec.truncate_inner2)
-    return FlagTruncation(spec.truncate_inner2)
+        return CounterTruncation(
+            spec.truncate_inner2, isolated=spec.isolated_truncation
+        )
+    return FlagTruncation(spec.truncate_inner2, isolated=spec.isolated_truncation)

@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.instruments import NULL_INSTRUMENT, Instrument
-from repro.core.recursion import recursion_guard
+from repro.core.recursion import exceeds_safe_depth, recursion_guard
 from repro.core.spec import INNER_TREE, OUTER_TREE, NestedRecursionSpec
 from repro.core.truncation import make_policy
 
@@ -64,7 +64,22 @@ def run_twisted(
         Section 4.2 early cut-off of swapped phases when every live
         outer node below is truncated.  On by default, as in the
         paper's evaluated configuration.
+
+    Iteration spaces too deep for safe Python recursion are routed
+    through the explicit-stack batched executor, which emits the exact
+    same instrumentation event sequence.
     """
+    if exceeds_safe_depth(spec.outer_root, spec.inner_root):
+        from repro.core.batched import run_twisted_batched
+
+        run_twisted_batched(
+            spec,
+            instrument,
+            cutoff=cutoff,
+            use_counters=use_counters,
+            subtree_truncation=subtree_truncation,
+        )
+        return
     ins = instrument or NULL_INSTRUMENT
     policy = make_policy(spec, use_counters)
     irregular = spec.is_irregular

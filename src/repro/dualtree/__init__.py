@@ -10,6 +10,8 @@
   recursion template (Score as ``truncateInner2?``);
 * :mod:`repro.dualtree.algorithms` — the PC/NN/KNN/VP benchmarks as
   runnable objects;
+* :mod:`repro.dualtree.batch` — padded leaf blocks and vectorized
+  block distances for the batched executor;
 * :mod:`repro.dualtree.brute` — brute-force oracles.
 """
 
@@ -18,6 +20,15 @@ from repro.dualtree.algorithms import (
     NearestNeighbor,
     PointCorrelation,
     VPNearestNeighbors,
+)
+from repro.dualtree.batch import (
+    BoundArrays,
+    LeafBlocks,
+    block_distances,
+    bound_arrays,
+    build_leaf_blocks,
+    leaf_blocks,
+    min_dists_to_tree,
 )
 from repro.dualtree.boxes import Ball, HRect, point_dist
 from repro.dualtree.brute import (
@@ -44,8 +55,15 @@ from repro.dualtree.vptree import build_vptree
 
 __all__ = [
     "Ball",
+    "BoundArrays",
     "DualTreeRules",
     "HRect",
+    "LeafBlocks",
+    "block_distances",
+    "bound_arrays",
+    "build_leaf_blocks",
+    "leaf_blocks",
+    "min_dists_to_tree",
     "KNearestNeighborRules",
     "KNearestNeighbors",
     "KdeRules",

@@ -68,6 +68,12 @@ class KdeRules(DualTreeRules):
         #: reference points resolved in bulk (telemetry)
         self.pruned_contributions = 0
 
+    #: ``Score`` itself writes the density array (the bulk credit), so
+    #: deferred base cases must flush before any score of the same
+    #: query leaf — otherwise the accumulation order, and hence the
+    #: floating-point result, would drift from the recursive executor.
+    observes_results = True
+
     def score(self, q: SpatialNode, r: SpatialNode) -> bool:
         # Kernel is monotone decreasing in distance: the band over the
         # pair is [K(max_dist), K(min_dist)].
@@ -91,6 +97,33 @@ class KdeRules(DualTreeRules):
         self.density[q_ids] += np.exp(
             -0.5 * (distances / self.bandwidth) ** 2
         ).sum(axis=1)
+
+    def base_case_batch(
+        self, qs: list[SpatialNode], rs: list[SpatialNode]
+    ) -> None:
+        """Block form: one distance computation, per-pair accumulation.
+
+        The per-pair kernel sums are sliced out of the block tensor in
+        pair order, so every query's density accumulates in exactly the
+        sequence the scalar base case produces — bit-identical results,
+        with the distance computation batched.
+        """
+        from repro.dualtree.batch import block_distances, leaf_blocks
+
+        query_blocks = leaf_blocks(self.query_tree)
+        reference_blocks = leaf_blocks(self.reference_tree)
+        q_rows = query_blocks.rows(qs)
+        r_rows = reference_blocks.rows(rs)
+        distances = block_distances(query_blocks, reference_blocks, q_rows, r_rows)
+        kernel_values = np.exp(-0.5 * (distances / self.bandwidth) ** 2)
+        q_ids_block = query_blocks.ids[q_rows]
+        q_counts = query_blocks.counts[q_rows]
+        r_counts = reference_blocks.counts[r_rows]
+        for pair in range(len(qs)):
+            q_count = q_counts[pair]
+            self.density[q_ids_block[pair, :q_count]] += kernel_values[
+                pair, :q_count, : r_counts[pair]
+            ].sum(axis=1)
 
 
 @dataclass

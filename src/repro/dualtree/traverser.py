@@ -53,11 +53,55 @@ def dual_tree_spec(
         if not i.children:
             base_case(o, i)
 
+    base_case_batch = getattr(rules, "base_case_batch", None)
+    if base_case_batch is None:
+        work_batch = None
+    else:
+
+        def work_batch(os: list, is_: list) -> None:
+            # Work points fire for every surviving (query leaf,
+            # reference node) pair; only the leaf-leaf subset carries a
+            # base case, exactly as the scalar ``work`` above.
+            qs = []
+            rs = []
+            for o, i in zip(os, is_):
+                if not i.children:
+                    qs.append(o)
+                    rs.append(i)
+            if qs:
+                base_case_batch(qs, rs)
+
+    observes = getattr(rules, "observes_results", True)
+    score_block = getattr(rules, "score_block", None)
+    if score_block is None or observes:
+        truncate_inner2_batch = None
+    else:
+
+        def truncate_inner2_batch(o: SpatialNode):
+            # Same two-part decision as ``truncate_inner2``: internal
+            # query nodes prune everything; query leaves get the rules'
+            # vectorized Score (bit-identical to the scalar one).  Only
+            # legal for stateless rules — a stateful Score could not be
+            # pre-evaluated for a whole subtree.
+            if o.children:
+                return True
+            return score_block(o)
+
     return NestedRecursionSpec(
         outer_root=query_tree.root,
         inner_root=reference_tree.root,
         work=work,
         truncate_inner2=truncate_inner2,
+        truncate_inner2_batch=truncate_inner2_batch,
+        work_batch=work_batch,
+        # Stateful rules (NN/KNN bounds, KDE's side-effecting Score)
+        # must not let deferred base cases slide past a Score of the
+        # same query leaf; stateless rules (PC) batch freely.
+        truncation_observes_work=observes,
+        # Only query leaves launch real reference traversals — internal
+        # query nodes truncate at the reference root.  Consumed by the
+        # task scheduler's cost estimates, never by execution.
+        outer_launches_work=lambda node: not node.children,
         name=name,
     )
 

@@ -72,10 +72,18 @@ class MatrixMultiply:
             row, col = o.data, i.data
             c[row, col] = float(a[row, :] @ b[:, col])
 
+        def work_batch(os: list, is_: list) -> None:
+            # Every (row, col) is visited exactly once per run, so the
+            # fancy-index assignment never sees duplicate targets.
+            rows = np.array([o.data for o in os], dtype=np.intp)
+            cols = np.array([i.data for i in is_], dtype=np.intp)
+            c[rows, cols] = np.einsum("ij,ji->i", a[rows, :], b[:, cols])
+
         return NestedRecursionSpec(
             outer_root=self.outer_root,
             inner_root=self.inner_root,
             work=work,
+            work_batch=work_batch,
             name=f"MM({self.n}x{self.m})",
         )
 

@@ -117,3 +117,161 @@ class TestRunTaskParallel:
             seen.extend(recorder.points)
         assert len(seen) == 46
         assert ("B", 2) not in set(seen)
+
+
+class TestSingleNodeViewSemantics:
+    """Regression: the childless task facade must not change the
+    *decisions* outer-node-sensitive predicates make.
+
+    Dual-tree specs truncate reference traversals at internal query
+    nodes ("is this outer node a leaf?"); before the fix, a spawned
+    parent's single-node view reported no children, so an internal
+    query node executed a full reference traversal per task and the
+    parallel result diverged wildly from the sequential one."""
+
+    def _pc(self):
+        from repro.dualtree import PointCorrelation
+        from repro.spaces.points import clustered_points
+
+        points = clustered_points(512, clusters=8, spread=0.05, seed=5)
+        return PointCorrelation(points, radius=0.3, leaf_size=8)
+
+    def test_dualtree_parallel_matches_sequential(self):
+        pc = self._pc()
+        spec = pc.make_spec()
+        run_original(spec)
+        sequential = pc.result
+
+        for backend in ("recursive", "batched"):
+            spec = pc.make_spec()
+            run_task_parallel(
+                spec, num_workers=4, spawn_depth=3, backend=backend
+            )
+            assert pc.result == sequential, backend
+
+    def test_dualtree_parallel_twist_matches_sequential(self):
+        pc = self._pc()
+        spec = pc.make_spec()
+        run_original(spec)
+        sequential = pc.result
+        spec = pc.make_spec()
+        run_task_parallel(spec, num_workers=4, spawn_depth=3, schedule=TWIST)
+        assert pc.result == sequential
+
+    def test_view_predicates_see_real_node(self):
+        from repro.core.parallel import _single_node_view, _task_spec, Task
+
+        root = balanced_tree(7)
+        seen = []
+        spec = NestedRecursionSpec(
+            root,
+            balanced_tree(3),
+            truncate_inner2=lambda o, i: bool(seen.append(len(o.children))),
+        )
+        task = Task(outer_root=_single_node_view(root), spec=spec)
+        run_original(task_spec(task))
+        # The predicate observed the real root's two children, not the
+        # facade's zero.
+        assert set(seen) == {2}
+        assert _task_spec(task).outer_root.children == ()
+
+
+class TestCostEstimates:
+    """Regression: LPT weights track launchable work, not raw sizes."""
+
+    def test_single_node_view_of_non_launching_node_is_cheap(self):
+        spec = paper_spec(outer_launches_work=lambda node: not node.children)
+        tasks = spawn_tasks(spec, 1)
+        by_size = sorted(tasks, key=lambda t: t.outer_root.size)
+        view_task = by_size[0]
+        assert view_task.outer_root.size == 1
+        # Internal node: cannot launch, costs one visit.
+        assert view_task.cost_estimate == 1
+
+    def test_estimates_track_actual_work(self):
+        """For dual-tree PC, estimated cost must rank tasks in the same
+        ballpark as the work they actually execute: every task with
+        zero work points gets the minimal estimate, and the
+        largest-estimate task is within the top actual workers."""
+        from repro.core.instruments import OpCounter
+        from repro.dualtree import PointCorrelation
+        from repro.spaces.points import clustered_points
+
+        points = clustered_points(512, clusters=8, spread=0.05, seed=9)
+        pc = PointCorrelation(points, radius=0.3, leaf_size=8)
+        spec = pc.make_spec()
+        tasks = spawn_tasks(spec, 3)
+
+        actuals = []
+        for task in tasks:
+            ops = OpCounter()
+            run_original(task_spec(task), instrument=ops)
+            actuals.append(ops.work_points)
+
+        estimates = [task.cost_estimate for task in tasks]
+        # Non-launching single-node tasks: minimal estimate, no work.
+        for estimate, actual in zip(estimates, actuals):
+            if actual == 0:
+                assert estimate == min(estimates)
+        # Estimates separate the no-work tasks from the real ones.
+        real = [e for e, a in zip(estimates, actuals) if a > 0]
+        empty = [e for e, a in zip(estimates, actuals) if a == 0]
+        assert real and empty
+        assert min(real) > max(empty)
+
+    def test_rectangular_estimate_unchanged(self):
+        tasks = spawn_tasks(paper_spec(), 1)
+        assert {task.cost_estimate for task in tasks} == {7, 21}
+
+
+class TestTruncationIsolation:
+    """Section 4 flag/counter state must stay private to each task."""
+
+    def test_task_specs_are_isolated(self):
+        spec = paper_spec(truncate_inner2=lambda o, i: o.label == "B")
+        for task in spawn_tasks(spec, 2):
+            assert task_spec(task).isolated_truncation
+
+    def test_isolated_runs_leave_shared_trees_untouched(self):
+        from repro.core import run_interchanged, run_twisted
+
+        spec = paper_spec(truncate_inner2=lambda o, i: i.label in (2, 4))
+        tasks = spawn_tasks(spec, 1)
+        shared_nodes = list(spec.outer_root.iter_preorder()) + list(
+            spec.inner_root.iter_preorder()
+        )
+        for task in tasks:
+            restricted = task_spec(task)
+            run_interchanged(restricted, subtree_truncation=True)
+            run_twisted(restricted, use_counters=True)
+            for node in shared_nodes:
+                assert node.trunc is False
+                assert node.trunc_counter == -1
+
+    def test_interleaved_tasks_match_sequential(self):
+        """Simulated concurrency: alternating inner phases of two tasks
+        over the SAME shared trees must reproduce each task's solo
+        work set — impossible if flags leaked through tree nodes."""
+        spec = paper_spec(truncate_inner2=lambda o, i: o.label == "B")
+        tasks = [
+            task
+            for task in spawn_tasks(spec, 1)
+            if task.outer_root.children
+        ]
+        assert len(tasks) >= 2
+
+        def solo_points(task):
+            recorder = WorkRecorder()
+            from repro.core import run_interchanged
+
+            run_interchanged(
+                task_spec(task), instrument=recorder, subtree_truncation=True
+            )
+            return recorder.points
+
+        expected = [solo_points(task) for task in tasks]
+        # Interleave: rerun both, in lockstep by alternating runs (the
+        # executors are not generators, so this exercises state left
+        # behind between runs rather than true concurrency).
+        observed = [solo_points(task) for task in reversed(tasks)]
+        assert observed == list(reversed(expected))

@@ -108,3 +108,16 @@ class TestReadmeQuickstart:
         ops, cache = OpCounter(), CacheProbe(amap, scaled_hierarchy())
         run_twisted(spec, instrument=combine(ops, cache))
         assert cache.hierarchy.stats_by_name()["L1"].accesses > 0
+
+    def test_batched_backend_snippet_runs(self):
+        # The code from README.md's "Batched execution backend" section
+        # (smaller trees to keep the suite fast).
+        from repro.core import OpCounter, get_schedule
+        from repro.kernels import TreeJoin
+
+        tj = TreeJoin(127, 127)
+        recursive, batched = OpCounter(), OpCounter()
+        get_schedule("twist").run(tj.make_spec(), recursive)
+        get_schedule("twist").run(tj.make_spec(), batched, backend="batched")
+        assert batched.counts == recursive.counts
+        assert batched.work_points == recursive.work_points
