@@ -82,10 +82,42 @@ def _sec73(scale: float):
     return run_sec73(num_nodes=max(100, int(500 * scale)))[0]
 
 
-def _wallclock(scale: float):
-    from repro.bench.wallclock import run_wallclock, write_bench_json
+def _wallclock(scale: float, args: "argparse.Namespace | None" = None):
+    from repro.bench.wallclock import (
+        DEFAULT_BACKENDS,
+        DEFAULT_SCHEDULES,
+        run_wallclock,
+        write_bench_json,
+    )
+    from repro.bench.workloads import wallclock_cases
 
-    report, payload = run_wallclock(scale=scale)
+    cases = wallclock_cases(scale)
+    schedules = list(DEFAULT_SCHEDULES)
+    backends = list(DEFAULT_BACKENDS)
+    repeats = 3
+    if args is not None:
+        if args.benchmark:
+            wanted = {name.upper() for name in args.benchmark}
+            known = {case.name for case in cases}
+            unknown = wanted - known
+            if unknown:
+                raise SystemExit(
+                    f"error: unknown benchmark(s) {sorted(unknown)}; "
+                    f"known: {sorted(known)}"
+                )
+            cases = [case for case in cases if case.name in wanted]
+        if args.schedule:
+            schedules = list(args.schedule)
+        if args.backend:
+            backends = list(args.backend)
+        repeats = args.repeats
+    report, payload = run_wallclock(
+        scale=scale,
+        schedule_names=schedules,
+        backends=backends,
+        repeats=repeats,
+        cases=cases,
+    )
     path = write_bench_json(payload)
     report.add_note(f"JSON payload written to {path}")
     return report
@@ -126,7 +158,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "sec73": ("Section 7.3 extension: task parallelism", _sec73),
     "ablations": ("Truncation-machinery and layout ablations", _ablations),
     "wallclock": (
-        "Wall-clock: recursive vs batched backends (writes BENCH_batched.json)",
+        "Wall-clock: all executor backends (writes BENCH_soa.json)",
         _wallclock,
     ),
 }
@@ -139,13 +171,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', or 'list'",
+        help="experiment id (see 'list'), 'all', 'list', or 'perf-floor'",
     )
     parser.add_argument(
         "--scale",
         type=float,
         default=1.0,
         help="workload scale factor (default 1.0 = paper-shaped sizes)",
+    )
+    wallclock = parser.add_argument_group(
+        "wallclock filters", "narrow the backend sweep (wallclock only)"
+    )
+    wallclock.add_argument(
+        "--benchmark",
+        action="append",
+        metavar="NAME",
+        help="only this benchmark (repeatable; e.g. TJ, MM, KDE)",
+    )
+    wallclock.add_argument(
+        "--schedule",
+        action="append",
+        metavar="NAME",
+        help="only this schedule (repeatable; e.g. original, twist)",
+    )
+    wallclock.add_argument(
+        "--backend",
+        action="append",
+        metavar="NAME",
+        choices=("recursive", "batched", "soa", "auto"),
+        help="only this backend (repeatable)",
+    )
+    wallclock.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N timing repeats (default 3)",
+    )
+    floor = parser.add_argument_group(
+        "perf-floor options", "for the 'perf-floor' CI gate"
+    )
+    floor.add_argument(
+        "--json",
+        default="BENCH_soa.json",
+        help="wall-clock payload to check (default BENCH_soa.json)",
+    )
+    floor.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        help="required fraction of the best single backend (default 0.9)",
     )
     return parser
 
@@ -157,7 +231,16 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _runner) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
+        print(
+            f"{'perf-floor'.ljust(width)}  CI gate: auto backend within "
+            "the floor of the best single backend"
+        )
         return 0
+    if args.experiment == "perf-floor":
+        from repro.bench.perf_floor import DEFAULT_FLOOR, main as floor_main
+
+        floor = DEFAULT_FLOOR if args.floor is None else args.floor
+        return floor_main(["--json", args.json, "--floor", str(floor)])
     if args.scale <= 0:
         print("error: --scale must be positive", file=sys.stderr)
         return 2
@@ -174,7 +257,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for name in names:
         _description, runner = EXPERIMENTS[name]
-        print(runner(args.scale).render())
+        if name == "wallclock":
+            print(runner(args.scale, args).render())
+        else:
+            print(runner(args.scale).render())
         print()
     return 0
 

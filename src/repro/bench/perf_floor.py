@@ -1,0 +1,107 @@
+"""CI perf floor: ``auto`` must track the best single backend.
+
+The point of ``backend="auto"`` is that nobody should have to sweep
+backends by hand; the selector is only trustworthy if it never falls
+far behind the best single backend on any (benchmark, schedule) pair.
+This module turns that contract into a CI gate: it parses a
+``BENCH_soa.json`` payload (written by ``python -m repro.bench
+wallclock``) and fails if any entry's auto speedup drops below
+``floor`` (default 0.9) times the best single-backend speedup — i.e.
+if ``auto`` is more than 10% slower than the best backend anywhere.
+
+Result mismatches fail the gate too: a fast wrong backend is worse
+than a slow right one.
+
+Run it as ``python -m repro.bench perf-floor [--json PATH]``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+#: Default floor: auto must reach 90% of the best single backend.
+DEFAULT_FLOOR = 0.9
+
+#: Backends eligible as "best single" references.
+SINGLE_BACKENDS = ("recursive", "batched", "soa")
+
+
+def check_perf_floor(
+    payload: dict, floor: float = DEFAULT_FLOOR
+) -> list[str]:
+    """Violation messages for one wall-clock payload (empty = pass).
+
+    An entry violates the floor when ``auto``'s wall-clock time exceeds
+    ``best_single / floor`` — equivalently, when auto's speedup over
+    recursive is below ``floor`` times the best single backend's.
+    Entries without an ``auto`` timing are skipped (a filtered sweep);
+    entries with mismatched results always violate.
+    """
+    violations = []
+    for entry in payload.get("results", []):
+        label = f"{entry.get('benchmark')}/{entry.get('schedule')}"
+        if not entry.get("results_match", True):
+            violations.append(f"{label}: backend results mismatch")
+            continue
+        timings = entry.get("timings", {})
+        auto_s = timings.get("auto")
+        singles = {
+            backend: seconds
+            for backend, seconds in timings.items()
+            if backend in SINGLE_BACKENDS and seconds > 0
+        }
+        if auto_s is None or not singles:
+            continue
+        best_backend = min(singles, key=singles.get)
+        best_s = singles[best_backend]
+        ratio = best_s / auto_s if auto_s > 0 else float("inf")
+        if ratio < floor:
+            violations.append(
+                f"{label}: auto ({auto_s:.4f}s, picked "
+                f"{entry.get('auto_choice', '?')}) is {ratio:.2f}x the best "
+                f"single backend ({best_backend}, {best_s:.4f}s); "
+                f"floor is {floor:.2f}"
+            )
+    return violations
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench perf-floor",
+        description="Fail if backend='auto' falls below the perf floor.",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_soa.json",
+        help="wall-clock payload to check (default BENCH_soa.json)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR,
+        help="required fraction of the best single backend's speedup "
+        f"(default {DEFAULT_FLOOR})",
+    )
+    args = parser.parse_args(argv)
+    with open(args.json) as handle:
+        payload = json.load(handle)
+    violations = check_perf_floor(payload, floor=args.floor)
+    checked = sum(
+        1
+        for entry in payload.get("results", [])
+        if "auto" in entry.get("timings", {})
+    )
+    if violations:
+        print(f"perf floor FAILED ({len(violations)} violation(s)):")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(
+        f"perf floor passed: auto within {args.floor:.0%} of the best "
+        f"single backend on all {checked} checked configurations"
+    )
+    return 0

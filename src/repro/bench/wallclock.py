@@ -1,33 +1,55 @@
-"""Wall-clock comparison of the recursive and batched backends.
+"""Wall-clock comparison of the executor backends.
 
 The simulated-machine experiments measure *locality*; this module
-measures *real time*: for each Section 6.1 benchmark it runs the same
-schedule once through the recursive executors and once through the
-frontier-batched executors of :mod:`repro.core.batched`, timing both
-with :func:`time.perf_counter` and checking that the results are
+measures *real time*: for each benchmark (the Section 6.1 six plus
+KDE) and schedule it runs the same spec through every backend —
+``recursive`` (the paper-faithful executors), ``batched``
+(:mod:`repro.core.batched`), ``soa`` (:mod:`repro.core.soa_exec`,
+optionally swept across its storage linearizations), and ``auto``
+(:mod:`repro.core.backend_select`) — timing each with
+:func:`time.perf_counter` and checking that all results are
 bit-identical.
 
-The driver emits a machine-readable ``BENCH_batched.json`` next to the
+The driver emits a machine-readable ``BENCH_soa.json`` next to the
 rendered table.  Its schema::
 
     {
-      "experiment": "wallclock_batched",
-      "scale": 1.0,            # workload scale factor
-      "repeats": 3,            # best-of-N timing
+      "experiment": "wallclock_backends",
+      "scale": 1.0,              # workload scale factor
+      "repeats": 3,              # best-of-N timing
+      "backends": ["recursive", "batched", "soa", "auto"],
       "results": [
         {
           "benchmark": "TJ",
           "schedule": "original",
-          "recursive_s": 0.65,   # best-of-N wall-clock, recursive
-          "batched_s": 0.12,     # best-of-N wall-clock, batched
-          "speedup": 5.4,        # recursive_s / batched_s
-          "results_match": true  # repr-identical benchmark results
+          "timings": {             # best-of-N wall-clock seconds
+            "recursive": 0.65,
+            "batched": 0.12,
+            "soa": 0.08,
+            "auto": 0.08
+          },
+          "speedups": {            # recursive_s / backend_s
+            "batched": 5.4, "soa": 8.1, "auto": 8.1
+          },
+          "soa_orders": {          # soa timed per linearization
+            "preorder": 0.08, "bfs": 0.09, "veb": 0.08
+          },
+          "auto_choice": "soa",    # what the selector picked
+          "best_backend": "soa",   # fastest single backend
+          "auto_vs_best": 1.0,     # best_s / auto_s (>= 0.9 required)
+          "results_match": true    # repr-identical results, all backends
         },
         ...
       ]
     }
 
-Run it from the CLI as ``python -m repro.bench wallclock``.
+``auto_vs_best`` is the number the CI perf floor
+(:mod:`repro.bench.perf_floor`) guards: ``auto`` must stay within 10%
+of the best single backend on every (benchmark, schedule) pair.
+
+Run it from the CLI as ``python -m repro.bench wallclock``; see
+``--benchmark``/``--schedule``/``--backend``/``--repeats`` there for
+slicing the sweep.
 """
 
 from __future__ import annotations
@@ -37,12 +59,20 @@ import time
 from typing import Optional, Sequence
 
 from repro.bench.reporting import ExperimentReport
-from repro.bench.workloads import BenchmarkCase, all_cases
+from repro.bench.workloads import BenchmarkCase, wallclock_cases
+from repro.core.backend_select import choose_backend
 from repro.core.schedules import Schedule, get_schedule
+from repro.spaces.soa import LINEARIZATIONS
 
 #: Schedules timed by default: the untransformed baseline plus the
 #: paper's headline transformation.
 DEFAULT_SCHEDULES = ("original", "twist")
+
+#: Backends timed by default (single backends first, then the selector).
+DEFAULT_BACKENDS = ("recursive", "batched", "soa", "auto")
+
+#: Backends eligible as "best single" references.
+SINGLE_BACKENDS = ("recursive", "batched", "soa")
 
 
 def time_backend(
@@ -50,11 +80,12 @@ def time_backend(
     schedule: Schedule,
     backend: str,
     repeats: int = 3,
+    order: str = "preorder",
 ) -> tuple[float, object]:
     """Best-of-``repeats`` wall-clock seconds for one configuration.
 
     Each repeat rebuilds the spec via ``case.make_spec()`` (which
-    resets benchmark state), so accumulating results never compound.
+    resets benchmark state), so accumulated results never compound.
     Returns ``(seconds, result)`` where ``result`` is the benchmark's
     result probe after the final repeat.
     """
@@ -62,7 +93,7 @@ def time_backend(
     for _ in range(max(1, repeats)):
         spec = case.make_spec()
         start = time.perf_counter()
-        schedule.run(spec, backend=backend)
+        schedule.run(spec, backend=backend, order=order)
         best = min(best, time.perf_counter() - start)
     return best, case.result()
 
@@ -70,70 +101,111 @@ def time_backend(
 def run_wallclock(
     scale: float = 1.0,
     schedule_names: Sequence[str] = DEFAULT_SCHEDULES,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
     repeats: int = 3,
     cases: Optional[list[BenchmarkCase]] = None,
+    sweep_orders: bool = True,
 ) -> tuple[ExperimentReport, dict]:
-    """Time recursive vs batched backends on the six benchmarks.
+    """Time the backends on the wall-clock benchmark inventory.
 
+    ``sweep_orders`` additionally times the SoA backend under each
+    storage linearization (only when ``"soa"`` is among ``backends``).
     Returns ``(report, payload)``: the rendered ASCII table and the
-    JSON-serializable payload written to ``BENCH_batched.json``.
+    JSON-serializable payload written to ``BENCH_soa.json``.
     """
-    cases = all_cases(scale) if cases is None else cases
+    cases = wallclock_cases(scale) if cases is None else cases
+    backends = list(backends)
     report = ExperimentReport(
-        title="Wall-clock: recursive vs batched executors",
-        columns=[
-            "benchmark",
-            "schedule",
-            "recursive (s)",
-            "batched (s)",
-            "speedup",
-            "match",
-        ],
+        title="Wall-clock: executor backends",
+        columns=["benchmark", "schedule"]
+        + [f"{backend} (s)" for backend in backends]
+        + ["auto picks", "best", "auto/best", "match"],
     )
     entries = []
     for case in cases:
         for name in schedule_names:
             schedule = get_schedule(name)
-            recursive_s, recursive_result = time_backend(
-                case, schedule, "recursive", repeats
+            timings: dict[str, float] = {}
+            results: dict[str, object] = {}
+            for backend in backends:
+                timings[backend], results[backend] = time_backend(
+                    case, schedule, backend, repeats
+                )
+            reference = next(iter(results.values()))
+            match = all(
+                repr(result) == repr(reference)
+                for result in results.values()
             )
-            batched_s, batched_result = time_backend(
-                case, schedule, "batched", repeats
-            )
-            speedup = recursive_s / batched_s if batched_s > 0 else float("inf")
-            match = repr(recursive_result) == repr(batched_result)
+            entry: dict = {
+                "benchmark": case.name,
+                "schedule": name,
+                "timings": {
+                    backend: round(seconds, 6)
+                    for backend, seconds in timings.items()
+                },
+                "results_match": match,
+            }
+            recursive_s = timings.get("recursive")
+            if recursive_s is not None:
+                entry["speedups"] = {
+                    backend: round(recursive_s / timings[backend], 3)
+                    for backend in backends
+                    if backend != "recursive" and timings[backend] > 0
+                }
+            if sweep_orders and "soa" in backends:
+                entry["soa_orders"] = {
+                    order: round(
+                        time_backend(
+                            case, schedule, "soa", repeats, order=order
+                        )[0],
+                        6,
+                    )
+                    for order in LINEARIZATIONS
+                }
+            singles = [b for b in backends if b in SINGLE_BACKENDS]
+            best_backend = min(singles, key=timings.get) if singles else None
+            auto_choice = best_note = ""
+            auto_vs_best = None
+            if best_backend is not None:
+                entry["best_backend"] = best_backend
+                best_note = best_backend
+            if "auto" in backends:
+                choice = choose_backend(case.make_spec(), name)
+                auto_choice = choice.backend
+                entry["auto_choice"] = choice.backend
+                entry["auto_reason"] = choice.reason
+                if best_backend is not None and timings["auto"] > 0:
+                    auto_vs_best = round(
+                        timings[best_backend] / timings["auto"], 3
+                    )
+                    entry["auto_vs_best"] = auto_vs_best
             report.add_row(
                 case.name,
                 name,
-                recursive_s,
-                batched_s,
-                f"{speedup:.2f}x",
+                *(timings[backend] for backend in backends),
+                auto_choice,
+                best_note,
+                "" if auto_vs_best is None else f"{auto_vs_best:.2f}",
                 "yes" if match else "NO",
             )
-            entries.append(
-                {
-                    "benchmark": case.name,
-                    "schedule": name,
-                    "recursive_s": round(recursive_s, 6),
-                    "batched_s": round(batched_s, 6),
-                    "speedup": round(speedup, 3),
-                    "results_match": match,
-                }
-            )
+            entries.append(entry)
     report.add_note(
         f"best-of-{repeats} wall-clock timings at scale {scale:g}; "
-        "'match' checks bit-identical benchmark results across backends"
+        "'match' checks bit-identical benchmark results across backends; "
+        "'auto/best' is best-single-backend time over auto time "
+        "(1.0 = auto matched the best backend)"
     )
     payload = {
-        "experiment": "wallclock_batched",
+        "experiment": "wallclock_backends",
         "scale": scale,
         "repeats": repeats,
+        "backends": backends,
         "results": entries,
     }
     return report, payload
 
 
-def write_bench_json(payload: dict, path: str = "BENCH_batched.json") -> str:
+def write_bench_json(payload: dict, path: str = "BENCH_soa.json") -> str:
     """Write the wall-clock payload as indented JSON; returns the path."""
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -26,6 +26,7 @@ from repro.dualtree.algorithms import (
     PointCorrelation,
     VPNearestNeighbors,
 )
+from repro.dualtree.kde import KernelDensity
 from repro.dualtree.spatial import SpatialTree
 from repro.kernels.matmul import MatrixMultiply
 from repro.kernels.treejoin import TreeJoin
@@ -217,6 +218,47 @@ def make_vp(
     )
 
 
+def make_kde(
+    num_points: int = 2048,
+    bandwidth: float = 0.12,
+    epsilon: float = 1e-3,
+    leaf_size: int = 8,
+    seed: int = 19,
+) -> BenchmarkCase:
+    """Approximate Gaussian KDE (the Section 7 dual-tree extension).
+
+    KDE's ``Score`` is *stateful* — a pruned subtree contributes its
+    center-estimate mass at prune time — which makes it the hardest
+    case for deferred-work backends (every block truncation is a
+    barrier) and the showcase for the SoA backend's inline mode.
+    """
+    queries = clustered_points(num_points, clusters=24, spread=0.05, seed=seed)
+    references = clustered_points(
+        num_points, clusters=24, spread=0.05, seed=seed + 1
+    )
+    kde = KernelDensity(
+        queries,
+        references,
+        bandwidth=bandwidth,
+        epsilon=epsilon,
+        leaf_size=leaf_size,
+    )
+
+    def register(address_map: AddressMap) -> None:
+        register_spatial_layout(address_map, kde.query_tree, "outer")
+        register_spatial_layout(address_map, kde.reference_tree, "inner")
+
+    return BenchmarkCase(
+        name="KDE",
+        make_spec=kde.make_spec,
+        register_layout=register,
+        work_cost=WorkCost(instructions=25.0),
+        result=lambda: kde.result.tobytes(),
+        description=f"dual-tree Gaussian KDE, {num_points} queries, "
+        f"h={bandwidth}",
+    )
+
+
 def all_cases(scale: float = 1.0) -> list[BenchmarkCase]:
     """The six Section 6.1 benchmarks at a given size scale.
 
@@ -235,3 +277,16 @@ def all_cases(scale: float = 1.0) -> list[BenchmarkCase]:
         make_knn(sized(3072)),
         make_vp(sized(3072)),
     ]
+
+
+def wallclock_cases(scale: float = 1.0) -> list[BenchmarkCase]:
+    """The wall-clock sweep's inventory: the six benchmarks plus KDE.
+
+    The simulated-machine experiments stick to the paper's six
+    (:func:`all_cases`); the backend comparison adds KDE because its
+    stateful ``Score`` exercises the inline dispatch mode that the
+    paper benchmarks never hit.
+    """
+    cases = all_cases(scale)
+    cases.append(make_kde(max(64, int(2048 * scale))))
+    return cases

@@ -17,10 +17,21 @@
 * :mod:`repro.core.batched` — frontier-batched explicit-stack
   executors dispatching vectorized leaf-work blocks, bit-identical to
   the recursive executors;
+* :mod:`repro.core.soa_exec` — index-based executors over packed
+  structure-of-arrays tree views (:mod:`repro.spaces.soa`), with an
+  inline dispatch mode for stateful-truncation specs;
+* :mod:`repro.core.backend_select` — the ``backend="auto"``
+  calibration probe and decision table;
 * :mod:`repro.core.schedules` — the named schedule registry used by
   benches and examples.
 """
 
+from repro.core.backend_select import (
+    BackendChoice,
+    choose_backend,
+    probe_features,
+    resolve_backend,
+)
 from repro.core.batched import (
     DEFAULT_BATCH_SIZE,
     BatchDispatcher,
@@ -89,6 +100,12 @@ from repro.core.schedules import (
     get_schedule,
     twist_with_cutoff,
 )
+from repro.core.soa_exec import (
+    PositionDispatcher,
+    run_interchanged_soa,
+    run_original_soa,
+    run_twisted_soa,
+)
 from repro.core.soundness import (
     FootprintRecorder,
     SoundnessReport,
@@ -116,6 +133,7 @@ __all__ = [
     "AccessTraceRecorder",
     "BACKENDS",
     "BY_NAME",
+    "BackendChoice",
     "BatchDispatcher",
     "CacheProbe",
     "DEFAULT_BATCH_SIZE",
@@ -139,6 +157,7 @@ __all__ = [
     "OUTER_TREE",
     "OpCounter",
     "ParallelReport",
+    "PositionDispatcher",
     "ReuseDistanceProbe",
     "Schedule",
     "Task",
@@ -152,10 +171,13 @@ __all__ = [
     "WorkRecorder",
     "auto_cutoff_schedule",
     "canonical_form",
+    "choose_backend",
     "cutoff_for_machine",
     "estimate_cutoff",
     "check_transformation",
     "combine",
+    "probe_features",
+    "resolve_backend",
     "compare_recordings",
     "cross_product_size",
     "exceeds_safe_depth",
@@ -169,11 +191,14 @@ __all__ = [
     "run_interchanged",
     "run_interchanged_batched",
     "run_interchanged_iterative",
+    "run_interchanged_soa",
     "run_original",
     "run_original_batched",
     "run_original_iterative",
     "run_original_n",
+    "run_original_soa",
     "run_twisted_batched",
+    "run_twisted_soa",
     "run_task_parallel",
     "run_twisted_n",
     "run_twisted",

@@ -1,0 +1,189 @@
+"""Automatic backend selection (``backend="auto"``).
+
+Three executor families now realize every schedule — recursive
+(faithful, lowest constant overhead), batched
+(:mod:`repro.core.batched`), and SoA (:mod:`repro.core.soa_exec`) —
+and no single one wins everywhere: the batched engine's barrier
+flushes *regress* the pruning-heavy guided traversals (NN/KNN/VP)
+while winning big on work-dense schedules, and the SoA engine's
+packed-view setup is wasted on tiny spaces.  ``backend="auto"`` runs
+the cheap calibration probe below once per (spec, schedule) and picks
+a backend from structural features, so callers get near-best wall
+clock without sweeping.
+
+The probe is deliberately *read-only*: it never calls ``work`` and
+never calls a truncation predicate unless the spec itself declares
+pre-evaluation legal by providing ``truncate_inner2_batch`` (a
+stateful ``Score`` — KDE's writes its density at prune time — must not
+be probed).  Everything else comes from stored sizes, sampled arity,
+and which vectorized hooks the spec carries.
+
+The decision table is calibrated against ``BENCH_soa.json`` (see
+EXPERIMENTS.md): measured per-benchmark timings at scale 1.0, both
+schedules, are what the thresholds below encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Optional
+
+from repro.core.spec import NestedRecursionSpec
+from repro.errors import ScheduleError
+
+#: Backends ``choose_backend`` may return.
+SINGLE_BACKENDS = ("recursive", "batched", "soa")
+
+#: Below this many (outer x inner) iteration-space points, per-run
+#: setup (dispatcher objects, packed-view construction on first touch)
+#: outweighs any dispatch savings and the recursive executors win.
+SMALL_SPACE_POINTS = 4096
+
+#: Outer nodes sampled when estimating arity / truncation density.
+PROBE_SAMPLES = 32
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """The selector's verdict plus the evidence it used."""
+
+    backend: str
+    reason: str
+    features: dict = field(default_factory=dict)
+
+
+def probe_features(spec: NestedRecursionSpec) -> dict:
+    """Cheap structural calibration probe for one spec.
+
+    Collects tree sizes, sampled mean arity, which vectorized hooks
+    exist, and — only when the spec carries the (stateless, legally
+    pre-evaluable) ``truncate_inner2_batch`` — a sampled truncation
+    density over outer leaves.  Runs in O(sample) time and touches no
+    benchmark state.
+    """
+    outer_root = spec.outer_root
+    inner_root = spec.inner_root
+    outer_size = max(1, outer_root.size)
+    inner_size = max(1, inner_root.size)
+    sample = list(islice(outer_root.iter_preorder(), PROBE_SAMPLES))
+    arity = sum(len(node.children) for node in sample) / len(sample)
+    features = {
+        "outer_size": outer_size,
+        "inner_size": inner_size,
+        "points": outer_size * inner_size,
+        "mean_arity": round(arity, 3),
+        "is_irregular": spec.is_irregular,
+        "observes_work": bool(spec.truncation_observes_work),
+        "has_work": spec.work is not None,
+        "has_work_batch": spec.work_batch is not None,
+        "has_work_batch_soa": spec.work_batch_soa is not None,
+        "has_block_truncation": spec.truncate_inner2_batch is not None,
+        "truncation_density": None,
+    }
+    if spec.truncate_inner2_batch is not None:
+        features["truncation_density"] = _sample_truncation_density(spec)
+    return features
+
+
+def _sample_truncation_density(spec: NestedRecursionSpec) -> Optional[float]:
+    """Fraction of inner nodes pruned, over a sample of outer leaves.
+
+    Uses the spec's own block form of ``truncateInner2?`` — whose
+    presence is the spec's declaration that pre-evaluation has no side
+    effects — on up to :data:`PROBE_SAMPLES` outer *leaves* (internal
+    nodes of dual-tree specs trivially prune everything and would skew
+    the estimate).
+    """
+    block_t2 = spec.truncate_inner2_batch
+    inner_size = max(1, spec.inner_root.size)
+    sampled = 0
+    pruned = 0.0
+    for node in spec.outer_root.iter_preorder():
+        if node.children:
+            continue
+        decisions = block_t2(node)
+        if decisions is None:
+            continue
+        if decisions is True or decisions is False:
+            pruned += inner_size if decisions else 0
+        else:
+            pruned += float(sum(decisions))
+        sampled += 1
+        if sampled >= PROBE_SAMPLES:
+            break
+    if sampled == 0:
+        return None
+    return pruned / (sampled * inner_size)
+
+
+def choose_backend(
+    spec: NestedRecursionSpec,
+    schedule_name: str = "original",
+    features: Optional[dict] = None,
+) -> BackendChoice:
+    """Pick recursive/batched/soa for one (spec, schedule) pair.
+
+    The rules, in order (first match wins), with the BENCH_soa.json
+    evidence behind each:
+
+    1. **Tiny spaces -> recursive.**  Below ~4K iteration-space points
+       every deferred-dispatch engine loses to plain recursion on
+       setup cost alone.
+    2. **Stateful truncation -> soa.**  When ``truncateInner2?``
+       observes ``work`` (NN/KNN/VP bounds, KDE), the batched engine's
+       per-outer barriers shred its blocks (NN regressed to 0.35x);
+       the SoA engine executes work inline over packed index space and
+       keeps the explicit-stack savings.
+    3. **SoA-native work -> soa.**  A spec carrying ``work_batch_soa``
+       (TJ, MM) dispatches integer position blocks — strictly less
+       per-pair Python than the node-object dispatcher on every
+       schedule.
+    4. **Everything else -> batched.**  Stateless irregular specs (PC)
+       and plain ``work_batch`` specs ride the mature node-block
+       engine; the SoA engine matches it within noise here, so the
+       tie breaks toward the longer-serving backend.
+    """
+    if features is None:
+        features = probe_features(spec)
+    if features["points"] < SMALL_SPACE_POINTS:
+        return BackendChoice(
+            "recursive",
+            f"iteration space has only {features['points']} points "
+            f"(< {SMALL_SPACE_POINTS}); dispatch setup would dominate",
+            features,
+        )
+    if features["is_irregular"] and features["observes_work"]:
+        return BackendChoice(
+            "soa",
+            "truncation observes work: barriers would shred deferred "
+            "blocks, so run inline work over packed index space",
+            features,
+        )
+    if features["has_work_batch_soa"]:
+        return BackendChoice(
+            "soa",
+            "spec provides work_batch_soa: position-block dispatch over "
+            "packed payload columns",
+            features,
+        )
+    return BackendChoice(
+        "batched",
+        "stateless spec without SoA-native work: node-block dispatch "
+        "through work_batch",
+        features,
+    )
+
+
+def resolve_backend(
+    spec: NestedRecursionSpec, schedule_name: str, backend: str
+) -> str:
+    """Map a user-facing backend name to a concrete executor family."""
+    if backend == "auto":
+        return choose_backend(spec, schedule_name).backend
+    if backend in SINGLE_BACKENDS:
+        return backend
+    raise ScheduleError(
+        f"unknown backend {backend!r}; known: "
+        f"{list(SINGLE_BACKENDS) + ['auto']}"
+    )

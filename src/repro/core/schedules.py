@@ -6,15 +6,22 @@ module gives each transformation a uniform call signature —
 ``schedule.run(spec, instrument)`` — and a canonical name, so the
 experiment drivers can sweep configurations declaratively.
 
-Every schedule carries two interchangeable backends:
+Every schedule carries interchangeable backends:
 
 * ``recursive`` — the faithful recursive executors, structured like
   the paper's listings;
 * ``batched`` — the explicit-stack executors of
   :mod:`repro.core.batched`, which defer work into vectorized blocks
-  while emitting the exact same instrumentation event sequence.
+  while emitting the exact same instrumentation event sequence;
+* ``soa`` — the index-based executors of :mod:`repro.core.soa_exec`,
+  which traverse packed structure-of-arrays views
+  (:mod:`repro.spaces.soa`) instead of linked nodes;
+* ``auto`` — :func:`repro.core.backend_select.choose_backend` probes
+  the spec and picks one of the three per (spec, schedule).
 
 Pick one per run via ``schedule.run(spec, instrument, backend=...)``.
+All backends produce identical results and identical instrumentation
+event streams.
 """
 
 from __future__ import annotations
@@ -30,6 +37,11 @@ from repro.core.batched import (
 from repro.core.executors import run_original
 from repro.core.instruments import Instrument
 from repro.core.interchange import run_interchanged
+from repro.core.soa_exec import (
+    run_interchanged_soa,
+    run_original_soa,
+    run_twisted_soa,
+)
 from repro.core.spec import NestedRecursionSpec
 from repro.core.twisting import run_twisted
 from repro.errors import ScheduleError
@@ -37,7 +49,7 @@ from repro.errors import ScheduleError
 Runner = Callable[..., None]
 
 #: Backend names accepted by :meth:`Schedule.run`.
-BACKENDS = ("recursive", "batched")
+BACKENDS = ("recursive", "batched", "soa", "auto")
 
 
 @dataclass(frozen=True)
@@ -47,23 +59,34 @@ class Schedule:
     name: str
     _runner: Runner
     _batched_runner: Runner
+    _soa_runner: Runner
 
     def run(
         self,
         spec: NestedRecursionSpec,
         instrument: Optional[Instrument] = None,
         backend: str = "recursive",
+        order: str = "preorder",
     ) -> None:
         """Execute ``spec`` under this schedule.
 
-        ``backend`` selects the recursive executors (default) or the
-        batched explicit-stack ones; both produce identical results
-        and identical instrumentation events.
+        ``backend`` selects the recursive executors (default), the
+        batched explicit-stack ones, the SoA index-based ones, or
+        ``"auto"`` (probe the spec, pick one); all produce identical
+        results and identical instrumentation events.  ``order`` is
+        the storage linearization used by the SoA backend
+        (``preorder``/``bfs``/``veb``); other backends ignore it.
         """
+        if backend == "auto":
+            from repro.core.backend_select import choose_backend
+
+            backend = choose_backend(spec, self.name).backend
         if backend == "recursive":
             self._runner(spec, instrument=instrument)
         elif backend == "batched":
             self._batched_runner(spec, instrument=instrument)
+        elif backend == "soa":
+            self._soa_runner(spec, instrument=instrument, order=order)
         else:
             raise ScheduleError(
                 f"unknown backend {backend!r}; known: {list(BACKENDS)}"
@@ -71,10 +94,14 @@ class Schedule:
 
 
 #: The untransformed Figure 2 schedule.
-ORIGINAL = Schedule("original", run_original, run_original_batched)
+ORIGINAL = Schedule(
+    "original", run_original, run_original_batched, run_original_soa
+)
 
 #: Plain recursion interchange (Figure 3 + Section 4 flags).
-INTERCHANGE = Schedule("interchange", run_interchanged, run_interchanged_batched)
+INTERCHANGE = Schedule(
+    "interchange", run_interchanged, run_interchanged_batched, run_interchanged_soa
+)
 
 #: Interchange with the Section 4.2 subtree-truncation optimization.
 INTERCHANGE_SUBTREE = Schedule(
@@ -85,11 +112,14 @@ INTERCHANGE_SUBTREE = Schedule(
     lambda spec, instrument=None: run_interchanged_batched(
         spec, instrument=instrument, subtree_truncation=True
     ),
+    lambda spec, instrument=None, order="preorder": run_interchanged_soa(
+        spec, instrument=instrument, subtree_truncation=True, order=order
+    ),
 )
 
 #: Parameterless recursion twisting, the paper's evaluated configuration
 #: (flags + subtree truncation).
-TWIST = Schedule("twist", run_twisted, run_twisted_batched)
+TWIST = Schedule("twist", run_twisted, run_twisted_batched, run_twisted_soa)
 
 #: Twisting with the Section 4.3 counter optimization.
 TWIST_COUNTERS = Schedule(
@@ -99,6 +129,9 @@ TWIST_COUNTERS = Schedule(
     ),
     lambda spec, instrument=None: run_twisted_batched(
         spec, instrument=instrument, use_counters=True
+    ),
+    lambda spec, instrument=None, order="preorder": run_twisted_soa(
+        spec, instrument=instrument, use_counters=True, order=order
     ),
 )
 
@@ -110,6 +143,9 @@ TWIST_NO_SUBTREE = Schedule(
     ),
     lambda spec, instrument=None: run_twisted_batched(
         spec, instrument=instrument, subtree_truncation=False
+    ),
+    lambda spec, instrument=None, order="preorder": run_twisted_soa(
+        spec, instrument=instrument, subtree_truncation=False, order=order
     ),
 )
 
@@ -125,6 +161,9 @@ def twist_with_cutoff(cutoff: int) -> Schedule:
         ),
         lambda spec, instrument=None: run_twisted_batched(
             spec, instrument=instrument, cutoff=cutoff
+        ),
+        lambda spec, instrument=None, order="preorder": run_twisted_soa(
+            spec, instrument=instrument, cutoff=cutoff, order=order
         ),
     )
 

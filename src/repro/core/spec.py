@@ -77,6 +77,17 @@ class NestedRecursionSpec:
         executor (:mod:`repro.core.batched`) dispatches accumulated
         leaf-level blocks through it; the recursive executors ignore
         it.
+    work_batch_soa:
+        Optional SoA-native form of ``work``: called as
+        ``work_batch_soa(outer_view, inner_view, o_positions,
+        i_positions)`` with the two packed
+        :class:`~repro.spaces.soa.SoATree` views and two parallel lists
+        of layout positions, it must be semantically equivalent to
+        calling ``work`` on each positioned pair in order.  Only the
+        SoA executors (:mod:`repro.core.soa_exec`) consume it, and only
+        when ``truncation_observes_work`` is unset — it lets them
+        dispatch integer position blocks (one fancy-index gather per
+        payload column) instead of node objects.
     truncation_observes_work:
         ``True`` when ``truncate_inner2`` reads state that ``work``
         writes (the stateful dual-tree bounds of NN/KNN).  The batched
@@ -119,6 +130,7 @@ class NestedRecursionSpec:
     truncate_inner2: Optional[Truncate2Predicate] = None
     truncate_inner2_batch: Optional[Callable[[IndexNode], Any]] = None
     work_batch: Optional[BatchWorkFunction] = None
+    work_batch_soa: Optional[Callable[..., Any]] = None
     truncation_observes_work: bool = False
     isolated_truncation: bool = False
     outer_launches_work: Optional[TruncatePredicate] = None
@@ -144,6 +156,14 @@ class NestedRecursionSpec:
             raise SpecError("work must be callable or None")
         if self.work_batch is not None and not callable(self.work_batch):
             raise SpecError("work_batch must be callable or None")
+        if self.work_batch_soa is not None:
+            if not callable(self.work_batch_soa):
+                raise SpecError("work_batch_soa must be callable or None")
+            if self.work is None and self.work_batch is None:
+                raise SpecError(
+                    "work_batch_soa is an accelerated form of work — provide "
+                    "work (or work_batch) so non-SoA backends can run the spec"
+                )
         if self.outer_launches_work is not None and not callable(
             self.outer_launches_work
         ):
@@ -201,6 +221,16 @@ class NestedRecursionSpec:
         if self.work_batch is not None:
             original_batch = self.work_batch
             swapped_batch = lambda is_, os: original_batch(os, is_)  # noqa: E731
+        swapped_soa = None
+        if self.work_batch_soa is not None:
+            original_soa = self.work_batch_soa
+            # The swapped spec's outer view packs the original inner
+            # tree, so the roles (and position lists) swap back.
+            swapped_soa = (  # noqa: E731
+                lambda o_view, i_view, o_positions, i_positions: original_soa(
+                    i_view, o_view, i_positions, o_positions
+                )
+            )
         return NestedRecursionSpec(
             outer_root=self.inner_root,
             inner_root=self.outer_root,
@@ -209,5 +239,6 @@ class NestedRecursionSpec:
             truncate_inner1=self.truncate_outer,
             truncate_inner2=None,
             work_batch=swapped_batch,
+            work_batch_soa=swapped_soa,
             name=f"{self.name}-interchanged",
         )

@@ -29,6 +29,8 @@ from repro.dualtree.batch import (
     build_leaf_blocks,
     leaf_blocks,
     min_dists_to_tree,
+    spatial_payload,
+    spatial_soa_view,
 )
 from repro.dualtree.boxes import Ball, HRect, point_dist
 from repro.dualtree.brute import (
@@ -88,4 +90,6 @@ __all__ = [
     "dual_tree_footprint",
     "dual_tree_spec",
     "point_dist",
+    "spatial_payload",
+    "spatial_soa_view",
 ]

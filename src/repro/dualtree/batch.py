@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.dualtree.boxes import HRect
 from repro.dualtree.spatial import SpatialNode, SpatialTree
+from repro.spaces.soa import PayloadGetter, SoATree, to_soa
 
 
 @dataclass
@@ -81,6 +82,47 @@ def leaf_blocks(tree: SpatialTree) -> LeafBlocks:
         cached = build_leaf_blocks(tree)
         tree._leaf_blocks = cached  # type: ignore[attr-defined]
     return cached
+
+
+def spatial_payload(tree: SpatialTree) -> dict[str, PayloadGetter]:
+    """Payload getters for packing a spatial tree into SoA columns.
+
+    Besides the point-slice bounds every spatial node carries
+    (``start``/``end``/``count``), each node gets a ``leaf_row``: its
+    row in the tree's padded :class:`LeafBlocks` for leaves, ``-1`` for
+    internal nodes.  A SoA-native spatial kernel can thus turn a block
+    of layout positions into leaf-block row gathers — the same staging
+    the node-based ``work_batch`` kernels do through ``row_of`` lookups,
+    minus the per-node attribute walk.
+    """
+    row_of = leaf_blocks(tree).row_of
+    return {
+        "start": lambda node: node.start,
+        "end": lambda node: node.end,
+        "count": lambda node: node.count,
+        "is_leaf": lambda node: not node.children,
+        "leaf_row": lambda node: row_of.get(node.number, -1),
+    }
+
+
+def spatial_soa_view(tree: SpatialTree, order: str = "preorder") -> SoATree:
+    """A packed SoA view of a spatial tree with leaf-block columns.
+
+    Built once per (tree, order) and cached on the tree object, like
+    :func:`leaf_blocks`.  Note the executors' own ``soa_view`` cache is
+    keyed on the *root node* and uses the inferred payload; this helper
+    exists for kernels that want the richer :func:`spatial_payload`
+    columns.
+    """
+    views = getattr(tree, "_soa_views", None)
+    if views is None:
+        views = {}
+        tree._soa_views = views  # type: ignore[attr-defined]
+    view = views.get(order)
+    if view is None:
+        view = to_soa(tree.root, order, payload=spatial_payload(tree))
+        views[order] = view
+    return view
 
 
 def block_distances(

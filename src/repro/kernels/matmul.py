@@ -79,11 +79,23 @@ class MatrixMultiply:
             cols = np.array([i.data for i in is_], dtype=np.intp)
             c[rows, cols] = np.einsum("ij,ji->i", a[rows, :], b[:, cols])
 
+        def work_batch_soa(o_view, i_view, o_positions, i_positions) -> None:
+            # Row/column indices come straight out of the packed
+            # ``data`` columns — same einsum, no node objects.
+            rows = o_view.column("data")[
+                np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
+            ]
+            cols = i_view.column("data")[
+                np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
+            ]
+            c[rows, cols] = np.einsum("ij,ji->i", a[rows, :], b[:, cols])
+
         return NestedRecursionSpec(
             outer_root=self.outer_root,
             inner_root=self.inner_root,
             work=work,
             work_batch=work_batch,
+            work_batch_soa=work_batch_soa,
             name=f"MM({self.n}x{self.m})",
         )
 

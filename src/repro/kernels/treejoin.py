@@ -92,11 +92,25 @@ class TreeJoin:
                 np.array([i.data for i in is_], dtype=np.int64),
             )
 
+        def work_batch_soa(o_view, i_view, o_positions, i_positions) -> None:
+            # The packed payload columns turn the per-node attribute
+            # walk above into two typed gathers.
+            rows = np.fromiter(
+                o_positions, dtype=np.intp, count=len(o_positions)
+            )
+            cols = np.fromiter(
+                i_positions, dtype=np.intp, count=len(i_positions)
+            )
+            accumulator.join_batch(
+                o_view.column("data")[rows], i_view.column("data")[cols]
+            )
+
         return NestedRecursionSpec(
             outer_root=self.outer_root,
             inner_root=self.inner_root,
             work=work,
             work_batch=work_batch,
+            work_batch_soa=work_batch_soa,
             name=f"TJ({self.outer_nodes}x{self.inner_nodes})",
         )
 

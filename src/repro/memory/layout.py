@@ -14,6 +14,9 @@ discusses layout transformations as complementary work):
 * ``preorder`` — nodes laid out in depth-first order, the layout a
   bump allocator would produce for a recursively built tree;
 * ``bfs`` — level order, the layout of an array-backed heap;
+* ``veb`` — the van-Emde-Boas-style blocked order of
+  :func:`repro.spaces.soa.linearize`, so the simulated cache sees the
+  same storage order the SoA backend's packed columns use;
 * ``random`` — a seeded shuffle, modelling a fragmented heap.
 
 With one node per line (the default, matching the paper's ~64-byte tree
@@ -101,6 +104,10 @@ def layout_tree(
         ordered = nodes
     elif policy == "bfs":
         ordered = sorted(nodes, key=_bfs_key(root))
+    elif policy == "veb":
+        from repro.spaces.soa import linearize
+
+        ordered = linearize(root, "veb")
     elif policy == "random":
         ordered = list(nodes)
         random.Random(seed).shuffle(ordered)

@@ -11,7 +11,10 @@ iteration spaces are made of:
 * :mod:`repro.spaces.points` — synthetic point clouds for the dual-tree
   benchmarks;
 * :mod:`repro.spaces.iteration_space` — materialized 2-D spaces,
-  schedule validation, and the ASCII renderings of Figures 1(c)/4(b).
+  schedule validation, and the ASCII renderings of Figures 1(c)/4(b);
+* :mod:`repro.spaces.soa` — structure-of-arrays tree packing under
+  selectable linearizations (``preorder``/``bfs``/``veb``), with a
+  verified round trip back to linked nodes.
 """
 
 from repro.spaces.iteration_space import (
@@ -37,6 +40,14 @@ from repro.spaces.points import (
     grid_points,
     uniform_points,
 )
+from repro.spaces.soa import (
+    LINEARIZATIONS,
+    SoATree,
+    linearize,
+    soa_view,
+    to_linked,
+    to_soa,
+)
 from repro.spaces.trees import (
     balanced_tree,
     letter_labeler,
@@ -51,6 +62,8 @@ from repro.spaces.trees import (
 
 __all__ = [
     "IndexNode",
+    "LINEARIZATIONS",
+    "SoATree",
     "TreeNode",
     "IterationSpace",
     "annulus_points",
@@ -60,6 +73,7 @@ __all__ = [
     "finalize_tree",
     "grid_points",
     "letter_labeler",
+    "linearize",
     "list_tree",
     "paper_inner_tree",
     "paper_outer_tree",
@@ -70,6 +84,9 @@ __all__ = [
     "render_schedule",
     "row_major_order",
     "schedule_order_grid",
+    "soa_view",
+    "to_linked",
+    "to_soa",
     "transposes_to",
     "tree_depth",
     "tree_from_nested",

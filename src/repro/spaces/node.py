@@ -41,7 +41,17 @@ class IndexNode:
     (hundreds of thousands of nodes) stay cheap to allocate.
     """
 
-    __slots__ = ("children", "size", "trunc", "trunc_counter", "number")
+    __slots__ = (
+        "children",
+        "size",
+        "trunc",
+        "trunc_counter",
+        "number",
+        # Weak referencability lets repro.spaces.soa cache packed
+        # structure-of-arrays views per root without keeping dead trees
+        # alive.
+        "__weakref__",
+    )
 
     def __init__(self) -> None:
         self.children: tuple["IndexNode", ...] = ()
@@ -112,17 +122,28 @@ def finalize_tree(root: IndexNode) -> IndexNode:
     """Compute ``size`` and pre-order ``number`` for a built tree.
 
     Builders call this once after linking children.  Returns ``root``
-    for chaining.  Sizes are computed iteratively (post-order over an
-    explicit stack) so arbitrarily deep trees are supported.
+    for chaining.  One explicit-stack walk assigns pre-order numbers on
+    the way down and post-order sizes on the way back up, so
+    arbitrarily deep (e.g. million-node list) trees finalize without
+    ``RecursionError`` and without a second full traversal.
     """
-    # First pass: assign pre-order numbers.
-    for count, node in enumerate(root.iter_preorder()):
-        node.number = count
-
-    # Second pass: sizes, children before parents.
-    order = list(root.iter_preorder())
-    for node in reversed(order):
-        node.size = 1 + sum(child.size for child in node.children)
+    count = 0
+    # Frames: (node, False) = first visit (number it, schedule the
+    # close frame below its children); (node, True) = children done
+    # (their sizes are final), total the subtree size.
+    stack: list[tuple[IndexNode, bool]] = [(root, False)]
+    while stack:
+        node, closing = stack.pop()
+        if closing:
+            size = 1
+            for child in node.children:
+                size += child.size
+            node.size = size
+        else:
+            node.number = count
+            count += 1
+            stack.append((node, True))
+            stack.extend((child, False) for child in reversed(node.children))
     return root
 
 
@@ -158,6 +179,16 @@ def validate_index_node(node: Any) -> None:
     """
     from repro.errors import SpecError
 
+    from repro.spaces.soa import SoATree
+
+    if isinstance(node, SoATree):
+        raise SpecError(
+            "got a structure-of-arrays tree handle (SoATree) where a "
+            "linked index node was expected. SoA trees run through the "
+            "soa-native executors — pass the original linked root to the "
+            "spec and select backend='soa' (repro.core.soa_exec), or "
+            "convert back with repro.spaces.soa.to_linked(soa)."
+        )
     for attr in ("children", "size", "trunc", "trunc_counter", "number"):
         if not hasattr(node, attr):
             raise SpecError(
@@ -166,3 +197,15 @@ def validate_index_node(node: Any) -> None:
                 f"repro.spaces (or subclass IndexNode) and call "
                 f"finalize_tree on the root."
             )
+    if hasattr(node.number, "__len__"):
+        # A column-valued ``number`` means someone handed us SoA-style
+        # storage: the repro.memory.layout address mapping keys nodes by
+        # their scalar pre-order ``number``, so array-valued numbers
+        # would fail deep inside an executor instead of here.
+        raise SpecError(
+            f"{type(node).__name__}.number is array-valued, not a scalar "
+            "pre-order number (repro.memory.layout maps addresses via "
+            "node.number). This looks like SoA storage: use the "
+            "soa-native executors (backend='soa') or rebuild linked "
+            "nodes with repro.spaces.soa.to_linked first."
+        )

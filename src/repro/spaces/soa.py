@@ -1,0 +1,446 @@
+"""Structure-of-arrays tree layouts (the layout-level complement).
+
+The paper's transformations reorder the *schedule*; this module
+reorders the *storage*.  :func:`to_soa` packs a finalized
+:class:`~repro.spaces.node.IndexNode` tree into contiguous NumPy
+columns — ``first_child``/``next_sibling`` child links, ``size``,
+``number``, the Section 4 ``trunc``/``trunc_counter`` scratch state,
+and domain payload columns — under a selectable *linearization*:
+
+* ``preorder`` — depth-first order, the layout a bump allocator gives a
+  recursively built tree; subtrees are contiguous runs, so truncating a
+  subtree is one index jump;
+* ``bfs`` — level order, the layout of an array-backed heap; siblings
+  are adjacent, good for frontier-at-a-time traversals;
+* ``veb`` — a van-Emde-Boas-style blocked order: the tree is split at
+  half height, the top block laid out first, then each bottom subtree
+  recursively.  Nodes within ``h`` levels of each other land within
+  ``O(2^h)`` positions regardless of tree size, giving cache-oblivious
+  *depth* locality — the layout analog of twisting's parameterless
+  claim (Section 3.2): blocked for every cache level at once because no
+  block size was ever chosen.
+
+The inverse, :func:`to_linked`, rebuilds linked nodes and is verified
+to round-trip children order, sizes, pre-order numbers, and payloads
+(``tests/properties/test_soa_properties.py``).
+
+Alongside the storage columns (indexed by layout *position*), a
+:class:`SoATree` carries traversal accelerators indexed by pre-order
+*rank*: the index-based executors in :mod:`repro.core.soa_exec` walk
+ranks — where a subtree is always the contiguous run
+``[rank, rank + span[rank])`` — and translate to positions only when
+gathering payload columns.  ``soa_view`` caches one packed view per
+(root, order) so repeated runs over the same tree pay the packing cost
+once.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.spaces.node import IndexNode, TreeNode, tree_depth
+
+#: Linearization orders accepted by :func:`to_soa` and ``soa_view``.
+LINEARIZATIONS = ("preorder", "bfs", "veb")
+
+#: Payload getter: maps a node to one column value.
+PayloadGetter = Callable[[IndexNode], Any]
+
+
+@dataclass
+class SoATree:
+    """A tree packed into contiguous arrays under one linearization.
+
+    Storage columns are indexed by layout *position* (0..n-1 in the
+    chosen order); ``rank_pos``/``pos_rank`` translate between
+    positions and pre-order ranks.  ``nodes`` keeps the original linked
+    node per position so predicates, instruments, and scalar ``work``
+    observe the exact objects the recursive executors would.
+    """
+
+    #: linearization name this view was packed under
+    order: str
+    #: original linked node per position
+    nodes: list[IndexNode]
+    #: parent position per position (-1 at the root)
+    parent: np.ndarray
+    #: first-child position per position (-1 at leaves)
+    first_child: np.ndarray
+    #: next-sibling position per position (-1 at last siblings)
+    next_sibling: np.ndarray
+    #: stored ``node.size`` per position
+    size: np.ndarray
+    #: stored ``node.number`` per position
+    number: np.ndarray
+    #: snapshot of ``node.trunc`` per position (scratch column)
+    trunc: np.ndarray
+    #: snapshot of ``node.trunc_counter`` per position (scratch column)
+    trunc_counter: np.ndarray
+    #: payload columns, e.g. ``label``/``data`` for ``TreeNode`` trees
+    payload: dict[str, np.ndarray]
+    #: pre-order rank -> position
+    rank_pos: np.ndarray
+    #: position -> pre-order rank
+    pos_rank: np.ndarray
+    #: structural subtree node count per pre-order rank
+    span: np.ndarray
+    #: position of the root (pre-order rank 0)
+    root: int
+
+    # Lazily materialized plain-list accelerators for the hot executor
+    # loops (list indexing beats ndarray scalar indexing in CPython).
+    _rank_cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of packed nodes."""
+        return len(self.nodes)
+
+    def _ranked(self, key: str, build: Callable[[], list]) -> list:
+        cached = self._rank_cache.get(key)
+        if cached is None:
+            cached = build()
+            self._rank_cache[key] = cached
+        return cached
+
+    @property
+    def rank_nodes(self) -> list[IndexNode]:
+        """Original nodes in pre-order (rank-indexed)."""
+        nodes = self.nodes
+        return self._ranked(
+            "nodes", lambda: [nodes[pos] for pos in self.rank_pos.tolist()]
+        )
+
+    @property
+    def rank_span(self) -> list[int]:
+        """Structural subtree sizes, rank-indexed, as a plain list."""
+        return self._ranked("span", self.span.tolist)
+
+    @property
+    def rank_size(self) -> list[int]:
+        """Stored ``node.size`` values, rank-indexed."""
+        return self._ranked(
+            "size", lambda: self.size[self.rank_pos].tolist()
+        )
+
+    @property
+    def rank_number(self) -> list[int]:
+        """Stored ``node.number`` values, rank-indexed."""
+        return self._ranked(
+            "number", lambda: self.number[self.rank_pos].tolist()
+        )
+
+    @property
+    def rank_pos_list(self) -> list[int]:
+        """Rank -> position, as a plain list (payload gather hot path)."""
+        return self._ranked("pos", self.rank_pos.tolist)
+
+    @property
+    def rank_children_rev(self) -> list[list[int]]:
+        """Children ranks per rank, pre-reversed for stack pushes.
+
+        The executors push children onto explicit stacks in reversed
+        order (so pops visit them in declared order); storing the lists
+        already reversed makes that one C-speed ``extend`` per node.
+        """
+
+        def build() -> list[list[int]]:
+            span = self.rank_span
+            out: list[list[int]] = []
+            for rank in range(len(span)):
+                end = rank + span[rank]
+                child = rank + 1
+                kids: list[int] = []
+                while child < end:
+                    kids.append(child)
+                    child += span[child]
+                kids.reverse()
+                out.append(kids)
+            return out
+
+        return self._ranked("children_rev", build)
+
+    def children_ranks(self, rank: int) -> list[int]:
+        """Pre-order ranks of the children of the node at ``rank``."""
+        span = self.rank_span
+        end = rank + span[rank]
+        child = rank + 1
+        out = []
+        while child < end:
+            out.append(child)
+            child += span[child]
+        return out
+
+    def column(self, name: str) -> np.ndarray:
+        """A payload column by name, with a helpful error."""
+        try:
+            return self.payload[name]
+        except KeyError:
+            raise SpecError(
+                f"SoA tree has no payload column {name!r}; available: "
+                f"{sorted(self.payload)}"
+            ) from None
+
+
+def linearize(root: IndexNode, order: str = "preorder") -> list[IndexNode]:
+    """The tree's nodes in the given linearization order.
+
+    This is the single source of truth for layout orders — both
+    :func:`to_soa` and the address mapping in
+    :mod:`repro.memory.layout` consume it, so the simulated cache sees
+    exactly the storage order the SoA executors use.
+    """
+    if order == "preorder":
+        return list(root.iter_preorder())
+    if order == "bfs":
+        out: list[IndexNode] = []
+        frontier: Sequence[IndexNode] = [root]
+        while frontier:
+            out.extend(frontier)
+            frontier = [
+                child for node in frontier for child in node.children
+            ]
+        return out
+    if order == "veb":
+        return _veb_order(root)
+    raise SpecError(
+        f"unknown linearization {order!r}; known: {list(LINEARIZATIONS)}"
+    )
+
+
+def _veb_order(root: IndexNode) -> list[IndexNode]:
+    """Van-Emde-Boas-style blocked order for an arbitrary tree.
+
+    ``_emit(node, budget)`` lays out the sub-forest of nodes within
+    ``budget`` levels of ``node`` by recursively splitting the budget
+    in half: top block first, then each frontier subtree.  The budget
+    at least halves per nesting level, so the recursion depth is
+    ``O(log height)`` even for degenerate list trees.
+    """
+    out: list[IndexNode] = []
+
+    def _emit(
+        node: IndexNode, budget: int, frontier: list[IndexNode]
+    ) -> None:
+        if budget <= 1:
+            out.append(node)
+            frontier.extend(node.children)
+            return
+        top = budget // 2
+        mid: list[IndexNode] = []
+        _emit(node, top, mid)
+        bottom = budget - top
+        for block_root in mid:
+            _emit(block_root, bottom, frontier)
+
+    leftovers: list[IndexNode] = []
+    _emit(root, max(1, tree_depth(root)), leftovers)
+    assert not leftovers, "veb budget must cover the whole height"
+    return out
+
+
+def _auto_payload(root: IndexNode) -> dict[str, PayloadGetter]:
+    """Default payload columns, inferred from the node type.
+
+    ``TreeNode`` trees pack ``label`` and ``data``; spatial nodes pack
+    their point-slice bounds (see
+    :func:`repro.dualtree.batch.spatial_payload`); bare index nodes
+    pack nothing.
+    """
+    if isinstance(root, TreeNode):
+        return {
+            "label": lambda node: node.label,  # type: ignore[attr-defined]
+            "data": lambda node: node.data,  # type: ignore[attr-defined]
+        }
+    if hasattr(root, "start") and hasattr(root, "end"):
+        return {
+            "start": lambda node: node.start,  # type: ignore[attr-defined]
+            "end": lambda node: node.end,  # type: ignore[attr-defined]
+            "is_leaf": lambda node: not node.children,
+        }
+    return {}
+
+
+def _pack_column(values: list) -> np.ndarray:
+    """A column array for collected payload values.
+
+    Numeric payloads become typed arrays (this is what lets SoA-native
+    kernels replace per-node attribute walks with one gather); anything
+    NumPy cannot type cleanly falls back to object dtype.
+    """
+    try:
+        column = np.asarray(values)
+    except (ValueError, TypeError):
+        return _object_column(values)
+    if column.shape != (len(values),):
+        # Ragged/sequence payloads must stay one object per node.
+        return _object_column(values)
+    return column
+
+
+def _object_column(values: list) -> np.ndarray:
+    column = np.empty(len(values), dtype=object)
+    column[:] = values
+    return column
+
+
+def to_soa(
+    root: IndexNode,
+    order: str = "preorder",
+    payload: Optional[dict[str, PayloadGetter]] = None,
+) -> SoATree:
+    """Pack a finalized linked tree into SoA storage.
+
+    ``payload`` maps column names to per-node getters; by default the
+    columns are inferred from the node type (:func:`_auto_payload`).
+    The round trip ``to_linked(to_soa(root))`` preserves children
+    order, sizes, pre-order numbers, and payloads.
+    """
+    pre_nodes = list(root.iter_preorder())
+    n = len(pre_nodes)
+    ordered = linearize(root, order)
+    if len(ordered) != n:
+        raise SpecError(
+            f"linearization {order!r} produced {len(ordered)} nodes for a "
+            f"{n}-node tree — the tree must not be mutated while packing"
+        )
+    pos_of = {id(node): pos for pos, node in enumerate(ordered)}
+    rank_of = {id(node): rank for rank, node in enumerate(pre_nodes)}
+
+    span = np.ones(n, dtype=np.int64)
+    span_list = span.tolist()
+    for rank in range(n - 1, -1, -1):
+        total = 1
+        for child in pre_nodes[rank].children:
+            total += span_list[rank_of[id(child)]]
+        span_list[rank] = total
+    span = np.asarray(span_list, dtype=np.int64)
+
+    parent = np.full(n, -1, dtype=np.int64)
+    first_child = np.full(n, -1, dtype=np.int64)
+    next_sibling = np.full(n, -1, dtype=np.int64)
+    size = np.empty(n, dtype=np.int64)
+    number = np.empty(n, dtype=np.int64)
+    trunc = np.zeros(n, dtype=bool)
+    trunc_counter = np.empty(n, dtype=np.int64)
+    rank_pos = np.empty(n, dtype=np.int64)
+    for pos, node in enumerate(ordered):
+        size[pos] = node.size
+        number[pos] = node.number
+        trunc[pos] = node.trunc
+        trunc_counter[pos] = node.trunc_counter
+        rank_pos[rank_of[id(node)]] = pos
+        children = node.children
+        if children:
+            first_child[pos] = pos_of[id(children[0])]
+            for left, right in zip(children, children[1:]):
+                next_sibling[pos_of[id(left)]] = pos_of[id(right)]
+        for child in children:
+            parent[pos_of[id(child)]] = pos
+    pos_rank = np.empty(n, dtype=np.int64)
+    pos_rank[rank_pos] = np.arange(n, dtype=np.int64)
+
+    getters = _auto_payload(root) if payload is None else payload
+    columns = {
+        name: _pack_column([getter(node) for node in ordered])
+        for name, getter in getters.items()
+    }
+
+    return SoATree(
+        order=order,
+        nodes=list(ordered),
+        parent=parent,
+        first_child=first_child,
+        next_sibling=next_sibling,
+        size=size,
+        number=number,
+        trunc=trunc,
+        trunc_counter=trunc_counter,
+        payload=columns,
+        rank_pos=rank_pos,
+        pos_rank=pos_rank,
+        span=span,
+        root=int(rank_pos[0]),
+    )
+
+
+def _scalar(value: Any) -> Any:
+    """NumPy scalar -> Python scalar, so round-trips are type-faithful."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def to_linked(soa: SoATree) -> IndexNode:
+    """Rebuild a linked tree from SoA storage.
+
+    Produces :class:`~repro.spaces.node.TreeNode` objects when the
+    view carries ``label``/``data`` columns (the round-trip case for
+    labeled trees), bare :class:`~repro.spaces.node.IndexNode` objects
+    otherwise.  ``size``/``number``/truncation scratch state are
+    restored from the columns, *not* recomputed, so a round trip is an
+    identity on everything the executors read.
+    """
+    n = soa.num_nodes
+    labeled = "label" in soa.payload
+    if labeled:
+        labels = soa.payload["label"]
+        data = soa.payload.get("data")
+        rebuilt: list[IndexNode] = [
+            TreeNode(
+                _scalar(labels[pos]),
+                _scalar(data[pos]) if data is not None else None,
+            )
+            for pos in range(n)
+        ]
+    else:
+        rebuilt = [IndexNode() for _ in range(n)]
+    first_child = soa.first_child.tolist()
+    next_sibling = soa.next_sibling.tolist()
+    for pos in range(n):
+        node = rebuilt[pos]
+        node.size = int(soa.size[pos])
+        node.number = int(soa.number[pos])
+        node.trunc = bool(soa.trunc[pos])
+        node.trunc_counter = int(soa.trunc_counter[pos])
+        children = []
+        child = first_child[pos]
+        while child != -1:
+            children.append(rebuilt[child])
+            child = next_sibling[child]
+        node.children = tuple(children)
+    return rebuilt[soa.root]
+
+
+#: Per-root cache of packed views, keyed weakly so dropping a tree
+#: frees its views.  Maps root -> {order: SoATree}.
+_VIEW_CACHE: "weakref.WeakKeyDictionary[IndexNode, dict[str, SoATree]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def soa_view(
+    root: IndexNode, order: str = "preorder", refresh: bool = False
+) -> SoATree:
+    """A cached SoA view of ``root`` under ``order``.
+
+    Views describe a *finalized* tree; if the tree's structure changes
+    afterwards, pass ``refresh=True`` to repack.  The cache is weak per
+    root, so it never outlives the tree.
+    """
+    if order not in LINEARIZATIONS:
+        raise SpecError(
+            f"unknown linearization {order!r}; known: {list(LINEARIZATIONS)}"
+        )
+    try:
+        per_root = _VIEW_CACHE.setdefault(root, {})
+    except TypeError:  # un-weakrefable custom node: build uncached
+        return to_soa(root, order)
+    if refresh or order not in per_root:
+        per_root[order] = to_soa(root, order)
+    return per_root[order]

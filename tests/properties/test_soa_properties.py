@@ -1,0 +1,173 @@
+"""Property-based guarantees for the SoA layer.
+
+Two contracts, driven over arbitrary tree shapes:
+
+1. **Round trip** — ``to_linked(to_soa(root, order))`` reconstructs an
+   equivalent linked tree for every linearization: same children
+   order, sizes, pre-order numbers, and payloads, on random, wide,
+   and degenerate (list) shapes alike.
+2. **Event parity** — the SoA executors reproduce the recursive
+   executors' instrument event stream — every op, access, and work
+   point, in order — for arbitrary spaces, irregular truncation
+   patterns, schedule options, and storage orders.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    NestedRecursionSpec,
+    run_interchanged,
+    run_interchanged_soa,
+    run_original,
+    run_original_soa,
+    run_twisted,
+    run_twisted_soa,
+)
+from repro.core.instruments import Instrument
+from repro.spaces import (
+    TreeNode,
+    finalize_tree,
+    list_tree,
+    random_tree,
+    to_linked,
+    to_soa,
+)
+from repro.spaces.soa import LINEARIZATIONS
+
+orders = st.sampled_from(LINEARIZATIONS)
+
+random_trees = st.builds(
+    random_tree,
+    st.integers(min_value=1, max_value=24),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+def _wide_tree(fanout):
+    root = TreeNode("root", data=-1)
+    root.children = tuple(
+        TreeNode(str(k), data=k) for k in range(fanout)
+    )
+    return finalize_tree(root)
+
+
+#: Random shapes plus the degenerate extremes a random builder rarely
+#: produces: pure chains (depth = n) and pure fans (fanout = n).
+trees = st.one_of(
+    random_trees,
+    st.builds(list_tree, st.integers(min_value=1, max_value=40)),
+    st.builds(_wide_tree, st.integers(min_value=1, max_value=40)),
+)
+
+
+def blocked_pairs_strategy(max_nodes=24):
+    """Random irregular truncation patterns as (o_label, i_label) sets."""
+    pair = st.tuples(
+        st.integers(min_value=0, max_value=max_nodes - 1),
+        st.integers(min_value=0, max_value=max_nodes - 1),
+    )
+    return st.frozensets(pair, max_size=12)
+
+
+class EventRecorder(Instrument):
+    """Records every instrument event, in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def op(self, kind):
+        self.events.append(("op", kind))
+
+    def access(self, tree, node):
+        self.events.append(("access", tree, node.number))
+
+    def work(self, o, i):
+        self.events.append(("work", o.label, i.label))
+
+
+def make_spec(outer, inner, blocked):
+    """A spec over the given trees, irregular when ``blocked`` is set."""
+    if blocked:
+        return NestedRecursionSpec(
+            outer,
+            inner,
+            truncate_inner2=lambda o, i: (o.label, i.label) in blocked,
+        )
+    return NestedRecursionSpec(outer, inner)
+
+
+def events_of(run, spec, **kwargs):
+    recorder = EventRecorder()
+    run(spec, instrument=recorder, **kwargs)
+    return recorder.events
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees, orders)
+def test_round_trip_preserves_structure_and_payloads(root, order):
+    rebuilt = to_linked(to_soa(root, order))
+    originals = list(root.iter_preorder())
+    copies = list(rebuilt.iter_preorder())
+    assert len(copies) == len(originals)
+    for original, copy in zip(originals, copies):
+        assert copy.label == original.label
+        assert copy.data == original.data
+        assert copy.size == original.size
+        assert copy.number == original.number
+        assert tuple(c.number for c in copy.children) == tuple(
+            c.number for c in original.children
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_trees, random_trees, blocked_pairs_strategy(), orders)
+def test_original_soa_event_parity(outer, inner, blocked, order):
+    spec = make_spec(outer, inner, blocked)
+    assert events_of(run_original_soa, spec, order=order) == events_of(
+        run_original, spec
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    random_trees,
+    random_trees,
+    blocked_pairs_strategy(),
+    st.booleans(),
+    st.booleans(),
+)
+def test_interchanged_soa_event_parity(
+    outer, inner, blocked, use_counters, subtree_truncation
+):
+    spec = make_spec(outer, inner, blocked)
+    kwargs = {
+        "use_counters": use_counters,
+        "subtree_truncation": subtree_truncation,
+    }
+    assert events_of(run_interchanged_soa, spec, **kwargs) == events_of(
+        run_interchanged, spec, **kwargs
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    random_trees,
+    random_trees,
+    blocked_pairs_strategy(),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=16)),
+    st.booleans(),
+    st.booleans(),
+    orders,
+)
+def test_twisted_soa_event_parity(
+    outer, inner, blocked, cutoff, use_counters, subtree_truncation, order
+):
+    spec = make_spec(outer, inner, blocked)
+    kwargs = {
+        "cutoff": cutoff,
+        "use_counters": use_counters,
+        "subtree_truncation": subtree_truncation,
+    }
+    assert events_of(run_twisted_soa, spec, order=order, **kwargs) == (
+        events_of(run_twisted, spec, **kwargs)
+    )

@@ -1,5 +1,7 @@
 """Unit tests for the experiment CLI."""
 
+import json
+
 import pytest
 
 from repro.bench.__main__ import EXPERIMENTS, main
@@ -41,6 +43,79 @@ class TestCli:
         # Every paper artifact has a CLI entry.
         for expected in (
             "fig1", "fig5", "fig7", "fig8", "fig9", "fig10",
-            "sec42", "sec61", "sec72", "sec73", "ablations",
+            "sec42", "sec61", "sec72", "sec73", "ablations", "wallclock",
         ):
             assert expected in EXPERIMENTS
+
+
+class TestWallclockFilters:
+    def _run(self, tmp_path, monkeypatch, capsys, *extra):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "wallclock",
+                "--scale", "0.03",
+                "--benchmark", "tj",
+                "--repeats", "1",
+                *extra,
+            ]
+        )
+        return code, capsys.readouterr().out
+
+    def test_filtered_sweep_runs_and_writes_json(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        code, out = self._run(
+            tmp_path, monkeypatch, capsys,
+            "--schedule", "twist",
+            "--backend", "recursive", "--backend", "soa",
+        )
+        assert code == 0
+        assert "TJ" in out
+        payload = json.loads((tmp_path / "BENCH_soa.json").read_text())
+        assert payload["backends"] == ["recursive", "soa"]
+        entries = payload["results"]
+        assert {e["benchmark"] for e in entries} == {"TJ"}
+        assert {e["schedule"] for e in entries} == {"twist"}
+        assert all(e["results_match"] for e in entries)
+
+    def test_benchmark_names_are_case_insensitive_and_validated(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(
+                ["wallclock", "--scale", "0.03", "--benchmark", "bogus"]
+            )
+
+    def test_backend_choices_are_restricted(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["wallclock", "--backend", "fastest"])
+
+
+class TestPerfFloorCommand:
+    def test_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "perf-floor" in capsys.readouterr().out
+
+    def test_delegates_to_gate(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "results": [
+                        {
+                            "benchmark": "TJ",
+                            "schedule": "twist",
+                            "results_match": True,
+                            "timings": {"recursive": 1.0, "auto": 0.9},
+                        }
+                    ]
+                }
+            )
+        )
+        assert main(["perf-floor", "--json", str(path)]) == 0
+        assert "perf floor passed" in capsys.readouterr().out
+        assert (
+            main(["perf-floor", "--json", str(path), "--floor", "1.5"]) == 1
+        )

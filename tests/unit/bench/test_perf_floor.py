@@ -1,0 +1,85 @@
+"""Unit tests for the auto-backend perf-floor CI gate."""
+
+import json
+
+from repro.bench.perf_floor import DEFAULT_FLOOR, check_perf_floor, main
+
+
+def entry(benchmark="TJ", schedule="twist", **overrides):
+    base = {
+        "benchmark": benchmark,
+        "schedule": schedule,
+        "results_match": True,
+        "timings": {
+            "recursive": 1.0,
+            "batched": 0.5,
+            "soa": 0.25,
+            "auto": 0.26,
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+def payload(*entries):
+    return {"experiment": "wallclock_backends", "results": list(entries)}
+
+
+class TestCheckPerfFloor:
+    def test_passes_when_auto_tracks_best(self):
+        assert check_perf_floor(payload(entry())) == []
+
+    def test_flags_auto_falling_below_floor(self):
+        slow = entry(
+            timings={"recursive": 1.0, "soa": 0.25, "auto": 0.5}
+        )
+        violations = check_perf_floor(payload(slow))
+        assert len(violations) == 1
+        assert "TJ/twist" in violations[0]
+        assert "soa" in violations[0]
+
+    def test_floor_is_a_ratio_of_the_best_single_backend(self):
+        # auto at 80% of best passes a 0.75 floor but fails 0.9.
+        borderline = entry(
+            timings={"recursive": 1.0, "soa": 0.4, "auto": 0.5}
+        )
+        assert check_perf_floor(payload(borderline), floor=0.75) == []
+        assert check_perf_floor(payload(borderline), floor=DEFAULT_FLOOR)
+
+    def test_result_mismatch_always_violates(self):
+        violations = check_perf_floor(payload(entry(results_match=False)))
+        assert violations == ["TJ/twist: backend results mismatch"]
+
+    def test_entries_without_auto_are_skipped(self):
+        filtered = entry(timings={"recursive": 1.0, "soa": 0.25})
+        assert check_perf_floor(payload(filtered)) == []
+
+    def test_empty_payload_passes(self):
+        assert check_perf_floor({}) == []
+
+
+class TestMain:
+    def _write(self, tmp_path, data):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_pass_exit_code_and_summary(self, tmp_path, capsys):
+        path = self._write(tmp_path, payload(entry(), entry("MM")))
+        assert main(["--json", path]) == 0
+        out = capsys.readouterr().out
+        assert "perf floor passed" in out
+        assert "all 2 checked" in out
+
+    def test_fail_exit_code_lists_violations(self, tmp_path, capsys):
+        slow = entry(timings={"recursive": 1.0, "soa": 0.2, "auto": 1.0})
+        path = self._write(tmp_path, payload(slow))
+        assert main(["--json", path]) == 1
+        out = capsys.readouterr().out
+        assert "perf floor FAILED" in out
+        assert "TJ/twist" in out
+
+    def test_floor_flag_is_honored(self, tmp_path):
+        slow = entry(timings={"recursive": 1.0, "soa": 0.2, "auto": 1.0})
+        path = self._write(tmp_path, payload(slow))
+        assert main(["--json", path, "--floor", "0.1"]) == 0

@@ -80,6 +80,35 @@ class TestTreeLayout:
             for n in root.iter_preorder()
         )
 
+    def test_veb_policy_matches_linearization(self):
+        from repro.spaces.soa import linearize
+
+        amap = AddressMap()
+        root = balanced_tree(31)
+        layout_tree(amap, root, "t", policy="veb")
+        addresses = [
+            amap.address_of(("t", node.number))
+            for node in linearize(root, "veb")
+        ]
+        assert addresses == sorted(addresses)
+
+    def test_veb_policy_keeps_root_block_contiguous(self):
+        # The cache-oblivious point: the root's top block lands in one
+        # address run ahead of every deeper node.
+        amap = AddressMap()
+        root = balanced_tree(15)
+        layout_tree(amap, root, "t", policy="veb")
+        root_addr = amap.address_of(("t", root.number))
+        child_addrs = [
+            amap.address_of(("t", child.number)) for child in root.children
+        ]
+        rest = [
+            amap.address_of(("t", node.number))
+            for node in root.iter_preorder()
+            if node is not root and node not in root.children
+        ]
+        assert max(root_addr, *child_addrs) < min(rest)
+
     def test_unknown_policy(self):
         with pytest.raises(MemorySimError, match="unknown layout policy"):
             layout_tree(AddressMap(), balanced_tree(3), "t", policy="zigzag")

@@ -1,0 +1,273 @@
+"""Unit tests for structure-of-arrays tree layouts."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.spaces import (
+    LINEARIZATIONS,
+    balanced_tree,
+    finalize_tree,
+    linearize,
+    list_tree,
+    paper_outer_tree,
+    perfect_tree,
+    random_tree,
+    soa_view,
+    to_linked,
+    to_soa,
+    tree_from_nested,
+    validate_index_node,
+)
+from repro.spaces.node import IndexNode
+from repro.spaces.soa import _VIEW_CACHE
+
+
+def wide_tree(fanout=30):
+    from repro.spaces import TreeNode
+
+    root = TreeNode("root")
+    root.children = tuple(TreeNode(str(k), data=k) for k in range(fanout))
+    return finalize_tree(root)
+
+
+def sample_trees():
+    return [
+        ("paper", paper_outer_tree()),
+        ("balanced", balanced_tree(25, data=lambda k: k * 3)),
+        ("list", list_tree(40)),
+        ("random", random_tree(33, seed=5)),
+        ("wide", wide_tree()),
+        ("single", tree_from_nested("only")),
+    ]
+
+
+class TestLinearize:
+    def test_preorder_matches_iter_preorder(self):
+        root = random_tree(40, seed=1)
+        assert linearize(root, "preorder") == list(root.iter_preorder())
+
+    def test_bfs_is_level_order(self):
+        root = perfect_tree(4)
+        labels = [node.label for node in linearize(root, "bfs")]
+        assert labels == sorted(labels)  # perfect_tree labels in BFS order
+
+    @pytest.mark.parametrize("order", LINEARIZATIONS)
+    @pytest.mark.parametrize(
+        "name,root", sample_trees(), ids=[n for n, _ in sample_trees()]
+    )
+    def test_every_order_is_a_permutation(self, order, name, root):
+        ordered = linearize(root, order)
+        assert len(ordered) == root.size
+        assert {id(node) for node in ordered} == {
+            id(node) for node in root.iter_preorder()
+        }
+        assert ordered[0] is root  # every order starts at the root
+
+    def test_veb_keeps_depth_neighborhoods_close(self):
+        # In a perfect tree of depth 4 (budget 4 -> top block of depth
+        # 2), the root's block {root, its children} must precede all
+        # grandchildren.
+        root = perfect_tree(4)
+        positions = {
+            id(node): pos for pos, node in enumerate(linearize(root, "veb"))
+        }
+        top_block = [root, *root.children]
+        deeper = [
+            grandchild
+            for child in root.children
+            for grandchild in child.children
+        ]
+        assert max(positions[id(n)] for n in top_block) < min(
+            positions[id(n)] for n in deeper
+        )
+
+    def test_veb_handles_deep_list_trees(self):
+        # The budget at least halves per nesting level, so a 5000-deep
+        # chain must not hit the recursion limit.
+        root = list_tree(5000)
+        assert len(linearize(root, "veb")) == 5000
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(SpecError, match="unknown linearization"):
+            linearize(balanced_tree(3), "zorder")
+        with pytest.raises(SpecError, match="unknown linearization"):
+            soa_view(balanced_tree(3), "zorder")
+
+
+class TestPackedStructure:
+    @pytest.mark.parametrize("order", LINEARIZATIONS)
+    def test_links_match_linked_tree(self, order):
+        root = random_tree(50, seed=9)
+        soa = to_soa(root, order)
+        pos_of = {id(node): pos for pos, node in enumerate(soa.nodes)}
+        for pos, node in enumerate(soa.nodes):
+            kids = node.children
+            if kids:
+                assert soa.first_child[pos] == pos_of[id(kids[0])]
+                for left, right in zip(kids, kids[1:]):
+                    assert soa.next_sibling[pos_of[id(left)]] == pos_of[
+                        id(right)
+                    ]
+                assert soa.next_sibling[pos_of[id(kids[-1])]] == -1
+            else:
+                assert soa.first_child[pos] == -1
+            for child in kids:
+                assert soa.parent[pos_of[id(child)]] == pos
+        assert soa.parent[pos_of[id(root)]] == -1
+        assert soa.nodes[soa.root] is root
+
+    @pytest.mark.parametrize("order", LINEARIZATIONS)
+    def test_rank_space_invariants(self, order):
+        root = random_tree(50, seed=2)
+        soa = to_soa(root, order)
+        pre = list(root.iter_preorder())
+        # rank_pos/pos_rank are inverse permutations, rank 0 = root.
+        assert (soa.pos_rank[soa.rank_pos] == np.arange(soa.num_nodes)).all()
+        assert soa.rank_nodes == pre
+        # A subtree is the contiguous rank run [rank, rank + span).
+        rank_of = {id(node): rank for rank, node in enumerate(pre)}
+        for rank, node in enumerate(pre):
+            assert soa.span[rank] == node.size
+            subtree = {rank_of[id(n)] for n in node.iter_preorder()}
+            assert subtree == set(range(rank, rank + node.size))
+
+    def test_children_rank_accessors(self):
+        root = balanced_tree(25)
+        soa = to_soa(root)
+        pre = list(root.iter_preorder())
+        rank_of = {id(node): rank for rank, node in enumerate(pre)}
+        for rank, node in enumerate(pre):
+            kids = [rank_of[id(child)] for child in node.children]
+            assert soa.children_ranks(rank) == kids
+            assert soa.rank_children_rev[rank] == list(reversed(kids))
+
+    def test_payload_columns_are_typed(self):
+        root = balanced_tree(15, data=lambda k: float(k))
+        soa = to_soa(root)
+        assert soa.column("data").dtype == np.float64
+        assert soa.column("data")[soa.root] == root.data
+
+    def test_missing_column_error_lists_available(self):
+        soa = to_soa(balanced_tree(7))
+        with pytest.raises(SpecError, match="data.*label|label.*data"):
+            soa.column("weights")
+
+    def test_custom_payload_getters(self):
+        root = balanced_tree(7, data=lambda k: k)
+        soa = to_soa(root, payload={"double": lambda node: node.data * 2})
+        assert sorted(soa.payload) == ["double"]
+        assert soa.column("double")[soa.root] == root.data * 2
+
+    def test_ragged_payload_falls_back_to_object_dtype(self):
+        root = balanced_tree(3, data=lambda k: [0] * (k + 1))
+        soa = to_soa(root)
+        assert soa.column("data").dtype == object
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("order", LINEARIZATIONS)
+    @pytest.mark.parametrize(
+        "name,root", sample_trees(), ids=[n for n, _ in sample_trees()]
+    )
+    def test_round_trip_preserves_everything(self, order, name, root):
+        rebuilt = to_linked(to_soa(root, order))
+        originals = list(root.iter_preorder())
+        copies = list(rebuilt.iter_preorder())
+        assert len(copies) == len(originals)
+        for original, copy in zip(originals, copies):
+            assert copy.label == original.label
+            assert copy.data == original.data
+            assert copy.size == original.size
+            assert copy.number == original.number
+            assert len(copy.children) == len(original.children)
+
+    def test_round_trip_restores_python_scalar_types(self):
+        root = balanced_tree(7, data=lambda k: k)
+        rebuilt = to_linked(to_soa(root))
+        assert type(rebuilt.data) is int
+        assert type(rebuilt.size) is int
+
+    def test_round_trip_preserves_truncation_scratch(self):
+        root = balanced_tree(7)
+        root.trunc = True
+        root.children[0].trunc_counter = 42
+        rebuilt = to_linked(to_soa(root))
+        assert rebuilt.trunc is True
+        assert rebuilt.children[0].trunc_counter == 42
+
+    def test_bare_index_nodes_round_trip_as_index_nodes(self):
+        root = IndexNode()
+        child = IndexNode()
+        root.children = (child,)
+        finalize_tree(root)
+        rebuilt = to_linked(to_soa(root))
+        assert type(rebuilt) is IndexNode
+        assert rebuilt.size == 2
+
+
+class TestViewCache:
+    def test_same_view_returned_per_root_and_order(self):
+        root = balanced_tree(15)
+        assert soa_view(root, "bfs") is soa_view(root, "bfs")
+        assert soa_view(root, "bfs") is not soa_view(root, "preorder")
+
+    def test_refresh_repacks(self):
+        root = balanced_tree(15)
+        first = soa_view(root)
+        assert soa_view(root, refresh=True) is not first
+
+    def test_cache_entry_dies_with_the_tree(self):
+        root = balanced_tree(15)
+        soa_view(root)
+        assert root in _VIEW_CACHE
+        del root
+        gc.collect()
+        assert len([k for k in _VIEW_CACHE]) == len(
+            [k for k in _VIEW_CACHE if k is not None]
+        )
+
+
+class TestValidateRejectsSoAHandles:
+    def test_soa_tree_rejected_with_pointer_to_soa_backend(self):
+        soa = to_soa(balanced_tree(7))
+        with pytest.raises(SpecError, match="soa-native executors"):
+            validate_index_node(soa)
+
+    def test_spec_construction_rejects_soa_roots(self):
+        from repro.core import NestedRecursionSpec
+
+        soa = to_soa(balanced_tree(7))
+        with pytest.raises(SpecError, match="soa-native executors"):
+            NestedRecursionSpec(soa, balanced_tree(7))
+
+
+class TestFinalizeScales:
+    def test_million_node_list_tree_finalizes_without_recursion(self):
+        import sys
+
+        # Build the chain bottom-up without the builders (list_tree
+        # already finalizes; this test pins finalize_tree itself).
+        node = IndexNode()
+        for _ in range(1_000_000 - 1):
+            parent = IndexNode()
+            parent.children = (node,)
+            node = parent
+        root = node
+        limit = sys.getrecursionlimit()
+        # A recursive implementation would need ~10^6 frames; cap the
+        # interpreter far below that so regressions fail loudly.
+        sys.setrecursionlimit(5_000)
+        try:
+            finalize_tree(root)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert root.size == 1_000_000
+        assert root.number == 0
+        deepest = root
+        while deepest.children:
+            deepest = deepest.children[0]
+        assert deepest.number == 999_999
+        assert deepest.size == 1
