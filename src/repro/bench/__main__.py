@@ -171,7 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'list', or 'perf-floor'",
+        help="experiment id (see 'list'), 'all', 'list', 'perf-floor', "
+        "or 'sanitize'",
     )
     parser.add_argument(
         "--scale",
@@ -235,12 +236,27 @@ def main(argv: list[str] | None = None) -> int:
             f"{'perf-floor'.ljust(width)}  CI gate: auto backend within "
             "the floor of the best single backend"
         )
+        print(
+            f"{'sanitize'.ljust(width)}  CI gate: vectorized backends "
+            "shadow-checked against recursive (writes SANITIZE.json)"
+        )
         return 0
     if args.experiment == "perf-floor":
         from repro.bench.perf_floor import DEFAULT_FLOOR, main as floor_main
 
         floor = DEFAULT_FLOOR if args.floor is None else args.floor
         return floor_main(["--json", args.json, "--floor", str(floor)])
+    if args.experiment == "sanitize":
+        from repro.bench.sanitize_sweep import DEFAULT_JSON_PATH, main as sanitize_main
+
+        sanitize_argv = ["--scale", str(args.scale)]
+        if args.json != "BENCH_soa.json":
+            sanitize_argv += ["--json", args.json]
+        else:
+            sanitize_argv += ["--json", DEFAULT_JSON_PATH]
+        for name in args.benchmark or ():
+            sanitize_argv += ["--benchmark", name]
+        return sanitize_main(sanitize_argv)
     if args.scale <= 0:
         print("error: --scale must be positive", file=sys.stderr)
         return 2

@@ -117,12 +117,68 @@ def _sample_truncation_density(spec: NestedRecursionSpec) -> Optional[float]:
     return pruned / (sampled * inner_size)
 
 
+def conformance_verdicts(spec: NestedRecursionSpec) -> Optional[dict]:
+    """Per-backend conformance verdicts from the static analyzer.
+
+    Returns ``{"recursive"|"batched"|"soa": "safe"|"needs-dynamic-check"
+    |"unsafe"}`` via :func:`repro.transform.lint.backend.lint_spec`
+    (memoized on the kernels' code objects, so this is cheap after the
+    first call per spec family), or ``None`` when the analyzer itself
+    fails — selection then proceeds on structural evidence alone.
+    """
+    try:
+        from repro.transform.lint.backend import lint_spec
+
+        return dict(lint_spec(spec).backends)
+    except Exception:  # pragma: no cover - analyzer must never block runs
+        return None
+
+
+def _refuse_unproven(
+    choice: BackendChoice, spec: NestedRecursionSpec
+) -> BackendChoice:
+    """Never return a backend whose conformance verdict is ``unsafe``.
+
+    A ``needs-dynamic-check`` verdict stays selectable (the holes are
+    warnings, dischargeable via ``backend="sanitize"``); an ``unsafe``
+    verdict means a kernel *refutes* scalar equivalence, so the
+    selector swaps to the other vectorized backend when that one is
+    proven safe, else to the reference executors.
+    """
+    verdicts = conformance_verdicts(spec)
+    if verdicts is None or verdicts.get(choice.backend) != "unsafe":
+        return choice
+    alternate = "soa" if choice.backend == "batched" else "batched"
+    if verdicts.get(alternate) == "safe":
+        return BackendChoice(
+            alternate,
+            f"conformance: {choice.backend!r} verdict is unsafe; "
+            f"{alternate!r} is proven safe (structural pick was: "
+            f"{choice.reason})",
+            choice.features,
+        )
+    return BackendChoice(
+        "recursive",
+        f"conformance: {choice.backend!r} verdict is unsafe; falling "
+        f"back to the reference executors (structural pick was: "
+        f"{choice.reason})",
+        choice.features,
+    )
+
+
 def choose_backend(
     spec: NestedRecursionSpec,
     schedule_name: str = "original",
     features: Optional[dict] = None,
+    allow_unproven: bool = False,
 ) -> BackendChoice:
     """Pick recursive/batched/soa for one (spec, schedule) pair.
+
+    The structural decision is filtered through the backend-conformance
+    analyzer: a backend whose verdict is ``unsafe`` is never returned
+    (see :func:`_refuse_unproven`).  ``allow_unproven=True`` skips that
+    filter — the explicit override for callers who have discharged the
+    verdict themselves.
 
     The rules, in order (first match wins), with the BENCH_soa.json
     evidence behind each:
@@ -154,25 +210,29 @@ def choose_backend(
             features,
         )
     if features["is_irregular"] and features["observes_work"]:
-        return BackendChoice(
+        choice = BackendChoice(
             "soa",
             "truncation observes work: barriers would shred deferred "
             "blocks, so run inline work over packed index space",
             features,
         )
-    if features["has_work_batch_soa"]:
-        return BackendChoice(
+    elif features["has_work_batch_soa"]:
+        choice = BackendChoice(
             "soa",
             "spec provides work_batch_soa: position-block dispatch over "
             "packed payload columns",
             features,
         )
-    return BackendChoice(
-        "batched",
-        "stateless spec without SoA-native work: node-block dispatch "
-        "through work_batch",
-        features,
-    )
+    else:
+        choice = BackendChoice(
+            "batched",
+            "stateless spec without SoA-native work: node-block dispatch "
+            "through work_batch",
+            features,
+        )
+    if allow_unproven:
+        return choice
+    return _refuse_unproven(choice, spec)
 
 
 def resolve_backend(

@@ -179,6 +179,25 @@ def _block_truncation(
     return spec.truncate_inner2_batch
 
 
+def engaged_kernels(
+    spec: NestedRecursionSpec, instrument: Optional[Instrument] = None
+) -> dict[str, bool]:
+    """Which vectorized fast paths a batched run would actually engage.
+
+    The sanitize backend (:mod:`repro.core.sanitize`) uses this to
+    report *what* was exercised: an instrumented lockstep phase never
+    engages ``bulk`` or ``block_truncation``, so a separate
+    uninstrumented phase is needed to cover them.
+    """
+    ins = NULL_INSTRUMENT if instrument is None else instrument
+    return {
+        "work_batch": spec.work_batch is not None,
+        "bulk": _bulk_eligible(spec, ins),
+        "block_truncation": _block_truncation(spec, ins is not NULL_INSTRUMENT)
+        is not None,
+    }
+
+
 def _as_prune_list(decisions: object) -> Optional[list]:
     """Normalize a block-truncation result to a ``number``-indexed list.
 

@@ -1,0 +1,306 @@
+"""Shadow execution: run a vectorized backend against the recursive one.
+
+The conformance analyzer (:mod:`repro.transform.lint.backend`) proves
+what it can statically; everything it marks ``needs-dynamic-check`` is
+discharged here, at runtime, by the paper-faithful method: run the
+*reference* (recursive) backend and the *candidate* backend on the
+same spec and demand bit-identical observable behaviour.
+
+Three phases, each on a fresh spec from the caller's factory:
+
+1. **record** — the recursive backend runs under an
+   :class:`EventRecorder`, capturing the full instrumentation event
+   stream (``op`` kinds, per-tree node accesses, ``work`` pairs — all
+   by pre-order node rank) plus the payload probe's value.
+2. **lockstep** — the candidate backend runs under a
+   :class:`LockstepChecker` that compares every event against the
+   recording *as it happens* and raises :class:`SanitizeDivergence` at
+   the first mismatch, reporting the event index, both events (node
+   ranks included) and the engaged kernel names.
+3. **fast-path** — the candidate backend runs *uninstrumented*, because
+   the executors' bulk and block-truncation fast paths only engage when
+   nothing is watching (see
+   :func:`repro.core.batched.engaged_kernels`); the payload probe is
+   the only observable left, and it must still match the reference.
+
+``schedule.run(spec, backend="sanitize", spec_factory=...)`` wraps
+:func:`run_sanitized` for one-line use; the bench harness sweeps it
+over every built-in benchmark (``python -m repro.bench sanitize``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.batched import engaged_kernels
+from repro.core.instruments import Instrument, combine
+from repro.core.spec import NestedRecursionSpec
+from repro.errors import ReproError
+
+#: Type of the per-run payload probe: called after each phase, its
+#: value (compared via ``repr``) must be identical across backends.
+Probe = Callable[[], Any]
+
+
+def _rank(node: object) -> object:
+    """Stable cross-backend identity of a node: its pre-order rank."""
+    number = getattr(node, "number", None)
+    return number if number is not None else getattr(node, "label", repr(node))
+
+
+class SanitizeDivergence(ReproError):
+    """The candidate backend observably diverged from the recursive one.
+
+    Carries enough to reproduce: which spec and backend, which phase
+    (``events`` or ``payload``), the 0-based index of the first
+    diverging event, both event tuples (node ranks included), and the
+    vectorized kernel names that were live when it happened.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        spec_name: str = "<spec>",
+        backend: str = "?",
+        schedule: str = "?",
+        phase: str = "events",
+        index: Optional[int] = None,
+        expected: object = None,
+        actual: object = None,
+        kernels: Optional[list] = None,
+    ) -> None:
+        super().__init__(message)
+        self.spec_name = spec_name
+        self.backend = backend
+        self.schedule = schedule
+        self.phase = phase
+        self.index = index
+        self.expected = expected
+        self.actual = actual
+        self.kernels = kernels or []
+
+
+class EventRecorder(Instrument):
+    """Records the full instrumentation event stream, by node rank."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def op(self, kind: str) -> None:
+        self.events.append(("op", kind))
+
+    def access(self, tree: str, node: object) -> None:
+        self.events.append(("access", tree, _rank(node)))
+
+    def work(self, o: object, i: object) -> None:
+        self.events.append(("work", _rank(o), _rank(i)))
+
+
+class LockstepChecker(Instrument):
+    """Replays a recording, raising at the first diverging event."""
+
+    def __init__(
+        self,
+        expected: list[tuple],
+        *,
+        spec_name: str,
+        backend: str,
+        schedule: str,
+        kernels: list,
+    ) -> None:
+        self.expected = expected
+        self.position = 0
+        self._context = {
+            "spec_name": spec_name,
+            "backend": backend,
+            "schedule": schedule,
+            "kernels": kernels,
+        }
+
+    def _step(self, actual: tuple) -> None:
+        index = self.position
+        expected = (
+            self.expected[index] if index < len(self.expected) else None
+        )
+        if actual != expected:
+            raise SanitizeDivergence(
+                f"{self._context['spec_name']}: backend "
+                f"{self._context['backend']!r} diverged from 'recursive' "
+                f"at event {index}: expected {expected!r}, got {actual!r} "
+                f"(kernels: {self._context['kernels']})",
+                phase="events",
+                index=index,
+                expected=expected,
+                actual=actual,
+                **self._context,
+            )
+        self.position += 1
+
+    def op(self, kind: str) -> None:
+        self._step(("op", kind))
+
+    def access(self, tree: str, node: object) -> None:
+        self._step(("access", tree, _rank(node)))
+
+    def work(self, o: object, i: object) -> None:
+        self._step(("work", _rank(o), _rank(i)))
+
+    def finish(self) -> None:
+        """Fail if the candidate produced *fewer* events than recorded."""
+        if self.position != len(self.expected):
+            raise SanitizeDivergence(
+                f"{self._context['spec_name']}: backend "
+                f"{self._context['backend']!r} stopped after "
+                f"{self.position} events; 'recursive' produced "
+                f"{len(self.expected)} (first missing: "
+                f"{self.expected[self.position]!r})",
+                phase="events",
+                index=self.position,
+                expected=self.expected[self.position],
+                actual=None,
+                **self._context,
+            )
+
+
+def _kernel_names(spec: NestedRecursionSpec) -> list:
+    names = []
+    for attr in ("work_batch", "work_batch_soa", "truncate_inner2_batch"):
+        fn = getattr(spec, attr)
+        if fn is not None:
+            names.append(f"{attr}={getattr(fn, '__qualname__', repr(fn))}")
+    return names
+
+
+@dataclass
+class SanitizeReport:
+    """What a divergence-free sanitize run covered."""
+
+    spec_name: str
+    schedule: str
+    #: the concrete backend that was checked against ``recursive``
+    backend: str
+    #: number of instrumentation events compared in lockstep
+    events: int
+    #: phases actually executed (``record``/``lockstep``/``fast-path``)
+    phases: list = field(default_factory=list)
+    #: fast paths the uninstrumented phase engaged (see
+    #: :func:`repro.core.batched.engaged_kernels`)
+    engaged: dict = field(default_factory=dict)
+    #: ``repr`` of the reference payload (``None`` without a probe)
+    payload: Optional[str] = None
+
+    def to_json(self) -> dict:
+        """JSON-ready dict (one entry of the sanitize sweep's payload)."""
+        return {
+            "spec": self.spec_name,
+            "schedule": self.schedule,
+            "backend": self.backend,
+            "events": self.events,
+            "phases": list(self.phases),
+            "engaged": dict(self.engaged),
+            "payload": self.payload,
+        }
+
+
+def _check_payload(
+    reference: Optional[str],
+    probe: Optional[Probe],
+    phase: str,
+    context: dict,
+) -> None:
+    if probe is None:
+        return
+    actual = repr(probe())
+    if actual != reference:
+        raise SanitizeDivergence(
+            f"{context['spec_name']}: backend {context['backend']!r} "
+            f"payload diverged from 'recursive' after the {phase} phase: "
+            f"expected {reference}, got {actual} "
+            f"(kernels: {context['kernels']})",
+            phase="payload",
+            expected=reference,
+            actual=actual,
+            **context,
+        )
+
+
+def run_sanitized(
+    spec_factory: Callable[[], NestedRecursionSpec],
+    schedule,
+    backend: str = "auto",
+    order: str = "preorder",
+    probe: Optional[Probe] = None,
+    instrument: Optional[Instrument] = None,
+) -> SanitizeReport:
+    """Shadow-execute ``backend`` against ``recursive`` for one spec.
+
+    ``spec_factory`` must return a *fresh* spec (benchmark state reset)
+    on every call — each phase re-runs the whole traversal, and a
+    stateful spec re-run on stale state diverges for reasons that have
+    nothing to do with the backend.  ``probe`` is an optional zero-arg
+    callable returning the benchmark's payload (compared by ``repr``
+    after every phase).  ``schedule`` is a
+    :class:`~repro.core.schedules.Schedule` or a schedule name.
+
+    Returns a :class:`SanitizeReport` on success; raises
+    :class:`SanitizeDivergence` at the first observable difference.
+    """
+    from repro.core.backend_select import resolve_backend
+    from repro.core.schedules import get_schedule
+
+    if isinstance(schedule, str):
+        schedule = get_schedule(schedule)
+
+    # Phase 1: record the reference behaviour.
+    spec = spec_factory()
+    candidate = resolve_backend(spec, schedule.name, backend)
+    context = {
+        "spec_name": spec.name or "<spec>",
+        "backend": candidate,
+        "schedule": schedule.name,
+        "kernels": _kernel_names(spec),
+    }
+    recorder = EventRecorder()
+    schedule.run(
+        spec, instrument=combine(recorder, instrument), backend="recursive"
+    )
+    reference_payload = repr(probe()) if probe is not None else None
+    phases = ["record"]
+
+    report = SanitizeReport(
+        spec_name=context["spec_name"],
+        schedule=schedule.name,
+        backend=candidate,
+        events=len(recorder.events),
+        phases=phases,
+        payload=reference_payload,
+    )
+    if candidate == "recursive":
+        # Nothing to shadow: the candidate *is* the reference.
+        return report
+
+    # Phase 2: candidate backend in lockstep with the recording.
+    spec = spec_factory()
+    checker = LockstepChecker(recorder.events, **context)
+    schedule.run(
+        spec,
+        instrument=combine(checker, instrument),
+        backend=candidate,
+        order=order,
+    )
+    checker.finish()
+    _check_payload(reference_payload, probe, "lockstep", context)
+    phases.append("lockstep")
+
+    # Phase 3: candidate backend uninstrumented, engaging the fast
+    # paths the lockstep phase suppressed; the payload is the witness.
+    if probe is not None:
+        spec = spec_factory()
+        report.engaged = engaged_kernels(spec)
+        schedule.run(spec, backend=candidate, order=order)
+        _check_payload(reference_payload, probe, "fast-path", context)
+        phases.append("fast-path")
+
+    return report

@@ -49,7 +49,7 @@ from repro.errors import ScheduleError
 Runner = Callable[..., None]
 
 #: Backend names accepted by :meth:`Schedule.run`.
-BACKENDS = ("recursive", "batched", "soa", "auto")
+BACKENDS = ("recursive", "batched", "soa", "auto", "sanitize")
 
 
 @dataclass(frozen=True)
@@ -67,16 +67,45 @@ class Schedule:
         instrument: Optional[Instrument] = None,
         backend: str = "recursive",
         order: str = "preorder",
+        spec_factory: Optional[Callable[[], NestedRecursionSpec]] = None,
     ) -> None:
         """Execute ``spec`` under this schedule.
 
         ``backend`` selects the recursive executors (default), the
-        batched explicit-stack ones, the SoA index-based ones, or
-        ``"auto"`` (probe the spec, pick one); all produce identical
+        batched explicit-stack ones, the SoA index-based ones,
+        ``"auto"`` (probe the spec, pick one — refusing any backend
+        the conformance analyzer proved unsafe), or ``"sanitize"``
+        (shadow-execute the auto-chosen backend against the recursive
+        one, raising :class:`~repro.core.sanitize.SanitizeDivergence`
+        at the first observable difference); all produce identical
         results and identical instrumentation events.  ``order`` is
         the storage linearization used by the SoA backend
         (``preorder``/``bfs``/``veb``); other backends ignore it.
+
+        ``spec_factory`` is only consulted by ``"sanitize"``, whose
+        phases each need a fresh spec; specs whose truncation observes
+        work *require* it (re-running them on stale accumulator state
+        diverges for reasons unrelated to the backend).
         """
+        if backend == "sanitize":
+            from repro.core.sanitize import run_sanitized
+
+            if spec_factory is None:
+                if spec.truncation_observes_work:
+                    raise ScheduleError(
+                        "backend='sanitize' needs spec_factory for a "
+                        "spec whose truncation observes work: each "
+                        "shadow phase must start from fresh state"
+                    )
+                spec_factory = lambda: spec  # noqa: E731
+            run_sanitized(
+                spec_factory,
+                self,
+                backend="auto",
+                order=order,
+                instrument=instrument,
+            )
+            return
         if backend == "auto":
             from repro.core.backend_select import choose_backend
 

@@ -91,6 +91,18 @@ def _dispatch_mode(spec: NestedRecursionSpec) -> str:
     return _NODES
 
 
+def dispatch_mode(spec: NestedRecursionSpec) -> str:
+    """Public view of the per-run work-dispatch mode.
+
+    The backend-conformance analyzer
+    (:mod:`repro.transform.lint.backend`) keys its ``soa`` verdict on
+    this: ``inline`` runs the scalar kernel itself (nothing to prove),
+    ``positions`` stands or falls with ``work_batch_soa``, and
+    ``nodes`` inherits the batched dispatcher's verdict.
+    """
+    return _dispatch_mode(spec)
+
+
 def _bulk_eligible(spec: NestedRecursionSpec, ins: Instrument) -> bool:
     """Same fast-path test as the batched engine, SoA kernels included."""
     return (

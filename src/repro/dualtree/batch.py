@@ -217,3 +217,19 @@ def min_dists_to_tree(
         gap = np.where(lo_b > query_hi, lo_b - query_hi, query_lo - hi_b)
         total += np.where(gap > 0.0, gap * gap, 0.0)
     return np.sqrt(total)
+
+
+# -- conformance markers ----------------------------------------------
+#
+# The backend-conformance analyzer (repro.transform.lint.backend)
+# cannot see through these helpers' caching writes onto tree objects.
+# ``__conformance_staged__`` declares "pure modulo a one-time staged
+# copy of tree data" (surfaced to users as a TW109 info finding);
+# ``__conformance_pure__`` declares a plain read-only computation.
+leaf_blocks.__conformance_staged__ = True  # type: ignore[attr-defined]
+build_leaf_blocks.__conformance_staged__ = True  # type: ignore[attr-defined]
+spatial_payload.__conformance_staged__ = True  # type: ignore[attr-defined]
+spatial_soa_view.__conformance_staged__ = True  # type: ignore[attr-defined]
+bound_arrays.__conformance_staged__ = True  # type: ignore[attr-defined]
+block_distances.__conformance_pure__ = True  # type: ignore[attr-defined]
+min_dists_to_tree.__conformance_pure__ = True  # type: ignore[attr-defined]

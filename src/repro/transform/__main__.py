@@ -15,15 +15,24 @@ INPUT.py`` still works and means ``transform``)::
     python -m repro.transform lint INPUT.py
         [--outer NAME --inner NAME] [--json] [--assume-pure NAMES]
 
+    python -m repro.transform lint-spec
+        [--benchmark NAME]               # default: every built-in spec
+        [--scale S] [--json]
+
+``lint-spec`` runs the backend-conformance analyzer
+(:mod:`repro.transform.lint.backend`, ``TW1xx``) over the built-in
+benchmark specs and reports one verdict per spec.
+
 Exit codes are stable and distinct per failure class:
 
 ==  ============================================================
-0   success (for ``lint``: statically safe)
+0   success (for ``lint``: statically safe; for ``lint-spec``:
+    every spec proven batch-safe/soa-safe)
 1   template violation (the Figure 2 sanity check failed)
 2   usage or I/O error
 3   input source does not parse
 4   lint verdict *unsafe* (refuted; ``transform`` refused codegen)
-5   lint verdict *needs-dynamic-check* (``lint`` only)
+5   lint verdict *needs-dynamic-check*
 ==  ============================================================
 """
 
@@ -123,6 +132,72 @@ def build_lint_parser() -> argparse.ArgumentParser:
     )
     _add_common_arguments(parser)
     return parser
+
+
+def build_lint_spec_parser() -> argparse.ArgumentParser:
+    """The ``lint-spec`` subcommand's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.transform lint-spec",
+        description="Run the backend-conformance analyzer (TW1xx) over "
+        "the built-in benchmark specs: prove the vectorized "
+        "work_batch/work_batch_soa/truncate_inner2_batch kernels "
+        "equivalent to their scalar counterparts, or say exactly what "
+        "could not be proven.",
+    )
+    parser.add_argument(
+        "--benchmark",
+        help="restrict to one benchmark name (default: all built-ins)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="workload scale used to build the specs (default: 0.05 — "
+        "the analysis is static, so small is fine)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object on stdout",
+    )
+    return parser
+
+
+def _lint_spec_main(argv: list[str]) -> int:
+    args = build_lint_spec_parser().parse_args(argv)
+    from repro.bench.workloads import wallclock_cases
+    from repro.transform.lint import SpecVerdict, lint_spec
+
+    cases = wallclock_cases(args.scale)
+    if args.benchmark:
+        cases = [case for case in cases if case.name == args.benchmark]
+        if not cases:
+            print(
+                f"error: unknown benchmark {args.benchmark!r}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    reports = [lint_spec(case.make_spec()) for case in cases]
+    if args.json:
+        from repro.transform.lint.backend import SCHEMA_VERSION
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "spec-conformance-suite",
+            "specs": [report.to_json() for report in reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+
+    verdicts = {report.verdict for report in reports}
+    if SpecVerdict.UNSAFE in verdicts:
+        return EXIT_UNSAFE
+    if SpecVerdict.NEEDS_DYNAMIC_CHECK in verdicts:
+        return EXIT_NEEDS_DYNAMIC_CHECK
+    return EXIT_OK
 
 
 def _read_input(path: str) -> Optional[str]:
@@ -270,6 +345,8 @@ def _transform_main(argv: list[str]) -> int:
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint-spec":
+        return _lint_spec_main(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
     if argv and argv[0] == "transform":

@@ -15,7 +15,12 @@ closes the gap with a static verdict decided from the code itself:
   across spawnable outer subtrees for the §7.3 executor;
 * :mod:`~repro.transform.lint.diagnostics` and
   :mod:`~repro.transform.lint.report` carry the findings as stable
-  ``TW0xx`` diagnostics folded into a per-pair verdict.
+  ``TW0xx`` diagnostics folded into a per-pair verdict;
+* :mod:`~repro.transform.lint.backend` extends the analysis to the
+  spec/kernel layer (``TW1xx``): it proves — or refuses to prove —
+  that a spec's vectorized ``work_batch``/``work_batch_soa``/
+  ``truncate_inner2_batch`` kernels conform to their scalar
+  counterparts, gating which executors ``backend="auto"`` may pick.
 
 Two in-source pragmas steer the analysis::
 
@@ -56,6 +61,13 @@ from repro.transform.lint.purity import (
     check_child_purity,
     check_guard_purity,
 )
+from repro.transform.lint.backend import (
+    KernelFootprint,
+    SpecConformanceReport,
+    SpecVerdict,
+    analyze_kernel,
+    lint_spec,
+)
 from repro.transform.lint.report import LintReport, Verdict, derive_verdict
 from repro.transform.recognizer import RecursionTemplate, recognize
 
@@ -67,11 +79,15 @@ __all__ = [
     "Diagnostic",
     "DiagnosticSink",
     "FootprintAnalyzer",
+    "KernelFootprint",
     "LintReport",
     "Region",
     "Severity",
+    "SpecConformanceReport",
+    "SpecVerdict",
     "Verdict",
     "WorkFootprint",
+    "analyze_kernel",
     "analyze_work",
     "check_adaptive_truncation",
     "check_child_purity",
@@ -80,6 +96,7 @@ __all__ = [
     "collect_pragmas",
     "derive_verdict",
     "lint_source",
+    "lint_spec",
     "lint_template",
     "make_diagnostic",
 ]

@@ -11,7 +11,14 @@ a severity and an indication of which verdict dimension it affects:
     only the §7.3 task-parallel execution (a finding here does not
     demote the sequential verdict);
 ``input``
-    the input could not be brought to the Figure 2 template at all.
+    the input could not be brought to the Figure 2 template at all;
+``backend``
+    the ``TW1xx`` family: backend *conformance* of a spec's vectorized
+    kernels (``work_batch`` / ``work_batch_soa`` /
+    ``truncate_inner2_batch``) with their scalar counterparts.  These
+    findings never touch the §3.3 schedule verdict — they decide
+    whether the batched/SoA executors may stand in for the recursive
+    one (see :mod:`repro.transform.lint.backend`).
 
 Severities follow the usual compiler convention: ``error`` findings
 refute the safety proof (verdict *unsafe*), ``warning`` findings leave
@@ -145,6 +152,81 @@ CATALOG: dict[str, CodeInfo] = {
             "executor",
             Severity.WARNING,
             "parallel",
+        ),
+        # --- backend conformance (TW10x) -----------------------------
+        CodeInfo(
+            "TW100",
+            "kernel source unavailable (conformance not analyzable)",
+            Severity.WARNING,
+            "backend",
+        ),
+        CodeInfo(
+            "TW101",
+            "batch kernel write set differs from the scalar kernel",
+            Severity.ERROR,
+            "backend",
+        ),
+        CodeInfo(
+            "TW102",
+            "batch kernel reads node fields the scalar kernel never "
+            "touches",
+            Severity.WARNING,
+            "backend",
+        ),
+        CodeInfo(
+            "TW103",
+            "batch kernel captures mutable state across dispatches",
+            Severity.ERROR,
+            "backend",
+        ),
+        CodeInfo(
+            "TW104",
+            "batch kernel mutates or retains its input block "
+            "(aliasing hazard)",
+            Severity.ERROR,
+            "backend",
+        ),
+        CodeInfo(
+            "TW105",
+            "block truncation guard reads state its scalar "
+            "counterpart ignores",
+            Severity.WARNING,
+            "backend",
+        ),
+        CodeInfo(
+            "TW106",
+            "block truncation guard on a spec whose truncation "
+            "observes work",
+            Severity.ERROR,
+            "backend",
+        ),
+        CodeInfo(
+            "TW107",
+            "kernel relies on per-outer barrier flushes for "
+            "correctness",
+            Severity.INFO,
+            "backend",
+        ),
+        CodeInfo(
+            "TW108",
+            "order-sensitive state update vectorized without in-order "
+            "replay",
+            Severity.WARNING,
+            "backend",
+        ),
+        CodeInfo(
+            "TW109",
+            "batch kernel reads staged auxiliary data the scalar "
+            "kernel derives per node",
+            Severity.INFO,
+            "backend",
+        ),
+        CodeInfo(
+            "TW110",
+            "call to unknown helper inside a batch kernel "
+            "(conformance incomplete)",
+            Severity.WARNING,
+            "backend",
         ),
     ]
 }

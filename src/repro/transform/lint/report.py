@@ -132,8 +132,20 @@ class LintReport:
         return "\n".join(lines)
 
     def to_json(self) -> dict:
-        """JSON-ready dict with stable keys (the ``--json`` payload)."""
+        """JSON-ready dict with stable keys (the ``--json`` payload).
+
+        ``schema_version`` 2 added the version field itself, the
+        ``kind`` discriminator (``"schedule-safety"`` here vs
+        ``"spec-conformance"`` for
+        :class:`~repro.transform.lint.backend.SpecConformanceReport`),
+        and ``counts.suppressed`` — one schema family for both report
+        kinds.
+        """
+        from repro.transform.lint.backend import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "schedule-safety",
             "verdict": str(self.verdict),
             "parallel_safe": self.parallel_safe,
             "irregular": self.irregular,
@@ -145,6 +157,7 @@ class LintReport:
             "counts": {
                 "errors": len(self.errors),
                 "warnings": len(self.warnings),
+                "suppressed": len(self.suppressed),
             },
         }
 

@@ -21,10 +21,10 @@ DOCS = Path(__file__).resolve().parents[4] / "docs" / "DIAGNOSTICS.md"
 class TestCatalog:
     def test_codes_are_stable_and_well_formed(self):
         for code, info in CATALOG.items():
-            assert re.fullmatch(r"TW0\d\d", code)
+            assert re.fullmatch(r"TW\d{3}", code)
             assert info.code == code
             assert info.title
-            assert info.affects in ("input", "schedule", "parallel")
+            assert info.affects in ("input", "schedule", "parallel", "backend")
 
     def test_expected_codes_present(self):
         assert {
@@ -33,16 +33,33 @@ class TestCatalog:
             "TW024", "TW030",
         } <= set(CATALOG)
 
+    def test_backend_family_present(self):
+        """The TW1xx conformance family is cataloged and scoped."""
+        backend_codes = {
+            code for code, info in CATALOG.items() if info.affects == "backend"
+        }
+        assert backend_codes == {
+            "TW100", "TW101", "TW102", "TW103", "TW104", "TW105",
+            "TW106", "TW107", "TW108", "TW109", "TW110",
+        }
+        # All and only TW1xx codes carry the backend dimension.
+        assert backend_codes == {
+            code for code in CATALOG if code.startswith("TW1")
+        }
+
     def test_severity_conventions(self):
         assert CATALOG["TW010"].severity is Severity.ERROR
         assert CATALOG["TW013"].severity is Severity.WARNING
         assert CATALOG["TW015"].severity is Severity.INFO
         assert CATALOG["TW030"].affects == "parallel"
+        assert CATALOG["TW101"].severity is Severity.ERROR
+        assert CATALOG["TW108"].severity is Severity.WARNING
+        assert CATALOG["TW109"].severity is Severity.INFO
 
     def test_docs_catalog_in_sync(self):
         """Every catalog code has a docs section and vice versa."""
         text = DOCS.read_text()
-        documented = set(re.findall(r"^### (TW0\d\d)", text, re.MULTILINE))
+        documented = set(re.findall(r"^### (TW\d{3})", text, re.MULTILINE))
         assert documented == set(CATALOG)
         # Titles appear verbatim so the docs never drift from the code.
         for info in CATALOG.values():

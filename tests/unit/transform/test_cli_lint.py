@@ -78,12 +78,25 @@ class TestLintOptions:
     def test_json_payload(self, tmp_path, capsys):
         assert main(["lint", write(tmp_path, UNSAFE), "--json"]) == 4
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
+        assert payload["kind"] == "schedule-safety"
         assert payload["verdict"] == "unsafe"
         assert payload["parallel_safe"] is False
         assert payload["counts"]["errors"] >= 1
+        assert payload["counts"]["suppressed"] == 0
         codes = {d["code"] for d in payload["diagnostics"]}
         assert "TW010" in codes
         assert payload["writes"][0]["path"] == "i.data"
+
+    def test_json_counts_suppressions(self, tmp_path, capsys):
+        source = TEMPLATE.format(
+            guard="i is None",
+            work="mystery(o, i)  # lint: ignore[TW013]",
+        )
+        assert main(["lint", write(tmp_path, source), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["suppressed"] == 1
+        assert payload["suppressed"][0]["code"] == "TW013"
 
     def test_explicit_names(self, tmp_path, capsys):
         unannotated = SAFE.replace("@outer_recursion(inner=\"inner\")\n", "")
@@ -154,3 +167,39 @@ class TestModuleSmoke:
         )
         assert completed.returncode == 0
         assert "interchange-safe" in completed.stdout
+
+
+class TestLintSpecCLI:
+    def test_single_proven_benchmark_exits_zero(self, capsys):
+        assert main(["lint-spec", "--benchmark", "TJ"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: soa-safe" in out
+
+    def test_full_suite_exits_five_on_nn(self, capsys):
+        """NN's order-sensitive update is the one designed hole, so
+        the whole-suite run reports needs-dynamic-check (exit 5)."""
+        assert main(["lint-spec", "--scale", "0.02"]) == 5
+        out = capsys.readouterr().out
+        assert "TW108" in out
+        assert "verdict: needs-dynamic-check" in out
+        assert "verdict: soa-safe" in out  # TJ/MM still proven
+
+    def test_unknown_benchmark_exits_two(self, capsys):
+        assert main(["lint-spec", "--benchmark", "XX"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_json_suite_payload(self, capsys):
+        assert main(["lint-spec", "--scale", "0.02", "--json"]) == 5
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
+        assert payload["kind"] == "spec-conformance-suite"
+        specs = payload["specs"]
+        assert len(specs) == 7
+        for spec in specs:
+            assert spec["kind"] == "spec-conformance"
+            assert spec["schema_version"] == 2
+            assert set(spec["backends"]) == {"recursive", "batched", "soa"}
+            assert spec["counts"]["suppressed"] == 0
+        verdicts = {spec["verdict"] for spec in specs}
+        assert "needs-dynamic-check" in verdicts
+        assert "soa-safe" in verdicts
