@@ -123,6 +123,52 @@ def _wallclock(scale: float, args: "argparse.Namespace | None" = None):
     return report
 
 
+def _parallel(scale: float, args: "argparse.Namespace | None" = None):
+    from repro.bench.parallel_sweep import (
+        DEFAULT_ENGINES,
+        DEFAULT_SCHEDULES,
+        DEFAULT_WORKERS,
+        run_parallel_sweep,
+        write_parallel_json,
+    )
+    from repro.bench.workloads import all_cases
+
+    cases = all_cases(scale)
+    schedules = list(DEFAULT_SCHEDULES)
+    engines = list(DEFAULT_ENGINES)
+    workers = list(DEFAULT_WORKERS)
+    repeats = 3
+    if args is not None:
+        if args.benchmark:
+            wanted = {name.upper() for name in args.benchmark}
+            known = {case.name for case in cases}
+            unknown = wanted - known
+            if unknown:
+                raise SystemExit(
+                    f"error: unknown benchmark(s) {sorted(unknown)}; "
+                    f"known: {sorted(known)}"
+                )
+            cases = [case for case in cases if case.name in wanted]
+        if args.schedule:
+            schedules = list(args.schedule)
+        if args.engine:
+            engines = list(args.engine)
+        if args.workers:
+            workers = list(args.workers)
+        repeats = args.repeats
+    report, payload = run_parallel_sweep(
+        scale=scale,
+        schedule_names=schedules,
+        engines=engines,
+        workers=workers,
+        repeats=repeats,
+        cases=cases,
+    )
+    path = write_parallel_json(payload)
+    report.add_note(f"JSON payload written to {path}")
+    return report
+
+
 def _ablations(scale: float):
     from repro.bench.experiments import run_layout_ablation, run_truncation_ablation
 
@@ -160,6 +206,11 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "wallclock": (
         "Wall-clock: all executor backends (writes BENCH_soa.json)",
         _wallclock,
+    ),
+    "parallel": (
+        "Wall-clock: multi-worker runtime sweep (writes "
+        "BENCH_parallel.json)",
+        _parallel,
     ),
 }
 
@@ -208,6 +259,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="best-of-N timing repeats (default 3)",
     )
+    par = parser.add_argument_group(
+        "parallel sweep filters", "narrow the worker sweep (parallel only)"
+    )
+    par.add_argument(
+        "--engine",
+        action="append",
+        metavar="NAME",
+        choices=("process", "thread"),
+        help="only this engine (repeatable)",
+    )
+    par.add_argument(
+        "--workers",
+        action="append",
+        type=int,
+        metavar="N",
+        help="only this worker count (repeatable; default 1 2 4)",
+    )
     floor = parser.add_argument_group(
         "perf-floor options", "for the 'perf-floor' CI gate"
     )
@@ -221,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="required fraction of the best single backend (default 0.9)",
+    )
+    floor.add_argument(
+        "--parallel-json",
+        default=None,
+        help="also gate a BENCH_parallel.json payload (host-aware "
+        "1.5x floor on TJ/MM)",
     )
     return parser
 
@@ -245,7 +319,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.perf_floor import DEFAULT_FLOOR, main as floor_main
 
         floor = DEFAULT_FLOOR if args.floor is None else args.floor
-        return floor_main(["--json", args.json, "--floor", str(floor)])
+        floor_argv = ["--json", args.json, "--floor", str(floor)]
+        if args.parallel_json is not None:
+            floor_argv += ["--parallel-json", args.parallel_json]
+        return floor_main(floor_argv)
     if args.experiment == "sanitize":
         from repro.bench.sanitize_sweep import DEFAULT_JSON_PATH, main as sanitize_main
 
@@ -273,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for name in names:
         _description, runner = EXPERIMENTS[name]
-        if name == "wallclock":
+        if name in ("wallclock", "parallel"):
             print(runner(args.scale, args).render())
         else:
             print(runner(args.scale).render())

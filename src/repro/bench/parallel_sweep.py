@@ -1,0 +1,219 @@
+"""Wall-clock sweep of the real multi-worker runtime.
+
+The wall-clock experiment (:mod:`repro.bench.wallclock`) compares the
+*serial* executor families; this module measures what the Section 7.3
+task decomposition buys on real hardware: for each benchmark and
+schedule it times the serial SoA baseline, then sweeps the parallel
+runtime (:mod:`repro.core.parallel_exec`) across worker counts and
+engines, checking every configuration's results against the serial run
+bit for bit.
+
+The driver emits a machine-readable ``BENCH_parallel.json``.  Schema::
+
+    {
+      "experiment": "wallclock_parallel",
+      "scale": 1.0,              # workload scale factor
+      "repeats": 3,              # best-of-N timing
+      "host": {"cpu_count": 8},  # where the numbers were measured
+      "workers": [1, 2, 4],
+      "engines": ["process", "thread"],
+      "results": [
+        {
+          "benchmark": "TJ",
+          "schedule": "original",
+          "serial_soa_s": 0.067,  # best-of-N serial SoA baseline
+          "runs": [
+            {
+              "engine": "process",
+              "workers": 4,
+              "seconds": 0.021,
+              "speedup_vs_serial_soa": 3.19,   # serial_soa_s / seconds
+              "parallel_efficiency": 0.80,     # speedup / workers
+              "spawn_depth": 3,
+              "num_tasks": 64,
+              "results_match": true            # repr-identical to serial
+            },
+            ...
+          ]
+        },
+        ...
+      ]
+    }
+
+``speedup_vs_serial_soa`` on the 4-worker process rows is what the CI
+perf floor (:func:`repro.bench.perf_floor.check_parallel_floor`)
+guards on TJ/MM — the gate is host-aware and skips speed (never
+correctness) checks when the measuring host has fewer cores than the
+row's worker count.
+
+Run it as ``python -m repro.bench parallel``; ``--benchmark``,
+``--schedule``, ``--workers``, ``--engine`` and ``--repeats`` slice
+the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional, Sequence
+
+from repro.bench.reporting import ExperimentReport
+from repro.bench.workloads import BenchmarkCase, all_cases
+from repro.core.parallel_exec import REAL_ENGINES, run_parallel
+from repro.core.schedules import Schedule, get_schedule
+
+#: Schedules swept by default: untransformed plus the paper's headline.
+DEFAULT_SCHEDULES = ("original", "twist")
+
+#: Worker counts swept by default.  Oversubscribed counts still run
+#: (the pool just time-slices); the host's ``cpu_count`` is recorded so
+#: consumers can judge which rows measured real parallelism.
+DEFAULT_WORKERS = (1, 2, 4)
+
+#: Engines swept by default.
+DEFAULT_ENGINES = REAL_ENGINES
+
+
+def time_serial_soa(
+    case: BenchmarkCase, schedule: Schedule, repeats: int
+) -> tuple[float, str]:
+    """Best-of-``repeats`` serial SoA baseline; returns ``(s, repr)``."""
+    best = float("inf")
+    result = ""
+    for _ in range(max(1, repeats)):
+        spec = case.make_spec()
+        start = time.perf_counter()
+        schedule.run(spec, backend="soa")
+        best = min(best, time.perf_counter() - start)
+        result = repr(case.result())
+    return best, result
+
+
+def time_parallel(
+    case: BenchmarkCase,
+    schedule: Schedule,
+    engine: str,
+    workers: int,
+    repeats: int,
+) -> tuple[float, str, object]:
+    """Best-of-``repeats`` end-to-end parallel run for one config.
+
+    The timer brackets everything the serial baseline does not pay —
+    shared-memory export, pool startup, reduction — so the reported
+    speedups are honest end-to-end numbers.  Returns ``(seconds,
+    result_repr, report)`` with the :class:`ParallelExecReport` of the
+    final repeat.
+    """
+    best = float("inf")
+    result = ""
+    report = None
+    for _ in range(max(1, repeats)):
+        spec = case.make_spec()
+        start = time.perf_counter()
+        report = run_parallel(
+            spec, schedule=schedule, engine=engine, max_workers=workers
+        )
+        best = min(best, time.perf_counter() - start)
+        result = repr(case.result())
+    return best, result, report
+
+
+def run_parallel_sweep(
+    scale: float = 1.0,
+    schedule_names: Sequence[str] = DEFAULT_SCHEDULES,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    workers: Sequence[int] = DEFAULT_WORKERS,
+    repeats: int = 3,
+    cases: Optional[list[BenchmarkCase]] = None,
+) -> tuple[ExperimentReport, dict]:
+    """Sweep workers x engine x schedule over the six benchmarks.
+
+    Returns ``(report, payload)``: the rendered ASCII table and the
+    JSON-serializable payload written to ``BENCH_parallel.json``.
+    """
+    cases = all_cases(scale) if cases is None else cases
+    report = ExperimentReport(
+        title="Wall-clock: parallel runtime vs serial SoA",
+        columns=[
+            "benchmark",
+            "schedule",
+            "engine",
+            "workers",
+            "serial soa (s)",
+            "parallel (s)",
+            "speedup",
+            "efficiency",
+            "tasks",
+            "match",
+        ],
+    )
+    entries = []
+    for case in cases:
+        for name in schedule_names:
+            schedule = get_schedule(name)
+            serial_s, serial_result = time_serial_soa(case, schedule, repeats)
+            entry: dict = {
+                "benchmark": case.name,
+                "schedule": name,
+                "serial_soa_s": round(serial_s, 6),
+                "runs": [],
+            }
+            for engine in engines:
+                for count in workers:
+                    seconds, result, run = time_parallel(
+                        case, schedule, engine, count, repeats
+                    )
+                    match = result == serial_result
+                    speedup = serial_s / seconds if seconds > 0 else 0.0
+                    entry["runs"].append(
+                        {
+                            "engine": engine,
+                            "workers": count,
+                            "seconds": round(seconds, 6),
+                            "speedup_vs_serial_soa": round(speedup, 3),
+                            "parallel_efficiency": round(speedup / count, 3),
+                            "spawn_depth": run.spawn_depth,
+                            "num_tasks": run.num_tasks,
+                            "results_match": match,
+                        }
+                    )
+                    report.add_row(
+                        case.name,
+                        name,
+                        engine,
+                        count,
+                        serial_s,
+                        seconds,
+                        f"{speedup:.2f}",
+                        f"{speedup / count:.2f}",
+                        run.num_tasks,
+                        "yes" if match else "NO",
+                    )
+            entries.append(entry)
+    report.add_note(
+        f"best-of-{repeats} end-to-end timings at scale {scale:g} on a "
+        f"{os.cpu_count()}-core host; 'speedup' is serial-soa time over "
+        "parallel wall time, 'efficiency' is speedup per worker; 'match' "
+        "checks bit-identical results against the serial run"
+    )
+    payload = {
+        "experiment": "wallclock_parallel",
+        "scale": scale,
+        "repeats": repeats,
+        "host": {"cpu_count": os.cpu_count()},
+        "workers": list(workers),
+        "engines": list(engines),
+        "results": entries,
+    }
+    return report, payload
+
+
+def write_parallel_json(
+    payload: dict, path: str = "BENCH_parallel.json"
+) -> str:
+    """Write the parallel payload as indented JSON; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path

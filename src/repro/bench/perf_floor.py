@@ -1,4 +1,4 @@
-"""CI perf floor: ``auto`` must track the best single backend.
+"""CI perf floors: ``auto`` tracking and real parallel speedup.
 
 The point of ``backend="auto"`` is that nobody should have to sweep
 backends by hand; the selector is only trustworthy if it never falls
@@ -9,15 +9,24 @@ wallclock``) and fails if any entry's auto speedup drops below
 ``floor`` (default 0.9) times the best single-backend speedup — i.e.
 if ``auto`` is more than 10% slower than the best backend anywhere.
 
-Result mismatches fail the gate too: a fast wrong backend is worse
+A second, host-aware gate (:func:`check_parallel_floor`) guards the
+multi-worker runtime's ``BENCH_parallel.json``: the 4-worker process
+engine must reach :data:`PARALLEL_MIN_SPEEDUP` over the serial SoA
+baseline on the regular benchmarks (TJ, MM) — *speed* checks are
+skipped when the measuring host has fewer cores than the row's worker
+count, but *correctness* (``results_match``) always gates.
+
+Result mismatches fail the gates too: a fast wrong backend is worse
 than a slow right one.
 
-Run it as ``python -m repro.bench perf-floor [--json PATH]``.
+Run it as ``python -m repro.bench perf-floor [--json PATH]
+[--parallel-json PATH]``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from typing import Sequence
 
 #: Default floor: auto must reach 90% of the best single backend.
@@ -25,6 +34,19 @@ DEFAULT_FLOOR = 0.9
 
 #: Backends eligible as "best single" references.
 SINGLE_BACKENDS = ("recursive", "batched", "soa")
+
+#: Required 4-worker process-engine speedup over serial SoA on the
+#: regular benchmarks.  Far below linear on purpose: pool startup,
+#: shared-memory publication, and reduction are all inside the timer.
+PARALLEL_MIN_SPEEDUP = 1.5
+
+#: Benchmarks whose parallel speedup the floor guards.  The dual-tree
+#: traversals prune irregularly (task imbalance is workload-dependent)
+#: so only the regular kernels carry a hard number.
+PARALLEL_FLOOR_BENCHMARKS = ("TJ", "MM")
+
+#: The (engine, workers) row the parallel floor reads.
+PARALLEL_FLOOR_CONFIG = ("process", 4)
 
 
 def check_perf_floor(
@@ -66,6 +88,73 @@ def check_perf_floor(
     return violations
 
 
+def check_parallel_floor(
+    payload: dict,
+    min_speedup: float = PARALLEL_MIN_SPEEDUP,
+    host_cpu_count: int | None = None,
+) -> tuple[list[str], list[str]]:
+    """Check one ``BENCH_parallel.json`` payload.
+
+    Returns ``(violations, skips)``.  Correctness first: any run with
+    ``results_match`` false violates, on every benchmark, engine, and
+    worker count.  Speed second, host-aware: on the benchmarks in
+    :data:`PARALLEL_FLOOR_BENCHMARKS` (schedule ``original``), the
+    :data:`PARALLEL_FLOOR_CONFIG` row must reach ``min_speedup`` over
+    serial SoA — unless the measuring host (``host.cpu_count`` in the
+    payload, overridable for tests) has fewer cores than the row's
+    worker count, in which case the speed check lands in ``skips``
+    instead: an undersized host cannot falsify a parallelism claim.
+    """
+    engine, workers = PARALLEL_FLOOR_CONFIG
+    if host_cpu_count is None:
+        host_cpu_count = payload.get("host", {}).get("cpu_count")
+    if host_cpu_count is None:
+        host_cpu_count = os.cpu_count() or 1
+    violations: list[str] = []
+    skips: list[str] = []
+    for entry in payload.get("results", []):
+        label = f"{entry.get('benchmark')}/{entry.get('schedule')}"
+        for run in entry.get("runs", []):
+            run_label = (
+                f"{label} [{run.get('engine')}, "
+                f"{run.get('workers')} workers]"
+            )
+            if not run.get("results_match", True):
+                violations.append(
+                    f"{run_label}: parallel results diverge from serial"
+                )
+        if (
+            entry.get("benchmark") not in PARALLEL_FLOOR_BENCHMARKS
+            or entry.get("schedule") != "original"
+        ):
+            continue
+        row = next(
+            (
+                run
+                for run in entry.get("runs", [])
+                if run.get("engine") == engine
+                and run.get("workers") == workers
+            ),
+            None,
+        )
+        if row is None:
+            continue
+        if host_cpu_count < workers:
+            skips.append(
+                f"{label}: speed check skipped — host has "
+                f"{host_cpu_count} core(s), row needs {workers}"
+            )
+            continue
+        speedup = row.get("speedup_vs_serial_soa", 0.0)
+        if speedup < min_speedup:
+            violations.append(
+                f"{label} [{engine}, {workers} workers]: speedup "
+                f"{speedup:.2f}x over serial soa is below the "
+                f"{min_speedup:.2f}x floor"
+            )
+    return violations, skips
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     import argparse
@@ -86,6 +175,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="required fraction of the best single backend's speedup "
         f"(default {DEFAULT_FLOOR})",
     )
+    parser.add_argument(
+        "--parallel-json",
+        default=None,
+        help="also check a BENCH_parallel.json payload (host-aware "
+        f"{PARALLEL_MIN_SPEEDUP}x floor on "
+        f"{'/'.join(PARALLEL_FLOOR_BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--parallel-floor",
+        type=float,
+        default=PARALLEL_MIN_SPEEDUP,
+        help="required parallel speedup over serial soa "
+        f"(default {PARALLEL_MIN_SPEEDUP})",
+    )
     args = parser.parse_args(argv)
     with open(args.json) as handle:
         payload = json.load(handle)
@@ -95,13 +198,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         for entry in payload.get("results", [])
         if "auto" in entry.get("timings", {})
     )
+    skips: list[str] = []
+    parallel_checked = 0
+    if args.parallel_json is not None:
+        with open(args.parallel_json) as handle:
+            parallel_payload = json.load(handle)
+        parallel_violations, skips = check_parallel_floor(
+            parallel_payload, min_speedup=args.parallel_floor
+        )
+        violations += parallel_violations
+        parallel_checked = sum(
+            len(entry.get("runs", []))
+            for entry in parallel_payload.get("results", [])
+        )
     if violations:
         print(f"perf floor FAILED ({len(violations)} violation(s)):")
         for violation in violations:
             print(f"  - {violation}")
         return 1
-    print(
+    for skip in skips:
+        print(f"  (skip) {skip}")
+    message = (
         f"perf floor passed: auto within {args.floor:.0%} of the best "
         f"single backend on all {checked} checked configurations"
     )
+    if args.parallel_json is not None:
+        message += (
+            f"; parallel floor checked {parallel_checked} run(s) "
+            f"({len(skips)} host-aware skip(s))"
+        )
+    print(message)
     return 0

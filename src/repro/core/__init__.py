@@ -81,6 +81,12 @@ from repro.core.parallel import (
     spawn_tasks,
     task_spec,
 )
+from repro.core.parallel_exec import (
+    ParallelExecReport,
+    ParallelPlan,
+    check_outer_independence,
+    run_parallel,
+)
 from repro.core.recursion import (
     MAX_SAFE_RECURSION_LIMIT,
     exceeds_safe_depth,
@@ -156,6 +162,8 @@ __all__ = [
     "ORIGINAL",
     "OUTER_TREE",
     "OpCounter",
+    "ParallelExecReport",
+    "ParallelPlan",
     "ParallelReport",
     "PositionDispatcher",
     "ReuseDistanceProbe",
@@ -171,6 +179,7 @@ __all__ = [
     "WorkRecorder",
     "auto_cutoff_schedule",
     "canonical_form",
+    "check_outer_independence",
     "choose_backend",
     "cutoff_for_machine",
     "estimate_cutoff",
@@ -197,6 +206,7 @@ __all__ = [
     "run_original_iterative",
     "run_original_n",
     "run_original_soa",
+    "run_parallel",
     "run_twisted_batched",
     "run_twisted_soa",
     "run_task_parallel",

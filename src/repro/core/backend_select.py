@@ -25,6 +25,7 @@ schedules, are what the thresholds below encode.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Optional
@@ -34,6 +35,12 @@ from repro.errors import ScheduleError
 
 #: Backends ``choose_backend`` may return.
 SINGLE_BACKENDS = ("recursive", "batched", "soa")
+
+#: Minimum (outer x inner) iteration-space points before the real
+#: multi-worker runtime can amortize pool startup and shared-memory
+#: publication.  Calibrated against BENCH_parallel.json: below roughly
+#: a million points the serial SoA backend wins on setup alone.
+PARALLEL_SPACE_POINTS = 1_000_000
 
 #: Below this many (outer x inner) iteration-space points, per-run
 #: setup (dispatcher objects, packed-view construction on first touch)
@@ -46,11 +53,18 @@ PROBE_SAMPLES = 32
 
 @dataclass(frozen=True)
 class BackendChoice:
-    """The selector's verdict plus the evidence it used."""
+    """The selector's verdict plus the evidence it used.
+
+    ``order`` is the recommended SoA storage linearization — only
+    meaningful when ``backend`` is ``"soa"`` (or ``"parallel"``, whose
+    tasks run SoA kernels); callers that did not pin an order
+    themselves should adopt it.
+    """
 
     backend: str
     reason: str
     features: dict = field(default_factory=dict)
+    order: str = "preorder"
 
 
 def probe_features(spec: NestedRecursionSpec) -> dict:
@@ -180,22 +194,33 @@ def choose_backend(
     filter — the explicit override for callers who have discharged the
     verdict themselves.
 
-    The rules, in order (first match wins), with the BENCH_soa.json
-    evidence behind each:
+    The rules, in order (first match wins), with the BENCH_soa.json /
+    BENCH_parallel.json evidence behind each:
 
     1. **Tiny spaces -> recursive.**  Below ~4K iteration-space points
        every deferred-dispatch engine loses to plain recursion on
        setup cost alone.
-    2. **Stateful truncation -> soa.**  When ``truncateInner2?``
+    2. **Huge spaces with a proven-parallel plan -> parallel.**  When
+       the spec carries a :class:`~repro.core.parallel_exec.ParallelPlan`,
+       the host has multiple cores, the space exceeds
+       :data:`PARALLEL_SPACE_POINTS`, and the plan's witness proves
+       outer-independence (:func:`~repro.core.parallel_exec.check_outer_independence`
+       — the dynamic counterpart of the analyzer's TW030), the real
+       multi-worker runtime wins.  Parallelism is *refused* — never
+       silently selected — when independence is unproven.
+    3. **Stateful truncation -> soa.**  When ``truncateInner2?``
        observes ``work`` (NN/KNN/VP bounds, KDE), the batched engine's
        per-outer barriers shred its blocks (NN regressed to 0.35x);
        the SoA engine executes work inline over packed index space and
        keeps the explicit-stack savings.
-    3. **SoA-native work -> soa.**  A spec carrying ``work_batch_soa``
-       (TJ, MM) dispatches integer position blocks — strictly less
-       per-pair Python than the node-object dispatcher on every
-       schedule.
-    4. **Everything else -> batched.**  Stateless irregular specs (PC)
+    4. **SoA-native work -> soa, in veb order.**  A spec carrying
+       ``work_batch_soa`` (TJ, MM) dispatches integer position blocks —
+       strictly less per-pair Python than the node-object dispatcher on
+       every schedule.  For these regular specs the van-Emde-Boas
+       blocked layout beats the default (BENCH_soa.json, TJ original:
+       0.067s veb vs 0.079s preorder), so the choice recommends
+       ``order="veb"``.
+    5. **Everything else -> batched.**  Stateless irregular specs (PC)
        and plain ``work_batch`` specs ride the mature node-block
        engine; the SoA engine matches it within noise here, so the
        tie breaks toward the longer-serving backend.
@@ -209,6 +234,9 @@ def choose_backend(
             f"(< {SMALL_SPACE_POINTS}); dispatch setup would dominate",
             features,
         )
+    parallel = _consider_parallel(spec, features)
+    if parallel is not None:
+        return parallel
     if features["is_irregular"] and features["observes_work"]:
         choice = BackendChoice(
             "soa",
@@ -220,8 +248,10 @@ def choose_backend(
         choice = BackendChoice(
             "soa",
             "spec provides work_batch_soa: position-block dispatch over "
-            "packed payload columns",
+            "packed payload columns; veb storage order recommended "
+            "(BENCH_soa: TJ original 0.067s veb vs 0.079s preorder)",
             features,
+            order="veb",
         )
     else:
         choice = BackendChoice(
@@ -235,15 +265,46 @@ def choose_backend(
     return _refuse_unproven(choice, spec)
 
 
+def _consider_parallel(
+    spec: NestedRecursionSpec, features: dict
+) -> Optional[BackendChoice]:
+    """The real multi-worker runtime, when it is provably worth it.
+
+    Requires all of: a parallel plan on the spec, at least two host
+    cores, an iteration space past :data:`PARALLEL_SPACE_POINTS`, and
+    a *proven* outer-independence witness.  An unproven witness means
+    refusal, not a silent fallback with a hidden reason — the reason
+    string records why parallelism was skipped either way.
+    """
+    if spec.parallel_plan is None:
+        return None
+    cores = os.cpu_count() or 1
+    if cores < 2 or features["points"] < PARALLEL_SPACE_POINTS:
+        return None
+    from repro.core.parallel_exec import check_outer_independence
+
+    proven, why = check_outer_independence(spec.parallel_plan)
+    if not proven:
+        return None
+    order = "veb" if features["has_work_batch_soa"] and not features["is_irregular"] else "preorder"
+    return BackendChoice(
+        "parallel",
+        f"{features['points']} iteration-space points across {cores} "
+        f"cores with a proven-parallel plan ({why})",
+        features,
+        order=order,
+    )
+
+
 def resolve_backend(
     spec: NestedRecursionSpec, schedule_name: str, backend: str
 ) -> str:
     """Map a user-facing backend name to a concrete executor family."""
     if backend == "auto":
         return choose_backend(spec, schedule_name).backend
-    if backend in SINGLE_BACKENDS:
+    if backend in SINGLE_BACKENDS or backend == "parallel":
         return backend
     raise ScheduleError(
         f"unknown backend {backend!r}; known: "
-        f"{list(SINGLE_BACKENDS) + ['auto']}"
+        f"{list(SINGLE_BACKENDS) + ['parallel', 'auto']}"
     )

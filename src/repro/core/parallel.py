@@ -37,7 +37,10 @@ from repro.core.instruments import Instrument, NULL_INSTRUMENT, combine
 from repro.core.schedules import ORIGINAL, Schedule
 from repro.core.spec import NestedRecursionSpec, _never
 from repro.errors import ScheduleError
-from repro.spaces.node import IndexNode
+from repro.spaces.node import IndexNode, tree_depth
+
+#: Engines accepted by :func:`run_task_parallel`.
+ENGINES = ("simulated", "process", "thread")
 
 
 @dataclass
@@ -90,9 +93,21 @@ def spawn_tasks(spec: NestedRecursionSpec, spawn_depth: int) -> list[Task]:
 
     Only sound when the outer recursion is parallel — the caller can
     verify that with :func:`repro.core.soundness.is_outer_parallel`.
+
+    ``spawn_depth`` must lie in ``0..tree_depth(outer) - 1``: depth 0
+    is the whole space as one task, the maximum is one task per node.
+    Depths beyond the deepest level used to be accepted silently and
+    only re-derived the maximum decomposition (every task degenerate);
+    now they raise with the valid range spelled out.
     """
-    if spawn_depth < 0:
-        raise ScheduleError(f"spawn_depth must be >= 0, got {spawn_depth}")
+    max_depth = tree_depth(spec.outer_root) - 1
+    if spawn_depth < 0 or spawn_depth > max_depth:
+        raise ScheduleError(
+            f"spawn_depth {spawn_depth} is out of range for the outer tree: "
+            f"valid depths are 0..{max_depth} (0 = one task for the whole "
+            f"space, {max_depth} = one task per outer node); deeper spawns "
+            "cannot create more tasks"
+        )
     tasks: list[Task] = []
 
     def descend(node: IndexNode, depth: int) -> None:
@@ -149,6 +164,73 @@ def _real_node(node: IndexNode) -> IndexNode:
     return node.base if isinstance(node, _SingleNodeView) else node
 
 
+def lpt_assign(tasks: Sequence[Task], num_workers: int) -> list[list[Task]]:
+    """Greedy longest-processing-time placement onto workers.
+
+    Largest estimated cost first, each to the least-loaded worker
+    (lowest index on ties).  This is the single placement policy shared
+    by the simulated runtime and the real engines in
+    :mod:`repro.core.parallel_exec`, so a measured run executes exactly
+    the task layout the simulation modeled.
+    """
+    if num_workers < 1:
+        raise ScheduleError(f"num_workers must be >= 1, got {num_workers}")
+    chunks: list[list[Task]] = [[] for _ in range(num_workers)]
+    loads = [0 for _ in range(num_workers)]
+    for task in sorted(tasks, key=lambda t: t.cost_estimate, reverse=True):
+        target = loads.index(min(loads))
+        chunks[target].append(task)
+        loads[target] += task.cost_estimate
+    return chunks
+
+
+def lpt_imbalance(tasks: Sequence[Task], num_workers: int) -> float:
+    """Makespan over ideal (total/workers) for the LPT placement.
+
+    1.0 is a perfect balance; the spawn-depth autotuner stops deepening
+    once this is close enough to 1.
+    """
+    loads = [
+        sum(task.cost_estimate for task in chunk)
+        for chunk in lpt_assign(tasks, num_workers)
+    ]
+    total = sum(loads)
+    if total == 0:
+        return 1.0
+    ideal = total / num_workers
+    return max(loads) / ideal
+
+
+def auto_spawn_depth(
+    spec: NestedRecursionSpec,
+    num_workers: int,
+    target_tasks_per_worker: float = 4.0,
+    balance_slack: float = 1.10,
+) -> int:
+    """Pick a spawn depth for a worker count (the §7.3 tuning knob).
+
+    Grows the depth until there are at least ``target_tasks_per_worker
+    * num_workers`` tasks (enough slack for LPT to smooth task-cost
+    variance), then keeps growing only while the LPT imbalance still
+    exceeds ``balance_slack`` — deeper spawns past a balanced
+    decomposition just add per-task overhead.  Bounded by the outer
+    tree's valid depth range.
+    """
+    if num_workers < 1:
+        raise ScheduleError(f"num_workers must be >= 1, got {num_workers}")
+    max_depth = tree_depth(spec.outer_root) - 1
+    if max_depth <= 0:
+        return 0
+    depth = 1
+    for depth in range(1, max_depth + 1):
+        tasks = spawn_tasks(spec, depth)
+        if len(tasks) < target_tasks_per_worker * num_workers:
+            continue
+        if lpt_imbalance(tasks, num_workers) <= balance_slack:
+            break
+    return depth
+
+
 @dataclass
 class WorkerTrace:
     """What one simulated worker executed."""
@@ -182,38 +264,79 @@ TaskRunner = Callable[[Task, Instrument], float]
 def run_task_parallel(
     spec: NestedRecursionSpec,
     num_workers: int,
-    spawn_depth: int = 3,
+    spawn_depth: Optional[int] = 3,
     schedule: Schedule = ORIGINAL,
     task_cycles: Optional[TaskRunner] = None,
     instruments: Optional[Sequence[Instrument]] = None,
     backend: str = "recursive",
-) -> ParallelReport:
+    engine: str = "simulated",
+    max_workers: Optional[int] = None,
+):
     """Execute a spec as spawn-depth-bounded parallel tasks.
 
+    ``engine`` picks the runtime:
+
+    * ``"simulated"`` (default) — the historical behavior: tasks are
+      assigned to pretend workers and executed serially, one at a time,
+      and the returned :class:`ParallelReport` carries modeled cycles
+      and the LPT makespan.  Unchanged semantics, bit-for-bit.
+    * ``"process"`` / ``"thread"`` — the real multi-core runtime of
+      :mod:`repro.core.parallel_exec`: the same spawn decomposition and
+      LPT placement, executed on hardware workers.  Requires the spec
+      to carry a :class:`~repro.core.parallel_exec.ParallelPlan`;
+      returns a :class:`~repro.core.parallel_exec.ParallelExecReport`
+      (same ``makespan``/``parallel_speedup`` vocabulary, measured in
+      wall seconds).  ``task_cycles``/``instruments`` are
+      simulated-only and rejected here.
+
+    ``spawn_depth=None`` engages the autotuner
+    (:func:`auto_spawn_depth`) on every engine.  ``max_workers`` caps
+    the real engines' pool size (defaults to ``num_workers``).
+
     Tasks are assigned greedily (largest estimated cost first, to the
-    least loaded worker) and executed in worker order — which is a
-    *valid* serialization because spawning requires outer-parallelism.
-    ``task_cycles`` measures one task's cost; the default counts
-    executed work points (callers wanting cache-accurate costs pass a
-    closure over :func:`repro.bench.runner`-style probes).
-    ``instruments[w]`` observes worker ``w``'s execution.  ``backend``
-    selects each task's executor (``"recursive"`` or ``"batched"``);
-    task specs always carry per-task isolated truncation state, so
-    either backend may simulate sibling tasks concurrently.
+    least loaded worker) and, under the simulated engine, executed in
+    worker order — which is a *valid* serialization because spawning
+    requires outer-parallelism.  ``task_cycles`` measures one task's
+    cost; the default counts executed work points (callers wanting
+    cache-accurate costs pass a closure over
+    :func:`repro.bench.runner`-style probes).  ``instruments[w]``
+    observes worker ``w``'s execution.  ``backend`` selects each task's
+    executor; task specs always carry per-task isolated truncation
+    state, so any backend may simulate sibling tasks concurrently.
     """
+    if engine not in ENGINES:
+        raise ScheduleError(
+            f"unknown engine {engine!r}; known: {list(ENGINES)}"
+        )
     if num_workers < 1:
         raise ScheduleError(f"num_workers must be >= 1, got {num_workers}")
+    if engine != "simulated":
+        if task_cycles is not None or instruments is not None:
+            raise ScheduleError(
+                "task_cycles/instruments only apply to the simulated "
+                "engine; the real engines measure wall-clock time and "
+                "cannot ship instruments across workers"
+            )
+        from repro.core.parallel_exec import run_parallel
+
+        return run_parallel(
+            spec,
+            schedule=schedule,
+            engine=engine,
+            max_workers=max_workers if max_workers is not None else num_workers,
+            spawn_depth=spawn_depth,
+            task_backend=backend,
+        )
     if instruments is not None and len(instruments) != num_workers:
         raise ScheduleError("need exactly one instrument per worker")
 
+    if spawn_depth is None:
+        spawn_depth = auto_spawn_depth(spec, num_workers)
     tasks = spawn_tasks(spec, spawn_depth)
     # Greedy LPT assignment on the static cost estimate.
     workers = [WorkerTrace(worker_id=w) for w in range(num_workers)]
-    loads = [0 for _ in range(num_workers)]
-    for task in sorted(tasks, key=lambda t: t.cost_estimate, reverse=True):
-        target = loads.index(min(loads))
-        workers[target].tasks.append(task)
-        loads[target] += task.cost_estimate
+    for worker, chunk in zip(workers, lpt_assign(tasks, num_workers)):
+        worker.tasks.extend(chunk)
 
     def default_task_cycles(task: Task, instrument: Instrument) -> float:
         from repro.core.instruments import OpCounter
@@ -255,7 +378,14 @@ def _task_spec(task: Task) -> NestedRecursionSpec:
     truncate_inner2 = spec.truncate_inner2
     truncate_inner2_batch = spec.truncate_inner2_batch
     outer_launches_work = spec.outer_launches_work
+    work_batch_soa = spec.work_batch_soa
     if isinstance(task.outer_root, _SingleNodeView):
+        # A view node is not the payload-bearing node type the SoA
+        # packer infers columns from, so the SoA-native kernel path is
+        # unavailable for single-node tasks; the SoA executor falls
+        # back to scalar work, which is fine — a view task runs exactly
+        # one inner traversal.
+        work_batch_soa = None
         if truncate_outer is not _never:
             base_truncate_outer = truncate_outer
             truncate_outer = lambda o: base_truncate_outer(_real_node(o))  # noqa: E731
@@ -279,6 +409,7 @@ def _task_spec(task: Task) -> NestedRecursionSpec:
         truncate_inner2=truncate_inner2,
         truncate_inner2_batch=truncate_inner2_batch,
         work_batch=spec.work_batch,
+        work_batch_soa=work_batch_soa,
         truncation_observes_work=spec.truncation_observes_work,
         isolated_truncation=True,
         outer_launches_work=outer_launches_work,

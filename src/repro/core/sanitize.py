@@ -256,6 +256,12 @@ def run_sanitized(
     # Phase 1: record the reference behaviour.
     spec = spec_factory()
     candidate = resolve_backend(spec, schedule.name, backend)
+    if candidate == "parallel":
+        # The multi-worker runtime cannot carry instruments (worker
+        # event streams interleave), so shadow the serial engine its
+        # tasks run on instead — the runtime's own round-trip tests
+        # cover the serial-to-parallel step.
+        candidate = "soa"
     context = {
         "spec_name": spec.name or "<spec>",
         "backend": candidate,

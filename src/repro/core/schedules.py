@@ -16,12 +16,17 @@ Every schedule carries interchangeable backends:
 * ``soa`` — the index-based executors of :mod:`repro.core.soa_exec`,
   which traverse packed structure-of-arrays views
   (:mod:`repro.spaces.soa`) instead of linked nodes;
+* ``parallel`` — the real multi-worker runtime of
+  :mod:`repro.core.parallel_exec`, which spawns independent outer
+  subtrees as tasks (the Section 7.3 decomposition) across a process
+  or thread pool over shared-memory SoA columns;
 * ``auto`` — :func:`repro.core.backend_select.choose_backend` probes
-  the spec and picks one of the three per (spec, schedule).
+  the spec and picks one per (spec, schedule).
 
 Pick one per run via ``schedule.run(spec, instrument, backend=...)``.
-All backends produce identical results and identical instrumentation
-event streams.
+All backends produce identical results; the single-process backends
+also produce identical instrumentation event streams (``parallel``
+rejects instruments — events interleave across workers).
 """
 
 from __future__ import annotations
@@ -49,7 +54,7 @@ from repro.errors import ScheduleError
 Runner = Callable[..., None]
 
 #: Backend names accepted by :meth:`Schedule.run`.
-BACKENDS = ("recursive", "batched", "soa", "auto", "sanitize")
+BACKENDS = ("recursive", "batched", "soa", "parallel", "auto", "sanitize")
 
 
 @dataclass(frozen=True)
@@ -73,14 +78,21 @@ class Schedule:
 
         ``backend`` selects the recursive executors (default), the
         batched explicit-stack ones, the SoA index-based ones,
-        ``"auto"`` (probe the spec, pick one — refusing any backend
-        the conformance analyzer proved unsafe), or ``"sanitize"``
-        (shadow-execute the auto-chosen backend against the recursive
-        one, raising :class:`~repro.core.sanitize.SanitizeDivergence`
-        at the first observable difference); all produce identical
-        results and identical instrumentation events.  ``order`` is
-        the storage linearization used by the SoA backend
+        ``"parallel"`` (the multi-worker runtime of
+        :mod:`repro.core.parallel_exec` — requires the spec to carry a
+        ``parallel_plan`` and a proven outer-independence witness, and
+        rejects ``instrument``), ``"auto"`` (probe the spec, pick one
+        — refusing any backend the conformance analyzer proved
+        unsafe), or ``"sanitize"`` (shadow-execute the auto-chosen
+        backend against the recursive one, raising
+        :class:`~repro.core.sanitize.SanitizeDivergence` at the first
+        observable difference); all produce identical results and the
+        single-process backends identical instrumentation events.
+        ``order`` is the storage linearization used by the SoA backend
+        and by ``parallel`` task kernels
         (``preorder``/``bfs``/``veb``); other backends ignore it.
+        Under ``"auto"`` an unpinned ``order`` (left at ``preorder``)
+        adopts the selector's recommendation.
 
         ``spec_factory`` is only consulted by ``"sanitize"``, whose
         phases each need a fresh spec; specs whose truncation observes
@@ -109,7 +121,21 @@ class Schedule:
         if backend == "auto":
             from repro.core.backend_select import choose_backend
 
-            backend = choose_backend(spec, self.name).backend
+            choice = choose_backend(spec, self.name)
+            backend = choice.backend
+            if order == "preorder":
+                order = choice.order
+        if backend == "parallel":
+            if instrument is not None:
+                raise ScheduleError(
+                    "backend='parallel' cannot carry an instrument: "
+                    "worker event streams interleave nondeterministically; "
+                    "instrument a single-process backend instead"
+                )
+            from repro.core.parallel_exec import run_parallel
+
+            run_parallel(spec, schedule=self, order=order)
+            return
         if backend == "recursive":
             self._runner(spec, instrument=instrument)
         elif backend == "batched":

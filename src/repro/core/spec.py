@@ -118,6 +118,15 @@ class NestedRecursionSpec:
         query *leaves* in a dual-tree algorithm).  ``None`` means every
         position may; used only for cost estimation, never for
         execution.
+    parallel_plan:
+        Optional :class:`~repro.core.parallel_exec.ParallelPlan`
+        describing how the real multi-worker runtime rebuilds this
+        spec inside workers (shared input arrays, a module-level
+        worker factory, result columns, and the parent-side
+        write-back).  ``None`` — the default — means the spec can only
+        run serially or on the simulated task runtime; the
+        ``parallel`` backend refuses it.  Typed loosely to keep this
+        module free of runtime imports.
     name:
         A label for reports.
     """
@@ -134,6 +143,7 @@ class NestedRecursionSpec:
     truncation_observes_work: bool = False
     isolated_truncation: bool = False
     outer_launches_work: Optional[TruncatePredicate] = None
+    parallel_plan: Optional[Any] = None
     name: str = "nested-recursion"
 
     def __post_init__(self) -> None:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.spec import NestedRecursionSpec
 from repro.dualtree.kdtree import build_kdtree
+from repro.dualtree.parallel import knn_plan, nn_plan, pc_plan
 from repro.dualtree.rules import (
     KNearestNeighborRules,
     NearestNeighborRules,
@@ -63,9 +64,11 @@ class PointCorrelation:
         self.rules = PointCorrelationRules(
             self.query_tree, self.reference_tree, self.radius
         )
-        return dual_tree_spec(
+        spec = dual_tree_spec(
             self.query_tree, self.reference_tree, self.rules, name="PC"
         )
+        spec.parallel_plan = pc_plan(self)
+        return spec
 
     @property
     def result(self) -> int:
@@ -103,9 +106,11 @@ class NearestNeighbor:
         self.rules = NearestNeighborRules(
             self.query_tree, self.reference_tree, exclude_self=self.exclude_self
         )
-        return dual_tree_spec(
+        spec = dual_tree_spec(
             self.query_tree, self.reference_tree, self.rules, name="NN"
         )
+        spec.parallel_plan = nn_plan(self)
+        return spec
 
     @property
     def result(self) -> tuple[np.ndarray, np.ndarray]:
@@ -145,9 +150,11 @@ class KNearestNeighbors:
             self.query_tree, self.reference_tree, self.k,
             exclude_self=self.exclude_self,
         )
-        return dual_tree_spec(
+        spec = dual_tree_spec(
             self.query_tree, self.reference_tree, self.rules, name=self._name()
         )
+        spec.parallel_plan = knn_plan(self, self._name().lower())
+        return spec
 
     def _name(self) -> str:
         return "KNN"

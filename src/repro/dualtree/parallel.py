@@ -1,0 +1,259 @@
+"""Parallel plans and the worker factory for the dual-tree benchmarks.
+
+Spatial nodes carry bound objects (hyperrectangles, balls) that cannot
+cross a process boundary as typed columns, so — unlike TJ/MM, which
+ship packed SoA trees — the dual-tree plans share the *point arrays*
+and have each worker rebuild its trees with the deterministic builders
+(:func:`~repro.dualtree.kdtree.build_kdtree` median-by-argpartition,
+:func:`~repro.dualtree.vptree.build_vptree` with a fixed seed): same
+input bits in, bit-identical trees out, so task descriptors indexed by
+outer pre-order rank resolve to the same query subtrees the parent
+spawned.
+
+Result write-back follows each algorithm's state shape:
+
+* **PC** — the pair count is a commutative integer reduction: one
+  private ``sum`` column per worker, reduced exactly in the parent;
+* **NN** — ``best_dist``/``best_id`` are per-query slots: the worker's
+  rules are pointed *at the shared columns directly* (each query leaf
+  belongs to exactly one task, so writes and bound reads stay within
+  one worker — the property the independence witness proves);
+* **KNN/VP** — candidate lists are Python state, so each worker runs on
+  private rules and its ``finish`` hook flushes exactly the query rows
+  its tasks own into the shared ``ids``/``dists`` columns; the parent
+  rebuilds lists and ``kth_dist`` from those columns, reproducing the
+  serial state bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dualtree.kdtree import build_kdtree
+from repro.dualtree.rules import (
+    KNearestNeighborRules,
+    NearestNeighborRules,
+    PointCorrelationRules,
+)
+from repro.dualtree.spatial import SpatialTree
+from repro.dualtree.traverser import dual_tree_footprint, dual_tree_spec
+from repro.dualtree.vptree import build_vptree
+from repro.errors import ScheduleError
+
+#: Probe sizes for the independence witnesses — big enough to exercise
+#: real pruning, small enough that the one cached run per family is
+#: negligible.
+_PROBE_POINTS = 192
+
+
+def _build(kind: str, points: np.ndarray, leaf_size: int) -> SpatialTree:
+    if kind == "kd":
+        return build_kdtree(points, leaf_size)
+    if kind == "vp":
+        return build_vptree(points, leaf_size)
+    raise ScheduleError(f"unknown spatial tree kind {kind!r}")
+
+
+def _owned_queries(tree: SpatialTree, ran: list) -> np.ndarray:
+    """Query ids owned by a chunk's executed tasks.
+
+    Single-node-view tasks are internal query nodes — they truncate at
+    the reference root and own no per-query state; subtree tasks own
+    the contiguous index slice of their root.
+    """
+    rows: list[int] = []
+    for node, is_view in ran:
+        if is_view:
+            continue
+        rows.extend(int(q) for q in tree.indices[node.start : node.end])
+    return np.array(rows, dtype=np.intp)
+
+
+def parallel_worker(arrays: dict, params: dict, results: dict):
+    """Worker factory for PC/NN/KNN/VP (see ``ParallelPlan.factory``).
+
+    ``params["algo"]`` discriminates the family; trees are rebuilt from
+    the shared point arrays with the family's deterministic builder.
+    """
+    algo = params["algo"]
+    leaf_size = params["leaf_size"]
+    if algo == "pc":
+        points = arrays["points"]
+        query_tree = build_kdtree(points, leaf_size)
+        reference_tree = build_kdtree(points, leaf_size)
+        rules = PointCorrelationRules(query_tree, reference_tree, params["radius"])
+        spec = dual_tree_spec(query_tree, reference_tree, rules, name="PC")
+
+        def finish(ran: list) -> None:
+            results["count"][0] += rules.count
+
+        return spec, finish
+
+    kind = "vp" if algo == "vp" else "kd"
+    query_tree = _build(kind, arrays["queries"], leaf_size)
+    reference_tree = _build(kind, arrays["references"], leaf_size)
+    if algo == "nn":
+        rules = NearestNeighborRules(
+            query_tree, reference_tree, exclude_self=params["exclude_self"]
+        )
+        # Point the per-query state at the shared columns: every slot
+        # is read and written only by the one task owning its query
+        # leaf, so in-place writes are race-free and bit-identical.
+        rules.best_dist = results["best_dist"]
+        rules.best_id = results["best_id"]
+        return dual_tree_spec(query_tree, reference_tree, rules, name="NN")
+
+    if algo not in ("knn", "vp"):
+        raise ScheduleError(f"unknown dual-tree parallel algo {algo!r}")
+    rules = KNearestNeighborRules(
+        query_tree,
+        reference_tree,
+        params["k"],
+        exclude_self=params["exclude_self"],
+    )
+    spec = dual_tree_spec(
+        query_tree, reference_tree, rules, name=algo.upper()
+    )
+
+    def finish(ran: list) -> None:
+        owned = _owned_queries(query_tree, ran)
+        if len(owned) == 0:
+            return
+        results["ids"][owned] = rules.neighbor_ids()[owned]
+        results["dists"][owned] = rules.neighbor_dists()[owned]
+
+    return spec, finish
+
+
+def _probe_points(seed: int) -> np.ndarray:
+    from repro.spaces.points import clustered_points
+
+    return clustered_points(_PROBE_POINTS, clusters=6, spread=0.08, seed=seed)
+
+
+def pc_plan(pc):
+    """Parallel plan for a :class:`~repro.dualtree.algorithms.PointCorrelation`."""
+    from repro.core.parallel_exec import ParallelPlan
+    from repro.spaces.soa import ResultColumn
+
+    def apply(results: dict) -> None:
+        pc.rules.count = int(results["count"][0])
+
+    def make_probe():
+        points = _probe_points(seed=101)
+        query_tree = build_kdtree(points, pc.leaf_size)
+        reference_tree = build_kdtree(points, pc.leaf_size)
+        rules = PointCorrelationRules(query_tree, reference_tree, pc.radius)
+        spec = dual_tree_spec(query_tree, reference_tree, rules, name="PC-probe")
+        return spec, dual_tree_footprint(rules)
+
+    return ParallelPlan(
+        factory="repro.dualtree.parallel:parallel_worker",
+        arrays={"points": pc.points},
+        params={"algo": "pc", "radius": pc.radius, "leaf_size": pc.leaf_size},
+        results=(ResultColumn("count", (1,), "int64", "sum"),),
+        apply=apply,
+        make_probe=make_probe,
+        witness_key="dualtree-pc",
+    )
+
+
+def nn_plan(nn):
+    """Parallel plan for a :class:`~repro.dualtree.algorithms.NearestNeighbor`."""
+    from repro.core.parallel_exec import ParallelPlan
+    from repro.spaces.soa import ResultColumn
+
+    num_queries = nn.query_tree.num_points
+
+    def apply(results: dict) -> None:
+        np.copyto(nn.rules.best_dist, results["best_dist"])
+        np.copyto(nn.rules.best_id, results["best_id"])
+
+    def make_probe():
+        queries = _probe_points(seed=103)
+        references = _probe_points(seed=104)
+        query_tree = build_kdtree(queries, nn.leaf_size)
+        reference_tree = build_kdtree(references, nn.leaf_size)
+        rules = NearestNeighborRules(
+            query_tree, reference_tree, exclude_self=nn.exclude_self
+        )
+        spec = dual_tree_spec(query_tree, reference_tree, rules, name="NN-probe")
+        return spec, dual_tree_footprint(rules)
+
+    return ParallelPlan(
+        factory="repro.dualtree.parallel:parallel_worker",
+        arrays={"queries": nn.queries, "references": nn.references},
+        params={
+            "algo": "nn",
+            "leaf_size": nn.leaf_size,
+            "exclude_self": nn.exclude_self,
+        },
+        results=(
+            ResultColumn(
+                "best_dist", (num_queries,), "float64", "shared", fill=np.inf
+            ),
+            ResultColumn("best_id", (num_queries,), "int64", "shared", fill=-1),
+        ),
+        apply=apply,
+        make_probe=make_probe,
+        witness_key="dualtree-nn",
+    )
+
+
+def knn_plan(knn, algo: str):
+    """Parallel plan for KNN (``algo="knn"``, kd-trees) or VP (vp-trees)."""
+    from repro.core.parallel_exec import ParallelPlan
+    from repro.spaces.soa import ResultColumn
+
+    num_queries = knn.query_tree.num_points
+    k = knn.k
+    kind = "vp" if algo == "vp" else "kd"
+
+    def apply(results: dict) -> None:
+        rules = knn.rules
+        ids = results["ids"]
+        dists = results["dists"]
+        for query in range(num_queries):
+            entries = []
+            for position in range(k):
+                reference = int(ids[query, position])
+                if reference < 0:
+                    break
+                entries.append((float(dists[query, position]), reference))
+            rules.neighbors[query] = entries
+            rules.kth_dist[query] = (
+                entries[-1][0] if len(entries) >= k else np.inf
+            )
+
+    def make_probe():
+        queries = _probe_points(seed=105)
+        references = _probe_points(seed=106)
+        query_tree = _build(kind, queries, knn.leaf_size)
+        reference_tree = _build(kind, references, knn.leaf_size)
+        rules = KNearestNeighborRules(
+            query_tree, reference_tree, k, exclude_self=knn.exclude_self
+        )
+        spec = dual_tree_spec(
+            query_tree, reference_tree, rules, name=f"{algo.upper()}-probe"
+        )
+        return spec, dual_tree_footprint(rules)
+
+    return ParallelPlan(
+        factory="repro.dualtree.parallel:parallel_worker",
+        arrays={"queries": knn.queries, "references": knn.references},
+        params={
+            "algo": algo,
+            "k": k,
+            "leaf_size": knn.leaf_size,
+            "exclude_self": knn.exclude_self,
+        },
+        results=(
+            ResultColumn("ids", (num_queries, k), "int64", "shared", fill=-1),
+            ResultColumn(
+                "dists", (num_queries, k), "float64", "shared", fill=np.inf
+            ),
+        ),
+        apply=apply,
+        make_probe=make_probe,
+        witness_key=f"dualtree-{algo}",
+    )

@@ -74,3 +74,31 @@ class LintError(TransformError):
 
 class MemorySimError(ReproError):
     """A memory-hierarchy simulator component was misconfigured."""
+
+
+class ParallelWorkerError(ReproError):
+    """A task raised inside a real parallel worker.
+
+    Crosses the process boundary intact (hence the explicit
+    ``__reduce__``) and carries the worker-side traceback verbatim, so
+    the parent surfaces the *original* failure instead of an opaque
+    pool error.  The parent guarantees all shared-memory segments are
+    unlinked before this propagates.
+    """
+
+    def __init__(self, message: str, worker_traceback: str = "") -> None:
+        super().__init__(message)
+        self.message = message
+        #: the formatted traceback captured where the task failed
+        self.worker_traceback = worker_traceback
+
+    def __str__(self) -> str:
+        if not self.worker_traceback:
+            return self.message
+        return (
+            f"{self.message}\n--- original worker traceback ---\n"
+            f"{self.worker_traceback}"
+        )
+
+    def __reduce__(self):
+        return (ParallelWorkerError, (self.message, self.worker_traceback))

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.spec import NestedRecursionSpec
 from repro.memory.layout import AddressMap
 from repro.spaces.node import TreeNode
+from repro.spaces.soa import soa_arrays, soa_from_arrays, soa_view
 from repro.spaces.trees import balanced_tree
 
 
@@ -66,37 +67,49 @@ class MatrixMultiply:
     def make_spec(self) -> NestedRecursionSpec:
         """A fresh spec; clears the output matrix."""
         self.c = np.zeros((self.n, self.m))
-        a, b, c = self.a, self.b, self.c
+        spec = _matmul_spec(
+            self.outer_root,
+            self.inner_root,
+            self.a,
+            self.b,
+            self.c,
+            f"MM({self.n}x{self.m})",
+        )
+        spec.parallel_plan = self._parallel_plan()
+        return spec
 
-        def work(o: TreeNode, i: TreeNode) -> None:
-            row, col = o.data, i.data
-            c[row, col] = float(a[row, :] @ b[:, col])
+    def _parallel_plan(self):
+        """The real task-parallel runtime's view of this instance.
 
-        def work_batch(os: list, is_: list) -> None:
-            # Every (row, col) is visited exactly once per run, so the
-            # fancy-index assignment never sees duplicate targets.
-            rows = np.array([o.data for o in os], dtype=np.intp)
-            cols = np.array([i.data for i in is_], dtype=np.intp)
-            c[rows, cols] = np.einsum("ij,ji->i", a[rows, :], b[:, cols])
+        Inputs (both index trees as SoA columns, plus ``A`` and ``B``)
+        are published once; the output is one fill-initialized shared
+        column that tasks write at disjoint ``(row, col)`` cells — the
+        property the independence witness proves — so no parent-side
+        merge is needed beyond one copy back into ``self.c``.
+        """
+        from repro.core.parallel_exec import ParallelPlan
+        from repro.spaces.soa import ResultColumn
 
-        def work_batch_soa(o_view, i_view, o_positions, i_positions) -> None:
-            # Row/column indices come straight out of the packed
-            # ``data`` columns — same einsum, no node objects.
-            rows = o_view.column("data")[
-                np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
-            ]
-            cols = i_view.column("data")[
-                np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
-            ]
-            c[rows, cols] = np.einsum("ij,ji->i", a[rows, :], b[:, cols])
+        arrays = {"a": self.a, "b": self.b}
+        for prefix, root in (("outer.", self.outer_root), ("inner.", self.inner_root)):
+            for name, column in soa_arrays(soa_view(root)).items():
+                arrays[prefix + name] = column
 
-        return NestedRecursionSpec(
-            outer_root=self.outer_root,
-            inner_root=self.inner_root,
-            work=work,
-            work_batch=work_batch,
-            work_batch_soa=work_batch_soa,
-            name=f"MM({self.n}x{self.m})",
+        def apply(results: dict) -> None:
+            np.copyto(self.c, results["c"])
+
+        def make_probe():
+            probe = MatrixMultiply(n=12, m=12, p=4)
+            return probe.make_spec(), matmul_footprint
+
+        return ParallelPlan(
+            factory="repro.kernels.matmul:parallel_worker",
+            arrays=arrays,
+            params={"name": f"MM({self.n}x{self.m})"},
+            results=(ResultColumn("c", (self.n, self.m), "float64", "shared"),),
+            apply=apply,
+            make_probe=make_probe,
+            witness_key="matmul",
         )
 
     def expected(self) -> np.ndarray:
@@ -119,6 +132,78 @@ class MatrixMultiply:
             address_map.register(("outer", node.number), self.lines_per_vector)
         for node in self.inner_root.iter_preorder():
             address_map.register(("inner", node.number), self.lines_per_vector)
+
+
+def _matmul_spec(
+    outer_root: TreeNode,
+    inner_root: TreeNode,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    name: str,
+) -> NestedRecursionSpec:
+    """The MM spec over given trees and matrices.
+
+    Shared by :meth:`MatrixMultiply.make_spec` (parent-side) and
+    :func:`parallel_worker` (worker-side, with ``c`` attached to the
+    published shared-memory output column) so both execute the
+    identical per-cell dot products.
+    """
+
+    def work(o: TreeNode, i: TreeNode) -> None:
+        row, col = o.data, i.data
+        c[row, col] = float(a[row, :] @ b[:, col])
+
+    def work_batch(os: list, is_: list) -> None:
+        # Every (row, col) is visited exactly once per run, so the
+        # fancy-index assignment never sees duplicate targets.
+        rows = np.array([o.data for o in os], dtype=np.intp)
+        cols = np.array([i.data for i in is_], dtype=np.intp)
+        c[rows, cols] = np.einsum("ij,ji->i", a[rows, :], b[:, cols])
+
+    def work_batch_soa(o_view, i_view, o_positions, i_positions) -> None:
+        # Row/column indices come straight out of the packed
+        # ``data`` columns — same einsum, no node objects.
+        rows = o_view.column("data")[
+            np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
+        ]
+        cols = i_view.column("data")[
+            np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
+        ]
+        c[rows, cols] = np.einsum("ij,ji->i", a[rows, :], b[:, cols])
+
+    return NestedRecursionSpec(
+        outer_root=outer_root,
+        inner_root=inner_root,
+        work=work,
+        work_batch=work_batch,
+        work_batch_soa=work_batch_soa,
+        name=name,
+    )
+
+
+def parallel_worker(arrays: dict, params: dict, results: dict):
+    """Worker factory for MM (see ``ParallelPlan.factory``).
+
+    Rebuilds the row/column index trees from the shared SoA columns
+    and wires the work functions to the *attached* ``A``/``B`` inputs
+    and shared ``c`` output, so every task's writes land directly in
+    the published result column — cells are disjoint across tasks.
+    """
+    outer = soa_from_arrays(
+        {k[len("outer."):]: v for k, v in arrays.items() if k.startswith("outer.")}
+    )
+    inner = soa_from_arrays(
+        {k[len("inner."):]: v for k, v in arrays.items() if k.startswith("inner.")}
+    )
+    return _matmul_spec(
+        outer.nodes[outer.root],
+        inner.nodes[inner.root],
+        arrays["a"],
+        arrays["b"],
+        results["c"],
+        str(params.get("name", "MM")),
+    )
 
 
 def matmul_footprint(o: TreeNode, i: TreeNode):

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.spec import NestedRecursionSpec
 from repro.spaces.node import TreeNode
+from repro.spaces.soa import soa_arrays, soa_from_arrays, soa_view
 from repro.spaces.trees import balanced_tree
 
 
@@ -81,37 +82,51 @@ class TreeJoin:
     def make_spec(self) -> NestedRecursionSpec:
         """A fresh spec with a reset accumulator."""
         self.accumulator = JoinAccumulator()
-        accumulator = self.accumulator
+        spec = _join_spec(
+            self.outer_root,
+            self.inner_root,
+            self.accumulator,
+            f"TJ({self.outer_nodes}x{self.inner_nodes})",
+        )
+        spec.parallel_plan = self._parallel_plan()
+        return spec
 
-        def work(o: TreeNode, i: TreeNode) -> None:
-            accumulator.join(o.data, i.data)
+    def _parallel_plan(self):
+        """The real task-parallel runtime's view of this instance.
 
-        def work_batch(os: list, is_: list) -> None:
-            accumulator.join_batch(
-                np.array([o.data for o in os], dtype=np.int64),
-                np.array([i.data for i in is_], dtype=np.int64),
-            )
+        Both trees travel as packed SoA columns (payloads are small
+        ints, so every column is numeric); workers rebuild linked trees
+        with :func:`~repro.spaces.soa.soa_from_arrays` and accumulate
+        into private sum columns that the parent reduces exactly
+        (integer dtype, commutative sum).
+        """
+        from repro.core.parallel_exec import ParallelPlan
+        from repro.spaces.soa import ResultColumn
 
-        def work_batch_soa(o_view, i_view, o_positions, i_positions) -> None:
-            # The packed payload columns turn the per-node attribute
-            # walk above into two typed gathers.
-            rows = np.fromiter(
-                o_positions, dtype=np.intp, count=len(o_positions)
-            )
-            cols = np.fromiter(
-                i_positions, dtype=np.intp, count=len(i_positions)
-            )
-            accumulator.join_batch(
-                o_view.column("data")[rows], i_view.column("data")[cols]
-            )
+        arrays = {}
+        for prefix, root in (("outer.", self.outer_root), ("inner.", self.inner_root)):
+            for name, column in soa_arrays(soa_view(root)).items():
+                arrays[prefix + name] = column
 
-        return NestedRecursionSpec(
-            outer_root=self.outer_root,
-            inner_root=self.inner_root,
-            work=work,
-            work_batch=work_batch,
-            work_batch_soa=work_batch_soa,
-            name=f"TJ({self.outer_nodes}x{self.inner_nodes})",
+        def apply(results: dict) -> None:
+            self.accumulator.total = int(results["total"][0])
+            self.accumulator.pairs = int(results["pairs"][0])
+
+        def make_probe():
+            probe = TreeJoin(31, 31)
+            return probe.make_spec(), tree_join_footprint
+
+        return ParallelPlan(
+            factory="repro.kernels.treejoin:parallel_worker",
+            arrays=arrays,
+            params={"name": f"TJ({self.outer_nodes}x{self.inner_nodes})"},
+            results=(
+                ResultColumn("total", (1,), "int64", "sum"),
+                ResultColumn("pairs", (1,), "int64", "sum"),
+            ),
+            apply=apply,
+            make_probe=make_probe,
+            witness_key="treejoin",
         )
 
     def expected_total(self) -> int:
@@ -124,6 +139,93 @@ class TreeJoin:
     def result(self) -> int:
         """Checksum accumulated by the most recent run."""
         return self.accumulator.total
+
+
+def _join_spec(
+    outer_root: TreeNode,
+    inner_root: TreeNode,
+    accumulator: JoinAccumulator,
+    name: str,
+) -> NestedRecursionSpec:
+    """The TJ spec over given trees and accumulator.
+
+    Shared by :meth:`TreeJoin.make_spec` (parent-side, original trees)
+    and :func:`parallel_worker` (worker-side, trees rebuilt from shared
+    SoA columns) so both execute the identical work functions.
+    """
+
+    def work(o: TreeNode, i: TreeNode) -> None:
+        accumulator.join(o.data, i.data)
+
+    def work_batch(os: list, is_: list) -> None:
+        accumulator.join_batch(
+            np.array([o.data for o in os], dtype=np.int64),
+            np.array([i.data for i in is_], dtype=np.int64),
+        )
+
+    def work_batch_soa(o_view, i_view, o_positions, i_positions) -> None:
+        # The packed payload columns turn the per-node attribute
+        # walk above into two typed gathers.
+        rows = np.fromiter(
+            o_positions, dtype=np.intp, count=len(o_positions)
+        )
+        cols = np.fromiter(
+            i_positions, dtype=np.intp, count=len(i_positions)
+        )
+        accumulator.join_batch(
+            o_view.column("data")[rows], i_view.column("data")[cols]
+        )
+
+    return NestedRecursionSpec(
+        outer_root=outer_root,
+        inner_root=inner_root,
+        work=work,
+        work_batch=work_batch,
+        work_batch_soa=work_batch_soa,
+        name=name,
+    )
+
+
+def _strip_prefix(arrays: dict, prefix: str) -> dict:
+    return {
+        name[len(prefix):]: column
+        for name, column in arrays.items()
+        if name.startswith(prefix)
+    }
+
+
+def parallel_worker(arrays: dict, params: dict, results: dict):
+    """Worker factory for TJ (see ``ParallelPlan.factory``).
+
+    Rebuilds both trees zero-copy from the shared SoA columns, joins
+    into a worker-local accumulator, and flushes it into this worker's
+    private sum columns when the chunk finishes.  ``inject_fault`` is a
+    test hook: it replaces ``work`` with an unconditional raise so the
+    failure-hardening tests can watch a real worker die.
+    """
+    outer = soa_from_arrays(_strip_prefix(arrays, "outer."))
+    inner = soa_from_arrays(_strip_prefix(arrays, "inner."))
+    accumulator = JoinAccumulator()
+    spec = _join_spec(
+        outer.nodes[outer.root],
+        inner.nodes[inner.root],
+        accumulator,
+        str(params.get("name", "TJ")),
+    )
+    if params.get("inject_fault"):
+
+        def _fault(o: TreeNode, i: TreeNode) -> None:
+            raise RuntimeError("injected worker fault (test hook)")
+
+        spec.work = _fault
+        spec.work_batch = None
+        spec.work_batch_soa = None
+
+    def finish(ran: list) -> None:
+        results["total"][0] += accumulator.total
+        results["pairs"][0] += accumulator.pairs
+
+    return spec, finish
 
 
 def tree_join_footprint(o: TreeNode, i: TreeNode):

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
@@ -444,3 +445,295 @@ def soa_view(
     if refresh or order not in per_root:
         per_root[order] = to_soa(root, order)
     return per_root[order]
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory publication (the task-parallel runtime's data plane)
+# ---------------------------------------------------------------------------
+
+#: Structural SoA columns shipped to worker processes, in a fixed order.
+SOA_STRUCT_COLUMNS = (
+    "parent",
+    "first_child",
+    "next_sibling",
+    "size",
+    "number",
+    "trunc",
+    "trunc_counter",
+    "rank_pos",
+    "pos_rank",
+    "span",
+)
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable descriptor of one array living in shared memory.
+
+    A handle is everything a worker needs to re-materialize a zero-copy
+    NumPy view: the logical column name, the OS-level segment name, and
+    the array's shape/dtype.  Handles travel through task submissions;
+    the arrays themselves never do.
+    """
+
+    name: str
+    shm_name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def export_shared_arrays(
+    arrays: dict[str, np.ndarray]
+) -> tuple[list[SharedArrayHandle], list[shared_memory.SharedMemory]]:
+    """Publish arrays into shared-memory segments (one per array).
+
+    Returns ``(handles, segments)``.  The caller owns the segments'
+    lifecycle: keep them referenced while workers run, then ``close()``
+    **and** ``unlink()`` every one (see :func:`close_shared_segments`)
+    — on error paths too, or the blocks leak in ``/dev/shm``.
+    """
+    handles: list[SharedArrayHandle] = []
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            if array.dtype == object:
+                raise SpecError(
+                    f"array {name!r} has object dtype and cannot be "
+                    "published to shared memory; give the column a "
+                    "numeric dtype or keep the spec serial"
+                )
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes)
+            )
+            segments.append(segment)
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+            handles.append(
+                SharedArrayHandle(
+                    name=name,
+                    shm_name=segment.name,
+                    shape=tuple(array.shape),
+                    dtype=array.dtype.str,
+                )
+            )
+    except BaseException:
+        close_shared_segments(segments, unlink=True)
+        raise
+    return handles, segments
+
+
+def attach_shared_arrays(
+    handles: Sequence[SharedArrayHandle],
+) -> tuple[dict[str, np.ndarray], list[shared_memory.SharedMemory]]:
+    """Zero-copy views over published arrays, from inside a worker.
+
+    Returns ``(arrays, segments)``; the worker must keep ``segments``
+    alive while it uses the views, then ``close()`` them **without**
+    unlinking (the parent owns unlinking).  On Python < 3.13 attaching
+    re-registers the segment with the multiprocessing resource
+    tracker; pool workers share the parent's tracker process (its fd
+    is inherited under fork and passed through under spawn), where the
+    registry is a set — the re-registration is idempotent and must
+    *not* be compensated with an unregister, or the parent's own
+    registration disappears and its ``unlink()`` trips a tracker
+    ``KeyError``.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        for handle in handles:
+            segment = shared_memory.SharedMemory(name=handle.shm_name)
+            segments.append(segment)
+            arrays[handle.name] = np.ndarray(
+                handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf
+            )
+    except BaseException:
+        close_shared_segments(segments, unlink=False)
+        raise
+    return arrays, segments
+
+
+def close_shared_segments(
+    segments: Sequence[shared_memory.SharedMemory], unlink: bool
+) -> None:
+    """Close (and optionally unlink) segments, swallowing repeats.
+
+    ``unlink=True`` is the owner-side teardown; workers pass ``False``.
+    Safe to call twice and on partially constructed lists, so error
+    paths can always run it unconditionally.
+    """
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+        if unlink:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+
+
+def soa_arrays(soa: SoATree) -> dict[str, np.ndarray]:
+    """The flat column dict publishing one packed tree.
+
+    Structural columns come first (:data:`SOA_STRUCT_COLUMNS`), then
+    each payload column under a ``payload.<name>`` key.  Object-dtype
+    payloads cannot cross process boundaries and raise — specs with
+    non-numeric payloads must rebuild their trees in the worker from
+    primitive inputs instead.
+    """
+    arrays = {name: getattr(soa, name) for name in SOA_STRUCT_COLUMNS}
+    for name, column in soa.payload.items():
+        if column.dtype == object:
+            raise SpecError(
+                f"payload column {name!r} has object dtype and cannot be "
+                "shared; rebuild this tree from primitive inputs in the "
+                "worker instead"
+            )
+        arrays[f"payload.{name}"] = column
+    return arrays
+
+
+def soa_from_arrays(
+    arrays: dict[str, np.ndarray], order: str = "preorder"
+) -> SoATree:
+    """Reconstruct a packed tree (plus its linked nodes) from columns.
+
+    The inverse of :func:`soa_arrays` on the worker side: payload and
+    topology columns are used *as given* (zero-copy when they are
+    shared-memory views), linked ``nodes`` are rebuilt so predicates
+    and recursive executors see real objects, and the result is seeded
+    into the ``soa_view`` cache so executors reuse this view instead of
+    repacking.  The ``trunc``/``trunc_counter`` scratch columns are
+    **copied**: they are mutable run state, and writing them through a
+    shared view would race with sibling workers.
+    """
+    missing = [name for name in SOA_STRUCT_COLUMNS if name not in arrays]
+    if missing:
+        raise SpecError(f"soa_from_arrays: missing structural columns {missing}")
+    payload = {
+        name[len("payload."):]: column
+        for name, column in arrays.items()
+        if name.startswith("payload.")
+    }
+    n = len(arrays["size"])
+    labeled = "label" in payload
+    if labeled:
+        labels = payload["label"]
+        data = payload.get("data")
+        nodes: list[IndexNode] = [
+            TreeNode(
+                _scalar(labels[pos]),
+                _scalar(data[pos]) if data is not None else None,
+            )
+            for pos in range(n)
+        ]
+    else:
+        nodes = [IndexNode() for _ in range(n)]
+    first_child = arrays["first_child"].tolist()
+    next_sibling = arrays["next_sibling"].tolist()
+    size = arrays["size"].tolist()
+    number = arrays["number"].tolist()
+    for pos in range(n):
+        node = nodes[pos]
+        node.size = size[pos]
+        node.number = number[pos]
+        children = []
+        child = first_child[pos]
+        while child != -1:
+            children.append(nodes[child])
+            child = next_sibling[child]
+        node.children = tuple(children)
+    soa = SoATree(
+        order=order,
+        nodes=nodes,
+        parent=arrays["parent"],
+        first_child=arrays["first_child"],
+        next_sibling=arrays["next_sibling"],
+        size=arrays["size"],
+        number=arrays["number"],
+        trunc=np.array(arrays["trunc"], copy=True),
+        trunc_counter=np.array(arrays["trunc_counter"], copy=True),
+        payload=payload,
+        rank_pos=arrays["rank_pos"],
+        pos_rank=arrays["pos_rank"],
+        span=arrays["span"],
+        root=int(arrays["rank_pos"][0]),
+    )
+    try:
+        _VIEW_CACHE.setdefault(nodes[soa.root], {})[order] = soa
+    except TypeError:  # pragma: no cover - un-weakrefable custom nodes
+        pass
+    return soa
+
+
+# ---------------------------------------------------------------------------
+# Result columns (the task-parallel runtime's write-back plane)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResultColumn:
+    """Declaration of one output a parallel worker produces.
+
+    ``mode`` picks the reduction:
+
+    * ``"shared"`` — a single fill-initialized array, published once
+      (shared memory under the process engine, a plain array under the
+      thread engine); tasks write **disjoint** slots in place, so no
+      parent-side merge is needed.  Correct only when every slot is
+      written by at most one task — e.g. MM's output cells or per-query
+      neighbor state, whose writes the outer-independence gate proves
+      are keyed by the outer index.
+    * ``"sum"`` — each worker accumulates into a private
+      zero-initialized array returned with its chunk; the parent sums
+      chunks in worker order (:func:`reduce_sum_columns`).  Used for
+      commutative reductions (TJ's checksum, PC's pair count); integer
+      dtypes make the reduction exact regardless of chunking.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str = "float64"
+    mode: str = "sum"
+    fill: float = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("shared", "sum"):
+            raise SpecError(
+                f"result column {self.name!r}: unknown mode {self.mode!r}; "
+                "known: 'shared', 'sum'"
+            )
+        if self.mode == "sum" and self.fill != 0:
+            raise SpecError(
+                f"result column {self.name!r}: sum-mode columns must be "
+                "zero-filled (chunk sums would double-count the fill)"
+            )
+
+    def allocate(self) -> np.ndarray:
+        """A fresh fill-initialized array of this column's shape."""
+        return np.full(self.shape, self.fill, dtype=np.dtype(self.dtype))
+
+
+def reduce_sum_columns(
+    columns: Sequence[ResultColumn], chunks: Sequence[dict[str, np.ndarray]]
+) -> dict[str, np.ndarray]:
+    """Sum per-worker column chunks, in deterministic worker order.
+
+    Only ``mode="sum"`` columns participate.  Integer columns reduce
+    exactly; float columns reduce in the fixed worker order, so a given
+    task assignment always produces the identical bit pattern.
+    """
+    reduced: dict[str, np.ndarray] = {}
+    for column in columns:
+        if column.mode != "sum":
+            continue
+        total = column.allocate()
+        for chunk in chunks:
+            total += np.asarray(chunk[column.name], dtype=total.dtype)
+        reduced[column.name] = total
+    return reduced

@@ -1,0 +1,122 @@
+"""Property-based guarantees for the parallel runtime's data plane.
+
+Two contracts, driven over arbitrary inputs:
+
+1. **Shared-memory round trip** — exporting a packed SoA tree through
+   ``multiprocessing.shared_memory`` and attaching it back yields
+   bit-identical columns and an equivalent rebuilt tree, for every
+   storage linearization and random tree shape.
+2. **Decomposition invariance** — the real thread engine reproduces
+   the serial result for arbitrary tree sizes, spawn depths, and
+   worker counts; out-of-range spawn depths are always rejected with
+   the valid range.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.core.parallel_exec import run_parallel
+from repro.core.schedules import ORIGINAL
+from repro.errors import ScheduleError
+from repro.kernels import TreeJoin
+from repro.spaces import random_tree, to_soa, tree_depth
+from repro.spaces.soa import (
+    LINEARIZATIONS,
+    attach_shared_arrays,
+    close_shared_segments,
+    export_shared_arrays,
+    soa_arrays,
+    soa_from_arrays,
+)
+
+orders = st.sampled_from(LINEARIZATIONS)
+
+
+def numeric_random_tree(num_nodes: int, seed: int):
+    """A random-shaped tree with shareable (numeric) payloads."""
+    root = random_tree(num_nodes, seed=seed)
+    for node in root.iter_preorder():
+        node.data = node.number * 3 + 1
+    return root
+
+
+@given(
+    num_nodes=st.integers(min_value=1, max_value=32),
+    seed=st.integers(min_value=0, max_value=10_000),
+    order=orders,
+)
+@settings(max_examples=25, deadline=None)
+def test_shared_memory_round_trip_is_bit_identical(num_nodes, seed, order):
+    root = numeric_random_tree(num_nodes, seed)
+    arrays = soa_arrays(to_soa(root, order))
+    handles, segments = export_shared_arrays(arrays)
+    try:
+        attached, worker_segments = attach_shared_arrays(handles)
+        try:
+            assert set(attached) == set(arrays)
+            for name in arrays:
+                assert arrays[name].dtype == attached[name].dtype
+                assert np.array_equal(arrays[name], attached[name]), name
+            rebuilt = soa_from_arrays(
+                {name: np.array(col, copy=True) for name, col in attached.items()},
+                order=order,
+            )
+            observed = [
+                (node.label, node.data, node.size, node.number)
+                for node in rebuilt.nodes[rebuilt.root].iter_preorder()
+            ]
+            expected = [
+                (node.label, node.data, node.size, node.number)
+                for node in root.iter_preorder()
+            ]
+            assert observed == expected
+        finally:
+            close_shared_segments(worker_segments, unlink=False)
+    finally:
+        close_shared_segments(segments, unlink=True)
+
+
+@given(
+    outer_nodes=st.integers(min_value=1, max_value=48),
+    inner_nodes=st.integers(min_value=1, max_value=48),
+    depth_fraction=st.floats(min_value=0.0, max_value=1.0),
+    workers=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_thread_engine_matches_serial_at_every_spawn_depth(
+    outer_nodes, inner_nodes, depth_fraction, workers
+):
+    tj = TreeJoin(outer_nodes, inner_nodes)
+    ORIGINAL.run(tj.make_spec(), backend="recursive")
+    expected = (tj.accumulator.total, tj.accumulator.pairs)
+
+    spec = tj.make_spec()
+    max_depth = tree_depth(spec.outer_root) - 1
+    depth = min(max_depth, int(round(depth_fraction * max_depth)))
+    run_parallel(
+        spec,
+        schedule=ORIGINAL,
+        engine="thread",
+        max_workers=workers,
+        spawn_depth=depth,
+    )
+    assert (tj.accumulator.total, tj.accumulator.pairs) == expected
+
+
+@given(
+    outer_nodes=st.integers(min_value=1, max_value=48),
+    excess=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=15, deadline=None)
+def test_out_of_range_spawn_depths_always_rejected(outer_nodes, excess):
+    from repro.core.parallel import spawn_tasks
+
+    tj = TreeJoin(outer_nodes, 3)
+    spec = tj.make_spec()
+    max_depth = tree_depth(spec.outer_root) - 1
+    with pytest.raises(ScheduleError, match="valid depths"):
+        spawn_tasks(spec, max_depth + excess)
+    with pytest.raises(ScheduleError, match="valid depths"):
+        spawn_tasks(spec, -excess)

@@ -2,7 +2,12 @@
 
 import json
 
-from repro.bench.perf_floor import DEFAULT_FLOOR, check_perf_floor, main
+from repro.bench.perf_floor import (
+    DEFAULT_FLOOR,
+    check_parallel_floor,
+    check_perf_floor,
+    main,
+)
 
 
 def entry(benchmark="TJ", schedule="twist", **overrides):
@@ -58,6 +63,92 @@ class TestCheckPerfFloor:
         assert check_perf_floor({}) == []
 
 
+def parallel_run(engine="process", workers=4, speedup=2.1, match=True):
+    return {
+        "engine": engine,
+        "workers": workers,
+        "seconds": 0.05,
+        "speedup_vs_serial_soa": speedup,
+        "parallel_efficiency": round(speedup / workers, 3),
+        "results_match": match,
+    }
+
+
+def parallel_entry(benchmark="TJ", schedule="original", runs=None):
+    return {
+        "benchmark": benchmark,
+        "schedule": schedule,
+        "serial_soa_s": 0.1,
+        "runs": [parallel_run()] if runs is None else runs,
+    }
+
+
+def parallel_payload(*entries, cpu_count=8):
+    return {
+        "experiment": "wallclock_parallel",
+        "host": {"cpu_count": cpu_count},
+        "results": list(entries),
+    }
+
+
+class TestCheckParallelFloor:
+    def test_passes_when_speedup_clears_the_floor(self):
+        violations, skips = check_parallel_floor(
+            parallel_payload(parallel_entry(), parallel_entry("MM"))
+        )
+        assert violations == []
+        assert skips == []
+
+    def test_slow_four_worker_process_row_violates(self):
+        violations, _ = check_parallel_floor(
+            parallel_payload(
+                parallel_entry(runs=[parallel_run(speedup=1.1)])
+            )
+        )
+        assert len(violations) == 1
+        assert "1.10x" in violations[0]
+
+    def test_undersized_host_skips_speed_but_not_correctness(self):
+        payload = parallel_payload(
+            parallel_entry(runs=[parallel_run(speedup=0.4)]),
+            cpu_count=1,
+        )
+        violations, skips = check_parallel_floor(payload)
+        assert violations == []
+        assert len(skips) == 1 and "1 core" in skips[0]
+        bad = parallel_payload(
+            parallel_entry(
+                runs=[parallel_run(speedup=0.4, match=False)]
+            ),
+            cpu_count=1,
+        )
+        violations, _ = check_parallel_floor(bad)
+        assert len(violations) == 1
+        assert "diverge" in violations[0]
+
+    def test_result_mismatch_violates_on_every_benchmark(self):
+        payload = parallel_payload(
+            parallel_entry(
+                "NN", runs=[parallel_run("thread", 2, 0.7, match=False)]
+            )
+        )
+        violations, _ = check_parallel_floor(payload)
+        assert len(violations) == 1
+        assert "NN/original" in violations[0]
+
+    def test_irregular_benchmarks_carry_no_speed_floor(self):
+        payload = parallel_payload(
+            parallel_entry("PC", runs=[parallel_run(speedup=0.5)])
+        )
+        assert check_parallel_floor(payload) == ([], [])
+
+    def test_twist_entries_only_gate_correctness(self):
+        payload = parallel_payload(
+            parallel_entry(schedule="twist", runs=[parallel_run(speedup=0.5)])
+        )
+        assert check_parallel_floor(payload) == ([], [])
+
+
 class TestMain:
     def _write(self, tmp_path, data):
         path = tmp_path / "bench.json"
@@ -83,3 +174,41 @@ class TestMain:
         slow = entry(timings={"recursive": 1.0, "soa": 0.2, "auto": 1.0})
         path = self._write(tmp_path, payload(slow))
         assert main(["--json", path, "--floor", "0.1"]) == 0
+
+    def test_parallel_json_is_gated_too(self, tmp_path, capsys):
+        soa_path = self._write(tmp_path, payload(entry()))
+        parallel_path = tmp_path / "parallel.json"
+        parallel_path.write_text(
+            json.dumps(
+                parallel_payload(
+                    parallel_entry(runs=[parallel_run(speedup=1.1)])
+                )
+            )
+        )
+        assert (
+            main(
+                ["--json", soa_path, "--parallel-json", str(parallel_path)]
+            )
+            == 1
+        )
+        assert "1.10x" in capsys.readouterr().out
+
+    def test_parallel_json_host_aware_pass(self, tmp_path, capsys):
+        soa_path = self._write(tmp_path, payload(entry()))
+        parallel_path = tmp_path / "parallel.json"
+        parallel_path.write_text(
+            json.dumps(
+                parallel_payload(
+                    parallel_entry(runs=[parallel_run(speedup=0.5)]),
+                    cpu_count=2,
+                )
+            )
+        )
+        assert (
+            main(
+                ["--json", soa_path, "--parallel-json", str(parallel_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "host-aware skip" in out

@@ -43,11 +43,15 @@ class TestSpawnTasks:
             collected.extend(recorder.points)
         assert sorted(collected) == sorted(reference.points)
 
-    def test_leaves_do_not_overspawn(self):
-        tasks = spawn_tasks(paper_spec(), 10)  # deeper than the tree
+    def test_max_depth_is_one_task_per_node(self):
+        tasks = spawn_tasks(paper_spec(), 2)  # deepest level of the tree
         assert len(tasks) == 7  # one per outer node
         assert all(task.outer_root.size == 1 or task.outer_root.is_leaf
                    for task in tasks)
+
+    def test_depth_beyond_tree_rejected_with_valid_range(self):
+        with pytest.raises(ScheduleError, match=r"valid depths are 0\.\.2"):
+            spawn_tasks(paper_spec(), 10)  # deeper than the tree
 
     def test_negative_depth_rejected(self):
         with pytest.raises(ScheduleError):
