@@ -272,9 +272,12 @@ def _consider_parallel(
 
     Requires all of: a parallel plan on the spec, at least two host
     cores, an iteration space past :data:`PARALLEL_SPACE_POINTS`, and
-    a *proven* outer-independence witness.  An unproven witness means
-    refusal, not a silent fallback with a hidden reason — the reason
-    string records why parallelism was skipped either way.
+    a *proven* outer-independence witness — static first: when the
+    TW21x affine-footprint pass certifies the spec ``independent``,
+    the proof costs zero warm-up runs; otherwise the dynamic TW030
+    probe decides.  An unproven witness means refusal, not a silent
+    fallback with a hidden reason — the reason string records why
+    parallelism was skipped either way.
     """
     if spec.parallel_plan is None:
         return None
@@ -283,7 +286,7 @@ def _consider_parallel(
         return None
     from repro.core.parallel_exec import check_outer_independence
 
-    proven, why = check_outer_independence(spec.parallel_plan)
+    proven, why = check_outer_independence(spec.parallel_plan, spec)
     if not proven:
         return None
     order = "veb" if features["has_work_batch_soa"] and not features["is_irregular"] else "preorder"

@@ -203,21 +203,56 @@ class ParallelExecReport:
 _INDEPENDENCE_CACHE: dict[str, tuple[bool, str]] = {}
 
 
+def _static_independence_proof(spec) -> Optional[tuple[bool, str]]:
+    """Try the TW21x static proof; ``None`` means "use the probe".
+
+    Delegates to :func:`repro.transform.lint.lower.static_independence`
+    — the affine-footprint pass over the typed kernel IR.  Only a full
+    ``independent`` verdict short-circuits the dynamic witness; a
+    ``needs-runtime-check`` or even ``dependent`` verdict falls back
+    to the probe, which remains the authoritative oracle (the static
+    pass is deliberately conservative, never the other way around).
+    Any analyzer failure degrades silently to the dynamic path.
+    """
+    try:
+        from repro.transform.lint.lower import static_independence
+
+        verdict, reason = static_independence(spec)
+    except Exception:  # pragma: no cover - defensive: probe still runs
+        return None
+    if verdict != "independent":
+        return None
+    return (
+        True,
+        f"outer recursion proven parallel statically: {reason} "
+        "(TW21x affine-footprint proof; no warm-up probe)",
+    )
+
+
 def check_outer_independence(
-    plan: ParallelPlan, use_cache: bool = True
+    plan: ParallelPlan, spec=None, use_cache: bool = True
 ) -> tuple[bool, str]:
     """Prove (or refute) the §3.3 criterion for one plan.
 
-    Runs the plan's witness probe serially under a
-    :class:`~repro.core.soundness.FootprintRecorder` and accepts iff
-    :func:`~repro.core.soundness.outer_parallel_violations` is empty —
-    i.e. every written location is keyed by the outer index, the exact
-    property the static analyzer's TW030 diagnostic checks.  Verdicts
-    are cached per ``witness_key``, so the probe runs once per
-    benchmark family.
+    When the owning ``spec`` is supplied, the static TW21x
+    independence pass runs first: an ``independent`` verdict is
+    accepted outright, with **zero** warm-up runs.  Otherwise — no
+    spec, analyzer failure, or any weaker verdict — the plan's witness
+    probe runs serially under a
+    :class:`~repro.core.soundness.FootprintRecorder` and is accepted
+    iff :func:`~repro.core.soundness.outer_parallel_violations` is
+    empty — i.e. every written location is keyed by the outer index,
+    the exact property the static analyzer's TW030 diagnostic checks.
+    Verdicts are cached per ``witness_key``, so the proof (static or
+    dynamic) is discharged once per benchmark family.
     """
     if use_cache and plan.witness_key in _INDEPENDENCE_CACHE:
         return _INDEPENDENCE_CACHE[plan.witness_key]
+    if spec is not None:
+        static = _static_independence_proof(spec)
+        if static is not None:
+            _INDEPENDENCE_CACHE[plan.witness_key] = static
+            return static
     if plan.make_probe is None:
         verdict = (
             False,
@@ -479,7 +514,7 @@ def run_parallel(
             "(see repro.core.parallel_exec.ParallelPlan)"
         )
     if not allow_unproven:
-        proven, why = check_outer_independence(plan)
+        proven, why = check_outer_independence(plan, spec)
         if not proven:
             raise ScheduleError(
                 f"parallelism refused for {spec.name!r}: {why}; pass "

@@ -126,6 +126,15 @@ class KdeRules(DualTreeRules):
             ].sum(axis=1)
 
 
+#: Expected TW2xx verdicts for the KDE spec (see
+#: ``repro.dualtree.algorithms.LOWER_VERDICTS`` for the rationale —
+#: same SoA-kernel gap, same data-dependent per-query density writes).
+LOWER_VERDICT = {
+    "lower": "needs-runtime-check",
+    "independence": "needs-runtime-check",
+}
+
+
 @dataclass
 class KernelDensity:
     """Runnable approximate dual-tree Gaussian KDE."""

@@ -29,6 +29,16 @@ from repro.spaces.soa import soa_arrays, soa_from_arrays, soa_view
 from repro.spaces.trees import balanced_tree
 
 
+#: Expected TW2xx verdicts for this benchmark's spec (the output of
+#: ``python -m repro.transform lint-lower --benchmark MM``).  MM is
+#: ``lowerable`` (typed gathers and affine rank indexing throughout)
+#: and ``independent`` under a verified data precondition: its output
+#: write ``c[o.data, i.data]`` is disjoint across outer tasks because
+#: ``outer.data`` (the row index column) is injective on the live tree
+#: (TW212).  A regression below either verdict fails tests and CI.
+LOWER_VERDICT = {"lower": "lowerable", "independence": "independent"}
+
+
 @dataclass
 class MatrixMultiply:
     """A runnable recursive matrix multiplication ``C = A @ B``.

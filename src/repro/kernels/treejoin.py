@@ -54,6 +54,15 @@ class JoinAccumulator:
         self.pairs += len(outer_values)
 
 
+#: Expected TW2xx verdicts for this benchmark's spec (the output of
+#: ``python -m repro.transform lint-lower --benchmark TJ``).  TJ is the
+#: canonical fully-certified spec: its SoA kernel is typed end to end
+#: (``lowerable``) and its only shared-state writes are commutative
+#: reductions the runtime privatizes (``independent``, TW213).  A
+#: regression below either verdict fails tests and CI.
+LOWER_VERDICT = {"lower": "lowerable", "independence": "independent"}
+
+
 @dataclass
 class TreeJoin:
     """A runnable Tree Join instance.

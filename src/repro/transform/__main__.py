@@ -19,20 +19,32 @@ INPUT.py`` still works and means ``transform``)::
         [--benchmark NAME]               # default: every built-in spec
         [--scale S] [--json]
 
+    python -m repro.transform lint-lower
+        [--benchmark NAME]               # default: every built-in spec
+        [--scale S] [--json]
+
 ``lint-spec`` runs the backend-conformance analyzer
 (:mod:`repro.transform.lint.backend`, ``TW1xx``) over the built-in
-benchmark specs and reports one verdict per spec.
+benchmark specs and reports one verdict per spec.  ``lint-lower`` runs
+the lowerability and static-independence passes
+(:mod:`repro.transform.lint.lower`, ``TW2xx``) over the same specs and
+reports two verdicts per spec.
 
 Exit codes are stable and distinct per failure class:
 
 ==  ============================================================
 0   success (for ``lint``: statically safe; for ``lint-spec``:
-    every spec proven batch-safe/soa-safe)
+    every spec proven batch-safe/soa-safe; for ``lint-lower``:
+    every spec lowerable *and* statically independent)
 1   template violation (the Figure 2 sanity check failed)
-2   usage or I/O error
+2   usage or I/O error — including an analyzer crash, which
+    ``--json`` wraps as a schema-v2 ``analyzer-error`` object
+    instead of a traceback
 3   input source does not parse
-4   lint verdict *unsafe* (refuted; ``transform`` refused codegen)
-5   lint verdict *needs-dynamic-check*
+4   lint verdict *unsafe* (refuted; ``transform`` refused codegen;
+    for ``lint-lower``: *not-lowerable* or *dependent*)
+5   lint verdict *needs-dynamic-check* (for ``lint-lower``:
+    *needs-runtime-check* on either dimension)
 ==  ============================================================
 """
 
@@ -163,22 +175,64 @@ def build_lint_spec_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _analyzer_error_payload(error: BaseException) -> dict:
+    """Schema-v2 JSON object standing in for a crashed analyzer run.
+
+    ``--json`` consumers must always receive valid JSON: when the
+    analyzer itself raises (a malformed spec, an analyzer bug), the
+    traceback goes to stderr and stdout carries this wrapper instead.
+    """
+    return {
+        "schema_version": 2,
+        "kind": "analyzer-error",
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+        },
+        "diagnostics": [],
+        "counts": {"errors": 0, "warnings": 0, "suppressed": 0},
+    }
+
+
+def _emit_analyzer_error(error: BaseException, as_json: bool) -> int:
+    import traceback
+
+    traceback.print_exc(file=sys.stderr)
+    if as_json:
+        print(json.dumps(_analyzer_error_payload(error), indent=2, sort_keys=True))
+    else:
+        print(
+            f"error: analyzer failed: {type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+    return EXIT_USAGE
+
+
+def _select_cases(benchmark: Optional[str], scale: float):
+    """Built-in benchmark cases, optionally restricted to one name."""
+    from repro.bench.workloads import wallclock_cases
+
+    cases = wallclock_cases(scale)
+    if benchmark:
+        cases = [case for case in cases if case.name == benchmark]
+        if not cases:
+            print(f"error: unknown benchmark {benchmark!r}", file=sys.stderr)
+            return None
+    return cases
+
+
 def _lint_spec_main(argv: list[str]) -> int:
     args = build_lint_spec_parser().parse_args(argv)
-    from repro.bench.workloads import wallclock_cases
     from repro.transform.lint import SpecVerdict, lint_spec
 
-    cases = wallclock_cases(args.scale)
-    if args.benchmark:
-        cases = [case for case in cases if case.name == args.benchmark]
-        if not cases:
-            print(
-                f"error: unknown benchmark {args.benchmark!r}",
-                file=sys.stderr,
-            )
-            return EXIT_USAGE
+    cases = _select_cases(args.benchmark, args.scale)
+    if cases is None:
+        return EXIT_USAGE
 
-    reports = [lint_spec(case.make_spec()) for case in cases]
+    try:
+        reports = [lint_spec(case.make_spec()) for case in cases]
+    except Exception as error:
+        return _emit_analyzer_error(error, args.json)
     if args.json:
         from repro.transform.lint.backend import SCHEMA_VERSION
 
@@ -196,6 +250,79 @@ def _lint_spec_main(argv: list[str]) -> int:
     if SpecVerdict.UNSAFE in verdicts:
         return EXIT_UNSAFE
     if SpecVerdict.NEEDS_DYNAMIC_CHECK in verdicts:
+        return EXIT_NEEDS_DYNAMIC_CHECK
+    return EXIT_OK
+
+
+def build_lint_lower_parser() -> argparse.ArgumentParser:
+    """The ``lint-lower`` subcommand's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.transform lint-lower",
+        description="Run the lowerability and static-independence "
+        "passes (TW2xx) over the built-in benchmark specs: decide "
+        "whether each spec's SoA kernel could run on a fused/compiled "
+        "backend, and whether outer tasks are provably independent "
+        "without a dynamic warm-up probe.",
+    )
+    parser.add_argument(
+        "--benchmark",
+        help="restrict to one benchmark name (default: all built-ins)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="workload scale used to build the specs (default: 0.05 — "
+        "the analysis reads code plus an O(n) payload scan, so small "
+        "is fine)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object on stdout",
+    )
+    return parser
+
+
+def _lint_lower_main(argv: list[str]) -> int:
+    args = build_lint_lower_parser().parse_args(argv)
+    from repro.transform.lint.lower import (
+        SCHEMA_VERSION,
+        IndependenceVerdict,
+        LowerVerdict,
+        lint_lower,
+    )
+
+    cases = _select_cases(args.benchmark, args.scale)
+    if cases is None:
+        return EXIT_USAGE
+
+    try:
+        reports = [lint_lower(case.make_spec()) for case in cases]
+    except Exception as error:
+        return _emit_analyzer_error(error, args.json)
+    if args.json:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "lowerability-suite",
+            "specs": [report.to_json() for report in reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+
+    lower_verdicts = {report.lower for report in reports}
+    independence_verdicts = {report.independence for report in reports}
+    if (
+        LowerVerdict.NOT_LOWERABLE in lower_verdicts
+        or IndependenceVerdict.DEPENDENT in independence_verdicts
+    ):
+        return EXIT_UNSAFE
+    if (
+        LowerVerdict.NEEDS_RUNTIME_CHECK in lower_verdicts
+        or IndependenceVerdict.NEEDS_RUNTIME_CHECK in independence_verdicts
+    ):
         return EXIT_NEEDS_DYNAMIC_CHECK
     return EXIT_OK
 
@@ -223,13 +350,16 @@ def _lint_main(argv: list[str]) -> int:
     if source is None:
         return EXIT_USAGE
 
-    report = lint_source(
-        source,
-        args.outer or None,
-        args.inner or None,
-        assume_pure=_split_names(args.assume_pure),
-        filename=args.input,
-    )
+    try:
+        report = lint_source(
+            source,
+            args.outer or None,
+            args.inner or None,
+            assume_pure=_split_names(args.assume_pure),
+            filename=args.input,
+        )
+    except Exception as error:
+        return _emit_analyzer_error(error, args.json)
     if args.json:
         print(report.dumps())
     else:
@@ -347,6 +477,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "lint-spec":
         return _lint_spec_main(argv[1:])
+    if argv and argv[0] == "lint-lower":
+        return _lint_lower_main(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
     if argv and argv[0] == "transform":

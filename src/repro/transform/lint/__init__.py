@@ -20,7 +20,13 @@ closes the gap with a static verdict decided from the code itself:
   spec/kernel layer (``TW1xx``): it proves — or refuses to prove —
   that a spec's vectorized ``work_batch``/``work_batch_soa``/
   ``truncate_inner2_batch`` kernels conform to their scalar
-  counterparts, gating which executors ``backend="auto"`` may pick.
+  counterparts, gating which executors ``backend="auto"`` may pick;
+* :mod:`~repro.transform.lint.kernel_ir` and
+  :mod:`~repro.transform.lint.lower` lift the kernels into a typed IR
+  and certify them (``TW2xx``): *lowerability* for the fused/compiled
+  backend and *static outer-task independence* for the parallel one —
+  the static proof that lets ``check_outer_independence`` skip its
+  dynamic warm-up probe.
 
 Two in-source pragmas steer the analysis::
 
@@ -68,6 +74,14 @@ from repro.transform.lint.backend import (
     analyze_kernel,
     lint_spec,
 )
+from repro.transform.lint.kernel_ir import KernelIR, extract_kernel_ir
+from repro.transform.lint.lower import (
+    IndependenceVerdict,
+    LowerReport,
+    LowerVerdict,
+    lint_lower,
+    static_independence,
+)
 from repro.transform.lint.report import LintReport, Verdict, derive_verdict
 from repro.transform.recognizer import RecursionTemplate, recognize
 
@@ -79,8 +93,12 @@ __all__ = [
     "Diagnostic",
     "DiagnosticSink",
     "FootprintAnalyzer",
+    "IndependenceVerdict",
     "KernelFootprint",
+    "KernelIR",
     "LintReport",
+    "LowerReport",
+    "LowerVerdict",
     "Region",
     "Severity",
     "SpecConformanceReport",
@@ -95,10 +113,13 @@ __all__ = [
     "check_parallel_safety",
     "collect_pragmas",
     "derive_verdict",
+    "extract_kernel_ir",
+    "lint_lower",
     "lint_source",
     "lint_spec",
     "lint_template",
     "make_diagnostic",
+    "static_independence",
 ]
 
 _ASSUME_PURE_RE = re.compile(r"#\s*lint:\s*assume-pure:\s*([\w\s,.]+)")

@@ -18,7 +18,17 @@ a severity and an indication of which verdict dimension it affects:
     ``truncate_inner2_batch``) with their scalar counterparts.  These
     findings never touch the §3.3 schedule verdict — they decide
     whether the batched/SoA executors may stand in for the recursive
-    one (see :mod:`repro.transform.lint.backend`).
+    one (see :mod:`repro.transform.lint.backend`);
+``lower``
+    the ``TW20x`` family: *lowerability* of a spec's kernels to the
+    typed kernel IR (:mod:`repro.transform.lint.kernel_ir`) — the
+    eligibility gate for the fused/compiled backend (see
+    :mod:`repro.transform.lint.lower`);
+``independence``
+    the ``TW21x`` family: *static outer-task independence* proven from
+    the IR's affine footprints — the static counterpart of the dynamic
+    TW030 witness probe, consumed by
+    :func:`repro.core.parallel_exec.check_outer_independence`.
 
 Severities follow the usual compiler convention: ``error`` findings
 refute the safety proof (verdict *unsafe*), ``warning`` findings leave
@@ -58,11 +68,12 @@ class CodeInfo:
     affects: str
 
 
-#: The full catalog of stable diagnostic codes.
-CATALOG: dict[str, CodeInfo] = {
-    info.code: info
-    for info in [
-        # --- input / template (TW00x) --------------------------------
+#: Raw registration order, duplicates and all.  ``CATALOG`` is derived
+#: from this; keeping the list visible lets the registry test assert
+#: that no code was silently re-registered (a dict comprehension alone
+#: would dedupe the collision away).
+_REGISTRY: list[CodeInfo] = [
+    # --- input / template (TW00x) --------------------------------
         CodeInfo(
             "TW001",
             "input source does not parse",
@@ -228,8 +239,122 @@ CATALOG: dict[str, CodeInfo] = {
             Severity.WARNING,
             "backend",
         ),
-    ]
-}
+        # --- lowerability (TW20x) ------------------------------------
+        CodeInfo(
+            "TW200",
+            "kernel source unavailable (lowerability not analyzable)",
+            Severity.WARNING,
+            "lower",
+        ),
+        CodeInfo(
+            "TW201",
+            "Python-object use in the lowered hot loop",
+            Severity.ERROR,
+            "lower",
+        ),
+        CodeInfo(
+            "TW202",
+            "untyped access (value does not resolve to a typed column, "
+            "array, or scalar)",
+            Severity.WARNING,
+            "lower",
+        ),
+        CodeInfo(
+            "TW203",
+            "allocation inside the kernel hot loop",
+            Severity.WARNING,
+            "lower",
+        ),
+        CodeInfo(
+            "TW204",
+            "non-affine index expression in rank space",
+            Severity.WARNING,
+            "lower",
+        ),
+        CodeInfo(
+            "TW205",
+            "unrecognized (non-commutative) reduction pattern",
+            Severity.WARNING,
+            "lower",
+        ),
+        CodeInfo(
+            "TW206",
+            "dynamic shape: extent depends on runtime data values",
+            Severity.WARNING,
+            "lower",
+        ),
+        CodeInfo(
+            "TW207",
+            "call to a helper with no lowerable summary",
+            Severity.WARNING,
+            "lower",
+        ),
+        CodeInfo(
+            "TW208",
+            "spec provides no SoA-native kernel to lower",
+            Severity.WARNING,
+            "lower",
+        ),
+        CodeInfo(
+            "TW209",
+            "kernel lowers to typed column gathers under recorded "
+            "assumptions",
+            Severity.INFO,
+            "lower",
+        ),
+        # --- static independence (TW21x) -----------------------------
+        CodeInfo(
+            "TW210",
+            "cross-task write overlap: write not keyed by the outer "
+            "index",
+            Severity.ERROR,
+            "independence",
+        ),
+        CodeInfo(
+            "TW211",
+            "write target or index unresolved (independence "
+            "unprovable statically)",
+            Severity.WARNING,
+            "independence",
+        ),
+        CodeInfo(
+            "TW212",
+            "disjointness relies on a verified injective index column",
+            Severity.INFO,
+            "independence",
+        ),
+        CodeInfo(
+            "TW213",
+            "commutative reduction assumed privatized per task",
+            Severity.INFO,
+            "independence",
+        ),
+        CodeInfo(
+            "TW214",
+            "kernel effects incomplete (unknown helper): write set "
+            "unproven",
+            Severity.WARNING,
+            "independence",
+        ),
+]
+
+#: The full catalog of stable diagnostic codes.
+CATALOG: dict[str, CodeInfo] = {info.code: info for info in _REGISTRY}
+
+#: Every registered code, in registration order — including any
+#: accidental duplicate, so ``len(ALL_CODES) == len(set(ALL_CODES))``
+#: is a meaningful uniqueness check.
+ALL_CODES: tuple[str, ...] = tuple(info.code for info in _REGISTRY)
+
+#: The closed set of verdict dimensions a code may affect.
+AFFECTS_DOMAINS: tuple[str, ...] = (
+    "input",
+    "schedule",
+    "parallel",
+    "backend",
+    "lower",
+    "independence",
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,1269 @@
+"""Typed kernel IR: what a spec kernel *does*, in lowerable terms.
+
+The TW1xx conformance analyzer asks "does the batched kernel do the
+same thing as the scalar one?".  The passes in
+:mod:`repro.transform.lint.lower` ask a different question: "could a
+fused/compiled backend run this kernel at all, and can two outer tasks
+run it concurrently?".  Both need the same raw material — a summary of
+the kernel's effects — but in *typed* terms: which arrays are touched,
+through which index expressions (affine in the traversal ranks, or a
+gather through a payload column), which state fields are reduced into,
+where Python objects leak into the hot path.
+
+This module extracts that summary from the live function objects of a
+:class:`~repro.core.spec.NestedRecursionSpec` (``work``,
+``work_batch``, ``work_batch_soa``, and the truncation guards).  It is
+a *fact extractor*: it never emits diagnostics itself — the passes in
+``lower.py`` interpret the facts.  Extraction is abstract
+interpretation over the kernel's AST with a small value-kind lattice:
+
+====================  =============================================
+``("rank", a)``       a scalar position in axis ``a``'s rank space
+``("rankvec", a, c, k)``  a vector of positions, affine ``c*r + k``
+``("node", a)``       one tree node of axis ``a``
+``("nodeseq", a)``    a sequence of axis-``a`` nodes (a batch)
+``("view", a)``       the axis-``a`` :class:`~repro.spaces.soa.SoATree`
+``("column", a, f)``  a full payload column ``f`` of axis ``a``
+``("gather", a, f)``  per-node values of field ``f`` along axis ``a``
+``("array", label)``  a typed ndarray captured from the environment
+``("state", key, label)``  a live state object (e.g. an accumulator)
+``("pyobject", label)``    an untyped Python container/object
+``("mask",)``         a data-dependent boolean/index vector
+``("nonaffine", a, why)``  rank-derived but not affine in the rank
+``("scalar",)`` / ``("data",)`` / ``("unknown",)``
+====================  =============================================
+
+Axes are ``"outer"``/``"inner"`` — the two dimensions of the Figure 2
+iteration space.  Affine tracking is deliberately 1-D per axis: the
+paper's transformations never mix ranks inside one index dimension, so
+``c*r + k`` per axis is exactly the precision the disjointness proof
+in §7.3 needs.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import numbers
+import textwrap
+import types
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = [
+    "AllocSite",
+    "ArrayAccess",
+    "HelperCall",
+    "IndexDim",
+    "KernelIR",
+    "NodeFieldWrite",
+    "ObjectUse",
+    "StateAccess",
+    "extract_kernel_ir",
+    "ROLE_PARAM_KINDS",
+]
+
+# --------------------------------------------------------------------
+# IR records
+# --------------------------------------------------------------------
+
+#: index-dimension classifications
+AFFINE = "affine"
+GATHER = "gather"
+CONST = "const"
+SLICE = "slice"
+MASK = "mask"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class IndexDim:
+    """One dimension of a subscript, classified for the footprint.
+
+    ``affine`` dims carry the rank axis plus coefficient/offset of the
+    ``coeff * rank + const`` form (``const=None`` = statically unknown
+    but rank-independent).  ``gather`` dims index through the per-node
+    values of payload field ``column`` along ``axis`` — disjointness
+    then hinges on that column being injective, which the independence
+    pass checks on the live tree.
+    """
+
+    kind: str
+    axis: Optional[str] = None
+    column: Optional[str] = None
+    coeff: Optional[int] = None
+    const: Optional[int] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``affine(1*outer_rank+0)``."""
+        if self.kind == AFFINE:
+            return f"affine({self.coeff}*{self.axis}_rank+{self.const})"
+        if self.kind == GATHER:
+            return f"gather({self.axis}.{self.column})"
+        if self.kind == UNKNOWN and self.detail:
+            return f"unknown({self.detail})"
+        return self.kind
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """A read or write of a typed array (or SoA payload column)."""
+
+    array: str
+    dims: tuple[IndexDim, ...]
+    is_write: bool
+    #: write folded in via a commutative augmented assignment
+    reduction: bool = False
+    line: int = 0
+
+    def describe(self) -> str:
+        """One-line summary: ``array[dim, ...]`` plus the access kind."""
+        op = "+=" if self.reduction else ("=" if self.is_write else "read")
+        dims = ", ".join(d.describe() for d in self.dims)
+        return f"{self.array}[{dims}] {op}"
+
+
+@dataclass(frozen=True)
+class StateAccess:
+    """A read or write of a scalar field on a live state object."""
+
+    label: str
+    is_write: bool
+    reduction: bool = False
+    #: the live field value was numeric (or absent: ``False``)
+    typed: bool = True
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class NodeFieldWrite:
+    """A write to an attribute of a traversal node."""
+
+    axis: str
+    attr: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """An allocation in the kernel body (``kind``: list/dict/set/
+    comprehension/ndarray)."""
+
+    kind: str
+    in_loop: bool
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ObjectUse:
+    """A Python-object operation a compiled loop could not express."""
+
+    what: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class HelperCall:
+    """A call whose effects could not be summarized."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass
+class KernelIR:
+    """The extracted effect summary of one kernel."""
+
+    role: str
+    name: str = "<kernel>"
+    #: False when the source could not be fetched/parsed at all
+    analyzable: bool = True
+    array_accesses: list[ArrayAccess] = field(default_factory=list)
+    state_accesses: list[StateAccess] = field(default_factory=list)
+    node_writes: list[NodeFieldWrite] = field(default_factory=list)
+    #: ``(axis, attr)`` node fields read as typed gathers — the
+    #: lowerability pass validates their typedness on the live tree
+    attr_reads: set[tuple[str, str]] = field(default_factory=set)
+    allocations: list[AllocSite] = field(default_factory=list)
+    object_uses: list[ObjectUse] = field(default_factory=list)
+    unknown_helpers: list[HelperCall] = field(default_factory=list)
+    #: ``(description, line)`` of values that stayed untyped
+    untyped: list[tuple[str, int]] = field(default_factory=list)
+    #: lines where a data-dependent extent (mask index) appeared
+    dynamic_shapes: list[tuple[str, int]] = field(default_factory=list)
+
+    def writes(self) -> list[ArrayAccess]:
+        """The array accesses that mutate their target."""
+        return [a for a in self.array_accesses if a.is_write]
+
+    def reads(self) -> list[ArrayAccess]:
+        """The array accesses that only observe their target."""
+        return [a for a in self.array_accesses if not a.is_write]
+
+    def state_writes(self) -> list[StateAccess]:
+        """The state-field accesses that mutate their field."""
+        return [s for s in self.state_accesses if s.is_write]
+
+    def to_json(self) -> dict:
+        """Compact JSON summary (embedded in the lowerability report)."""
+        return {
+            "role": self.role,
+            "name": self.name,
+            "analyzable": self.analyzable,
+            "array_accesses": [a.describe() for a in self.array_accesses],
+            "state_writes": sorted(
+                {f"{s.label} {'+=' if s.reduction else '='}" for s in self.state_writes()}
+            ),
+            "node_writes": sorted({f"{w.axis}.{w.attr}" for w in self.node_writes}),
+            "attr_reads": sorted(f"{a}.{f}" for a, f in self.attr_reads),
+            "allocations": [f"{a.kind}@{a.line}" for a in self.allocations],
+            "object_uses": [f"{o.what}@{o.line}" for o in self.object_uses],
+            "unknown_helpers": sorted({h.name for h in self.unknown_helpers}),
+            "untyped": [f"{d}@{line}" for d, line in self.untyped],
+            "dynamic_shapes": [f"{d}@{line}" for d, line in self.dynamic_shapes],
+        }
+
+
+# --------------------------------------------------------------------
+# Role signatures
+# --------------------------------------------------------------------
+
+#: kernel role -> kinds its positional parameters are bound to
+ROLE_PARAM_KINDS: dict[str, tuple[tuple, ...]] = {
+    "work": (("node", "outer"), ("node", "inner")),
+    "work_batch": (("nodeseq", "outer"), ("nodeseq", "inner")),
+    "work_batch_soa": (
+        ("view", "outer"),
+        ("view", "inner"),
+        ("rankvec", "outer", 1, 0),
+        ("rankvec", "inner", 1, 0),
+    ),
+    "truncate_outer": (("node", "outer"),),
+    "truncate_inner1": (("node", "inner"),),
+    "truncate_inner2": (("node", "outer"), ("node", "inner")),
+    "truncate_inner2_batch": (("node", "outer"),),
+}
+
+#: builtins that stay inside the typed world
+_PURE_BUILTINS = frozenset(
+    {"len", "int", "float", "bool", "abs", "min", "max", "range", "sum", "round"}
+)
+
+#: container constructors — an allocation plus an untyped result
+_CONTAINER_BUILTINS = frozenset({"list", "dict", "set", "tuple"})
+
+#: numpy callables that stage/convert without changing index meaning
+_NP_STAGING = frozenset(
+    {"fromiter", "asarray", "array", "ascontiguousarray", "asanyarray"}
+)
+
+#: numpy callables that allocate a fresh array
+_NP_ALLOC = frozenset({"zeros", "empty", "ones", "full", "zeros_like", "empty_like"})
+
+#: numpy callables producing data-dependent index sets
+_NP_DYNSHAPE = frozenset({"nonzero", "flatnonzero", "where", "argwhere", "unique"})
+
+#: ndarray methods that read without mutating
+_PURE_VALUE_METHODS = frozenset(
+    {
+        "sum",
+        "dot",
+        "mean",
+        "min",
+        "max",
+        "astype",
+        "copy",
+        "item",
+        "any",
+        "all",
+        "reshape",
+        "ravel",
+        "prod",
+    }
+)
+
+#: augmented-assignment operators recognized as commutative reductions
+_REDUCTION_OPS = (ast.Add, ast.Mult, ast.BitOr, ast.BitAnd, ast.BitXor)
+
+_MAX_DEPTH = 6
+
+_MISSING = object()
+
+
+def _is_repro_function(obj: Any) -> bool:
+    module = getattr(obj, "__module__", "") or ""
+    return isinstance(obj, types.FunctionType) and module.split(".")[0] == "repro"
+
+
+def _literal_int(node: ast.AST) -> Optional[int]:
+    """The value of a compile-time integer literal, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+    ):
+        return -node.operand.value
+    return None
+
+
+def _classify_live(value: Any, label: str) -> tuple:
+    """Kind of a live object captured from a closure or globals."""
+    if isinstance(value, np.ndarray):
+        return ("array", label)
+    if isinstance(value, (bool, numbers.Number, np.generic, str)) or value is None:
+        return ("scalar",)
+    if isinstance(value, types.ModuleType):
+        return ("module", value, label)
+    if isinstance(value, (types.FunctionType, types.BuiltinFunctionType, type)) or (
+        callable(value) and isinstance(value, types.MethodType)
+    ):
+        return ("callable", value, label)
+    if isinstance(value, (dict, list, set, tuple, frozenset)):
+        return ("pyobject", label)
+    # Any other instance: a state object whose fields we resolve live.
+    return ("state", id(value), label)
+
+
+class _Extractor(ast.NodeVisitor):
+    """Walks one kernel's AST, recording facts into a shared IR."""
+
+    def __init__(
+        self,
+        ir: KernelIR,
+        fn: types.FunctionType,
+        param_kinds: tuple[tuple, ...],
+        live: dict[int, Any],
+        self_kind: Optional[tuple] = None,
+        depth: int = 0,
+        loop_depth: int = 0,
+        memo: Optional[set] = None,
+    ) -> None:
+        self.ir = ir
+        self.fn = fn
+        self.live = live
+        self.depth = depth
+        self.loop_depth = loop_depth
+        self.memo = memo if memo is not None else set()
+        self.kinds: dict[str, tuple] = {}
+        self.line_offset = 0
+        try:
+            source = textwrap.dedent(inspect.getsource(fn))
+            tree = ast.parse(source)
+        except (OSError, TypeError, SyntaxError, IndentationError):
+            ir.analyzable = False
+            return
+        self.line_offset = fn.__code__.co_firstlineno - 1
+        fndef = next(
+            (
+                node
+                for node in ast.walk(tree)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ),
+            None,
+        )
+        if fndef is None:
+            ir.analyzable = False
+            return
+        params = [arg.arg for arg in fndef.args.args]
+        if self_kind is not None and params and params[0] == "self":
+            self.kinds[params[0]] = self_kind
+            params = params[1:]
+        for name, kind in zip(params, param_kinds):
+            self.kinds[name] = kind
+        for name in params[len(param_kinds):]:
+            self.kinds[name] = ("unknown",)
+        for stmt in fndef.body:
+            self.visit(stmt)
+
+    # -- helpers -----------------------------------------------------
+
+    def _line(self, node: ast.AST) -> int:
+        return getattr(node, "lineno", 0) + self.line_offset
+
+    def _register(self, value: Any) -> None:
+        self.live[id(value)] = value
+
+    def resolve_name(self, name: str) -> tuple:
+        """Kind of a bare name: locals, then closure, then globals."""
+        if name in self.kinds:
+            return self.kinds[name]
+        closure = self.fn.__closure__ or ()
+        freevars = self.fn.__code__.co_freevars
+        for var, cell in zip(freevars, closure):
+            if var == name:
+                try:
+                    value = cell.cell_contents
+                except ValueError:
+                    return ("unknown",)
+                kind = _classify_live(value, name)
+                self._register(value)
+                return kind
+        if name in self.fn.__globals__:
+            value = self.fn.__globals__[name]
+            kind = _classify_live(value, name)
+            self._register(value)
+            return kind
+        import builtins
+
+        if hasattr(builtins, name):
+            return ("callable", getattr(builtins, name), name)
+        return ("unknown",)
+
+    # -- expression evaluation ---------------------------------------
+
+    def _eval(self, node: ast.AST) -> tuple:
+        """Evaluate an expression to a value kind, recording effects."""
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        # Anything unmodeled: visit children conservatively.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child)
+        return ("unknown",)
+
+    def _eval_Constant(self, node: ast.Constant) -> tuple:
+        return ("scalar",)
+
+    def _eval_Name(self, node: ast.Name) -> tuple:
+        return self.resolve_name(node.id)
+
+    def _eval_Tuple(self, node: ast.Tuple) -> tuple:
+        kinds = tuple(self._eval(elt) for elt in node.elts)
+        return ("tuple", kinds)
+
+    def _eval_List(self, node: ast.List) -> tuple:
+        for elt in node.elts:
+            self._eval(elt)
+        self.ir.allocations.append(
+            AllocSite("list", self.loop_depth > 0, self._line(node))
+        )
+        return ("pyobject", "list literal")
+
+    def _eval_Set(self, node: ast.Set) -> tuple:
+        for elt in node.elts:
+            self._eval(elt)
+        self.ir.allocations.append(
+            AllocSite("set", self.loop_depth > 0, self._line(node))
+        )
+        return ("pyobject", "set literal")
+
+    def _eval_Dict(self, node: ast.Dict) -> tuple:
+        for key in node.keys:
+            if key is not None:
+                self._eval(key)
+        for value in node.values:
+            self._eval(value)
+        self.ir.allocations.append(
+            AllocSite("dict", self.loop_depth > 0, self._line(node))
+        )
+        return ("pyobject", "dict literal")
+
+    def _comp_kind(self, node) -> tuple:
+        """Comprehensions: bind targets from the iterable, eval elt."""
+        saved = dict(self.kinds)
+        for comp in node.generators:
+            iter_kind = self._eval(comp.iter)
+            self._bind_target(comp.target, self._element_kind(iter_kind))
+            for cond in comp.ifs:
+                self._eval(cond)
+        if isinstance(node, ast.DictComp):
+            self._eval(node.key)
+            elt_kind = self._eval(node.value)
+        else:
+            elt_kind = self._eval(node.elt)
+        self.kinds = saved
+        return elt_kind
+
+    def _eval_ListComp(self, node: ast.ListComp) -> tuple:
+        elt_kind = self._comp_kind(node)
+        self.ir.allocations.append(
+            AllocSite("list", self.loop_depth > 0, self._line(node))
+        )
+        # A listcomp of per-node gathers is itself a gather vector —
+        # np.array([o.data for o in os]) keeps its index meaning.
+        if elt_kind[0] in ("gather", "rank"):
+            return self._vector_of(elt_kind)
+        return ("pyobject", "list comprehension")
+
+    def _eval_SetComp(self, node: ast.SetComp) -> tuple:
+        self._comp_kind(node)
+        self.ir.allocations.append(
+            AllocSite("set", self.loop_depth > 0, self._line(node))
+        )
+        return ("pyobject", "set comprehension")
+
+    def _eval_DictComp(self, node: ast.DictComp) -> tuple:
+        self._comp_kind(node)
+        self.ir.allocations.append(
+            AllocSite("dict", self.loop_depth > 0, self._line(node))
+        )
+        return ("pyobject", "dict comprehension")
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp) -> tuple:
+        elt_kind = self._comp_kind(node)
+        if elt_kind[0] in ("gather", "rank"):
+            return self._vector_of(elt_kind)
+        return ("data",)
+
+    @staticmethod
+    def _vector_of(elt_kind: tuple) -> tuple:
+        if elt_kind[0] == "gather":
+            return elt_kind
+        if elt_kind[0] == "rank":
+            return ("rankvec", elt_kind[1], 1, 0)
+        return ("data",)
+
+    @staticmethod
+    def _element_kind(iter_kind: tuple) -> tuple:
+        """Kind of one element drawn from an iterable of ``iter_kind``."""
+        if iter_kind[0] == "nodeseq":
+            return ("node", iter_kind[1])
+        if iter_kind[0] == "rankvec":
+            return ("rank", iter_kind[1])
+        if iter_kind[0] in ("gather", "column"):
+            return ("data",)
+        if iter_kind[0] == "array":
+            return ("data",)
+        if iter_kind[0] == "tuple":
+            return ("unknown",)
+        return ("unknown",)
+
+    def _eval_Starred(self, node: ast.Starred) -> tuple:
+        return self._eval(node.value)
+
+    def _eval_IfExp(self, node: ast.IfExp) -> tuple:
+        self._eval(node.test)
+        body = self._eval(node.body)
+        orelse = self._eval(node.orelse)
+        return body if body == orelse else ("data",)
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr) -> tuple:
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                self._eval(value.value)
+        return ("scalar",)
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> tuple:
+        for value in node.values:
+            self._eval(value)
+        return ("scalar",)
+
+    def _eval_Compare(self, node: ast.Compare) -> tuple:
+        kinds = [self._eval(node.left)]
+        kinds.extend(self._eval(comp) for comp in node.comparators)
+        if any(
+            k[0] in ("rankvec", "gather", "column", "array", "mask", "nonaffine")
+            for k in kinds
+        ):
+            return ("mask",)
+        return ("scalar",)
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> tuple:
+        operand = self._eval(node.operand)
+        if isinstance(node.op, ast.USub):
+            if operand[0] == "rankvec":
+                return ("rankvec", operand[1], -operand[2], _neg(operand[3]))
+            if operand[0] in ("rank", "gather"):
+                return ("nonaffine", operand[1], "negated index")
+        return operand if operand[0] in ("scalar", "data", "mask") else ("data",)
+
+    def _eval_BinOp(self, node: ast.BinOp) -> tuple:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        lit_left = _literal_int(node.left)
+        lit_right = _literal_int(node.right)
+        return _combine_binop(node.op, left, right, lit_left, lit_right)
+
+    def _eval_Attribute(self, node: ast.Attribute) -> tuple:
+        base = self._eval(node.value)
+        attr = node.attr
+        if base[0] == "node":
+            self.ir.attr_reads.add((base[1], attr))
+            return ("gather", base[1], attr)
+        if base[0] == "state":
+            obj = self.live.get(base[1], _MISSING)
+            label = f"{base[2]}.{attr}"
+            if obj is _MISSING:
+                return ("unknown",)
+            value = getattr(obj, attr, _MISSING)
+            if value is _MISSING:
+                # A field first assigned by the kernel itself.
+                return ("statefield", base[1], base[2], attr)
+            if isinstance(value, np.ndarray):
+                self._register(value)
+                return ("array", label)
+            if callable(value):
+                return ("callable", value, label)
+            if isinstance(value, (bool, numbers.Number, np.generic)):
+                self.ir.state_accesses.append(
+                    StateAccess(label, is_write=False, line=self._line(node))
+                )
+                return ("statefield", base[1], base[2], attr)
+            if isinstance(value, (dict, list, set)):
+                return ("pyobject", label)
+            self._register(value)
+            return ("state", id(value), label)
+        if base[0] == "module":
+            value = getattr(base[1], attr, _MISSING)
+            if value is _MISSING:
+                return ("unknown",)
+            kind = _classify_live(value, f"{base[2]}.{attr}")
+            if kind[0] == "array":
+                self._register(value)
+            return kind
+        if base[0] == "pyobject":
+            self.ir.object_uses.append(
+                ObjectUse(f"attribute access on {base[1]}", self._line(node))
+            )
+            return ("unknown",)
+        if base[0] in ("array", "rankvec", "gather", "column"):
+            # shape/dtype/T and friends: typed metadata, not an escape.
+            if attr in ("shape", "size", "ndim", "dtype", "T"):
+                return ("scalar",) if attr != "T" else base
+            return ("data",)
+        if base[0] == "callable" or base[0] == "statefield":
+            return ("unknown",)
+        return ("unknown",)
+
+    def _eval_Subscript(self, node: ast.Subscript) -> tuple:
+        base = self._eval(node.value)
+        if base[0] in ("array", "column"):
+            dims = self._classify_dims(node.slice)
+            label = base[1] if base[0] == "array" else f"{base[1]}.{base[2]}"
+            self.ir.array_accesses.append(
+                ArrayAccess(label, dims, is_write=False, line=self._line(node))
+            )
+            self._note_dim_effects(dims, node)
+            if base[0] == "column" and len(dims) == 1:
+                dim = dims[0]
+                if dim.kind == AFFINE:
+                    return ("gather", base[1], base[2])
+                if dim.kind == SLICE:
+                    return ("column", base[1], base[2])
+            return ("data",)
+        if base[0] == "nodeseq":
+            return ("node", base[1])
+        if base[0] == "rankvec":
+            index = node.slice
+            if _literal_int(index) is not None:
+                return ("rank", base[1])
+            if isinstance(index, ast.Slice):
+                return ("rankvec", base[1], base[2], None)
+            index_kind = self._eval(index)
+            if index_kind[0] == "mask":
+                self.ir.dynamic_shapes.append(
+                    ("mask-selected rank subset", self._line(node))
+                )
+                return ("rankvec", base[1], base[2], None)
+            return ("nonaffine", base[1], "rank vector indexed by a value")
+        if base[0] == "gather":
+            self._eval(node.slice)
+            return ("data",)
+        if base[0] == "pyobject":
+            self._eval(node.slice)
+            self.ir.object_uses.append(
+                ObjectUse(f"subscript of {base[1]}", self._line(node))
+            )
+            return ("unknown",)
+        if base[0] == "state":
+            self.ir.object_uses.append(
+                ObjectUse(f"subscript of state object {base[2]}", self._line(node))
+            )
+            return ("unknown",)
+        if base[0] == "tuple":
+            lit = _literal_int(node.slice)
+            if lit is not None and 0 <= lit < len(base[1]):
+                return base[1][lit]
+            return ("unknown",)
+        self._eval(node.slice)
+        return ("data",) if base[0] in ("data", "mask") else ("unknown",)
+
+    # -- calls -------------------------------------------------------
+
+    def _eval_Call(self, node: ast.Call) -> tuple:
+        func = node.func
+        arg_kinds = [self._eval(arg) for arg in node.args]
+        for keyword in node.keywords:
+            self._eval(keyword.value)
+
+        if isinstance(func, ast.Name):
+            return self._call_named(func.id, node, arg_kinds)
+        if isinstance(func, ast.Attribute):
+            return self._call_method(func, node, arg_kinds)
+        self.ir.unknown_helpers.append(HelperCall("<dynamic call>", self._line(node)))
+        return ("unknown",)
+
+    def _call_named(self, name: str, node: ast.Call, arg_kinds: list) -> tuple:
+        if name in _PURE_BUILTINS:
+            if name in ("int", "float", "bool", "abs") and arg_kinds:
+                k = arg_kinds[0]
+                if k[0] in ("rank", "gather", "rankvec"):
+                    return k
+            return ("scalar",)
+        if name in _CONTAINER_BUILTINS:
+            self.ir.allocations.append(
+                AllocSite(name, self.loop_depth > 0, self._line(node))
+            )
+            return ("pyobject", f"{name}() call")
+        kind = self.resolve_name(name)
+        return self._dispatch_kind(kind, name, node, arg_kinds)
+
+    def _call_method(
+        self, func: ast.Attribute, node: ast.Call, arg_kinds: list
+    ) -> tuple:
+        base = self._eval(func.value)
+        attr = func.attr
+        if base[0] == "view":
+            if attr == "column":
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    return ("column", base[1], str(node.args[0].value))
+                self.ir.untyped.append(
+                    ("view.column() with a non-literal name", self._line(node))
+                )
+                return ("unknown",)
+            return ("unknown",)
+        if base[0] == "module":
+            live_fn = getattr(base[1], attr, _MISSING)
+            module_name = getattr(base[1], "__name__", "")
+            root = module_name.split(".")[0]
+            if root == "numpy":
+                return self._numpy_call(attr, node, arg_kinds)
+            if root == "math":
+                return ("scalar",)
+            if live_fn is not _MISSING and _is_repro_function(live_fn):
+                return self._dispatch_function(live_fn, arg_kinds, node)
+            self.ir.unknown_helpers.append(
+                HelperCall(f"{module_name}.{attr}", self._line(node))
+            )
+            return ("unknown",)
+        if base[0] in ("array", "column", "gather", "rankvec", "nodeseq"):
+            if attr in _PURE_VALUE_METHODS:
+                return ("data",)
+            if attr in ("fill", "sort", "put", "setfield", "resize"):
+                label = base[1] if base[0] == "array" else str(base[1])
+                self.ir.array_accesses.append(
+                    ArrayAccess(
+                        label,
+                        (IndexDim(SLICE),),
+                        is_write=True,
+                        line=self._line(node),
+                    )
+                )
+                return ("scalar",)
+            if attr == "tolist":
+                self.ir.allocations.append(
+                    AllocSite("list", self.loop_depth > 0, self._line(node))
+                )
+                return ("pyobject", "tolist()")
+            return ("data",)
+        if base[0] == "state":
+            obj = self.live.get(base[1], _MISSING)
+            if obj is not _MISSING:
+                bound = getattr(obj, attr, _MISSING)
+                if bound is not _MISSING and callable(bound):
+                    return self._dispatch_bound_method(
+                        bound, base, attr, arg_kinds, node
+                    )
+            self.ir.unknown_helpers.append(
+                HelperCall(f"{base[2]}.{attr}", self._line(node))
+            )
+            return ("unknown",)
+        if base[0] == "node":
+            self.ir.unknown_helpers.append(
+                HelperCall(f"<{base[1]} node>.{attr}", self._line(node))
+            )
+            return ("unknown",)
+        if base[0] == "pyobject":
+            self.ir.object_uses.append(
+                ObjectUse(f"method {attr}() on {base[1]}", self._line(node))
+            )
+            return ("unknown",)
+        if base[0] == "callable":
+            return ("unknown",)
+        if base[0] in ("scalar", "data", "mask"):
+            return base
+        self.ir.unknown_helpers.append(HelperCall(attr, self._line(node)))
+        return ("unknown",)
+
+    def _numpy_call(self, attr: str, node: ast.Call, arg_kinds: list) -> tuple:
+        if attr in _NP_STAGING:
+            if arg_kinds and arg_kinds[0][0] in ("rankvec", "gather", "rank"):
+                return self._vector_of(arg_kinds[0]) if arg_kinds[0][0] != "rankvec" else arg_kinds[0]
+            return ("data",)
+        if attr in _NP_ALLOC:
+            self.ir.allocations.append(
+                AllocSite("ndarray", self.loop_depth > 0, self._line(node))
+            )
+            # The "<fresh ...>" label marks a kernel-local temporary:
+            # the independence pass exempts writes into it.
+            return ("array", f"<fresh np.{attr}>")
+        if attr in _NP_DYNSHAPE:
+            self.ir.dynamic_shapes.append((f"np.{attr}", self._line(node)))
+            return ("mask",)
+        # Everything else in numpy is a typed intrinsic over its args.
+        return ("data",)
+
+    def _dispatch_kind(
+        self, kind: tuple, name: str, node: ast.Call, arg_kinds: list
+    ) -> tuple:
+        if kind[0] == "callable":
+            target = kind[1]
+            if _is_repro_function(target):
+                return self._dispatch_function(target, arg_kinds, node)
+            module = getattr(target, "__module__", "") or ""
+            if module.split(".")[0] in ("numpy", "math"):
+                return ("data",)
+            if isinstance(target, type):
+                self.ir.allocations.append(
+                    AllocSite("object", self.loop_depth > 0, self._line(node))
+                )
+                self.ir.object_uses.append(
+                    ObjectUse(f"constructs {name}()", self._line(node))
+                )
+                return ("unknown",)
+            if isinstance(target, types.MethodType):
+                self_obj = target.__self__
+                self._register(self_obj)
+                return self._dispatch_bound_method(
+                    target,
+                    ("state", id(self_obj), name),
+                    getattr(target, "__name__", name),
+                    arg_kinds,
+                    node,
+                )
+            self.ir.unknown_helpers.append(HelperCall(name, self._line(node)))
+            return ("unknown",)
+        if kind[0] in ("unknown", "pyobject", "state"):
+            self.ir.unknown_helpers.append(HelperCall(name, self._line(node)))
+        return ("unknown",)
+
+    def _dispatch_function(
+        self,
+        target: types.FunctionType,
+        arg_kinds: list,
+        node: ast.Call,
+        self_kind: Optional[tuple] = None,
+    ) -> tuple:
+        name = getattr(target, "__name__", "<fn>")
+        if self.depth >= _MAX_DEPTH:
+            self.ir.unknown_helpers.append(HelperCall(name, self._line(node)))
+            return ("unknown",)
+        key = (target.__code__, tuple(k[0] for k in arg_kinds))
+        if key in self.memo:
+            return ("data",)
+        self.memo.add(key)
+        sub = _Extractor(
+            self.ir,
+            target,
+            tuple(arg_kinds),
+            self.live,
+            self_kind=self_kind,
+            depth=self.depth + 1,
+            loop_depth=self.loop_depth,
+            memo=self.memo,
+        )
+        if not self.ir.analyzable:
+            # Helper source unavailable: record, but do not poison the
+            # whole kernel — the caller's body was parseable.
+            self.ir.analyzable = True
+            self.ir.unknown_helpers.append(HelperCall(name, self._line(node)))
+        del sub
+        return ("data",)
+
+    def _dispatch_bound_method(
+        self,
+        bound: Any,
+        base: tuple,
+        attr: str,
+        arg_kinds: list,
+        node: ast.Call,
+    ) -> tuple:
+        func = getattr(bound, "__func__", None)
+        if func is None or not _is_repro_function(func):
+            self.ir.unknown_helpers.append(
+                HelperCall(f"{base[2]}.{attr}", self._line(node))
+            )
+            return ("unknown",)
+        return self._dispatch_function(func, arg_kinds, node, self_kind=base)
+
+    # -- index classification ----------------------------------------
+
+    def _classify_dims(self, index: ast.AST) -> tuple[IndexDim, ...]:
+        if isinstance(index, ast.Tuple):
+            return tuple(self._classify_dim(elt) for elt in index.elts)
+        return (self._classify_dim(index),)
+
+    def _classify_dim(self, node: ast.AST) -> IndexDim:
+        if isinstance(node, ast.Slice):
+            if node.lower is not None:
+                self._eval(node.lower)
+            if node.upper is not None:
+                self._eval(node.upper)
+            return IndexDim(SLICE)
+        if _literal_int(node) is not None:
+            return IndexDim(CONST, const=_literal_int(node))
+        kind = self._eval(node)
+        if kind[0] == "rank":
+            return IndexDim(AFFINE, axis=kind[1], coeff=1, const=0)
+        if kind[0] == "rankvec":
+            return IndexDim(AFFINE, axis=kind[1], coeff=kind[2], const=kind[3])
+        if kind[0] == "gather":
+            return IndexDim(GATHER, axis=kind[1], column=kind[2])
+        if kind[0] == "nonaffine":
+            return IndexDim(UNKNOWN, axis=kind[1], detail=kind[2])
+        if kind[0] == "mask":
+            return IndexDim(MASK)
+        if kind[0] == "scalar":
+            # A scalar *variable*: rank-independent as far as the IR can
+            # see, but its provenance (a data value? a loop counter?) is
+            # lost — claiming a definite location would overreach.
+            return IndexDim(UNKNOWN, detail="scalar of unknown provenance")
+        return IndexDim(UNKNOWN, detail="value-dependent index")
+
+    def _note_dim_effects(self, dims: tuple[IndexDim, ...], node: ast.AST) -> None:
+        for dim in dims:
+            if dim.kind == MASK:
+                self.ir.dynamic_shapes.append(
+                    ("boolean-mask index", self._line(node))
+                )
+
+    # -- statements --------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value_kind = self._eval(node.value)
+        for target in node.targets:
+            self._store(target, value_kind, node, reduction=False, aug=False)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is None:
+            return
+        value_kind = self._eval(node.value)
+        self._store(node.target, value_kind, node, reduction=False, aug=False)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._eval(node.value)
+        # The augmented target is read *and* written.
+        self._eval(node.target)
+        reduction = isinstance(node.op, _REDUCTION_OPS)
+        self._store(node.target, ("data",), node, reduction=reduction, aug=True)
+
+    def _store(
+        self,
+        target: ast.AST,
+        value_kind: tuple,
+        node: ast.AST,
+        reduction: bool,
+        aug: bool,
+    ) -> None:
+        line = self._line(node)
+        if isinstance(target, ast.Name):
+            if target.id in self.fn.__code__.co_freevars:
+                self.ir.object_uses.append(
+                    ObjectUse(f"rebinds captured variable {target.id!r}", line)
+                )
+                return
+            self.kinds[target.id] = value_kind
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            kinds = (
+                value_kind[1]
+                if value_kind[0] == "tuple" and len(value_kind[1]) == len(target.elts)
+                else tuple(("unknown",) for _ in target.elts)
+            )
+            for elt, kind in zip(target.elts, kinds):
+                self._store(elt, kind, node, reduction=False, aug=False)
+            return
+        if isinstance(target, ast.Starred):
+            self._store(target.value, ("unknown",), node, reduction=False, aug=False)
+            return
+        if isinstance(target, ast.Attribute):
+            self._store_attribute(target, node, reduction, aug)
+            return
+        if isinstance(target, ast.Subscript):
+            self._store_subscript(target, node, reduction)
+            return
+        self.ir.untyped.append(("unresolvable store target", line))
+
+    def _store_attribute(
+        self, target: ast.Attribute, node: ast.AST, reduction: bool, aug: bool
+    ) -> None:
+        base = self._eval(target.value)
+        attr = target.attr
+        line = self._line(node)
+        if base[0] == "state":
+            obj = self.live.get(base[1], _MISSING)
+            label = f"{base[2]}.{attr}"
+            typed = True
+            if obj is not _MISSING:
+                value = getattr(obj, attr, _MISSING)
+                typed = value is _MISSING or isinstance(
+                    value, (bool, numbers.Number, np.generic)
+                )
+            self.ir.state_accesses.append(
+                StateAccess(
+                    label,
+                    is_write=True,
+                    reduction=reduction and aug,
+                    typed=typed,
+                    line=line,
+                )
+            )
+            return
+        if base[0] == "node":
+            self.ir.node_writes.append(NodeFieldWrite(base[1], attr, line))
+            return
+        if base[0] == "pyobject":
+            self.ir.object_uses.append(
+                ObjectUse(f"attribute store on {base[1]}", line)
+            )
+            return
+        if base[0] == "view":
+            self.ir.object_uses.append(
+                ObjectUse(f"attribute store on the {base[1]} SoA view", line)
+            )
+            return
+        self.ir.untyped.append((f"store to attribute {attr!r} of {base[0]}", line))
+
+    def _store_subscript(
+        self, target: ast.Subscript, node: ast.AST, reduction: bool
+    ) -> None:
+        base = self._eval(target.value)
+        line = self._line(node)
+        if base[0] in ("array", "column"):
+            dims = self._classify_dims(target.slice)
+            label = base[1] if base[0] == "array" else f"{base[1]}.{base[2]}"
+            self.ir.array_accesses.append(
+                ArrayAccess(label, dims, is_write=True, reduction=reduction, line=line)
+            )
+            self._note_dim_effects(dims, node)
+            return
+        if base[0] in ("pyobject", "state"):
+            label = base[1] if base[0] == "pyobject" else base[2]
+            self._eval(target.slice)
+            self.ir.object_uses.append(ObjectUse(f"item store into {label}", line))
+            return
+        self._eval(target.slice)
+        self.ir.untyped.append((f"store through a {base[0]} subscript", line))
+
+    def visit_For(self, node: ast.For) -> None:
+        iter_kind = self._eval(node.iter)
+        if isinstance(node.iter, ast.Call) and isinstance(node.iter.func, ast.Name):
+            fname = node.iter.func.id
+            if fname == "enumerate" and node.iter.args:
+                inner = self._eval(node.iter.args[0])
+                iter_kind = ("tuple", (("scalar",), self._element_kind(inner)))
+                self._bind_target(node.target, iter_kind)
+                self._loop_body(node)
+                return
+            if fname == "zip":
+                kinds = tuple(
+                    self._element_kind(self._eval(arg)) for arg in node.iter.args
+                )
+                self._bind_target(node.target, ("tuple", kinds))
+                self._loop_body(node)
+                return
+            if fname == "range":
+                self._bind_target(node.target, ("scalar",))
+                self._loop_body(node)
+                return
+        self._bind_target(node.target, self._element_kind(iter_kind))
+        self._loop_body(node)
+
+    def _loop_body(self, node: ast.For) -> None:
+        self.loop_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        self.loop_depth -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def _bind_target(self, target: ast.AST, kind: tuple) -> None:
+        if isinstance(target, ast.Name):
+            self.kinds[target.id] = kind
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            kinds = (
+                kind[1]
+                if kind[0] == "tuple" and len(kind[1]) == len(target.elts)
+                else tuple(("unknown",) for _ in target.elts)
+            )
+            for elt, sub in zip(target.elts, kinds):
+                self._bind_target(elt, sub)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._eval(node.test)
+        self.loop_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        self.loop_depth -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_If(self, node: ast.If) -> None:
+        self._eval(node.test)
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self._eval(node.value)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self._eval(node.value)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._eval(node.test)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self._eval(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for stmt in node.body:
+            self.visit(stmt)
+        for handler in node.handlers:
+            for stmt in handler.body:
+                self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        for stmt in node.finalbody:
+            self.visit(stmt)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A nested def is a closure the compiled loop cannot have.
+        self.ir.object_uses.append(
+            ObjectUse(f"defines nested function {node.name!r}", self._line(node))
+        )
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:  # pragma: no cover
+        self.ir.object_uses.append(
+            ObjectUse("defines a lambda", self._line(node))
+        )
+
+    def generic_visit(self, node: ast.AST) -> None:
+        # Statements without a dedicated handler: evaluate expression
+        # children so reads are still recorded.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child)
+            else:
+                self.visit(child)
+
+
+def _neg(value: Optional[int]) -> Optional[int]:
+    return None if value is None else -value
+
+
+def _combine_binop(
+    op: ast.operator,
+    left: tuple,
+    right: tuple,
+    lit_left: Optional[int],
+    lit_right: Optional[int],
+) -> tuple:
+    """Kind algebra for binary operators, preserving affineness."""
+    rankish = ("rank", "rankvec")
+    # Normalize: rank behaves as rankvec(1, 0) of width one.
+    def as_affine(kind):
+        if kind[0] == "rank":
+            return ("rankvec", kind[1], 1, 0)
+        return kind
+
+    lk, rk = as_affine(left), as_affine(right)
+    if lk[0] == "rankvec" and rk[0] == "rankvec":
+        return ("nonaffine", lk[1], "combines two rank expressions")
+    for vec, other, lit in ((lk, rk, lit_right), (rk, lk, lit_left)):
+        if vec[0] == "rankvec" and other[0] == "scalar":
+            if isinstance(op, (ast.Add, ast.Sub)):
+                if vec is rk and isinstance(op, ast.Sub):
+                    # k - (c*r + d) = -c*r + (k - d)
+                    const = (
+                        lit - vec[3]
+                        if lit is not None and vec[3] is not None
+                        else None
+                    )
+                    return ("rankvec", vec[1], -vec[2], const)
+                if lit is None:
+                    return ("rankvec", vec[1], vec[2], None)
+                delta = lit if isinstance(op, ast.Add) else -lit
+                const = None if vec[3] is None else vec[3] + delta
+                return ("rankvec", vec[1], vec[2], const)
+            if isinstance(op, ast.Mult):
+                if lit is None:
+                    return ("nonaffine", vec[1], "scaled by a runtime value")
+                if lit == 0:
+                    return ("scalar",)
+                return (
+                    "rankvec",
+                    vec[1],
+                    vec[2] * lit,
+                    None if vec[3] is None else vec[3] * lit,
+                )
+            return ("nonaffine", vec[1], f"{type(op).__name__} of a rank expression")
+    if lk[0] == "gather" and rk[0] == "scalar":
+        if isinstance(op, (ast.Add, ast.Sub)):
+            return lk
+        if isinstance(op, ast.Mult) and lit_right not in (None, 0):
+            return lk
+        return ("data",)
+    if rk[0] == "gather" and lk[0] == "scalar":
+        if isinstance(op, ast.Add):
+            return rk
+        if isinstance(op, ast.Mult) and lit_left not in (None, 0):
+            return rk
+        return ("data",)
+    if lk[0] == "gather" and rk[0] == "gather":
+        return ("data",)
+    if any(k[0] in rankish for k in (left, right)):
+        axis = left[1] if left[0] in rankish else right[1]
+        return ("nonaffine", axis, "rank combined with non-scalar data")
+    if lk[0] == "mask" or rk[0] == "mask":
+        return ("mask",)
+    if lk[0] == "scalar" and rk[0] == "scalar":
+        return ("scalar",)
+    return ("data",)
+
+
+# --------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------
+
+
+def extract_kernel_ir(fn: Any, role: str) -> KernelIR:
+    """Extract the typed IR of one live kernel function.
+
+    ``role`` must be a key of :data:`ROLE_PARAM_KINDS`; it fixes the
+    kinds the kernel's positional parameters are bound to.  A kernel
+    whose source cannot be fetched yields ``analyzable=False`` (the
+    lowerability pass turns that into TW200).
+    """
+    if role not in ROLE_PARAM_KINDS:
+        raise ValueError(f"unknown kernel role {role!r}")
+    ir = KernelIR(role=role, name=getattr(fn, "__name__", "<kernel>"))
+    target = fn
+    self_kind: Optional[tuple] = None
+    live: dict[int, Any] = {}
+    if isinstance(fn, types.MethodType):
+        self_obj = fn.__self__
+        live[id(self_obj)] = self_obj
+        label = type(self_obj).__name__.lower()
+        self_kind = ("state", id(self_obj), label)
+        target = fn.__func__
+    if not isinstance(target, types.FunctionType):
+        ir.analyzable = False
+        return ir
+    _Extractor(ir, target, ROLE_PARAM_KINDS[role], live, self_kind=self_kind)
+    return ir

@@ -1,0 +1,124 @@
+"""Property-based soundness of the TW21x static independence pass.
+
+The contract under test: **static never overclaims**.  Any spec the
+affine-footprint pass certifies ``independent`` must also pass the
+dynamic TW030 witness (a serial run under a
+:class:`~repro.core.soundness.FootprintRecorder` with zero
+outer-parallel violations).  The reverse direction is not required —
+the pass may be conservative — but on the scatter family below a
+``dependent`` refutation is checked to be real, so the proof can't
+drift into vacuous pessimism either.
+
+Counterexamples found while developing the pass are quarantined as
+pinned regression tests at the bottom (see also
+``TestQuarantinedRegressions`` in ``tests/unit/transform/lint``).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.soundness import FootprintRecorder, outer_parallel_violations
+from repro.core.schedules import ORIGINAL
+from repro.core.spec import NestedRecursionSpec
+from repro.kernels import TreeJoin
+from repro.spaces import random_tree
+from repro.transform.lint import lower
+
+
+def payload_tree(num_nodes: int, seed: int, duplicate: bool):
+    """A random-shaped tree whose payloads are a permutation of
+    ``range(num_nodes)`` — optionally with one forced collision."""
+    root = random_tree(num_nodes, seed=seed)
+    rng = np.random.default_rng(seed)
+    values = rng.permutation(num_nodes)
+    nodes = list(root.iter_preorder())
+    for node, value in zip(nodes, values):
+        node.data = int(value)
+    if duplicate and len(nodes) >= 2:
+        nodes[-1].data = nodes[0].data
+    return root
+
+
+def scatter_spec(outer_nodes, inner_nodes, seed, duplicate):
+    """MM-shaped scatter: every work point writes out[o.data, i.data]."""
+    out = np.zeros((outer_nodes, inner_nodes))
+
+    def work(o, i):
+        out[o.data, i.data] = 1.0
+
+    def footprint(o, i):
+        return ((("out", o.data, i.data), True),)
+
+    spec = NestedRecursionSpec(
+        outer_root=payload_tree(outer_nodes, seed, duplicate),
+        inner_root=payload_tree(inner_nodes, seed + 1, False),
+        work=work,
+        name="scatter-prop",
+    )
+    return spec, footprint
+
+
+def dynamic_witness_violations(spec, footprint):
+    recorder = FootprintRecorder(footprint)
+    ORIGINAL.run(spec, instrument=recorder, backend="recursive")
+    return outer_parallel_violations(recorder)
+
+
+@given(
+    outer_nodes=st.integers(min_value=2, max_value=24),
+    inner_nodes=st.integers(min_value=1, max_value=16),
+    duplicate=st.booleans(),
+    seed=st.integers(min_value=0, max_value=9_999),
+)
+@settings(max_examples=40, deadline=None)
+def test_static_independent_implies_the_dynamic_witness_passes(
+    outer_nodes, inner_nodes, duplicate, seed
+):
+    lower.clear_cache()
+    spec, footprint = scatter_spec(outer_nodes, inner_nodes, seed, duplicate)
+    verdict, reason = lower.static_independence(spec)
+    violations = dynamic_witness_violations(spec, footprint)
+    if verdict == "independent":
+        # Soundness: a static certificate may never contradict the
+        # dynamic oracle.
+        assert not violations, (reason, violations[:3])
+    if verdict == "dependent":
+        # On this family the refutation must be real, too: TW210 fires
+        # exactly when outer.data collides, and a collision really does
+        # write one cell from two outer tasks.
+        assert violations, reason
+
+
+@given(
+    num_nodes=st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=15, deadline=None)
+def test_reduction_specs_certify_and_pass_the_witness(num_nodes):
+    lower.clear_cache()
+    tj = TreeJoin(num_nodes, num_nodes)
+    spec = tj.make_spec()
+    verdict, _reason = lower.static_independence(spec)
+    assert verdict == "independent"
+    _probe_spec, footprint = spec.parallel_plan.make_probe()
+    assert not dynamic_witness_violations(tj.make_spec(), footprint)
+
+
+class TestQuarantinedCounterexamples:
+    """Minimal inputs that once broke the property, pinned forever."""
+
+    def test_single_collision_is_refuted_not_certified(self):
+        # The smallest dependent scatter: two outer nodes, same payload.
+        lower.clear_cache()
+        spec, footprint = scatter_spec(2, 1, seed=0, duplicate=True)
+        verdict, _ = lower.static_independence(spec)
+        assert verdict == "dependent"
+        assert dynamic_witness_violations(spec, footprint)
+
+    def test_singleton_outer_tree_is_trivially_independent(self):
+        # One outer task cannot overlap with itself; the pass must not
+        # degrade to needs-runtime-check on the degenerate tree.
+        lower.clear_cache()
+        spec, footprint = scatter_spec(1, 4, seed=3, duplicate=False)
+        verdict, _ = lower.static_independence(spec)
+        assert verdict == "independent"
+        assert not dynamic_witness_violations(spec, footprint)

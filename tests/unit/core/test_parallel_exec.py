@@ -74,6 +74,14 @@ class TestIndependenceGate:
     def test_unproven_plan_is_refused_citing_tw030(self):
         tj = TreeJoin(63, 63)
         spec = tj.make_spec()
+        # Opaque side effects keep the TW21x static pass from proving
+        # independence, so the gate falls back to the (absent) witness.
+        shared: dict = {}
+
+        def opaque_work(o, i):
+            shared[id(o)] = i
+
+        spec.work = opaque_work
         plan = spec.parallel_plan
         spec.parallel_plan = ParallelPlan(
             factory=plan.factory,
@@ -142,6 +150,13 @@ class TestBackendSelection:
 
     def test_unproven_plan_refused_by_selector(self, monkeypatch):
         monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        # Defeat the TW21x static proof so the selector needs the
+        # (removed) dynamic witness — and must refuse parallelism.
+        import repro.core.parallel_exec as parallel_exec
+
+        monkeypatch.setattr(
+            parallel_exec, "_static_independence_proof", lambda spec: None
+        )
         tj = TreeJoin(1023, 1023)
         spec = tj.make_spec()
         plan = spec.parallel_plan

@@ -8,6 +8,7 @@ import pytest
 
 from repro.transform.lint import collect_pragmas, lint_source
 from repro.transform.lint.diagnostics import (
+    AFFECTS_DOMAINS,
     CATALOG,
     Diagnostic,
     DiagnosticSink,
@@ -24,7 +25,7 @@ class TestCatalog:
             assert re.fullmatch(r"TW\d{3}", code)
             assert info.code == code
             assert info.title
-            assert info.affects in ("input", "schedule", "parallel", "backend")
+            assert info.affects in AFFECTS_DOMAINS
 
     def test_expected_codes_present(self):
         assert {

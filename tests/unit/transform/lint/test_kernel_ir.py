@@ -1,0 +1,265 @@
+"""Unit tests for the typed kernel IR extractor."""
+
+import numpy as np
+import pytest
+
+from repro.transform.lint.kernel_ir import (
+    AFFINE,
+    GATHER,
+    MASK,
+    SLICE,
+    UNKNOWN,
+    extract_kernel_ir,
+)
+
+OUT = np.zeros((16, 16))
+TABLE = np.arange(64, dtype=np.float64)
+
+
+def soa_ir(fn):
+    return extract_kernel_ir(fn, "work_batch_soa")
+
+
+def writes_of(ir):
+    return [a for a in ir.array_accesses if a.is_write]
+
+
+class TestAffineTracking:
+    def test_positions_are_affine_rank_vectors(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            rows = np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
+            OUT[rows, 0] = 1.0
+
+        ir = soa_ir(kernel)
+        (write,) = writes_of(ir)
+        assert write.array == "OUT"
+        assert write.dims[0].kind == AFFINE
+        assert write.dims[0].axis == "outer"
+        assert write.dims[0].coeff == 1
+        assert write.dims[0].const == 0
+
+    def test_affine_arithmetic_keeps_coefficients(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            rows = np.asarray(o_positions)
+            OUT[2 * rows + 3, 0] = 1.0
+
+        ir = soa_ir(kernel)
+        (write,) = writes_of(ir)
+        assert write.dims[0].kind == AFFINE
+        assert (write.dims[0].coeff, write.dims[0].const) == (2, 3)
+
+    def test_rank_times_rank_goes_nonaffine(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            rows = np.asarray(o_positions)
+            OUT[rows * rows, 0] = 1.0
+
+        ir = soa_ir(kernel)
+        (write,) = writes_of(ir)
+        assert write.dims[0].kind == UNKNOWN
+        assert "rank" in write.dims[0].detail
+
+    def test_modulo_goes_nonaffine(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            rows = np.asarray(o_positions)
+            OUT[rows % 4, 0] = 1.0
+
+        ir = soa_ir(kernel)
+        (write,) = writes_of(ir)
+        assert write.dims[0].kind == UNKNOWN
+
+
+class TestGathers:
+    def test_column_gather_through_affine_index(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            rows = np.asarray(o_positions)
+            vals = o_view.column("data")[rows]
+            OUT[vals, 0] = 1.0
+
+        ir = soa_ir(kernel)
+        write = next(a for a in writes_of(ir) if a.array == "OUT")
+        assert write.dims[0].kind == GATHER
+        assert write.dims[0].axis == "outer"
+        assert write.dims[0].column == "data"
+        # The column read itself is recorded as an affine access.
+        read = next(a for a in ir.array_accesses if a.array == "outer.data")
+        assert read.dims[0].kind == AFFINE
+
+    def test_node_attribute_is_a_gather(self):
+        def kernel(o, i):
+            OUT[o.data, i.data] = 1.0
+
+        ir = extract_kernel_ir(kernel, "work")
+        (write,) = writes_of(ir)
+        assert [d.kind for d in write.dims] == [GATHER, GATHER]
+        assert [d.axis for d in write.dims] == ["outer", "inner"]
+        assert ("outer", "data") in ir.attr_reads
+        assert ("inner", "data") in ir.attr_reads
+
+    def test_gather_plus_constant_stays_a_gather(self):
+        def kernel(o, i):
+            OUT[o.data + 1, 0] = 1.0
+
+        ir = extract_kernel_ir(kernel, "work")
+        (write,) = writes_of(ir)
+        assert write.dims[0].kind == GATHER
+        assert write.dims[0].column == "data"
+
+
+class TestObjectAndAllocationFacts:
+    def test_dict_subscript_is_an_object_use(self):
+        lookup = {}
+
+        def kernel(o_view, i_view, o_positions, i_positions):
+            lookup[len(o_positions)] = 1
+
+        ir = soa_ir(kernel)
+        assert any("lookup" in use.what for use in ir.object_uses)
+
+    def test_list_literal_is_an_allocation(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            staged = [float(p) for p in o_positions]
+            return staged
+
+        ir = soa_ir(kernel)
+        assert any(a.kind == "list" for a in ir.allocations)
+
+    def test_ndarray_alloc_inside_loop_is_flagged_in_loop(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            for _ in range(2):
+                scratch = np.zeros(4)
+            return scratch
+
+        ir = soa_ir(kernel)
+        alloc = next(a for a in ir.allocations if a.kind == "ndarray")
+        assert alloc.in_loop
+
+    def test_fresh_alloc_writes_carry_the_fresh_label(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            scratch = np.zeros(8)
+            scratch[:] = 1.0
+
+        ir = soa_ir(kernel)
+        (write,) = writes_of(ir)
+        assert write.array.startswith("<fresh")
+
+    def test_nested_def_is_an_object_use(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            def helper():
+                return 1
+
+            return helper()
+
+        ir = soa_ir(kernel)
+        assert any("nested function" in use.what for use in ir.object_uses)
+
+
+class TestStateAndReductions:
+    class Acc:
+        def __init__(self):
+            self.total = 0.0
+            self.trace = []
+
+    def test_augmented_add_is_a_reduction(self):
+        acc = self.Acc()
+
+        def kernel(o, i):
+            acc.total += float(o.data * i.data)
+
+        ir = extract_kernel_ir(kernel, "work")
+        (write,) = ir.state_writes()
+        assert write.label == "acc.total"
+        assert write.reduction
+
+    def test_plain_assign_is_not_a_reduction(self):
+        acc = self.Acc()
+
+        def kernel(o, i):
+            acc.total = float(o.data) - acc.total
+
+        ir = extract_kernel_ir(kernel, "work")
+        (write,) = ir.state_writes()
+        assert not write.reduction
+
+    def test_subtract_augassign_is_not_a_reduction(self):
+        acc = self.Acc()
+
+        def kernel(o, i):
+            acc.total -= float(o.data)
+
+        ir = extract_kernel_ir(kernel, "work")
+        (write,) = ir.state_writes()
+        assert not write.reduction
+
+    def test_non_numeric_state_field_is_untyped(self):
+        acc = self.Acc()
+
+        def kernel(o, i):
+            acc.trace = o
+
+        ir = extract_kernel_ir(kernel, "work")
+        (write,) = ir.state_writes()
+        assert not write.typed
+
+
+class TestMiscFacts:
+    def test_mask_index_is_a_dynamic_shape(self):
+        def kernel(o_view, i_view, o_positions, i_positions):
+            hot = TABLE[TABLE > 3.0]
+            return hot
+
+        ir = soa_ir(kernel)
+        assert ir.dynamic_shapes
+        read = next(a for a in ir.array_accesses if a.array == "TABLE")
+        assert read.dims[0].kind == MASK
+
+    def test_slice_read_is_recorded(self):
+        def kernel(o, i):
+            return float(TABLE[:4].sum())
+
+        ir = extract_kernel_ir(kernel, "work")
+        read = next(a for a in ir.array_accesses if a.array == "TABLE")
+        assert read.dims[0].kind == SLICE
+
+    def test_unknown_call_is_a_helper_record(self):
+        import collections
+
+        def kernel(o, i):
+            return collections.Counter()
+
+        ir = extract_kernel_ir(kernel, "work")
+        assert any("Counter" in h.name for h in ir.unknown_helpers)
+
+    def test_node_field_writes_record_the_axis(self):
+        def kernel(o, i):
+            o.score = 1.0
+            i.score = 2.0
+
+        ir = extract_kernel_ir(kernel, "work")
+        axes = {w.axis for w in ir.node_writes}
+        assert axes == {"outer", "inner"}
+
+    def test_tuple_unpacking_binds_kinds(self):
+        def kernel(o, i):
+            row, col = o.data, i.data
+            OUT[row, col] = 1.0
+
+        ir = extract_kernel_ir(kernel, "work")
+        (write,) = writes_of(ir)
+        assert [d.axis for d in write.dims] == ["outer", "inner"]
+
+    def test_builtin_kernel_is_unanalyzable(self):
+        ir = extract_kernel_ir(len, "work")
+        assert not ir.analyzable
+
+    def test_unknown_role_is_a_programming_error(self):
+        with pytest.raises(ValueError, match="role"):
+            extract_kernel_ir(lambda o, i: None, "nope")
+
+    def test_json_summary_has_stable_keys(self):
+        def kernel(o, i):
+            OUT[o.data, i.data] = 1.0
+
+        payload = extract_kernel_ir(kernel, "work").to_json()
+        assert payload["role"] == "work"
+        assert payload["analyzable"] is True
+        assert any("gather" in line for line in payload["array_accesses"])

@@ -1,0 +1,146 @@
+"""Mutation harness for the TW2xx passes.
+
+Each test seeds one defect into a clean, fully-certified SoA kernel
+and asserts the analyzer *flips its verdict* — the static passes are
+only trustworthy if every modeled defect class actually moves the
+needle.  The clean baseline is re-proven in every test so a flip can
+never be an artifact of the harness itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import NestedRecursionSpec
+from repro.spaces.trees import balanced_tree
+from repro.transform.lint import lower
+from repro.transform.lint.lower import (
+    IndependenceVerdict,
+    LowerVerdict,
+    lint_lower,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    lower.clear_cache()
+    yield
+    lower.clear_cache()
+
+
+def noop_work(o, i):
+    """Scalar fallback the spec validator requires; effect-free."""
+    return None
+
+
+def spec_with(work_batch_soa) -> NestedRecursionSpec:
+    return NestedRecursionSpec(
+        outer_root=balanced_tree(15, data=lambda k: k),
+        inner_root=balanced_tree(15, data=lambda k: k),
+        work=noop_work,
+        work_batch_soa=work_batch_soa,
+        name="mutant",
+    )
+
+
+def clean_kernel(out: np.ndarray):
+    def kernel(o_view, i_view, o_positions, i_positions):
+        rows = np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
+        cols = np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
+        out[rows, cols] = o_view.column("data")[rows] * i_view.column("data")[cols]
+
+    return kernel
+
+
+def certify_baseline():
+    report = lint_lower(spec_with(clean_kernel(np.zeros((16, 16)))))
+    assert report.lower is LowerVerdict.LOWERABLE
+    assert report.independence is IndependenceVerdict.INDEPENDENT
+    lower.clear_cache()
+
+
+def test_the_baseline_kernel_is_fully_certified():
+    certify_baseline()
+
+
+def test_inserted_list_allocation_flips_lowerability():
+    certify_baseline()
+    out = np.zeros((16, 16))
+
+    def kernel(o_view, i_view, o_positions, i_positions):
+        rows = np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
+        cols = np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
+        staged = [float(p) for p in o_positions]  # seeded defect
+        out[rows, cols] = np.asarray(staged) * i_view.column("data")[cols]
+
+    report = lint_lower(spec_with(kernel))
+    assert report.lower is LowerVerdict.NEEDS_RUNTIME_CHECK
+    assert "TW203" in report.codes()
+
+
+def test_dict_lookup_in_the_hot_loop_flips_to_not_lowerable():
+    certify_baseline()
+    out = np.zeros((16, 16))
+    lookup = {"scale": 2.0}
+
+    def kernel(o_view, i_view, o_positions, i_positions):
+        rows = np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
+        cols = np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
+        scale = lookup["scale"]  # seeded defect
+        out[rows, cols] = scale * o_view.column("data")[rows]
+
+    report = lint_lower(spec_with(kernel))
+    assert report.lower is LowerVerdict.NOT_LOWERABLE
+    assert "TW201" in report.codes()
+
+
+def test_non_affine_index_flips_both_verdicts():
+    certify_baseline()
+    out = np.zeros((256, 16))
+
+    def kernel(o_view, i_view, o_positions, i_positions):
+        rows = np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
+        cols = np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
+        out[rows * rows, cols] = i_view.column("data")[cols]  # seeded defect
+
+    report = lint_lower(spec_with(kernel))
+    assert report.lower is LowerVerdict.NEEDS_RUNTIME_CHECK
+    assert "TW204" in report.codes()
+    assert report.independence is IndependenceVerdict.NEEDS_RUNTIME_CHECK
+    assert "TW211" in report.codes()
+
+
+def test_swapped_non_commutative_reduction_flips_both_verdicts():
+    certify_baseline()
+
+    class Acc:
+        total = 0.0
+
+    acc = Acc()
+
+    def kernel(o_view, i_view, o_positions, i_positions):
+        rows = np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
+        # seeded defect: order-sensitive update, not a += reduction
+        acc.total = float(o_view.column("data")[rows].sum()) - acc.total
+
+    report = lint_lower(spec_with(kernel))
+    assert report.lower is LowerVerdict.NEEDS_RUNTIME_CHECK
+    assert "TW205" in report.codes()
+    assert report.independence is IndependenceVerdict.DEPENDENT
+    assert "TW210" in report.codes()
+
+
+def test_cross_task_write_overlap_flips_independence():
+    certify_baseline()
+    out = np.zeros(16)
+
+    def kernel(o_view, i_view, o_positions, i_positions):
+        cols = np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
+        # seeded defect: keyed only by the *inner* index — every outer
+        # task writes the same slots
+        out[cols] = i_view.column("data")[cols]
+
+    report = lint_lower(spec_with(kernel))
+    assert report.independence is IndependenceVerdict.DEPENDENT
+    assert "TW210" in report.codes()
+    # The typed subset is untouched: the kernel still lowers.
+    assert report.lower is LowerVerdict.LOWERABLE

@@ -1,0 +1,77 @@
+"""Registry-wide invariants over every TW diagnostic code.
+
+The satellite contract: collect every code across the TW0xx / TW10x /
+TW2xx families and assert they are unique, documented, and carry a
+stable ``affects`` field — so a new family can never silently collide
+with or shadow an existing code.
+"""
+
+import re
+from pathlib import Path
+
+from repro.transform.lint.diagnostics import (
+    AFFECTS_DOMAINS,
+    ALL_CODES,
+    CATALOG,
+    Severity,
+)
+
+REPO = Path(__file__).resolve().parents[4]
+DOCS = (REPO / "docs" / "DIAGNOSTICS.md").read_text()
+LINT_SRC = REPO / "src" / "repro" / "transform" / "lint"
+
+
+class TestRegistry:
+    def test_codes_are_unique_across_all_families(self):
+        assert len(ALL_CODES) == len(set(ALL_CODES))
+
+    def test_codes_follow_the_tw_naming_scheme(self):
+        for code in ALL_CODES:
+            assert re.fullmatch(r"TW\d{3}", code), code
+
+    def test_every_family_is_populated(self):
+        families = {code[:3] + code[3] for code in ALL_CODES}
+        assert {"TW0", "TW1", "TW2"} <= {code[:3] for code in ALL_CODES}
+        assert families  # at least one concrete family per prefix
+
+    def test_affects_is_a_stable_domain(self):
+        for info in CATALOG.values():
+            assert info.affects in AFFECTS_DOMAINS, info.code
+
+    def test_tw2xx_affects_split_by_pass(self):
+        for code, info in CATALOG.items():
+            if code.startswith("TW20"):
+                assert info.affects == "lower", code
+            elif code.startswith("TW21"):
+                assert info.affects == "independence", code
+
+    def test_every_code_has_a_severity_and_title(self):
+        for info in CATALOG.values():
+            assert isinstance(info.severity, Severity), info.code
+            assert info.title.strip(), info.code
+
+
+class TestDocumentation:
+    def test_every_code_is_documented(self):
+        for code in ALL_CODES:
+            assert f"### {code}" in DOCS, f"{code} missing from DIAGNOSTICS.md"
+
+    def test_documented_titles_match_the_catalog(self):
+        for code, info in CATALOG.items():
+            assert f"### {code} — {info.title}" in DOCS, code
+
+    def test_docs_do_not_invent_codes(self):
+        documented = set(re.findall(r"^### (TW\d{3})", DOCS, flags=re.M))
+        assert documented <= set(ALL_CODES)
+
+
+class TestEmittedCodesAreRegistered:
+    def test_every_code_emitted_by_the_analyzers_is_in_the_catalog(self):
+        emitted = set()
+        for path in LINT_SRC.glob("*.py"):
+            if path.name == "diagnostics.py":
+                continue
+            emitted |= set(re.findall(r'"(TW\d{3})"', path.read_text()))
+        assert emitted, "expected the analyzers to emit TW codes"
+        unregistered = emitted - set(ALL_CODES)
+        assert not unregistered, f"emitted but not in CATALOG: {unregistered}"

@@ -203,3 +203,122 @@ class TestLintSpecCLI:
         verdicts = {spec["verdict"] for spec in specs}
         assert "needs-dynamic-check" in verdicts
         assert "soa-safe" in verdicts
+
+
+class TestLintLowerCLI:
+    def test_tj_exits_zero_fully_certified(self, capsys):
+        assert main(["lint-lower", "--benchmark", "TJ"]) == 0
+        out = capsys.readouterr().out
+        assert "lower: lowerable" in out
+        assert "independence: independent" in out
+
+    def test_mm_exits_zero_and_states_its_precondition(self, capsys):
+        assert main(["lint-lower", "--benchmark", "MM"]) == 0
+        out = capsys.readouterr().out
+        assert "lower: lowerable" in out
+        assert "precondition:" in out
+        assert "outer.data" in out
+
+    def test_full_suite_exits_five_on_the_dualtree_gap(self, capsys):
+        # PC/NN/KNN/VP/KDE have no SoA kernel yet (TW208), so the
+        # suite verdict is needs-runtime-check — exit 5, not failure.
+        assert main(["lint-lower", "--scale", "0.02"]) == 5
+        out = capsys.readouterr().out
+        assert "TW208" in out
+
+    def test_unknown_benchmark_exits_two(self, capsys):
+        assert main(["lint-lower", "--benchmark", "XX"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_json_suite_payload(self, capsys):
+        assert main(["lint-lower", "--scale", "0.02", "--json"]) == 5
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
+        assert payload["kind"] == "lowerability-suite"
+        specs = payload["specs"]
+        assert len(specs) == 7
+        for spec in specs:
+            assert spec["kind"] == "lowerability"
+            assert spec["schema_version"] == 2
+            assert spec["counts"]["suppressed"] == 0
+        by_name = {spec["spec"].split("(")[0]: spec for spec in specs}
+        assert by_name["TJ"]["lower"] == "lowerable"
+        assert by_name["TJ"]["independence"] == "independent"
+        assert by_name["MM"]["lower"] == "lowerable"
+        assert by_name["MM"]["independence"] == "independent"
+        assert by_name["PC"]["lower"] == "needs-runtime-check"
+
+
+class TestAnalyzerErrorJSON:
+    """A crashed analyzer must still emit valid JSON under --json."""
+
+    @staticmethod
+    def _install_broken_case(monkeypatch):
+        import types
+
+        import repro.bench.workloads as workloads
+
+        # A deliberately broken spec factory: make_spec() hands the
+        # analyzer something that is not a spec at all.
+        broken = types.SimpleNamespace(name="BROKEN", make_spec=lambda: None)
+        monkeypatch.setattr(
+            workloads, "wallclock_cases", lambda scale=1.0: [broken]
+        )
+
+    def test_lint_spec_crash_emits_analyzer_error_json(
+        self, monkeypatch, capsys
+    ):
+        self._install_broken_case(monkeypatch)
+        assert main(["lint-spec", "--json"]) == 2
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["schema_version"] == 2
+        assert payload["kind"] == "analyzer-error"
+        assert payload["error"]["type"]
+        assert payload["diagnostics"] == []
+        assert payload["counts"] == {
+            "errors": 0,
+            "warnings": 0,
+            "suppressed": 0,
+        }
+        assert "Traceback" in captured.err
+
+    def test_lint_lower_crash_emits_analyzer_error_json(
+        self, monkeypatch, capsys
+    ):
+        self._install_broken_case(monkeypatch)
+        assert main(["lint-lower", "--json"]) == 2
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["schema_version"] == 2
+        assert payload["kind"] == "analyzer-error"
+        assert "Traceback" in captured.err
+
+    def test_lint_crash_emits_analyzer_error_json(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        import repro.transform.__main__ as cli
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected analyzer crash")
+
+        monkeypatch.setattr(cli, "lint_source", boom)
+        assert main(["lint", write(tmp_path, SAFE), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "analyzer-error"
+        assert payload["error"]["type"] == "RuntimeError"
+        assert payload["error"]["message"] == "injected analyzer crash"
+
+    def test_lint_crash_without_json_keeps_stdout_empty(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        import repro.transform.__main__ as cli
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected analyzer crash")
+
+        monkeypatch.setattr(cli, "lint_source", boom)
+        assert main(["lint", write(tmp_path, SAFE)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "analyzer failed" in captured.err
