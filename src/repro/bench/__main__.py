@@ -118,7 +118,10 @@ def _wallclock(scale: float, args: "argparse.Namespace | None" = None):
         repeats=repeats,
         cases=cases,
     )
-    path = write_bench_json(payload)
+    out = "BENCH_soa.json"
+    if args is not None and getattr(args, "json", None):
+        out = args.json
+    path = write_bench_json(payload, out)
     report.add_note(f"JSON payload written to {path}")
     return report
 
@@ -250,7 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         action="append",
         metavar="NAME",
-        choices=("recursive", "batched", "soa", "auto"),
+        choices=("recursive", "batched", "soa", "compiled", "auto"),
         help="only this backend (repeatable)",
     )
     wallclock.add_argument(
@@ -282,7 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     floor.add_argument(
         "--json",
         default="BENCH_soa.json",
-        help="wall-clock payload to check (default BENCH_soa.json)",
+        help="wall-clock payload path: written by 'wallclock', read by "
+        "'perf-floor' (default BENCH_soa.json)",
     )
     floor.add_argument(
         "--floor",
@@ -295,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also gate a BENCH_parallel.json payload (host-aware "
         "1.5x floor on TJ/MM)",
+    )
+    floor.add_argument(
+        "--compiled-json",
+        default=None,
+        help="also gate a compiled-backend wall-clock payload "
+        "(host-aware 1.3x-over-soa floor on TJ/MM)",
     )
     return parser
 
@@ -322,6 +332,8 @@ def main(argv: list[str] | None = None) -> int:
         floor_argv = ["--json", args.json, "--floor", str(floor)]
         if args.parallel_json is not None:
             floor_argv += ["--parallel-json", args.parallel_json]
+        if args.compiled_json is not None:
+            floor_argv += ["--compiled-json", args.compiled_json]
         return floor_main(floor_argv)
     if args.experiment == "sanitize":
         from repro.bench.sanitize_sweep import DEFAULT_JSON_PATH, main as sanitize_main

@@ -16,11 +16,18 @@ baseline on the regular benchmarks (TJ, MM) — *speed* checks are
 skipped when the measuring host has fewer cores than the row's worker
 count, but *correctness* (``results_match``) always gates.
 
+A third, host-aware gate (:func:`check_compiled_floor`) guards a
+compiled-backend wall-clock payload: ``compiled`` must reach
+:data:`COMPILED_MIN_SPEEDUP` over serial ``soa`` on the lowerable
+regular benchmarks (TJ, MM) when the host has numba and at least two
+cores; without those, the speed check self-reports a skip while
+correctness (``results_match``, no refusal on TJ/MM) always gates.
+
 Result mismatches fail the gates too: a fast wrong backend is worse
 than a slow right one.
 
 Run it as ``python -m repro.bench perf-floor [--json PATH]
-[--parallel-json PATH]``.
+[--parallel-json PATH] [--compiled-json PATH]``.
 """
 
 from __future__ import annotations
@@ -33,7 +40,17 @@ from typing import Sequence
 DEFAULT_FLOOR = 0.9
 
 #: Backends eligible as "best single" references.
-SINGLE_BACKENDS = ("recursive", "batched", "soa")
+SINGLE_BACKENDS = ("recursive", "batched", "soa", "compiled")
+
+#: Required compiled-over-soa speedup on the lowerable regular
+#: benchmarks.  The compiled backend replaces the per-block dispatch
+#: loop with one fused whole-run kernel over cached position arrays,
+#: so it must clear this bar wherever the hardware can show it.
+COMPILED_MIN_SPEEDUP = 1.3
+
+#: Benchmarks the compiled floor guards: the two TW20x-``lowerable``
+#: regular kernels every sweep carries.
+COMPILED_FLOOR_BENCHMARKS = ("TJ", "MM")
 
 #: Required 4-worker process-engine speedup over serial SoA on the
 #: regular benchmarks.  Far below linear on purpose: pool startup,
@@ -71,7 +88,9 @@ def check_perf_floor(
         singles = {
             backend: seconds
             for backend, seconds in timings.items()
-            if backend in SINGLE_BACKENDS and seconds > 0
+            if backend in SINGLE_BACKENDS
+            and isinstance(seconds, (int, float))
+            and seconds > 0
         }
         if auto_s is None or not singles:
             continue
@@ -155,6 +174,71 @@ def check_parallel_floor(
     return violations, skips
 
 
+def check_compiled_floor(
+    payload: dict,
+    min_speedup: float = COMPILED_MIN_SPEEDUP,
+    host_cpu_count: int | None = None,
+    host_numba: bool | None = None,
+) -> tuple[list[str], list[str]]:
+    """Check a wall-clock payload that timed the compiled backend.
+
+    Returns ``(violations, skips)``.  Correctness first: any entry
+    with ``results_match`` false violates.  Speed second, host-aware:
+    on :data:`COMPILED_FLOOR_BENCHMARKS`, every entry that timed both
+    ``soa`` and ``compiled`` must show ``soa_s / compiled_s >=
+    min_speedup`` — unless the measuring host (the payload's ``host``
+    key, overridable for tests) has no importable numba or fewer than
+    2 cores, in which case the speed check lands in ``skips``: the
+    pure-NumPy fallback on a starved host cannot falsify the jitted
+    backend's speed claim.  A compiled *refusal* on a floor benchmark
+    is always a violation — TJ/MM regressing below ``lowerable`` must
+    turn the gate red.
+    """
+    host = payload.get("host", {})
+    if host_cpu_count is None:
+        host_cpu_count = host.get("cpu_count") or os.cpu_count() or 1
+    if host_numba is None:
+        host_numba = bool(host.get("numba"))
+    speed_ok = host_numba and host_cpu_count >= 2
+    violations: list[str] = []
+    skips: list[str] = []
+    for entry in payload.get("results", []):
+        label = f"{entry.get('benchmark')}/{entry.get('schedule')}"
+        if not entry.get("results_match", True):
+            violations.append(f"{label}: backend results mismatch")
+            continue
+        if entry.get("benchmark") not in COMPILED_FLOOR_BENCHMARKS:
+            continue
+        timings = entry.get("timings", {})
+        compiled_s = timings.get("compiled")
+        soa_s = timings.get("soa")
+        if "compiled" in entry.get("refused", {}):
+            violations.append(
+                f"{label}: compiled refused a floor benchmark "
+                f"({entry['refused']['compiled']})"
+            )
+            continue
+        if not isinstance(compiled_s, (int, float)) or not isinstance(
+            soa_s, (int, float)
+        ):
+            continue
+        if not speed_ok:
+            skips.append(
+                f"{label}: compiled speed check skipped — host has "
+                f"{host_cpu_count} core(s), numba "
+                f"{'importable' if host_numba else 'not importable'}"
+            )
+            continue
+        speedup = soa_s / compiled_s if compiled_s > 0 else float("inf")
+        if speedup < min_speedup:
+            violations.append(
+                f"{label}: compiled is {speedup:.2f}x soa "
+                f"({compiled_s:.4f}s vs {soa_s:.4f}s); floor is "
+                f"{min_speedup:.2f}x"
+            )
+    return violations, skips
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     import argparse
@@ -189,6 +273,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="required parallel speedup over serial soa "
         f"(default {PARALLEL_MIN_SPEEDUP})",
     )
+    parser.add_argument(
+        "--compiled-json",
+        default=None,
+        help="also check a compiled-backend wall-clock payload "
+        f"(host-aware {COMPILED_MIN_SPEEDUP}x-over-soa floor on "
+        f"{'/'.join(COMPILED_FLOOR_BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--compiled-floor",
+        type=float,
+        default=COMPILED_MIN_SPEEDUP,
+        help="required compiled speedup over soa "
+        f"(default {COMPILED_MIN_SPEEDUP})",
+    )
     args = parser.parse_args(argv)
     with open(args.json) as handle:
         payload = json.load(handle)
@@ -211,6 +309,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             len(entry.get("runs", []))
             for entry in parallel_payload.get("results", [])
         )
+    compiled_checked = 0
+    if args.compiled_json is not None:
+        with open(args.compiled_json) as handle:
+            compiled_payload = json.load(handle)
+        compiled_violations, compiled_skips = check_compiled_floor(
+            compiled_payload, min_speedup=args.compiled_floor
+        )
+        violations += compiled_violations
+        skips += compiled_skips
+        compiled_checked = sum(
+            1
+            for entry in compiled_payload.get("results", [])
+            if entry.get("benchmark") in COMPILED_FLOOR_BENCHMARKS
+            and isinstance(
+                entry.get("timings", {}).get("compiled"), (int, float)
+            )
+        )
     if violations:
         print(f"perf floor FAILED ({len(violations)} violation(s)):")
         for violation in violations:
@@ -223,9 +338,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"single backend on all {checked} checked configurations"
     )
     if args.parallel_json is not None:
+        message += f"; parallel floor checked {parallel_checked} run(s)"
+    if args.compiled_json is not None:
         message += (
-            f"; parallel floor checked {parallel_checked} run(s) "
-            f"({len(skips)} host-aware skip(s))"
+            f"; compiled floor checked {compiled_checked} entr(y/ies)"
         )
+    if skips:
+        message += f" ({len(skips)} host-aware skip(s))"
     print(message)
     return 0

@@ -5,10 +5,14 @@ measures *real time*: for each benchmark (the Section 6.1 six plus
 KDE) and schedule it runs the same spec through every backend —
 ``recursive`` (the paper-faithful executors), ``batched``
 (:mod:`repro.core.batched`), ``soa`` (:mod:`repro.core.soa_exec`,
-optionally swept across its storage linearizations), and ``auto``
-(:mod:`repro.core.backend_select`) — timing each with
+optionally swept across its storage linearizations), ``compiled``
+(:mod:`repro.core.compiled` — refusals on non-``lowerable`` specs are
+recorded as null timings with the refusal reason under ``refused``),
+and ``auto`` (:mod:`repro.core.backend_select`) — timing each with
 :func:`time.perf_counter` and checking that all results are
-bit-identical.
+bit-identical.  The payload also carries a ``host`` key
+(``cpu_count``, ``numba``) so the perf-floor gates can self-skip on
+undersized hosts.
 
 The driver emits a machine-readable ``BENCH_soa.json`` next to the
 rendered table.  Its schema::
@@ -55,6 +59,7 @@ slicing the sweep.
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Optional, Sequence
 
@@ -62,6 +67,7 @@ from repro.bench.reporting import ExperimentReport
 from repro.bench.workloads import BenchmarkCase, wallclock_cases
 from repro.core.backend_select import choose_backend
 from repro.core.schedules import Schedule, get_schedule
+from repro.errors import ScheduleError
 from repro.spaces.soa import LINEARIZATIONS
 
 #: Schedules timed by default: the untransformed baseline plus the
@@ -71,8 +77,20 @@ DEFAULT_SCHEDULES = ("original", "twist")
 #: Backends timed by default (single backends first, then the selector).
 DEFAULT_BACKENDS = ("recursive", "batched", "soa", "auto")
 
-#: Backends eligible as "best single" references.
-SINGLE_BACKENDS = ("recursive", "batched", "soa")
+#: Backends eligible as "best single" references.  ``compiled`` only
+#: counts on the benchmarks it accepts (it refuses specs without a
+#: TW20x ``lowerable`` verdict; refused entries time as null).
+SINGLE_BACKENDS = ("recursive", "batched", "soa", "compiled")
+
+
+def _host_info() -> dict:
+    """Host facts the perf-floor gates need to be host-aware."""
+    from repro.transform.lower_codegen import _import_numba
+
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "numba": _import_numba() is not None,
+    }
 
 
 def time_backend(
@@ -125,12 +143,20 @@ def run_wallclock(
     for case in cases:
         for name in schedule_names:
             schedule = get_schedule(name)
-            timings: dict[str, float] = {}
+            timings: dict[str, Optional[float]] = {}
             results: dict[str, object] = {}
+            refused: dict[str, str] = {}
             for backend in backends:
-                timings[backend], results[backend] = time_backend(
-                    case, schedule, backend, repeats
-                )
+                try:
+                    timings[backend], results[backend] = time_backend(
+                        case, schedule, backend, repeats
+                    )
+                except ScheduleError as exc:
+                    # The proof-gated compiled backend refuses specs
+                    # without a TW20x 'lowerable' verdict; record the
+                    # refusal instead of aborting the sweep.
+                    timings[backend] = None
+                    refused[backend] = str(exc)
             reference = next(iter(results.values()))
             match = all(
                 repr(result) == repr(reference)
@@ -140,17 +166,21 @@ def run_wallclock(
                 "benchmark": case.name,
                 "schedule": name,
                 "timings": {
-                    backend: round(seconds, 6)
+                    backend: None if seconds is None else round(seconds, 6)
                     for backend, seconds in timings.items()
                 },
                 "results_match": match,
             }
+            if refused:
+                entry["refused"] = refused
             recursive_s = timings.get("recursive")
             if recursive_s is not None:
                 entry["speedups"] = {
                     backend: round(recursive_s / timings[backend], 3)
                     for backend in backends
-                    if backend != "recursive" and timings[backend] > 0
+                    if backend != "recursive"
+                    and timings[backend] is not None
+                    and timings[backend] > 0
                 }
             if sweep_orders and "soa" in backends:
                 entry["soa_orders"] = {
@@ -162,7 +192,25 @@ def run_wallclock(
                     )
                     for order in LINEARIZATIONS
                 }
-            singles = [b for b in backends if b in SINGLE_BACKENDS]
+            if (
+                sweep_orders
+                and "compiled" in backends
+                and "compiled" not in refused
+            ):
+                entry["compiled_orders"] = {
+                    order: round(
+                        time_backend(
+                            case, schedule, "compiled", repeats, order=order
+                        )[0],
+                        6,
+                    )
+                    for order in LINEARIZATIONS
+                }
+            singles = [
+                b
+                for b in backends
+                if b in SINGLE_BACKENDS and timings[b] is not None
+            ]
             best_backend = min(singles, key=timings.get) if singles else None
             auto_choice = best_note = ""
             auto_vs_best = None
@@ -182,7 +230,10 @@ def run_wallclock(
             report.add_row(
                 case.name,
                 name,
-                *(timings[backend] for backend in backends),
+                *(
+                    "-" if timings[backend] is None else timings[backend]
+                    for backend in backends
+                ),
                 auto_choice,
                 best_note,
                 "" if auto_vs_best is None else f"{auto_vs_best:.2f}",
@@ -200,6 +251,7 @@ def run_wallclock(
         "scale": scale,
         "repeats": repeats,
         "backends": backends,
+        "host": _host_info(),
         "results": entries,
     }
     return report, payload

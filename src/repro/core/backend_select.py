@@ -26,6 +26,7 @@ schedules, are what the thresholds below encode.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Optional
@@ -35,6 +36,9 @@ from repro.errors import ScheduleError
 
 #: Backends ``choose_backend`` may return.
 SINGLE_BACKENDS = ("recursive", "batched", "soa")
+
+#: Every backend name :func:`resolve_backend` accepts besides ``auto``.
+KNOWN_BACKENDS = SINGLE_BACKENDS + ("compiled", "parallel")
 
 #: Minimum (outer x inner) iteration-space points before the real
 #: multi-worker runtime can amortize pool startup and shared-memory
@@ -56,9 +60,10 @@ class BackendChoice:
     """The selector's verdict plus the evidence it used.
 
     ``order`` is the recommended SoA storage linearization — only
-    meaningful when ``backend`` is ``"soa"`` (or ``"parallel"``, whose
-    tasks run SoA kernels); callers that did not pin an order
-    themselves should adopt it.
+    meaningful when ``backend`` is ``"soa"``, ``"compiled"`` (whose
+    fused loop gathers through the same packed views), or
+    ``"parallel"`` (whose tasks run SoA kernels); callers that did not
+    pin an order themselves should adopt it.
     """
 
     backend: str
@@ -131,6 +136,24 @@ def _sample_truncation_density(spec: NestedRecursionSpec) -> Optional[float]:
     return pruned / (sampled * inner_size)
 
 
+#: Most recent analyzer failure (``None`` after a clean call).  Written
+#: by :func:`conformance_verdicts`, consumed by :func:`_refuse_unproven`
+#: so the failure lands in ``BackendChoice.features`` without changing
+#: the public return contract.
+_LAST_CONFORMANCE_ERROR: Optional[str] = None
+
+#: One-shot guard: the analyzer-failure warning is emitted once per
+#: process, not once per selection.
+_CONFORMANCE_WARNED = False
+
+
+def _reset_conformance_warning() -> None:
+    """Re-arm the one-shot analyzer-failure warning (test hook)."""
+    global _CONFORMANCE_WARNED, _LAST_CONFORMANCE_ERROR
+    _CONFORMANCE_WARNED = False
+    _LAST_CONFORMANCE_ERROR = None
+
+
 def conformance_verdicts(spec: NestedRecursionSpec) -> Optional[dict]:
     """Per-backend conformance verdicts from the static analyzer.
 
@@ -138,13 +161,29 @@ def conformance_verdicts(spec: NestedRecursionSpec) -> Optional[dict]:
     |"unsafe"}`` via :func:`repro.transform.lint.backend.lint_spec`
     (memoized on the kernels' code objects, so this is cheap after the
     first call per spec family), or ``None`` when the analyzer itself
-    fails — selection then proceeds on structural evidence alone.
+    fails — selection then proceeds on structural evidence alone, and
+    the failure is *recorded*: a one-shot :class:`RuntimeWarning` plus
+    a ``"conformance_error"`` entry in the returned
+    :class:`BackendChoice`'s features (silent-``None`` analyzer crashes
+    used to make evidence-free selection invisible).
     """
+    global _LAST_CONFORMANCE_ERROR, _CONFORMANCE_WARNED
+    _LAST_CONFORMANCE_ERROR = None
     try:
         from repro.transform.lint.backend import lint_spec
 
         return dict(lint_spec(spec).backends)
-    except Exception:  # pragma: no cover - analyzer must never block runs
+    except Exception as exc:  # analyzer must never block runs
+        _LAST_CONFORMANCE_ERROR = f"{type(exc).__name__}: {exc}"
+        if not _CONFORMANCE_WARNED:
+            _CONFORMANCE_WARNED = True
+            warnings.warn(
+                "backend-conformance analyzer failed "
+                f"({_LAST_CONFORMANCE_ERROR}); backend selection "
+                "proceeds on structural evidence alone",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return None
 
 
@@ -160,16 +199,28 @@ def _refuse_unproven(
     proven safe, else to the reference executors.
     """
     verdicts = conformance_verdicts(spec)
-    if verdicts is None or verdicts.get(choice.backend) != "unsafe":
+    if verdicts is None:
+        if _LAST_CONFORMANCE_ERROR is not None:
+            choice.features["conformance_error"] = _LAST_CONFORMANCE_ERROR
         return choice
-    alternate = "soa" if choice.backend == "batched" else "batched"
+    # The compiled backend executes the same work_batch_soa kernel the
+    # SoA engine dispatches, so it stands or falls with the soa verdict.
+    verdict_key = "soa" if choice.backend == "compiled" else choice.backend
+    if verdicts.get(verdict_key) != "unsafe":
+        return choice
+    alternate = "soa" if verdict_key == "batched" else "batched"
     if verdicts.get(alternate) == "safe":
+        # The order recommendation is evidence about the *spec* (its
+        # work_batch_soa gathers favour veb blocking), not about the
+        # refused backend, so the downgrade carries it instead of
+        # silently resetting to preorder.
         return BackendChoice(
             alternate,
             f"conformance: {choice.backend!r} verdict is unsafe; "
             f"{alternate!r} is proven safe (structural pick was: "
             f"{choice.reason})",
             choice.features,
+            order=choice.order,
         )
     return BackendChoice(
         "recursive",
@@ -177,7 +228,27 @@ def _refuse_unproven(
         f"back to the reference executors (structural pick was: "
         f"{choice.reason})",
         choice.features,
+        order=choice.order,
     )
+
+
+def _compiled_eligible(spec: NestedRecursionSpec) -> tuple[bool, str]:
+    """May the fused/compiled backend run this spec?
+
+    Proof-carrying gate: only a clean TW20x ``lowerable`` verdict from
+    :func:`repro.transform.lint.lower.lint_lower` qualifies — holes
+    (``needs-runtime-check``) or refutations keep the spec on the
+    interpreted backends.  An analyzer crash counts as "not proven".
+    """
+    try:
+        from repro.transform.lint.lower import LowerVerdict, lint_lower
+
+        report = lint_lower(spec)
+    except Exception as exc:  # the proof gate must never block runs
+        return False, f"lint-lower failed ({type(exc).__name__}: {exc})"
+    if report.lower is LowerVerdict.LOWERABLE:
+        return True, report.lower_reason
+    return False, f"{report.lower}: {report.lower_reason}"
 
 
 def choose_backend(
@@ -186,7 +257,15 @@ def choose_backend(
     features: Optional[dict] = None,
     allow_unproven: bool = False,
 ) -> BackendChoice:
-    """Pick recursive/batched/soa for one (spec, schedule) pair.
+    """Pick recursive/batched/soa/compiled for one spec.
+
+    ``schedule_name`` is *recorded* as evidence (``features["schedule"]``)
+    but does not change the decision: the BENCH_soa.json calibration
+    found the same winner per spec on every schedule (the twist rows
+    shift the timings, never the ranking), so the table below is
+    deliberately schedule-independent.  A test pins this contract
+    (``choose_backend(spec, "original") == choose_backend(spec,
+    "twist")`` up to the recorded schedule).
 
     The structural decision is filtered through the backend-conformance
     analyzer: a backend whose verdict is ``unsafe`` is never returned
@@ -213,20 +292,28 @@ def choose_backend(
        per-outer barriers shred its blocks (NN regressed to 0.35x);
        the SoA engine executes work inline over packed index space and
        keeps the explicit-stack savings.
-    4. **SoA-native work -> soa, in veb order.**  A spec carrying
-       ``work_batch_soa`` (TJ, MM) dispatches integer position blocks —
+    4. **Certified SoA work -> compiled, in veb order.**  A regular
+       spec whose ``work_batch_soa`` kernel carries a clean TW20x
+       ``lowerable`` verdict (TJ, MM, Gram) runs the fused backend:
+       the traversal's position sequence is enumerated once, cached,
+       and the kernel dispatched over the whole run — no per-block
+       Python on the hot path at all.  The gate is proof-carrying:
+       anything short of ``lowerable`` falls through to rule 5.
+    5. **SoA-native work -> soa, in veb order.**  A spec carrying
+       ``work_batch_soa`` dispatches integer position blocks —
        strictly less per-pair Python than the node-object dispatcher on
        every schedule.  For these regular specs the van-Emde-Boas
        blocked layout beats the default (BENCH_soa.json, TJ original:
        0.067s veb vs 0.079s preorder), so the choice recommends
        ``order="veb"``.
-    5. **Everything else -> batched.**  Stateless irregular specs (PC)
+    6. **Everything else -> batched.**  Stateless irregular specs (PC)
        and plain ``work_batch`` specs ride the mature node-block
        engine; the SoA engine matches it within noise here, so the
        tie breaks toward the longer-serving backend.
     """
     if features is None:
         features = probe_features(spec)
+    features["schedule"] = schedule_name
     if features["points"] < SMALL_SPACE_POINTS:
         return BackendChoice(
             "recursive",
@@ -244,6 +331,28 @@ def choose_backend(
             "blocks, so run inline work over packed index space",
             features,
         )
+    elif features["has_work_batch_soa"] and not features["is_irregular"]:
+        lowerable, why = _compiled_eligible(spec)
+        features["lowerable"] = lowerable
+        if lowerable:
+            choice = BackendChoice(
+                "compiled",
+                "TW20x verdict is lowerable: fuse the traversal with "
+                f"the certified work_batch_soa kernel ({why}); veb "
+                "storage order recommended",
+                features,
+                order="veb",
+            )
+        else:
+            choice = BackendChoice(
+                "soa",
+                "spec provides work_batch_soa: position-block dispatch "
+                "over packed payload columns; veb storage order "
+                "recommended (BENCH_soa: TJ original 0.067s veb vs "
+                f"0.079s preorder); compiled refused ({why})",
+                features,
+                order="veb",
+            )
     elif features["has_work_batch_soa"]:
         choice = BackendChoice(
             "soa",
@@ -299,15 +408,40 @@ def _consider_parallel(
     )
 
 
+def resolve_backend_choice(
+    spec: NestedRecursionSpec, schedule_name: str, backend: str
+) -> BackendChoice:
+    """Map a user-facing backend name to a full :class:`BackendChoice`.
+
+    ``"auto"`` returns the selector's verdict *whole* — backend, reason,
+    features, and the ``order`` recommendation.  (The old string-only
+    path threw ``order`` away, so auto-picked SoA ran in default
+    ``preorder`` even when the selector's evidence said ``veb``;
+    callers that did not pin an order themselves should adopt
+    ``choice.order``.)  Explicit backend names resolve to a choice with
+    the neutral ``preorder`` recommendation: a caller who named the
+    backend keeps full control of the order knob.
+    """
+    if backend == "auto":
+        return choose_backend(spec, schedule_name)
+    if backend in KNOWN_BACKENDS:
+        return BackendChoice(
+            backend, "explicitly requested", {"schedule": schedule_name}
+        )
+    raise ScheduleError(
+        f"unknown backend {backend!r}; known: "
+        f"{list(KNOWN_BACKENDS) + ['auto']}"
+    )
+
+
 def resolve_backend(
     spec: NestedRecursionSpec, schedule_name: str, backend: str
 ) -> str:
-    """Map a user-facing backend name to a concrete executor family."""
-    if backend == "auto":
-        return choose_backend(spec, schedule_name).backend
-    if backend in SINGLE_BACKENDS or backend == "parallel":
-        return backend
-    raise ScheduleError(
-        f"unknown backend {backend!r}; known: "
-        f"{list(SINGLE_BACKENDS) + ['parallel', 'auto']}"
-    )
+    """Map a user-facing backend name to a concrete executor family.
+
+    Kept as the string-returning convenience wrapper around
+    :func:`resolve_backend_choice`; callers that run the resolved
+    backend should use the full choice so the selector's ``order``
+    recommendation survives the trip.
+    """
+    return resolve_backend_choice(spec, schedule_name, backend).backend

@@ -247,7 +247,7 @@ def run_sanitized(
     Returns a :class:`SanitizeReport` on success; raises
     :class:`SanitizeDivergence` at the first observable difference.
     """
-    from repro.core.backend_select import resolve_backend
+    from repro.core.backend_select import resolve_backend_choice
     from repro.core.schedules import get_schedule
 
     if isinstance(schedule, str):
@@ -255,7 +255,12 @@ def run_sanitized(
 
     # Phase 1: record the reference behaviour.
     spec = spec_factory()
-    candidate = resolve_backend(spec, schedule.name, backend)
+    choice = resolve_backend_choice(spec, schedule.name, backend)
+    candidate = choice.backend
+    if order == "preorder" and choice.order != "preorder":
+        # An unpinned order adopts the selector's recommendation, so
+        # the shadow run validates exactly what auto would execute.
+        order = choice.order
     if candidate == "parallel":
         # The multi-worker runtime cannot carry instruments (worker
         # event streams interleave), so shadow the serial engine its

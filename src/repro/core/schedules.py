@@ -16,6 +16,11 @@ Every schedule carries interchangeable backends:
 * ``soa`` — the index-based executors of :mod:`repro.core.soa_exec`,
   which traverse packed structure-of-arrays views
   (:mod:`repro.spaces.soa`) instead of linked nodes;
+* ``compiled`` — the proof-gated fused executors of
+  :mod:`repro.core.compiled`, which replay the SoA emission order from
+  cached whole-run position arrays into one fused (optionally
+  numba-jitted) kernel dispatch — only for specs the TW2xx pass
+  certifies ``lowerable``;
 * ``parallel`` — the real multi-worker runtime of
   :mod:`repro.core.parallel_exec`, which spawns independent outer
   subtrees as tasks (the Section 7.3 decomposition) across a process
@@ -39,6 +44,11 @@ from repro.core.batched import (
     run_original_batched,
     run_twisted_batched,
 )
+from repro.core.compiled import (
+    run_interchanged_compiled,
+    run_original_compiled,
+    run_twisted_compiled,
+)
 from repro.core.executors import run_original
 from repro.core.instruments import Instrument
 from repro.core.interchange import run_interchanged
@@ -54,7 +64,15 @@ from repro.errors import ScheduleError
 Runner = Callable[..., None]
 
 #: Backend names accepted by :meth:`Schedule.run`.
-BACKENDS = ("recursive", "batched", "soa", "parallel", "auto", "sanitize")
+BACKENDS = (
+    "recursive",
+    "batched",
+    "soa",
+    "compiled",
+    "parallel",
+    "auto",
+    "sanitize",
+)
 
 
 @dataclass(frozen=True)
@@ -65,6 +83,7 @@ class Schedule:
     _runner: Runner
     _batched_runner: Runner
     _soa_runner: Runner
+    _compiled_runner: Runner
 
     def run(
         self,
@@ -78,6 +97,9 @@ class Schedule:
 
         ``backend`` selects the recursive executors (default), the
         batched explicit-stack ones, the SoA index-based ones,
+        ``"compiled"`` (the proof-gated fused executors of
+        :mod:`repro.core.compiled` — requires a TW20x ``lowerable``
+        verdict and delegates instrumented runs to the SoA backend),
         ``"parallel"`` (the multi-worker runtime of
         :mod:`repro.core.parallel_exec` — requires the spec to carry a
         ``parallel_plan`` and a proven outer-independence witness, and
@@ -142,6 +164,8 @@ class Schedule:
             self._batched_runner(spec, instrument=instrument)
         elif backend == "soa":
             self._soa_runner(spec, instrument=instrument, order=order)
+        elif backend == "compiled":
+            self._compiled_runner(spec, instrument=instrument, order=order)
         else:
             raise ScheduleError(
                 f"unknown backend {backend!r}; known: {list(BACKENDS)}"
@@ -150,12 +174,20 @@ class Schedule:
 
 #: The untransformed Figure 2 schedule.
 ORIGINAL = Schedule(
-    "original", run_original, run_original_batched, run_original_soa
+    "original",
+    run_original,
+    run_original_batched,
+    run_original_soa,
+    run_original_compiled,
 )
 
 #: Plain recursion interchange (Figure 3 + Section 4 flags).
 INTERCHANGE = Schedule(
-    "interchange", run_interchanged, run_interchanged_batched, run_interchanged_soa
+    "interchange",
+    run_interchanged,
+    run_interchanged_batched,
+    run_interchanged_soa,
+    run_interchanged_compiled,
 )
 
 #: Interchange with the Section 4.2 subtree-truncation optimization.
@@ -170,11 +202,20 @@ INTERCHANGE_SUBTREE = Schedule(
     lambda spec, instrument=None, order="preorder": run_interchanged_soa(
         spec, instrument=instrument, subtree_truncation=True, order=order
     ),
+    lambda spec, instrument=None, order="preorder": run_interchanged_compiled(
+        spec, instrument=instrument, subtree_truncation=True, order=order
+    ),
 )
 
 #: Parameterless recursion twisting, the paper's evaluated configuration
 #: (flags + subtree truncation).
-TWIST = Schedule("twist", run_twisted, run_twisted_batched, run_twisted_soa)
+TWIST = Schedule(
+    "twist",
+    run_twisted,
+    run_twisted_batched,
+    run_twisted_soa,
+    run_twisted_compiled,
+)
 
 #: Twisting with the Section 4.3 counter optimization.
 TWIST_COUNTERS = Schedule(
@@ -186,6 +227,9 @@ TWIST_COUNTERS = Schedule(
         spec, instrument=instrument, use_counters=True
     ),
     lambda spec, instrument=None, order="preorder": run_twisted_soa(
+        spec, instrument=instrument, use_counters=True, order=order
+    ),
+    lambda spec, instrument=None, order="preorder": run_twisted_compiled(
         spec, instrument=instrument, use_counters=True, order=order
     ),
 )
@@ -200,6 +244,9 @@ TWIST_NO_SUBTREE = Schedule(
         spec, instrument=instrument, subtree_truncation=False
     ),
     lambda spec, instrument=None, order="preorder": run_twisted_soa(
+        spec, instrument=instrument, subtree_truncation=False, order=order
+    ),
+    lambda spec, instrument=None, order="preorder": run_twisted_compiled(
         spec, instrument=instrument, subtree_truncation=False, order=order
     ),
 )
@@ -218,6 +265,9 @@ def twist_with_cutoff(cutoff: int) -> Schedule:
             spec, instrument=instrument, cutoff=cutoff
         ),
         lambda spec, instrument=None, order="preorder": run_twisted_soa(
+            spec, instrument=instrument, cutoff=cutoff, order=order
+        ),
+        lambda spec, instrument=None, order="preorder": run_twisted_compiled(
             spec, instrument=instrument, cutoff=cutoff, order=order
         ),
     )

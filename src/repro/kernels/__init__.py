@@ -4,9 +4,12 @@
 * :mod:`repro.kernels.matmul` — recursive Matrix Multiplication (MM);
 * :mod:`repro.kernels.loops` — loop nests as recursion (Sections 2.1
   and 7.2), including the divide-and-conquer range trees that connect
-  twisting to cache-oblivious blocking.
+  twisting to cache-oblivious blocking;
+* :mod:`repro.kernels.gram` — the Gram-table kernel (GT), a third
+  lowerability-certified spec for the ``compiled`` backend.
 """
 
+from repro.kernels.gram import GramTable, gram_footprint
 from repro.kernels.loops import (
     RangeNode,
     divide_and_conquer_spec,
@@ -19,6 +22,7 @@ from repro.kernels.matmul3 import MatMul3, MatMul3CacheProbe
 from repro.kernels.treejoin import JoinAccumulator, TreeJoin, tree_join_footprint
 
 __all__ = [
+    "GramTable",
     "JoinAccumulator",
     "MatMul3",
     "MatMul3CacheProbe",
@@ -26,6 +30,7 @@ __all__ = [
     "RangeNode",
     "TreeJoin",
     "divide_and_conquer_spec",
+    "gram_footprint",
     "loop_nest_spec",
     "matmul_footprint",
     "range_tree",

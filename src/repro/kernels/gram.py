@@ -1,0 +1,140 @@
+"""Gram table (GT) — a third lowerability-certified synthetic kernel.
+
+An all-pairs squared-distance table over two value vectors: for every
+node ``o`` of the outer index tree and every node ``i`` of the inner
+index tree, ``table[o.data, i.data] = (q[o.data] - r[i.data])**2``.
+This is the dependence structure of a Gram/affinity matrix build (the
+dense sibling of the dual-tree point-correlation kernels): every work
+point writes one unique output cell, reads two unique input scalars,
+and no iteration observes another's effect.
+
+GT exists to widen the ``compiled`` backend's eligibility surface
+beyond TJ (reduction into captured state) and MM (einsum over captured
+matrices): its SoA kernel exercises the third lowerable shape —
+elementwise arithmetic over *gathered input vectors* indexed by the
+packed ``data`` columns.  Like MM, the output write is disjoint across
+iterations because ``data`` (the index owned by each tree node) is
+injective on the live trees (TW212).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spec import NestedRecursionSpec
+from repro.spaces.node import TreeNode
+from repro.spaces.trees import balanced_tree
+
+
+#: Expected TW2xx verdicts for this kernel's spec (the output of the
+#: lowerability pass).  GT is ``lowerable`` — typed column gathers,
+#: elementwise arithmetic, no hot-loop allocation beyond staging — and
+#: ``independent`` (disjoint output cells, TW212 injective index
+#: columns).  A regression below either verdict fails tests.
+LOWER_VERDICT = {"lower": "lowerable", "independence": "independent"}
+
+
+@dataclass
+class GramTable:
+    """A runnable all-pairs squared-distance table build.
+
+    ``q`` has one value per outer-tree node, ``r`` one per inner-tree
+    node; the cross product of the two index trees is exactly the
+    ``n x m`` output space.
+    """
+
+    n: int
+    m: int
+    seed: int = 0
+
+    q: np.ndarray = field(init=False)
+    r: np.ndarray = field(init=False)
+    table: np.ndarray = field(init=False)
+    outer_root: TreeNode = field(init=False)
+    inner_root: TreeNode = field(init=False)
+
+    def __post_init__(self) -> None:
+        if min(self.n, self.m) < 1:
+            raise ValueError("GramTable dimensions must be positive")
+        rng = np.random.default_rng(self.seed)
+        self.q = rng.random(self.n)
+        self.r = rng.random(self.m)
+        self.table = np.zeros((self.n, self.m))
+        # data = the value index owned by the node (BFS order), same
+        # injective index-tree convention as MM.
+        self.outer_root = balanced_tree(self.n, data=lambda k: k)
+        self.inner_root = balanced_tree(self.m, data=lambda k: k)
+
+    def make_spec(self) -> NestedRecursionSpec:
+        """A fresh spec; clears the output table."""
+        self.table = np.zeros((self.n, self.m))
+        return _gram_spec(
+            self.outer_root,
+            self.inner_root,
+            self.q,
+            self.r,
+            self.table,
+            f"GT({self.n}x{self.m})",
+        )
+
+    def expected(self) -> np.ndarray:
+        """The oracle table, vectorized in one shot."""
+        return (self.q[:, None] - self.r[None, :]) ** 2
+
+    def max_error(self) -> float:
+        """Largest absolute deviation of the last run from the oracle."""
+        return float(np.abs(self.table - self.expected()).max())
+
+
+def _gram_spec(
+    outer_root: TreeNode,
+    inner_root: TreeNode,
+    q: np.ndarray,
+    r: np.ndarray,
+    table: np.ndarray,
+    name: str,
+) -> NestedRecursionSpec:
+    """The GT spec over given index trees and value vectors."""
+
+    def work(o: TreeNode, i: TreeNode) -> None:
+        row, col = o.data, i.data
+        table[row, col] = (q[row] - r[col]) ** 2
+
+    def work_batch(os: list, is_: list) -> None:
+        # Every (row, col) is visited exactly once per run, so the
+        # fancy-index assignment never sees duplicate targets.
+        rows = np.array([o.data for o in os], dtype=np.intp)
+        cols = np.array([i.data for i in is_], dtype=np.intp)
+        table[rows, cols] = (q[rows] - r[cols]) ** 2
+
+    def work_batch_soa(o_view, i_view, o_positions, i_positions) -> None:
+        # Value indices come straight out of the packed ``data``
+        # columns; the arithmetic is elementwise over the gathers.
+        rows = o_view.column("data")[np.asarray(o_positions, dtype=np.intp)]
+        cols = i_view.column("data")[np.asarray(i_positions, dtype=np.intp)]
+        table[rows, cols] = (q[rows] - r[cols]) ** 2
+
+    return NestedRecursionSpec(
+        outer_root=outer_root,
+        inner_root=inner_root,
+        work=work,
+        work_batch=work_batch,
+        work_batch_soa=work_batch_soa,
+        name=name,
+    )
+
+
+def gram_footprint(o: TreeNode, i: TreeNode):
+    """Soundness footprint for GT.
+
+    Each work point reads its two input scalars and writes the unique
+    output cell ``table[o.data, i.data]`` — no two iterations share a
+    written location, so every schedule is trivially sound.
+    """
+    return (
+        (("q", o.data), False),
+        (("r", i.data), False),
+        (("out", o.data, i.data), True),
+    )

@@ -173,13 +173,11 @@ def _matmul_spec(
 
     def work_batch_soa(o_view, i_view, o_positions, i_positions) -> None:
         # Row/column indices come straight out of the packed
-        # ``data`` columns — same einsum, no node objects.
-        rows = o_view.column("data")[
-            np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
-        ]
-        cols = i_view.column("data")[
-            np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
-        ]
+        # ``data`` columns — same einsum, no node objects.  asarray
+        # keeps the staging zero-copy when the caller (the compiled
+        # backend) already passes np.intp arrays.
+        rows = o_view.column("data")[np.asarray(o_positions, dtype=np.intp)]
+        cols = i_view.column("data")[np.asarray(i_positions, dtype=np.intp)]
         c[rows, cols] = np.einsum("ij,ji->i", a[rows, :], b[:, cols])
 
     return NestedRecursionSpec(

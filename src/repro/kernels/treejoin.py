@@ -174,13 +174,11 @@ def _join_spec(
 
     def work_batch_soa(o_view, i_view, o_positions, i_positions) -> None:
         # The packed payload columns turn the per-node attribute
-        # walk above into two typed gathers.
-        rows = np.fromiter(
-            o_positions, dtype=np.intp, count=len(o_positions)
-        )
-        cols = np.fromiter(
-            i_positions, dtype=np.intp, count=len(i_positions)
-        )
+        # walk above into two typed gathers.  asarray keeps the
+        # position-list staging zero-copy when the caller (the
+        # compiled backend) already passes np.intp arrays.
+        rows = np.asarray(o_positions, dtype=np.intp)
+        cols = np.asarray(i_positions, dtype=np.intp)
         accumulator.join_batch(
             o_view.column("data")[rows], i_view.column("data")[cols]
         )

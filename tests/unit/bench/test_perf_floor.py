@@ -4,6 +4,7 @@ import json
 
 from repro.bench.perf_floor import (
     DEFAULT_FLOOR,
+    check_compiled_floor,
     check_parallel_floor,
     check_perf_floor,
     main,
@@ -61,6 +62,107 @@ class TestCheckPerfFloor:
 
     def test_empty_payload_passes(self):
         assert check_perf_floor({}) == []
+
+    def test_refused_backend_timings_are_ignored(self):
+        # A refused backend is recorded as None; the floor compares
+        # auto against the backends that actually ran.
+        refused = entry(
+            timings={
+                "recursive": 1.0,
+                "soa": 0.25,
+                "compiled": None,
+                "auto": 0.26,
+            },
+            refused={"compiled": "not lowerable"},
+        )
+        assert check_perf_floor(payload(refused)) == []
+
+
+def compiled_entry(benchmark="TJ", schedule="original", **overrides):
+    base = {
+        "benchmark": benchmark,
+        "schedule": schedule,
+        "results_match": True,
+        "timings": {"recursive": 1.0, "soa": 0.25, "compiled": 0.1},
+    }
+    base.update(overrides)
+    return base
+
+
+def compiled_payload(*entries, cpu_count=8, numba=True):
+    return {
+        "experiment": "wallclock_backends",
+        "host": {"cpu_count": cpu_count, "numba": numba},
+        "results": list(entries),
+    }
+
+
+class TestCheckCompiledFloor:
+    def test_passes_when_compiled_clears_the_floor(self):
+        violations, skips = check_compiled_floor(
+            compiled_payload(compiled_entry(), compiled_entry("MM"))
+        )
+        assert violations == []
+        assert skips == []
+
+    def test_slow_compiled_violates(self):
+        violations, _ = check_compiled_floor(
+            compiled_payload(
+                compiled_entry(
+                    timings={"recursive": 1.0, "soa": 0.25, "compiled": 0.24}
+                )
+            )
+        )
+        assert len(violations) == 1
+        assert "1.04x" in violations[0]
+
+    def test_refusal_on_a_floor_benchmark_always_violates(self):
+        # Even on a starved host: TJ/MM regressing below 'lowerable'
+        # is a correctness-of-gating failure, not a speed failure.
+        violations, _ = check_compiled_floor(
+            compiled_payload(
+                compiled_entry(
+                    timings={"recursive": 1.0, "soa": 0.25, "compiled": None},
+                    refused={"compiled": "verdict regressed"},
+                ),
+                cpu_count=1,
+                numba=False,
+            )
+        )
+        assert len(violations) == 1
+        assert "refused" in violations[0]
+
+    def test_starved_host_skips_speed_but_not_correctness(self):
+        slow = compiled_entry(
+            timings={"recursive": 1.0, "soa": 0.25, "compiled": 0.3}
+        )
+        violations, skips = check_compiled_floor(
+            compiled_payload(slow, cpu_count=1, numba=False)
+        )
+        assert violations == []
+        assert len(skips) == 1 and "not importable" in skips[0]
+        mismatch = compiled_entry(results_match=False)
+        violations, _ = check_compiled_floor(
+            compiled_payload(mismatch, cpu_count=1, numba=False)
+        )
+        assert violations == ["TJ/original: backend results mismatch"]
+
+    def test_non_floor_benchmarks_carry_no_speed_number(self):
+        slow_gram = compiled_entry(
+            "KDE", timings={"recursive": 1.0, "soa": 0.2, "compiled": 0.4}
+        )
+        assert check_compiled_floor(compiled_payload(slow_gram)) == ([], [])
+
+    def test_host_overrides_beat_the_payload(self):
+        slow = compiled_entry(
+            timings={"recursive": 1.0, "soa": 0.25, "compiled": 0.3}
+        )
+        violations, _ = check_compiled_floor(
+            compiled_payload(slow, cpu_count=1, numba=False),
+            host_cpu_count=8,
+            host_numba=True,
+        )
+        assert len(violations) == 1
 
 
 def parallel_run(engine="process", workers=4, speedup=2.1, match=True):
@@ -192,6 +294,56 @@ class TestMain:
             == 1
         )
         assert "1.10x" in capsys.readouterr().out
+
+    def test_compiled_json_is_gated_too(self, tmp_path, capsys):
+        soa_path = self._write(tmp_path, payload(entry()))
+        compiled_path = tmp_path / "compiled.json"
+        compiled_path.write_text(
+            json.dumps(
+                compiled_payload(
+                    compiled_entry(
+                        timings={
+                            "recursive": 1.0,
+                            "soa": 0.25,
+                            "compiled": 0.24,
+                        }
+                    )
+                )
+            )
+        )
+        assert (
+            main(
+                ["--json", soa_path, "--compiled-json", str(compiled_path)]
+            )
+            == 1
+        )
+        assert "1.04x" in capsys.readouterr().out
+
+    def test_compiled_json_starved_host_skips(self, tmp_path, capsys):
+        soa_path = self._write(tmp_path, payload(entry()))
+        compiled_path = tmp_path / "compiled.json"
+        compiled_path.write_text(
+            json.dumps(
+                compiled_payload(
+                    compiled_entry(
+                        timings={
+                            "recursive": 1.0,
+                            "soa": 0.25,
+                            "compiled": 0.3,
+                        }
+                    ),
+                    cpu_count=1,
+                    numba=False,
+                )
+            )
+        )
+        assert (
+            main(
+                ["--json", soa_path, "--compiled-json", str(compiled_path)]
+            )
+            == 0
+        )
+        assert "skip" in capsys.readouterr().out
 
     def test_parallel_json_host_aware_pass(self, tmp_path, capsys):
         soa_path = self._write(tmp_path, payload(entry()))

@@ -1,0 +1,205 @@
+"""Regression tests for the selector's full-choice plumbing.
+
+Three once-lossy seams, each pinned here:
+
+1. ``backend="auto"`` used to resolve to a *string*, discarding the
+   selector's ``order`` recommendation — auto-picked SoA ran in
+   default preorder even when the evidence said veb.  The schedule
+   runner must now execute the recommended order end to end (and an
+   explicitly pinned order must still win).
+2. ``_refuse_unproven`` used to rebuild the downgraded
+   :class:`BackendChoice` without ``order``, silently resetting it.
+3. ``conformance_verdicts`` used to swallow analyzer exceptions —
+   selection silently proceeded with zero conformance evidence.  The
+   failure now surfaces as a one-shot ``RuntimeWarning`` plus a
+   ``features["conformance_error"]`` entry.
+
+Plus the ``schedule_name`` contract: it is recorded as evidence but
+never changes the verdict (the calibration found schedule-independent
+winners), and the docstring says exactly that.
+"""
+
+import warnings
+
+import pytest
+
+from repro.bench.workloads import make_tj
+from repro.core import backend_select
+from repro.core.backend_select import (
+    BackendChoice,
+    _reset_conformance_warning,
+    choose_backend,
+    resolve_backend,
+    resolve_backend_choice,
+)
+from repro.core.schedules import Schedule
+from repro.errors import ScheduleError
+
+
+def _spy_schedule(log):
+    """A schedule whose runners record (backend, order) calls."""
+
+    def runner(backend):
+        def run(spec, instrument=None, order="preorder", **kwargs):
+            log.append((backend, order))
+
+        return run
+
+    recursive = lambda spec, instrument=None: log.append(("recursive", None))
+    batched = lambda spec, instrument=None: log.append(("batched", None))
+    return Schedule("spy", recursive, batched, runner("soa"), runner("compiled"))
+
+
+class TestAutoOrderPlumbing:
+    def test_executed_order_matches_the_recommendation(self, monkeypatch):
+        """The headline regression: auto resolves to the selector's
+        backend *and* runs it in the selector's recommended order."""
+        monkeypatch.setattr(
+            backend_select,
+            "choose_backend",
+            lambda spec, schedule_name="original", **kwargs: BackendChoice(
+                "soa", "spy", {}, order="veb"
+            ),
+        )
+        log = []
+        _spy_schedule(log).run(make_tj(64).make_spec(), backend="auto")
+        assert log == [("soa", "veb")]
+
+    def test_auto_compiled_inherits_the_recommendation_too(self, monkeypatch):
+        monkeypatch.setattr(
+            backend_select,
+            "choose_backend",
+            lambda spec, schedule_name="original", **kwargs: BackendChoice(
+                "compiled", "spy", {}, order="veb"
+            ),
+        )
+        log = []
+        _spy_schedule(log).run(make_tj(64).make_spec(), backend="auto")
+        assert log == [("compiled", "veb")]
+
+    def test_a_pinned_order_beats_the_recommendation(self, monkeypatch):
+        monkeypatch.setattr(
+            backend_select,
+            "choose_backend",
+            lambda spec, schedule_name="original", **kwargs: BackendChoice(
+                "soa", "spy", {}, order="veb"
+            ),
+        )
+        log = []
+        _spy_schedule(log).run(
+            make_tj(64).make_spec(), backend="auto", order="bfs"
+        )
+        assert log == [("soa", "bfs")]
+
+    def test_resolve_backend_choice_returns_the_whole_verdict(self):
+        spec = make_tj(200).make_spec()
+        choice = resolve_backend_choice(spec, "twist", "auto")
+        assert choice.backend == "compiled"
+        assert choice.order == "veb"
+        assert choice.features["schedule"] == "twist"
+
+    def test_explicit_names_resolve_to_a_neutral_order(self):
+        spec = make_tj(200).make_spec()
+        choice = resolve_backend_choice(spec, "original", "soa")
+        assert (choice.backend, choice.order) == ("soa", "preorder")
+        assert resolve_backend(spec, "original", "soa") == "soa"
+        with pytest.raises(ScheduleError, match="unknown backend"):
+            resolve_backend_choice(spec, "original", "warp-drive")
+
+
+class TestRefuseUnprovenCarriesOrder:
+    def test_downgrade_to_the_proven_alternate_keeps_order(self, monkeypatch):
+        monkeypatch.setattr(
+            backend_select,
+            "conformance_verdicts",
+            lambda spec: {
+                "recursive": "safe",
+                "batched": "safe",
+                "soa": "unsafe",
+            },
+        )
+        choice = choose_backend(make_tj(200).make_spec())
+        assert choice.backend == "batched"
+        assert choice.order == "veb"  # evidence about the spec, kept
+
+    def test_downgrade_to_recursive_keeps_order(self, monkeypatch):
+        monkeypatch.setattr(
+            backend_select,
+            "conformance_verdicts",
+            lambda spec: {
+                "recursive": "safe",
+                "batched": "unsafe",
+                "soa": "unsafe",
+            },
+        )
+        choice = choose_backend(make_tj(200).make_spec())
+        assert choice.backend == "recursive"
+        assert choice.order == "veb"
+
+    def test_compiled_stands_or_falls_with_the_soa_verdict(self, monkeypatch):
+        """compiled executes the same work_batch_soa kernel, so an
+        unsafe soa verdict must also take compiled off the table."""
+        monkeypatch.setattr(
+            backend_select,
+            "conformance_verdicts",
+            lambda spec: {
+                "recursive": "safe",
+                "batched": "safe",
+                "soa": "unsafe",
+            },
+        )
+        choice = choose_backend(make_tj(200).make_spec())
+        assert choice.backend not in ("soa", "compiled")
+
+
+class TestScheduleNameContract:
+    def test_schedule_is_recorded_but_never_changes_the_verdict(self):
+        tj = make_tj(200)
+        on_original = choose_backend(tj.make_spec(), "original")
+        on_twist = choose_backend(tj.make_spec(), "twist")
+        assert (on_original.backend, on_original.order) == (
+            on_twist.backend,
+            on_twist.order,
+        )
+        assert on_original.features["schedule"] == "original"
+        assert on_twist.features["schedule"] == "twist"
+
+    def test_the_contract_is_documented(self):
+        assert "recorded" in choose_backend.__doc__
+        assert "schedule-independent" in choose_backend.__doc__
+
+
+class TestConformanceErrorObservability:
+    @pytest.fixture(autouse=True)
+    def _rearm(self):
+        _reset_conformance_warning()
+        yield
+        _reset_conformance_warning()
+
+    def _crash_analyzer(self, monkeypatch):
+        import repro.transform.lint.backend as lint_backend
+
+        def boom(spec, **kwargs):
+            raise RuntimeError("analyzer exploded (test stub)")
+
+        monkeypatch.setattr(lint_backend, "lint_spec", boom)
+
+    def test_analyzer_crash_warns_once_and_lands_in_features(
+        self, monkeypatch
+    ):
+        self._crash_analyzer(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="analyzer failed"):
+            choice = choose_backend(make_tj(200).make_spec())
+        # Selection proceeded structurally, and the evidence gap is on
+        # the record instead of silently absent.
+        assert "analyzer exploded" in choice.features["conformance_error"]
+        # One-shot: the second selection must not warn again.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            second = choose_backend(make_tj(200).make_spec())
+        assert [w for w in caught if w.category is RuntimeWarning] == []
+        assert "conformance_error" in second.features
+
+    def test_clean_runs_record_no_error(self):
+        choice = choose_backend(make_tj(200).make_spec())
+        assert "conformance_error" not in choice.features

@@ -137,16 +137,17 @@ class TestBackendSelection:
     def test_parallel_never_chosen_on_single_core(self, monkeypatch):
         monkeypatch.setattr(os, "cpu_count", lambda: 1)
         choice = choose_backend(TreeJoin(1023, 1023).make_spec())
-        assert choice.backend == "soa"
+        # Serial fallback: TJ is lowerable, so the fused backend wins.
+        assert choice.backend == "compiled"
 
     def test_small_space_stays_serial_with_veb_recommendation(
         self, monkeypatch
     ):
         monkeypatch.setattr(os, "cpu_count", lambda: 8)
         choice = choose_backend(TreeJoin(255, 255).make_spec())
-        assert choice.backend == "soa"
+        assert choice.backend == "compiled"
         assert choice.order == "veb"
-        assert "BENCH_soa" in choice.reason
+        assert "lowerable" in choice.reason
 
     def test_unproven_plan_refused_by_selector(self, monkeypatch):
         monkeypatch.setattr(os, "cpu_count", lambda: 8)
@@ -170,7 +171,9 @@ class TestBackendSelection:
             witness_key="test-selector-unproven",
         )
         choice = choose_backend(spec)
-        assert choice.backend == "soa"
+        # Refused parallelism falls through to the serial rules, where
+        # TJ's lowerable kernel lands on the fused backend.
+        assert choice.backend == "compiled"
 
 
 class TestScheduleRunParallel:

@@ -328,12 +328,28 @@ class TestChooseBackend:
         assert choice.backend == "soa"
         assert choice.features["observes_work"]
 
-    def test_soa_native_work_picks_soa(self):
+    def test_soa_native_lowerable_work_picks_compiled(self):
         from repro.bench.workloads import make_tj
 
         choice = choose_backend(make_tj(200).make_spec())
-        assert choice.backend == "soa"
+        assert choice.backend == "compiled"
         assert choice.features["has_work_batch_soa"]
+        assert choice.features["lowerable"]
+        assert choice.order == "veb"
+
+    def test_unlowerable_soa_native_work_falls_back_to_soa(self, monkeypatch):
+        from repro.bench.workloads import make_tj
+        from repro.core import backend_select
+
+        monkeypatch.setattr(
+            backend_select,
+            "_compiled_eligible",
+            lambda spec: (False, "forced refusal (test)"),
+        )
+        choice = choose_backend(make_tj(200).make_spec())
+        assert choice.backend == "soa"
+        assert choice.order == "veb"
+        assert "compiled refused" in choice.reason
 
     def test_stateless_irregular_defaults_to_batched(self):
         from repro.bench.workloads import make_pc

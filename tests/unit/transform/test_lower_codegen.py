@@ -1,0 +1,188 @@
+"""Unit tests for the ``work_batch_soa`` code generator.
+
+:func:`~repro.transform.lower_codegen.generate_fused_kernel` turns one
+certified SoA kernel into a standalone fused function whose parameters
+are the position arrays, the packed columns it gathers from, its
+captured environment values, and its state-object fields.  These tests
+pin the translation itself (staging-call collapse, column/env/state
+parameter extraction, one-level state-method inlining), the per-call
+re-binding contract, and the precise refusals for constructs outside
+the lowerable subset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spaces import balanced_tree, soa_view
+from repro.transform.lower_codegen import (
+    FusedKernel,
+    LoweringUnsupported,
+    generate_fused_kernel,
+)
+
+
+def _views(n=7, m=5):
+    outer = soa_view(balanced_tree(n, data=lambda k: k + 1))
+    inner = soa_view(balanced_tree(m, data=lambda k: k + 1))
+    # The full cross product, original emission order.
+    o_pos = np.repeat(np.arange(n, dtype=np.intp), m)
+    i_pos = np.tile(np.arange(m, dtype=np.intp), n)
+    return outer, inner, o_pos, i_pos
+
+
+class _Acc:
+    def __init__(self):
+        self.total = 0
+        self.pairs = 0
+
+    def add(self, outer_values, inner_values):
+        self.total += int(outer_values @ inner_values)
+        self.pairs += len(outer_values)
+
+
+def _tj_like_kernel(acc):
+    def work_batch_soa(o_view, i_view, o_positions, i_positions):
+        rows = np.fromiter(o_positions, dtype=np.intp, count=len(o_positions))
+        cols = np.fromiter(i_positions, dtype=np.intp, count=len(i_positions))
+        acc.add(o_view.column("data")[rows], i_view.column("data")[cols])
+
+    return work_batch_soa
+
+
+class TestTranslation:
+    def test_staging_calls_collapse_to_the_position_params(self):
+        kernel = generate_fused_kernel(_tj_like_kernel(_Acc()))
+        assert "fromiter" not in kernel.source
+        assert "rows = _o_positions" in kernel.source
+        assert "cols = _i_positions" in kernel.source
+
+    def test_columns_env_and_state_become_parameters(self):
+        kernel = generate_fused_kernel(_tj_like_kernel(_Acc()))
+        assert kernel.o_columns == ("data",)
+        assert kernel.i_columns == ("data",)
+        assert kernel.state_fields == (("acc", "total"), ("acc", "pairs"))
+        assert kernel.env_names == ()
+
+    def test_state_methods_are_inlined_and_fields_returned(self):
+        source = generate_fused_kernel(_tj_like_kernel(_Acc())).source
+        # The .add() body is inlined: the fused function updates the
+        # field parameters and returns them for write-back.
+        assert "_state_acc_total" in source
+        assert "return (_state_acc_total, _state_acc_pairs)" in source
+
+    def test_env_arrays_travel_as_parameters(self):
+        a = np.arange(12.0).reshape(3, 4)
+        c = np.zeros(3)
+
+        def work_batch_soa(o_view, i_view, o_positions, i_positions):
+            rows = np.asarray(o_positions, dtype=np.intp)
+            c[rows] = a[rows, :].sum(axis=1)
+
+        kernel = generate_fused_kernel(work_batch_soa)
+        assert set(kernel.env_names) == {"a", "c"}
+        assert "np.asarray" not in kernel.source  # staging collapsed
+
+
+class TestExecution:
+    def test_fused_call_matches_the_original_kernel(self):
+        outer, inner, o_pos, i_pos = _views()
+        direct, fused_acc = _Acc(), _Acc()
+        _tj_like_kernel(direct)(outer, inner, o_pos, i_pos)
+        fused_kernel = _tj_like_kernel(fused_acc)
+        artifact = generate_fused_kernel(fused_kernel)
+        artifact.call(fused_kernel, outer, inner, o_pos, i_pos)
+        assert (fused_acc.total, fused_acc.pairs) == (direct.total, direct.pairs)
+        assert direct.pairs == len(o_pos)
+
+    def test_artifact_rebinds_per_call(self):
+        """One artifact serves *fresh* closures: state and columns are
+        resolved from the kernel passed to ``call``, not the one the
+        artifact was generated from."""
+        outer, inner, o_pos, i_pos = _views()
+        artifact = generate_fused_kernel(_tj_like_kernel(_Acc()))
+        fresh = _Acc()
+        fresh_kernel = _tj_like_kernel(fresh)
+        artifact.call(fresh_kernel, outer, inner, o_pos, i_pos)
+        artifact.call(fresh_kernel, outer, inner, o_pos, i_pos)
+        assert fresh.pairs == 2 * len(o_pos)
+
+    def test_missing_captured_name_is_reported(self):
+        outer, inner, o_pos, i_pos = _views()
+        artifact = generate_fused_kernel(_tj_like_kernel(_Acc()))
+        stranger = lambda o_view, i_view, o_positions, i_positions: None
+        with pytest.raises(LoweringUnsupported, match="missing"):
+            artifact.call(stranger, outer, inner, o_pos, i_pos)
+
+
+class TestRefusals:
+    def _reject(self, fn, match):
+        with pytest.raises(LoweringUnsupported, match=match):
+            generate_fused_kernel(fn)
+
+    def test_builtin_kernels_have_no_source(self):
+        self._reject(max, "cannot read the source")
+
+    def test_wrong_arity(self):
+        def work_batch(os, is_):
+            pass
+
+        self._reject(work_batch, "exactly")
+
+    def test_control_flow_is_outside_the_subset(self):
+        def work_batch_soa(o_view, i_view, o_positions, i_positions):
+            for p in o_positions:
+                pass
+
+        self._reject(work_batch_soa, "outside the lowerable subset")
+
+    def test_chained_assignment(self):
+        def work_batch_soa(o_view, i_view, o_positions, i_positions):
+            a = b = np.asarray(o_positions, dtype=np.intp)
+
+        self._reject(work_batch_soa, "chained")
+
+    def test_unknown_captured_object_type(self):
+        opaque = object()
+
+        def work_batch_soa(o_view, i_view, o_positions, i_positions):
+            rows = np.asarray(o_positions, dtype=np.intp)
+            opaque.mystery(rows)
+
+        self._reject(work_batch_soa, "opaque")
+
+    def test_empty_body(self):
+        def work_batch_soa(o_view, i_view, o_positions, i_positions):
+            pass
+
+        self._reject(work_batch_soa, "empty")
+
+
+class TestRealKernels:
+    """The three certified benchmark kernels all lower."""
+
+    def test_treejoin(self):
+        from repro.kernels import TreeJoin
+
+        spec = TreeJoin(9, 9).make_spec()
+        kernel = generate_fused_kernel(spec.work_batch_soa)
+        assert isinstance(kernel, FusedKernel)
+        assert kernel.state_fields == (
+            ("accumulator", "total"),
+            ("accumulator", "pairs"),
+        )
+
+    def test_matmul(self):
+        from repro.kernels import MatrixMultiply
+
+        spec = MatrixMultiply(6, 6, p=3).make_spec()
+        kernel = generate_fused_kernel(spec.work_batch_soa)
+        assert set(kernel.env_names) == {"a", "b", "c"}
+        assert "np.einsum" in kernel.source
+
+    def test_gram(self):
+        from repro.kernels import GramTable
+
+        spec = GramTable(6, 6).make_spec()
+        kernel = generate_fused_kernel(spec.work_batch_soa)
+        assert kernel.o_columns == ("data",)
+        assert set(kernel.env_names) == {"q", "r", "table"}
