@@ -172,6 +172,50 @@ def _parallel(scale: float, args: "argparse.Namespace | None" = None):
     return report
 
 
+def _serve(scale: float, args: "argparse.Namespace | None" = None):
+    from repro.bench.serve_load import (
+        DEFAULT_JSON_PATH,
+        DEFAULT_REFERENCES,
+        DEFAULT_USERS,
+        LoadSpec,
+        run_serve_load,
+        write_serve_json,
+    )
+    from repro.serve.service import ServiceConfig
+
+    users = max(64, int(DEFAULT_USERS * scale))
+    references = max(256, int(DEFAULT_REFERENCES * scale))
+    kwargs: dict = {}
+    config = ServiceConfig()
+    if args is not None:
+        if args.users is not None:
+            users = args.users
+        if args.references is not None:
+            references = args.references
+        if args.serial_sample is not None:
+            kwargs["serial_sample"] = args.serial_sample
+        if args.concurrency is not None:
+            kwargs["concurrency"] = args.concurrency
+        if args.hot_fraction is not None:
+            kwargs["hot_fraction"] = args.hot_fraction
+        if args.max_batch is not None:
+            config = ServiceConfig(max_batch=args.max_batch)
+    spec = LoadSpec(references=references, users=users, **kwargs)
+    report, payload = run_serve_load(spec, config)
+    out = DEFAULT_JSON_PATH
+    if args is not None and args.json != "BENCH_soa.json":
+        out = args.json
+    path = write_serve_json(payload, out)
+    report.add_note(f"JSON payload written to {path}")
+    return report
+
+
+def _trajectory(scale: float, args: "argparse.Namespace | None" = None):
+    from repro.bench.trajectory import run_trajectory
+
+    return run_trajectory()
+
+
 def _ablations(scale: float):
     from repro.bench.experiments import run_layout_ablation, run_truncation_ablation
 
@@ -215,7 +259,19 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
         "BENCH_parallel.json)",
         _parallel,
     ),
+    "serve": (
+        "Serving load generator: batched service vs per-query serial "
+        "(writes BENCH_serve.json)",
+        _serve,
+    ),
+    "trajectory": (
+        "Speedup history: aggregate all checked-in BENCH_*.json",
+        _trajectory,
+    ),
 }
+
+#: Experiments whose runners take the parsed args (extra filters).
+_ARGS_AWARE = ("wallclock", "parallel", "serve", "trajectory")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,6 +334,45 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         help="only this worker count (repeatable; default 1 2 4)",
+    )
+    serve = parser.add_argument_group(
+        "serve options", "for the 'serve' load generator"
+    )
+    serve.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help="simulated users (default 100000, scaled by --scale)",
+    )
+    serve.add_argument(
+        "--references",
+        type=int,
+        default=None,
+        help="reference-set size (default 16384, scaled by --scale)",
+    )
+    serve.add_argument(
+        "--serial-sample",
+        type=int,
+        default=None,
+        help="users sampled for the serial baseline (default 1500)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="simulated users in flight at once (default 2048)",
+    )
+    serve.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=None,
+        help="fraction of users re-asking a hot query (default 0.7)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="admission batch cap (default 256)",
     )
     floor = parser.add_argument_group(
         "perf-floor options", "for the 'perf-floor' CI gate"
@@ -362,7 +457,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for name in names:
         _description, runner = EXPERIMENTS[name]
-        if name in ("wallclock", "parallel"):
+        if name in _ARGS_AWARE:
             print(runner(args.scale, args).render())
         else:
             print(runner(args.scale).render())

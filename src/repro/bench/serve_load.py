@@ -1,0 +1,317 @@
+"""Load generator for the serving layer (``python -m repro.bench serve``).
+
+Drives 10^5–10^6 simulated users against a resident
+:class:`~repro.serve.service.QueryService` through the asyncio
+:class:`~repro.serve.batcher.AdmissionBatcher` — the exact production
+admission path, minus the TCP framing (measured separately by the
+integration tests; the serving claim is about execution, not socket
+I/O).  Each simulated user submits one query drawn from a configurable
+kind mix with a hot set: ``hot_fraction`` of users re-ask one of
+``hot_set`` popular queries, the rest ask unique ones — the skew that
+makes the cross-batch verdict cache earn its keep.
+
+Three measurements come out:
+
+* **service latency** — per-user submit→result seconds through the
+  batcher (includes admission hold), reported as p50/p99/mean;
+* **service throughput** — users / wall seconds for the whole run;
+* **serial baseline** — per-query execution time of the same workload
+  shape through :meth:`QueryService.execute_serial` (auto backend per
+  query — the best a non-batching server would do), measured on a
+  uniform sample of ``serial_sample`` users and scaled: per-query
+  serial cost is independent of workload length, so the sample mean is
+  the estimator, and the sample size is recorded in the payload.
+
+Correctness is not sampled: the batched result of **every** user is
+bit-compared against the serial oracle of its distinct query (equal
+queries have equal oracles — the oracle is deterministic), and the
+run fails loudly on any mismatch.  The payload lands in
+``BENCH_serve.json`` for the trajectory table and the CI gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.reporting import ExperimentReport
+from repro.errors import ReproError
+from repro.serve.batcher import AdmissionBatcher
+from repro.serve.protocol import (
+    CountQuery,
+    KNNQuery,
+    NNQuery,
+    Query,
+)
+from repro.serve.service import QueryService, ServiceConfig
+
+#: Default knobs of the checked-in BENCH_serve.json run.
+DEFAULT_REFERENCES = 16384
+DEFAULT_USERS = 100_000
+DEFAULT_JSON_PATH = "BENCH_serve.json"
+
+#: Kind mix (nn, knn, count) the simulated users draw from.
+DEFAULT_MIX = (0.4, 0.2, 0.4)
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load-generation scenario."""
+
+    references: int = DEFAULT_REFERENCES
+    users: int = DEFAULT_USERS
+    hot_fraction: float = 0.7
+    hot_set: int = 64
+    mix: tuple[float, float, float] = DEFAULT_MIX
+    k: int = 5
+    radius: float = 0.3
+    seed: int = 1
+    concurrency: int = 2048
+    serial_sample: int = 1500
+
+
+def generate_workload(
+    spec: LoadSpec, references: np.ndarray
+) -> list[Query]:
+    """The full, deterministic user query sequence for one scenario.
+
+    Query points are fresh clustered draws (same distribution as the
+    references, never the same points); hot users resample from the
+    first ``hot_set`` of them.
+    """
+    from repro.spaces.points import clustered_points
+
+    rng = np.random.default_rng(spec.seed)
+    distinct = clustered_points(
+        max(spec.hot_set, spec.users),
+        clusters=24,
+        spread=0.05,
+        seed=spec.seed + 1,
+    )
+    kinds = rng.choice(3, size=spec.users, p=list(spec.mix))
+    hot = rng.random(spec.users) < spec.hot_fraction
+    hot_pick = rng.integers(0, spec.hot_set, size=spec.users)
+    queries: list[Query] = []
+    for index in range(spec.users):
+        row = hot_pick[index] if hot[index] else index
+        point = tuple(float(value) for value in distinct[row])
+        kind = int(kinds[index])
+        if kind == 0:
+            queries.append(NNQuery(point))
+        elif kind == 1:
+            queries.append(KNNQuery(point, spec.k))
+        else:
+            queries.append(CountQuery(point, spec.radius))
+    return queries
+
+
+async def _drive(
+    batcher: AdmissionBatcher,
+    queries: Sequence[Query],
+    concurrency: int,
+) -> tuple[list, np.ndarray, float]:
+    """Submit every user query; returns (results, latencies, wall).
+
+    ``concurrency`` long-lived simulator tasks pull user indices from
+    one shared iterator — bounded task count regardless of workload
+    length, with ``concurrency`` queries in flight at steady state.
+    """
+    results: list = [None] * len(queries)
+    latencies = np.zeros(len(queries))
+    indices = iter(range(len(queries)))
+
+    async def simulator() -> None:
+        for index in indices:
+            start = time.perf_counter()
+            results[index] = await batcher.submit(queries[index])
+            latencies[index] = time.perf_counter() - start
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(
+        *(simulator() for _ in range(min(concurrency, len(queries))))
+    )
+    await batcher.drain()
+    wall = time.perf_counter() - wall_start
+    return results, latencies, wall
+
+
+def run_serve_load(
+    spec: LoadSpec = LoadSpec(),
+    config: Optional[ServiceConfig] = None,
+    service: Optional[QueryService] = None,
+) -> tuple[ExperimentReport, dict]:
+    """Run one scenario; returns (report, BENCH_serve payload).
+
+    Raises :class:`~repro.errors.ReproError` on any batched-vs-serial
+    result mismatch — bit-identity is an acceptance criterion, not a
+    statistic.
+    """
+    from repro.spaces.points import clustered_points
+
+    config = config or ServiceConfig()
+    own_service = service is None
+    if service is None:
+        references = clustered_points(
+            spec.references, clusters=24, spread=0.05, seed=spec.seed
+        )
+        service = QueryService(references, config)
+    try:
+        queries = generate_workload(spec, service.references)
+        batcher_holder: dict = {}
+
+        async def scenario():
+            batcher = AdmissionBatcher(
+                service.execute_batch,
+                max_batch=config.max_batch,
+                max_hold_s=config.max_hold_s,
+            )
+            batcher_holder["batcher"] = batcher
+            return await _drive(batcher, queries, spec.concurrency)
+
+        results, latencies, wall = asyncio.run(scenario())
+        batcher = batcher_holder["batcher"]
+
+        # Serial baseline: per-query cost sampled uniformly.
+        rng = np.random.default_rng(spec.seed + 2)
+        sample_size = min(spec.serial_sample, len(queries))
+        sample = rng.choice(len(queries), size=sample_size, replace=False)
+        serial_start = time.perf_counter()
+        service.execute_serial([queries[index] for index in sample])
+        serial_seconds = time.perf_counter() - serial_start
+        serial_mean = serial_seconds / sample_size
+        serial_qps = 1.0 / serial_mean
+
+        # Bit-identity: every user's answer vs its distinct oracle.
+        distinct: dict[Query, list[int]] = {}
+        for index, query in enumerate(queries):
+            distinct.setdefault(query, []).append(index)
+        oracle = service.execute_serial(list(distinct))
+        mismatches = 0
+        for answer, indices in zip(oracle, distinct.values()):
+            for index in indices:
+                if results[index] != answer:
+                    mismatches += 1
+        if mismatches:
+            raise ReproError(
+                f"serving bit-identity violated: {mismatches} of "
+                f"{len(queries)} batched answers differ from the serial "
+                "oracle"
+            )
+
+        qps = len(queries) / wall
+        speedup = qps / serial_qps
+        payload = {
+            "experiment": "serve",
+            "host": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "references": int(len(service.references)),
+            "users": len(queries),
+            "distinct_queries": len(distinct),
+            "hot_fraction": spec.hot_fraction,
+            "hot_set": spec.hot_set,
+            "mix": {
+                "nn": spec.mix[0],
+                "knn": spec.mix[1],
+                "count": spec.mix[2],
+            },
+            "config": {
+                "leaf_size": config.leaf_size,
+                "query_leaf_size": config.query_leaf_size,
+                "max_batch": config.max_batch,
+                "max_hold_ms": config.max_hold_s * 1000.0,
+                "flush_candidates": config.flush_candidates,
+                "workers": config.workers,
+            },
+            "backends": {
+                kind: dict(entry)
+                for kind, entry in service.analysis.items()
+            },
+            "latency_ms": {
+                "p50": float(np.percentile(latencies, 50) * 1000),
+                "p99": float(np.percentile(latencies, 99) * 1000),
+                "mean": float(latencies.mean() * 1000),
+                "max": float(latencies.max() * 1000),
+            },
+            "qps": qps,
+            "wall_seconds": wall,
+            "serial": {
+                "sampled": sample_size,
+                "mean_ms": serial_mean * 1000.0,
+                "qps": serial_qps,
+            },
+            "speedup": speedup,
+            "bit_identical": True,
+            "batcher": batcher.batcher_stats(),
+            "verdict_cache": service.verdict_cache.stats(),
+        }
+        report = _report(payload)
+        return report, payload
+    finally:
+        if own_service:
+            service.close()
+
+
+def _report(payload: dict) -> ExperimentReport:
+    report = ExperimentReport(
+        title=(
+            f"Serving: {payload['users']:,} users over "
+            f"{payload['references']:,} reference points"
+        ),
+        columns=["metric", "value"],
+    )
+    latency = payload["latency_ms"]
+    report.add_row("queries/sec (batched service)", round(payload["qps"], 1))
+    report.add_row("p50 latency (ms)", round(latency["p50"], 3))
+    report.add_row("p99 latency (ms)", round(latency["p99"], 3))
+    report.add_row("mean latency (ms)", round(latency["mean"], 3))
+    report.add_row(
+        "serial baseline (ms/query)",
+        round(payload["serial"]["mean_ms"], 3),
+    )
+    report.add_row("serial queries/sec", round(payload["serial"]["qps"], 1))
+    report.add_row("throughput speedup", round(payload["speedup"], 2))
+    report.add_row(
+        "mean admitted batch",
+        payload["batcher"]["mean_tick_size"],
+    )
+    report.add_row(
+        "bit-identical vs oracle",
+        "yes" if payload["bit_identical"] else "NO",
+    )
+    cache = payload["verdict_cache"]
+    lookups = cache["hits"] + cache["misses"]
+    if lookups:
+        report.add_row(
+            "verdict-cache hit rate",
+            f"{100.0 * cache['hits'] / lookups:.1f}%",
+        )
+    backends = ", ".join(
+        f"{kind}={entry['backend']}"
+        for kind, entry in payload["backends"].items()
+    )
+    report.add_note(f"pinned backends: {backends}")
+    report.add_note(
+        f"serial baseline sampled on {payload['serial']['sampled']} "
+        "queries (per-query cost is workload-length independent)"
+    )
+    return report
+
+
+def write_serve_json(
+    payload: dict, path: str = DEFAULT_JSON_PATH
+) -> str:
+    """Write the serving payload as indented JSON; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path

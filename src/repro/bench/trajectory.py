@@ -1,0 +1,192 @@
+"""``python -m repro.bench trajectory`` — the speedup-history table.
+
+Every optimization PR in this repo lands a checked-in ``BENCH_*.json``
+payload as its receipt: the SoA executor sweep (``BENCH_soa.json``),
+the multi-worker runtime (``BENCH_parallel.json``), the compiled
+backend (``BENCH_compiled.json``), and the serving layer
+(``BENCH_serve.json``).  This module folds whichever of those are
+present into one table, so the repository's performance story reads
+top to bottom in a single render — which milestone bought what, over
+which baseline.
+
+Readers are deliberately tolerant: payload schemas belong to their
+writers and may grow fields; a missing file or an unrecognized shape
+becomes a note, never a crash.  Speedups are reported exactly as the
+source payloads define them (each row names its baseline), so the
+table juxtaposes rather than launders: an executor speedup over the
+recursive interpreter and a serving throughput gain over per-query
+execution are different claims and stay labeled as such.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Optional
+
+from repro.bench.reporting import ExperimentReport
+
+#: The standard payload files, in milestone order.
+TRAJECTORY_SOURCES = (
+    "BENCH_soa.json",
+    "BENCH_parallel.json",
+    "BENCH_compiled.json",
+    "BENCH_serve.json",
+)
+
+
+def _load(path: str) -> Optional[dict]:
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _rows_wallclock(payload: dict, source: str) -> list[tuple]:
+    """Rows for a backend-sweep payload (soa or compiled flavour).
+
+    With a ``recursive`` timing the speedup is best-backend over the
+    recursive interpreter (the seed baseline); without one (the
+    compiled sweep drops it) the speedup is compiled over soa — the
+    claim that payload's CI floor actually gates.
+    """
+    rows: list[tuple] = []
+    for result in payload.get("results", ()):
+        if not isinstance(result, dict):
+            continue
+        timings = result.get("timings")
+        if not isinstance(timings, dict) or not timings:
+            continue
+        label = (
+            f"{result.get('benchmark', '?')}/"
+            f"{result.get('schedule', '?')}"
+        )
+        numeric = {
+            name: float(seconds)
+            for name, seconds in timings.items()
+            if isinstance(seconds, (int, float)) and seconds > 0
+        }
+        if not numeric:
+            continue
+        if "recursive" in numeric:
+            baseline_name = "recursive"
+            contenders = {
+                name: seconds
+                for name, seconds in numeric.items()
+                if name not in ("recursive", "auto")
+            }
+        elif "soa" in numeric and "compiled" in numeric:
+            baseline_name = "soa"
+            contenders = {"compiled": numeric["compiled"]}
+        else:
+            continue
+        if not contenders:
+            continue
+        best = min(contenders, key=contenders.get)
+        speedup = numeric[baseline_name] / contenders[best]
+        rows.append((source, label, best, baseline_name, speedup))
+    return rows
+
+
+def _rows_parallel(payload: dict, source: str) -> list[tuple]:
+    """Rows for the worker sweep: best run per benchmark/schedule."""
+    rows: list[tuple] = []
+    for result in payload.get("results", ()):
+        if not isinstance(result, dict):
+            continue
+        runs = [
+            run
+            for run in result.get("runs", ())
+            if isinstance(run, dict)
+            and isinstance(run.get("speedup_vs_serial_soa"), (int, float))
+        ]
+        if not runs:
+            continue
+        best = max(runs, key=lambda run: run["speedup_vs_serial_soa"])
+        label = (
+            f"{result.get('benchmark', '?')}/"
+            f"{result.get('schedule', '?')}"
+        )
+        configuration = (
+            f"{best.get('engine', '?')}x{best.get('workers', '?')}"
+        )
+        rows.append(
+            (
+                source,
+                label,
+                configuration,
+                "serial soa",
+                float(best["speedup_vs_serial_soa"]),
+            )
+        )
+    return rows
+
+
+def _rows_serve(payload: dict, source: str) -> list[tuple]:
+    """One row: batched service throughput over per-query serial."""
+    speedup = payload.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        return []
+    label = (
+        f"{payload.get('users', '?')} users / "
+        f"{payload.get('references', '?')} refs"
+    )
+    return [(source, label, "admission batching", "per-query serial",
+             float(speedup))]
+
+
+_READERS = {
+    "wallclock_backends": _rows_wallclock,
+    "wallclock_parallel": _rows_parallel,
+    "serve": _rows_serve,
+}
+
+
+def run_trajectory(
+    paths: Optional[list[str]] = None, root: str = "."
+) -> ExperimentReport:
+    """Aggregate the checked-in payloads into one speedup table."""
+    if paths is None:
+        paths = [os.path.join(root, name) for name in TRAJECTORY_SOURCES]
+    report = ExperimentReport(
+        title="Speedup trajectory: every checked-in BENCH payload",
+        columns=["source", "workload", "contender", "baseline", "speedup"],
+    )
+    missing: list[str] = []
+    for path in paths:
+        payload = _load(path)
+        name = os.path.basename(path)
+        if payload is None:
+            missing.append(name)
+            continue
+        reader = _READERS.get(payload.get("experiment"))
+        rows = reader(payload, name) if reader is not None else []
+        if not rows:
+            report.add_note(
+                f"{name}: unrecognized payload shape "
+                f"(experiment={payload.get('experiment')!r}), skipped"
+            )
+            continue
+        speedups = []
+        for source, label, contender, baseline, speedup in rows:
+            report.add_row(
+                source, label, contender, baseline, round(speedup, 3)
+            )
+            speedups.append(speedup)
+        if len(speedups) > 1:
+            geomean = math.exp(
+                sum(math.log(value) for value in speedups) / len(speedups)
+            )
+            report.add_row(name, "geomean", "", "", round(geomean, 3))
+    if missing:
+        report.add_note(f"not present (skipped): {', '.join(missing)}")
+    report.add_note(
+        "each row keeps its payload's own baseline — executor speedups "
+        "and serving throughput gains are different claims"
+    )
+    return report

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import os
 import warnings
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Optional
@@ -251,7 +253,118 @@ def _compiled_eligible(spec: NestedRecursionSpec) -> tuple[bool, str]:
     return False, f"{report.lower}: {report.lower_reason}"
 
 
+# ---------------------------------------------------------------------------
+# Probe-once choice cache (keyed by finalized-tree identity)
+
+#: key -> (outer ref, inner ref, outer size, inner size, choice).  The
+#: key pairs the live roots' ids with the kernels' code-object key, so
+#: a fresh spec instance over the *same finalized trees* (a resident
+#: service re-specs per batch) hits without re-probing; the weakrefs
+#: and stored sizes invalidate the entry if a root dies (ids can be
+#: reused) or is re-finalized to a different shape.
+_CHOICE_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_CHOICE_CACHE_CAP = 64
+
+
+def _choice_cache_key(
+    spec: NestedRecursionSpec, schedule_name: str, allow_unproven: bool
+) -> Optional[tuple]:
+    try:
+        from repro.transform.lint.backend import _spec_cache_key
+
+        kernel_key = _spec_cache_key(spec)
+    except Exception:  # un-keyable spec: selection just runs uncached
+        return None
+    return (
+        id(spec.outer_root),
+        id(spec.inner_root),
+        kernel_key,
+        schedule_name,
+        bool(allow_unproven),
+        spec.parallel_plan is not None,
+    )
+
+
+def _choice_cache_get(
+    key: tuple, spec: NestedRecursionSpec
+) -> Optional[BackendChoice]:
+    entry = _CHOICE_CACHE.get(key)
+    if entry is None:
+        return None
+    ref_outer, ref_inner, outer_size, inner_size, choice = entry
+    if (
+        ref_outer() is spec.outer_root
+        and ref_inner() is spec.inner_root
+        and spec.outer_root.size == outer_size
+        and spec.inner_root.size == inner_size
+    ):
+        _CHOICE_CACHE.move_to_end(key)
+        return choice
+    del _CHOICE_CACHE[key]
+    return None
+
+
+def _choice_cache_put(
+    key: tuple, spec: NestedRecursionSpec, choice: BackendChoice
+) -> None:
+    try:
+        entry = (
+            weakref.ref(spec.outer_root),
+            weakref.ref(spec.inner_root),
+            spec.outer_root.size,
+            spec.inner_root.size,
+            choice,
+        )
+    except TypeError:  # un-weakrefable custom nodes: skip caching
+        return
+    _CHOICE_CACHE[key] = entry
+    while len(_CHOICE_CACHE) > _CHOICE_CACHE_CAP:
+        _CHOICE_CACHE.popitem(last=False)
+
+
+def clear_choice_cache() -> None:
+    """Drop every cached backend choice (test/service hook)."""
+    _CHOICE_CACHE.clear()
+
+
 def choose_backend(
+    spec: NestedRecursionSpec,
+    schedule_name: str = "original",
+    features: Optional[dict] = None,
+    allow_unproven: bool = False,
+) -> BackendChoice:
+    """Pick recursive/batched/soa/compiled for one spec, probe-once.
+
+    The structural decision is memoized per (finalized tree pair,
+    kernel family, schedule): repeated selections against a resident
+    reference tree — the serving steady state — return the pinned
+    :class:`BackendChoice` with **zero** probe work (no tree sampling,
+    no truncation-density pass, no analyzer round-trip).  Callers that
+    pass explicit ``features`` bypass the cache, and a root that dies
+    or is re-finalized to a different size invalidates its entries.
+    Cached hits share the same ``BackendChoice`` (and features dict).
+
+    ``schedule_name`` is recorded as evidence in ``features`` (and is
+    part of the memo key) but never changes the verdict: the decision
+    table's calibration found schedule-independent winners.
+    """
+    if features is None:
+        cache_key = _choice_cache_key(spec, schedule_name, allow_unproven)
+        if cache_key is not None:
+            cached = _choice_cache_get(cache_key, spec)
+            if cached is not None:
+                return cached
+    else:
+        cache_key = None
+    choice = _choose_backend_uncached(
+        spec, schedule_name, features, allow_unproven
+    )
+    if cache_key is not None:
+        _choice_cache_put(cache_key, spec, choice)
+    return choice
+
+
+def _choose_backend_uncached(
     spec: NestedRecursionSpec,
     schedule_name: str = "original",
     features: Optional[dict] = None,

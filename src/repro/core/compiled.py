@@ -70,9 +70,11 @@ from repro.transform.lower_codegen import (
 __all__ = [
     "artifact_info",
     "compiled_artifact",
+    "position_cache_info",
     "run_interchanged_compiled",
     "run_original_compiled",
     "run_twisted_compiled",
+    "set_position_cache_limits",
 ]
 
 
@@ -168,9 +170,52 @@ class _Collector:
 
 
 _POSITIONS: "OrderedDict[tuple, tuple]" = OrderedDict()
-#: Bounded: each entry holds two O(mn) intp arrays, so an unbounded
-#: cache across a bench sweep would hoard memory.
+#: Bounded twice over: each entry holds two O(mn) intp arrays, so an
+#: unbounded cache across a bench sweep — or a resident service that
+#: never exits — would hoard memory.  The entry cap bounds the count,
+#: the byte cap bounds the footprint (a handful of large-tree entries
+#: can dwarf dozens of small ones); eviction is LRU under both.
 _POSITIONS_CAP = 8
+_POSITIONS_MAX_BYTES = 256 * 1024 * 1024
+
+
+def _positions_nbytes() -> int:
+    return sum(
+        rows.nbytes + cols.nbytes
+        for _ref_o, _ref_i, rows, cols in _POSITIONS.values()
+    )
+
+
+def position_cache_info() -> dict:
+    """Entry/byte usage of the position cache (for tests and stats)."""
+    return {
+        "entries": len(_POSITIONS),
+        "bytes": _positions_nbytes(),
+        "max_entries": _POSITIONS_CAP,
+        "max_bytes": _POSITIONS_MAX_BYTES,
+    }
+
+
+def set_position_cache_limits(
+    max_entries: Optional[int] = None, max_bytes: Optional[int] = None
+) -> tuple[int, int]:
+    """Adjust the cache bounds; returns the previous ``(max_entries, max_bytes)``.
+
+    Limits apply on the next insertion (shrinking does not evict
+    retroactively until something is cached).  Long-lived services can
+    tighten these to match their memory budget.
+    """
+    global _POSITIONS_CAP, _POSITIONS_MAX_BYTES
+    previous = (_POSITIONS_CAP, _POSITIONS_MAX_BYTES)
+    if max_entries is not None:
+        if max_entries < 1:
+            raise ScheduleError("position cache needs max_entries >= 1")
+        _POSITIONS_CAP = max_entries
+    if max_bytes is not None:
+        if max_bytes < 1:
+            raise ScheduleError("position cache needs max_bytes >= 1")
+        _POSITIONS_MAX_BYTES = max_bytes
+    return previous
 
 
 def _position_arrays(
@@ -221,7 +266,10 @@ def _position_arrays(
         rows,
         cols,
     )
-    while len(_POSITIONS) > _POSITIONS_CAP:
+    while _POSITIONS and (
+        len(_POSITIONS) > _POSITIONS_CAP
+        or _positions_nbytes() > _POSITIONS_MAX_BYTES
+    ):
         _POSITIONS.popitem(last=False)
     return outer, inner, rows, cols
 

@@ -80,7 +80,9 @@ from repro.errors import ParallelWorkerError, ScheduleError
 from repro.spaces.soa import (
     ResultColumn,
     SharedArrayHandle,
+    SharedPublication,
     attach_shared_arrays,
+    attach_shared_arrays_cached,
     close_shared_segments,
     export_shared_arrays,
     reduce_sum_columns,
@@ -366,6 +368,158 @@ def _execute_chunk_process(payload: dict) -> dict:
         close_shared_segments(result_segments, unlink=False)
 
 
+def _execute_chunk_pooled(payload: dict) -> dict:
+    """Persistent-pool worker entry: cached attach for resident inputs.
+
+    Input arrays belong to a long-lived :class:`SharedPublication` and
+    are attached once per worker via the soa-level attachment cache;
+    result columns are per-run and attach/close normally.  Workers
+    still never unlink — only the pool owner's ``close()`` removes the
+    ``/dev/shm`` names.
+    """
+    arrays = attach_shared_arrays_cached(payload["input_handles"])
+    shared_results, result_segments = attach_shared_arrays(
+        payload["result_handles"]
+    )
+    try:
+        return _execute_chunk(arrays, shared_results, payload)
+    finally:
+        close_shared_segments(result_segments, unlink=False)
+
+
+class PersistentWorkerPool:
+    """Publish-once input arrays plus a long-lived process pool.
+
+    The one-shot process engine pays three fixed costs on every call:
+    exporting the input arrays to shared memory, spawning a fresh
+    ``ProcessPoolExecutor``, and tearing both down.  A resident service
+    executes thousands of batches against the *same* finalized arrays,
+    so this pool hoists all three: the arrays are published once into a
+    :class:`~repro.spaces.soa.SharedPublication`, workers are spawned
+    once and attach zero-copy through the per-worker attachment cache,
+    and only per-run result columns cross the boundary per call.
+
+    A crashed worker breaks the executor, not the pool: ``reset()``
+    discards the broken executor while the publication survives
+    (workers never unlink), and the next submission spawns a fresh one.
+    ``close()`` is idempotent and unlinks the publication; an abandoned
+    pool is cleaned up by the publication's own finalizer.
+    """
+
+    def __init__(
+        self,
+        arrays: dict[str, np.ndarray],
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self._source = dict(arrays)
+        self.publication = SharedPublication.publish(self._source)
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def input_handles(self) -> list[SharedArrayHandle]:
+        """Handles of the resident publication, for task payloads."""
+        return self.publication.handles
+
+    def matches(self, arrays: dict[str, np.ndarray]) -> bool:
+        """True iff ``arrays`` are the exact objects published here."""
+        if set(arrays) != set(self._source):
+            return False
+        return all(arrays[name] is self._source[name] for name in arrays)
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self.publication.closed:
+            raise ScheduleError("persistent worker pool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def submit_chunk(self, payload: dict):
+        """Submit one chunk payload against the resident publication."""
+        payload["input_handles"] = self.publication.handles
+        return self._ensure_executor().submit(_execute_chunk_pooled, payload)
+
+    def reset(self) -> None:
+        """Discard the (possibly broken) executor; keep the arrays."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the executor down and unlink the publication."""
+        self.reset()
+        self.publication.close()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _run_pooled_engine(
+    pool: PersistentWorkerPool,
+    plan: ParallelPlan,
+    chunk_descriptors: list[list[tuple[int, bool]]],
+    schedule_name: str,
+    order: str,
+    task_backend: str,
+    sum_columns: tuple[ResultColumn, ...],
+    shared_columns: tuple[ResultColumn, ...],
+    num_workers: int,
+) -> tuple[list[Optional[dict]], dict[str, np.ndarray]]:
+    """Fan out on a persistent pool; only result columns are per-run."""
+    if not pool.matches(plan.arrays):
+        raise ScheduleError(
+            "persistent worker pool was published from different arrays "
+            "than this spec's parallel plan; build the pool from "
+            "plan.arrays (or reuse the same benchmark instance)"
+        )
+    from concurrent.futures.process import BrokenProcessPool
+
+    segments: list = []
+    try:
+        result_handles, result_segments = export_shared_arrays(
+            {column.name: column.allocate() for column in shared_columns}
+        )
+        segments.extend(result_segments)
+        parent_views = {
+            handle.name: np.ndarray(
+                handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf
+            )
+            for handle, segment in zip(result_handles, result_segments)
+        }
+        outs: list[Optional[dict]] = [None] * len(chunk_descriptors)
+        futures = {}
+        for index, descriptors in enumerate(chunk_descriptors):
+            if not descriptors:
+                continue
+            payload = _chunk_payload(
+                plan, descriptors, schedule_name, order, task_backend,
+                sum_columns,
+            )
+            payload["result_handles"] = result_handles
+            futures[index] = pool.submit_chunk(payload)
+        try:
+            for index, future in futures.items():
+                outs[index] = future.result()
+        except BrokenProcessPool as exc:
+            pool.reset()
+            raise ParallelWorkerError(
+                "persistent pool worker died mid-chunk; the executor was "
+                "reset (resident arrays survive) — resubmit the batch",
+                str(exc),
+            ) from None
+        shared_out = {
+            name: np.array(view, copy=True)
+            for name, view in parent_views.items()
+        }
+        del parent_views
+        return outs, shared_out
+    finally:
+        close_shared_segments(segments, unlink=True)
+
+
 def _chunk_payload(
     plan: ParallelPlan,
     descriptors: list[tuple[int, bool]],
@@ -479,8 +633,14 @@ def run_parallel(
     order: str = "preorder",
     task_backend: str = "auto",
     allow_unproven: bool = False,
+    pool: Optional[PersistentWorkerPool] = None,
 ) -> ParallelExecReport:
     """Execute a spec on real workers via its parallel plan.
+
+    Passing ``pool`` (a :class:`PersistentWorkerPool` published from
+    the plan's arrays) runs the process engine against resident
+    workers: no per-call export, no per-call executor spawn.  The pool
+    outlives the call; the caller owns its ``close()``.
 
     ``spawn_depth=None`` (the default) engages the autotuner:
     :func:`~repro.core.parallel.auto_spawn_depth` grows the depth
@@ -500,6 +660,11 @@ def run_parallel(
         raise ScheduleError(
             f"unknown parallel engine {engine!r}; known: {list(REAL_ENGINES)} "
             "(the simulated engine lives in run_task_parallel)"
+        )
+    if pool is not None and engine != "process":
+        raise ScheduleError(
+            "a persistent worker pool implies the process engine; "
+            f"got engine={engine!r}"
         )
     if task_backend not in TASK_BACKENDS:
         raise ScheduleError(
@@ -547,9 +712,13 @@ def run_parallel(
     ]
     sum_columns = tuple(c for c in plan.results if c.mode == "sum")
     shared_columns = tuple(c for c in plan.results if c.mode == "shared")
-    engine_runner = (
-        _run_process_engine if engine == "process" else _run_thread_engine
-    )
+    if pool is not None:
+        def engine_runner(*runner_args):
+            return _run_pooled_engine(pool, *runner_args)
+    elif engine == "process":
+        engine_runner = _run_process_engine
+    else:
+        engine_runner = _run_thread_engine
     wall_start = time.perf_counter()
     outs, shared_out = engine_runner(
         plan,

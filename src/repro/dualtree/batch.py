@@ -219,6 +219,24 @@ def min_dists_to_tree(
     return np.sqrt(total)
 
 
+def point_prune_row(
+    point: tuple, arrays: BoundArrays, radius: float
+) -> np.ndarray:
+    """Per-point truncation row: "prune node i for this point?".
+
+    The degenerate-box form of :func:`min_dists_to_tree` — the point as
+    a zero-volume :class:`HRect` — which is exactly the expression a
+    one-point query leaf evaluates in the serial traversal, so each
+    entry is bit-identical to that leaf's scalar decision.  A row is a
+    pure function of ``(point, reference tree, radius)``, independent
+    of whatever batch tree the point was admitted under; that is what
+    makes rows cacheable across differently-shaped admission ticks
+    (``repro.serve.rules.SubtreeVerdictCache``), and the conjunction of
+    a leaf's point rows a sound refinement of its bound-based prune.
+    """
+    return min_dists_to_tree(HRect(point, point), arrays) > radius
+
+
 # -- conformance markers ----------------------------------------------
 #
 # The backend-conformance analyzer (repro.transform.lint.backend)
@@ -233,3 +251,4 @@ spatial_soa_view.__conformance_staged__ = True  # type: ignore[attr-defined]
 bound_arrays.__conformance_staged__ = True  # type: ignore[attr-defined]
 block_distances.__conformance_pure__ = True  # type: ignore[attr-defined]
 min_dists_to_tree.__conformance_pure__ = True  # type: ignore[attr-defined]
+point_prune_row.__conformance_pure__ = True  # type: ignore[attr-defined]

@@ -1,0 +1,133 @@
+"""A small blocking JSON-lines client for the serve CLI.
+
+Used by the integration tests and the load generator's TCP mode; the
+protocol is one JSON object per line, each request carrying a caller
+``id`` echoed in its response (responses may arrive out of submission
+order — admission ticks complete independently).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.serve.protocol import (
+    Query,
+    Result,
+    decode_result,
+    encode_query,
+)
+
+
+class ServeClientError(ReproError):
+    """The server reported a failure for one request."""
+
+
+class ServeClient:
+    """One blocking connection to a ``python -m repro.serve`` server."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def _roundtrip(self, requests: Sequence[dict]) -> list[dict]:
+        """Pipeline requests, return responses matched by id, in order."""
+        by_id = {}
+        for request in requests:
+            self._next_id += 1
+            request = dict(request, id=self._next_id)
+            by_id[self._next_id] = None
+            self._file.write(json.dumps(request).encode() + b"\n")
+        self._file.flush()
+        outstanding = len(by_id)
+        while outstanding:
+            line = self._file.readline()
+            if not line:
+                raise ServeClientError("server closed the connection")
+            response = json.loads(line)
+            rid = response.get("id")
+            if rid in by_id and by_id[rid] is None:
+                by_id[rid] = response
+                outstanding -= 1
+        return list(by_id.values())
+
+    def query(self, query: Query) -> Result:
+        """Answer one query."""
+        return self.query_many([query])[0]
+
+    def query_many(self, queries: Sequence[Query]) -> list[Result]:
+        """Pipeline many queries over one connection, results in order."""
+        responses = self._roundtrip(
+            [{"op": "query", "query": encode_query(q)} for q in queries]
+        )
+        results: list[Result] = []
+        for response in responses:
+            if not response.get("ok"):
+                raise ServeClientError(
+                    response.get("error", "unknown server error")
+                )
+            results.append(decode_result(response["result"]))
+        return results
+
+    def stats(self) -> dict:
+        """The server's service + batcher counters."""
+        response = self._roundtrip([{"op": "stats"}])[0]
+        if not response.get("ok"):
+            raise ServeClientError(response.get("error", "stats failed"))
+        return response["stats"]
+
+    def ping(self) -> bool:
+        """Liveness check."""
+        return bool(self._roundtrip([{"op": "ping"}])[0].get("ok"))
+
+    def shutdown(self) -> None:
+        """Ask the server to exit (fire and forget)."""
+        try:
+            self._file.write(
+                json.dumps({"op": "shutdown", "id": 0}).encode() + b"\n"
+            )
+            self._file.flush()
+        except OSError:  # server may close before the flush completes
+            pass
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def wait_for_server(
+    host: str, port: int, timeout: float = 30.0
+) -> Optional[ServeClient]:
+    """Poll until the server accepts connections; None on timeout."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            client = ServeClient(host, port, timeout=timeout)
+        except OSError:
+            time.sleep(0.05)
+            continue
+        try:
+            if client.ping():
+                return client
+        except (OSError, ServeClientError):  # pragma: no cover - races
+            client.close()
+            time.sleep(0.05)
+            continue
+    return None

@@ -1,0 +1,337 @@
+"""Serving-grade dual-tree rule sets with a batch-robustness proof.
+
+The service folds a tick's worth of admitted queries into one query
+tree and runs the batch as a single dual-tree pass.  For the demuxed
+per-query answers to be **bit-identical** to per-query serial
+execution, the rule sets here are built so the final state is a pure
+function of *which* leaf pairs were visited and the per-pair distance
+values — never of the traversal interleaving:
+
+* distances are computed with the same elementwise expression
+  (:func:`~repro.dualtree.rules._pairwise_distances`) regardless of
+  block shape, so each (query point, reference point) distance has the
+  same bit pattern in any batch;
+* :class:`ServeCountRules` reduces with exact integer sums, which are
+  order-independent outright;
+* :class:`ServeKnnRules` merges candidates under **set semantics**:
+  the kept state per query is the k smallest ``(distance, id)`` pairs
+  (lexicographic, ids break ties) over all candidates seen.  Pruning
+  is conservative against a monotonically shrinking bound, so any
+  subtree pruned under *any* schedule contains only candidates with
+  distance strictly greater than the final kth distance — candidates
+  that can never enter the final top-k.  Visiting more (a staler
+  bound) or fewer (a tighter bound) such candidates therefore leaves
+  the final k-set unchanged, making the result identical across batch
+  shapes, traversal orders, and merge timings.
+
+That schedule-robustness is also a *performance* license: the KNN
+rules buffer surviving reference leaves per query leaf and merge them
+in chunks (``flush_candidates``), turning many tiny per-leaf-pair
+sorts into a few wide vectorized ones, with the pruning bound updated
+at merge time.  Staleness only weakens pruning, never the answer.
+
+:class:`SubtreeVerdictCache` is the cross-batch LRU of truncation
+verdicts.  Count-query ``Score`` against a *single point* is a pure
+function of (point, reference tree, radius), so the cache keys whole
+verdict rows — "which reference subtrees can this point truncate" —
+by exact point coordinates.  Hot points recur across ticks no matter
+how the admission batcher happens to slice them into query leaves, so
+their rows hit forever.  A query *leaf*'s truncation decision is then
+assembled as the elementwise AND of its points' rows: prune a
+reference subtree iff every admitted point in the leaf individually
+prunes it.  That is a *refinement* of the leaf-bound prune (a point's
+min-dist to a box is never smaller than its enclosing leaf bound's),
+and any refinement of a conservative count prune is count-exact — a
+pruned subtree holds zero in-radius references for every query in the
+leaf, so the skipped base cases would have contributed zero.  The
+per-point rows themselves are computed with the very expression the
+serial oracle's degenerate one-point leaves use, so cached decisions
+are bit-for-bit the oracle's decisions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.dualtree.rules import DualTreeRules, _pairwise_distances
+from repro.dualtree.spatial import SpatialNode, SpatialTree
+from repro.errors import SpecError
+
+#: Identifier padding for unfilled k-NN slots; larger than any real
+#: point id, so lexicographic merge pushes empty slots last.
+PAD_ID = np.iinfo(np.int64).max
+
+
+class SubtreeVerdictCache:
+    """LRU cache of per-query-point truncation verdict rows.
+
+    Keys are exact query-point coordinates (float tuples) plus the
+    radius — no tolerance, so a hit can never change a decision.
+    Values are read-only boolean arrays indexed by reference pre-order
+    ``number``: entry ``n`` says "this point alone truncates reference
+    subtree ``n``".  Keying by point rather than by query-leaf bound is
+    what makes the cache survive admission noise: a hot point lands in
+    a differently-shaped batch tree every tick, but its own verdict row
+    never changes.  Only *stateless* scores may use this cache (a
+    stateful bound would make the row a function of traversal history);
+    :class:`ServeKnnRules` therefore never touches it.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise SpecError("verdict cache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self._rows: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple) -> Optional[np.ndarray]:
+        """The cached verdict row for ``key``, or None."""
+        row = self._rows.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self._rows.move_to_end(key)
+        self.hits += 1
+        return row
+
+    def store(self, key: tuple, row: np.ndarray) -> np.ndarray:
+        """Cache ``row`` (frozen read-only) and return the stored view."""
+        frozen = np.array(row, copy=True)
+        frozen.setflags(write=False)
+        self._rows[key] = frozen
+        while len(self._rows) > self.max_entries:
+            self._rows.popitem(last=False)
+        return frozen
+
+    def clear(self) -> None:
+        """Drop all rows and zero the counters."""
+        self._rows.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Hit/miss/occupancy counters for service stats."""
+        return {
+            "entries": len(self._rows),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+class ServeCountRules(DualTreeRules):
+    """Per-query range counting (each query's slice of PC).
+
+    ``Score`` is stateless geometry, so block truncation is legal and
+    the batched backend gets its biggest wins here; counts accumulate
+    into a caller-supplied int64 column for demuxing.
+    """
+
+    observes_results = False
+
+    def __init__(
+        self,
+        query_tree: SpatialTree,
+        reference_tree: SpatialTree,
+        radius: float,
+        counts: Optional[np.ndarray] = None,
+        verdict_cache: Optional[SubtreeVerdictCache] = None,
+    ) -> None:
+        if radius < 0.0:
+            raise SpecError(f"negative radius {radius}")
+        self.query_tree = query_tree
+        self.reference_tree = reference_tree
+        self.radius = float(radius)
+        if counts is None:
+            counts = np.zeros(query_tree.num_points, dtype=np.int64)
+        if counts.shape != (query_tree.num_points,):
+            raise SpecError(
+                f"counts column has shape {counts.shape}, expected "
+                f"({query_tree.num_points},)"
+            )
+        self.counts = counts
+        self.verdict_cache = verdict_cache
+        #: assembled per-leaf rows, memoized for this batch's lifetime
+        self._node_rows: dict[int, np.ndarray] = {}
+
+    def score(self, q: SpatialNode, r: SpatialNode) -> bool:
+        row = self._node_row(q)
+        if row is not None:
+            return bool(row[r.number])
+        return q.bound.min_dist(r.bound) > self.radius
+
+    def score_block(self, q: SpatialNode):
+        """Verdicts for every reference node at once (or ``None``).
+
+        With a verdict cache attached, the row is the AND of the
+        leaf's per-point rows (hot points hit across batches; the
+        module docstring proves the refinement count-exact).  Without
+        one, it is the leaf-bound row — the same vectorized min-dist
+        expression :func:`~repro.dualtree.batch.min_dists_to_tree` the
+        other stateless rules use, bit-identical to the scalar path.
+        """
+        row = self._node_row(q)
+        if row is not None:
+            return row
+        return self._bound_row(q)
+
+    def _node_row(self, q: SpatialNode) -> Optional[np.ndarray]:
+        """The leaf's assembled point-AND row (cache attached only)."""
+        if self.verdict_cache is None:
+            return None
+        row = self._node_rows.get(q.number)
+        if row is None:
+            row = self._assemble_row(q)
+            if row is not None:
+                self._node_rows[q.number] = row
+        return row
+
+    def _assemble_row(self, q: SpatialNode) -> Optional[np.ndarray]:
+        from repro.dualtree.batch import bound_arrays, point_prune_row
+
+        arrays = bound_arrays(self.reference_tree)
+        if arrays is None:
+            return None
+        cache = self.verdict_cache
+        assert cache is not None
+        rows = []
+        points = self.query_tree.points
+        for point_id in self.query_tree.indices[q.start : q.end]:
+            point = tuple(float(value) for value in points[point_id])
+            key = (point, self.radius)
+            row = cache.lookup(key)
+            if row is None:
+                # point_prune_row is the degenerate one-point rectangle
+                # the serial oracle's one-point leaves carry, so this
+                # row reproduces the oracle's decisions bit for bit.
+                row = point_prune_row(point, arrays, self.radius)
+                row = cache.store(key, row)
+            rows.append(row)
+        if len(rows) == 1:
+            return rows[0]
+        return np.logical_and.reduce(rows)
+
+    def _bound_row(self, q: SpatialNode):
+        from repro.dualtree.batch import bound_arrays, min_dists_to_tree
+
+        arrays = bound_arrays(self.reference_tree)
+        if arrays is None:
+            return None
+        return min_dists_to_tree(q.bound, arrays) > self.radius
+
+    def base_case(self, q: SpatialNode, r: SpatialNode) -> None:
+        q_ids = self.query_tree.indices[q.start : q.end]
+        r_ids = self.reference_tree.indices[r.start : r.end]
+        distances = _pairwise_distances(
+            self.query_tree.points[q_ids], self.reference_tree.points[r_ids]
+        )
+        np.add.at(
+            self.counts, q_ids, (distances <= self.radius).sum(axis=1)
+        )
+
+
+class ServeKnnRules(DualTreeRules):
+    """Batched k-NN with buffered set-semantics candidate merging.
+
+    Serves both NN (``k=1``) and KNN queries.  Per query the rules
+    keep the k smallest ``(distance, id)`` candidates — lexicographic
+    ``np.lexsort`` merge, ids breaking distance ties — which makes the
+    final state independent of merge order and pruning staleness (see
+    the module docstring).  Surviving reference leaves are buffered
+    per query leaf and merged once ``flush_candidates`` candidate
+    points accumulate; callers **must** call :meth:`finalize` after
+    the traversal to merge the tail buffer.
+    """
+
+    observes_results = True
+
+    def __init__(
+        self,
+        query_tree: SpatialTree,
+        reference_tree: SpatialTree,
+        k: int,
+        flush_candidates: int = 128,
+        dists: Optional[np.ndarray] = None,
+        ids: Optional[np.ndarray] = None,
+    ) -> None:
+        if k < 1:
+            raise SpecError(f"k must be >= 1, got {k}")
+        if k > reference_tree.num_points:
+            raise SpecError(
+                f"k={k} exceeds the {reference_tree.num_points}-point "
+                "reference set"
+            )
+        self.query_tree = query_tree
+        self.reference_tree = reference_tree
+        self.k = int(k)
+        self.flush_candidates = max(1, int(flush_candidates))
+        n = query_tree.num_points
+        if dists is None:
+            dists = np.full((n, k), np.inf)
+        if ids is None:
+            ids = np.full((n, k), PAD_ID, dtype=np.int64)
+        if dists.shape != (n, k) or ids.shape != (n, k):
+            raise SpecError(
+                f"result columns have shapes {dists.shape}/{ids.shape}, "
+                f"expected ({n}, {k})"
+            )
+        self.dists = dists
+        self.ids = ids
+        #: per-query kth-best distance, the pruning bound
+        self.kth = np.full(n, np.inf)
+        self._leaf: Optional[SpatialNode] = None
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+
+    def score(self, q: SpatialNode, r: SpatialNode) -> bool:
+        if self._leaf is not None and self._leaf is not q:
+            self._flush()
+        q_ids = self.query_tree.indices[q.start : q.end]
+        bound = float(self.kth[q_ids].max())
+        return q.bound.min_dist(r.bound) > bound
+
+    def base_case(self, q: SpatialNode, r: SpatialNode) -> None:
+        if self._leaf is not None and self._leaf is not q:
+            self._flush()
+        self._leaf = q
+        self._buffer.append(self.reference_tree.indices[r.start : r.end])
+        self._buffered += r.end - r.start
+        if self._buffered >= self.flush_candidates:
+            self._flush()
+
+    def _flush(self) -> None:
+        q = self._leaf
+        if q is None or not self._buffer:
+            self._buffer = []
+            self._buffered = 0
+            return
+        r_ids = (
+            self._buffer[0]
+            if len(self._buffer) == 1
+            else np.concatenate(self._buffer)
+        )
+        self._buffer = []
+        self._buffered = 0
+        q_ids = self.query_tree.indices[q.start : q.end]
+        distances = _pairwise_distances(
+            self.query_tree.points[q_ids], self.reference_tree.points[r_ids]
+        )
+        cand_d = np.concatenate([self.dists[q_ids], distances], axis=1)
+        cand_i = np.concatenate(
+            [self.ids[q_ids], np.broadcast_to(r_ids, distances.shape)],
+            axis=1,
+        )
+        order = np.lexsort((cand_i, cand_d), axis=1)
+        top = order[:, : self.k]
+        self.dists[q_ids] = np.take_along_axis(cand_d, top, axis=1)
+        self.ids[q_ids] = np.take_along_axis(cand_i, top, axis=1)
+        self.kth[q_ids] = self.dists[q_ids, -1]
+
+    def finalize(self) -> None:
+        """Merge the tail buffer; required once after the traversal."""
+        self._flush()
+        self._leaf = None

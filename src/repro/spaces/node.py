@@ -47,9 +47,16 @@ class IndexNode:
         "trunc",
         "trunc_counter",
         "number",
-        # Weak referencability lets repro.spaces.soa cache packed
-        # structure-of-arrays views per root without keeping dead trees
-        # alive.
+        # Per-root table of packed SoA views ({order: SoATree}), set
+        # lazily by repro.spaces.soa.soa_view on roots only.  It lives
+        # on the node rather than in a module-level cache because a
+        # SoATree references every node of its tree: any global table
+        # (even weak-keyed) would pin dead trees through its own
+        # values, while here views + tree form one collectable cycle.
+        "_soa_views",
+        # Weak referencability lets long-lived caches (e.g. the
+        # backend selector's probe-once memo) key on roots without
+        # keeping dead trees alive.
         "__weakref__",
     )
 

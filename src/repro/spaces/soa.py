@@ -418,11 +418,27 @@ def to_linked(soa: SoATree) -> IndexNode:
     return rebuilt[soa.root]
 
 
-#: Per-root cache of packed views, keyed weakly so dropping a tree
-#: frees its views.  Maps root -> {order: SoATree}.
-_VIEW_CACHE: "weakref.WeakKeyDictionary[IndexNode, dict[str, SoATree]]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Per-root slot holding packed views ({order: SoATree}).  The cache
+#: lives on the root node itself, not in a module table: a SoATree
+#: strongly references every node of its tree, so any global cache —
+#: even a weak-keyed one — would keep dead trees alive through its own
+#: values.  On the root, views + tree are one reference cycle the
+#: garbage collector frees as a unit (load-bearing for a long-lived
+#: service that retires trees).
+_VIEW_ATTR = "_soa_views"
+
+
+def _view_table(root: IndexNode) -> Optional[dict]:
+    """The root's view table, created on demand; None when the node
+    type cannot carry it (custom nodes without the slot)."""
+    table = getattr(root, _VIEW_ATTR, None)
+    if table is None:
+        table = {}
+        try:
+            setattr(root, _VIEW_ATTR, table)
+        except (AttributeError, TypeError):
+            return None
+    return table
 
 
 def soa_view(
@@ -431,16 +447,15 @@ def soa_view(
     """A cached SoA view of ``root`` under ``order``.
 
     Views describe a *finalized* tree; if the tree's structure changes
-    afterwards, pass ``refresh=True`` to repack.  The cache is weak per
-    root, so it never outlives the tree.
+    afterwards, pass ``refresh=True`` to repack.  The cache rides on
+    the root object, so it never outlives the tree.
     """
     if order not in LINEARIZATIONS:
         raise SpecError(
             f"unknown linearization {order!r}; known: {list(LINEARIZATIONS)}"
         )
-    try:
-        per_root = _VIEW_CACHE.setdefault(root, {})
-    except TypeError:  # un-weakrefable custom node: build uncached
+    per_root = _view_table(root)
+    if per_root is None:  # slot-less custom node: build uncached
         return to_soa(root, order)
     if refresh or order not in per_root:
         per_root[order] = to_soa(root, order)
@@ -577,6 +592,108 @@ def close_shared_segments(
                 pass
 
 
+class SharedPublication:
+    """Owner-side lifecycle of a long-lived shared-memory publication.
+
+    :func:`export_shared_arrays` returns bare ``(handles, segments)``
+    and leaves teardown discipline entirely to the caller — fine for
+    the one-shot process engine, which unwinds inside a ``finally``,
+    but a resident service keeps its reference tree published across
+    thousands of batches and must survive restarts, double-closes, and
+    abandoned instances without leaking ``/dev/shm`` names.  This
+    wrapper adds exactly that: ``close()`` is idempotent, a
+    ``weakref.finalize`` guard unlinks the segments even when the
+    owner is dropped without closing, and ``arrays()`` hands back
+    parent-side zero-copy views for callers that want to keep using
+    the published buffers directly.
+    """
+
+    def __init__(
+        self,
+        handles: list[SharedArrayHandle],
+        segments: list[shared_memory.SharedMemory],
+    ) -> None:
+        self.handles = list(handles)
+        self._segments = list(segments)
+        self._finalizer = weakref.finalize(
+            self, close_shared_segments, self._segments, True
+        )
+
+    @classmethod
+    def publish(cls, arrays: dict[str, np.ndarray]) -> "SharedPublication":
+        """Export ``arrays`` and take ownership of the segments."""
+        handles, segments = export_shared_arrays(arrays)
+        return cls(handles, segments)
+
+    @property
+    def closed(self) -> bool:
+        """True once the segments have been closed and unlinked."""
+        return not self._finalizer.alive
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Parent-side zero-copy views over the published segments."""
+        if self.closed:
+            raise SpecError("shared publication is closed")
+        return {
+            handle.name: np.ndarray(
+                handle.shape,
+                dtype=np.dtype(handle.dtype),
+                buffer=segment.buf,
+            )
+            for handle, segment in zip(self.handles, self._segments)
+        }
+
+    def close(self) -> None:
+        """Close and unlink every segment; safe to call repeatedly."""
+        if self._finalizer.alive:
+            self._finalizer()
+
+    def __enter__(self) -> "SharedPublication":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Worker-side attachment cache: one zero-copy attach per published
+#: handle set per worker process, keyed by the segment names.  A
+#: persistent pool worker services many chunks against the same
+#: resident publication; re-attaching per chunk would churn fds and
+#: mappings for no benefit.  Entries hold their segments open until
+#: :func:`clear_attach_cache` (or worker exit, when the OS reclaims
+#: the mappings) — workers never unlink, so a stale entry can never
+#: destroy the owner's data.
+_ATTACH_CACHE: dict[tuple, tuple[dict[str, np.ndarray], list]] = {}
+
+
+def attach_shared_arrays_cached(
+    handles: Sequence[SharedArrayHandle],
+) -> dict[str, np.ndarray]:
+    """Like :func:`attach_shared_arrays`, memoized per handle set.
+
+    Returns only the array views; the backing segments are retained by
+    the module-level cache for the life of the worker process.  Meant
+    for persistent pool workers attaching a resident publication once
+    and reusing it across chunks.
+    """
+    key = tuple(
+        (h.name, h.shm_name, h.shape, h.dtype) for h in handles
+    )
+    hit = _ATTACH_CACHE.get(key)
+    if hit is not None:
+        return hit[0]
+    arrays, segments = attach_shared_arrays(handles)
+    _ATTACH_CACHE[key] = (arrays, segments)
+    return arrays
+
+
+def clear_attach_cache() -> None:
+    """Drop every cached attachment (closing, never unlinking)."""
+    for _arrays, segments in _ATTACH_CACHE.values():
+        close_shared_segments(segments, unlink=False)
+    _ATTACH_CACHE.clear()
+
+
 def soa_arrays(soa: SoATree) -> dict[str, np.ndarray]:
     """The flat column dict publishing one packed tree.
 
@@ -664,10 +781,9 @@ def soa_from_arrays(
         span=arrays["span"],
         root=int(arrays["rank_pos"][0]),
     )
-    try:
-        _VIEW_CACHE.setdefault(nodes[soa.root], {})[order] = soa
-    except TypeError:  # pragma: no cover - un-weakrefable custom nodes
-        pass
+    table = _view_table(nodes[soa.root])
+    if table is not None:
+        table[order] = soa
     return soa
 
 

@@ -1,0 +1,68 @@
+"""The serving load generator at a small, test-sized scale.
+
+One real end-to-end scenario (hundreds of users, not 10^5) proves the
+measurement plumbing: the payload carries every field the trajectory
+table and the CI gate read, the bit-identity check really ran over
+every user, and the report renders.  The full-scale numbers live in
+the checked-in ``BENCH_serve.json``.
+"""
+
+import json
+
+from repro.bench.serve_load import (
+    LoadSpec,
+    generate_workload,
+    run_serve_load,
+    write_serve_json,
+)
+from repro.serve.protocol import CountQuery, KNNQuery, NNQuery
+
+SMALL = LoadSpec(
+    references=512,
+    users=200,
+    serial_sample=50,
+    concurrency=64,
+    hot_set=16,
+)
+
+
+class TestGenerateWorkload:
+    def test_deterministic_mix_with_a_hot_set(self):
+        from repro.spaces.points import clustered_points
+
+        references = clustered_points(128, clusters=8, spread=0.1, seed=1)
+        first = generate_workload(SMALL, references)
+        second = generate_workload(SMALL, references)
+        assert first == second
+        assert len(first) == SMALL.users
+        kinds = {type(query) for query in first}
+        assert kinds == {NNQuery, KNNQuery, CountQuery}
+        # The hot set makes queries recur — the skew the verdict cache
+        # and the admission batcher are built for.
+        assert len(set(first)) < len(first)
+
+
+class TestRunServeLoad:
+    def test_payload_carries_the_contract_fields(self, tmp_path):
+        report, payload = run_serve_load(SMALL)
+        assert payload["experiment"] == "serve"
+        assert payload["users"] == SMALL.users
+        assert payload["references"] == SMALL.references
+        assert payload["bit_identical"] is True
+        assert payload["speedup"] > 0
+        assert payload["qps"] > 0
+        for percentile in ("p50", "p99", "mean", "max"):
+            assert payload["latency_ms"][percentile] >= 0
+        assert payload["serial"]["sampled"] == SMALL.serial_sample
+        assert payload["serial"]["mean_ms"] > 0
+        assert set(payload["backends"]) == {"nn", "knn", "count"}
+        assert payload["batcher"]["ticks"] >= 1
+        assert "hits" in payload["verdict_cache"]
+
+        rendered = report.render()
+        assert "queries/sec (batched service)" in rendered
+        assert "bit-identical vs oracle" in rendered
+
+        path = write_serve_json(payload, str(tmp_path / "BENCH_serve.json"))
+        with open(path) as handle:
+            assert json.load(handle) == payload

@@ -1,0 +1,140 @@
+"""The trajectory aggregator: tolerant readers, labeled baselines."""
+
+import json
+import os
+
+from repro.bench.trajectory import TRAJECTORY_SOURCES, run_trajectory
+
+
+def write_json(directory, name, payload):
+    path = os.path.join(directory, name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def soa_payload():
+    return {
+        "experiment": "wallclock_backends",
+        "results": [
+            {
+                "benchmark": "treejoin",
+                "schedule": "original",
+                "timings": {"recursive": 4.0, "soa": 1.0, "auto": 0.9},
+            },
+            {
+                "benchmark": "treejoin",
+                "schedule": "twist",
+                "timings": {"recursive": 9.0, "soa": 1.0},
+            },
+        ],
+    }
+
+
+def compiled_payload():
+    return {
+        "experiment": "wallclock_backends",
+        "results": [
+            {
+                "benchmark": "treejoin",
+                "schedule": "original",
+                "timings": {"soa": 8.0, "compiled": 1.0},
+            }
+        ],
+    }
+
+
+def parallel_payload():
+    return {
+        "experiment": "wallclock_parallel",
+        "results": [
+            {
+                "benchmark": "treejoin",
+                "schedule": "original",
+                "runs": [
+                    {
+                        "engine": "process",
+                        "workers": 2,
+                        "speedup_vs_serial_soa": 1.4,
+                    },
+                    {
+                        "engine": "process",
+                        "workers": 4,
+                        "speedup_vs_serial_soa": 1.9,
+                    },
+                ],
+            }
+        ],
+    }
+
+
+def serve_payload():
+    return {
+        "experiment": "serve",
+        "users": 1000,
+        "references": 4096,
+        "speedup": 6.5,
+    }
+
+
+class TestTrajectory:
+    def test_all_sources_fold_into_one_labeled_table(self, tmp_path):
+        write_json(tmp_path, "BENCH_soa.json", soa_payload())
+        write_json(tmp_path, "BENCH_parallel.json", parallel_payload())
+        write_json(tmp_path, "BENCH_compiled.json", compiled_payload())
+        write_json(tmp_path, "BENCH_serve.json", serve_payload())
+        report = run_trajectory(root=str(tmp_path))
+        rendered = report.render()
+        # Every payload contributes, each labeled with its own baseline.
+        assert ("BENCH_soa.json", "treejoin/original", "soa", "recursive", 4.0) in report.rows
+        assert ("BENCH_compiled.json", "treejoin/original", "compiled", "soa", 8.0) in report.rows
+        assert ("BENCH_parallel.json", "treejoin/original", "processx4", "serial soa", 1.9) in report.rows
+        assert (
+            "BENCH_serve.json",
+            "1000 users / 4096 refs",
+            "admission batching",
+            "per-query serial",
+            6.5,
+        ) in report.rows
+        assert "per-query serial" in rendered
+
+    def test_multi_row_sources_get_a_geomean_row(self, tmp_path):
+        write_json(tmp_path, "BENCH_soa.json", soa_payload())
+        report = run_trajectory(
+            paths=[os.path.join(tmp_path, "BENCH_soa.json")]
+        )
+        # sqrt(4 * 9) = 6
+        assert ("BENCH_soa.json", "geomean", "", "", 6.0) in report.rows
+
+    def test_missing_files_become_a_note_not_a_crash(self, tmp_path):
+        report = run_trajectory(root=str(tmp_path))
+        assert report.rows == []
+        missing = [note for note in report.notes if "not present" in note]
+        assert len(missing) == 1
+        for name in TRAJECTORY_SOURCES:
+            assert name in missing[0]
+
+    def test_malformed_and_alien_payloads_become_notes(self, tmp_path):
+        broken = os.path.join(tmp_path, "BENCH_soa.json")
+        with open(broken, "w") as handle:
+            handle.write("{not json")
+        write_json(
+            tmp_path, "BENCH_serve.json", {"experiment": "warp-factor"}
+        )
+        report = run_trajectory(
+            paths=[broken, os.path.join(tmp_path, "BENCH_serve.json")]
+        )
+        assert report.rows == []
+        assert any("BENCH_soa.json" in note for note in report.notes)
+        assert any(
+            "unrecognized" in note and "BENCH_serve.json" in note
+            for note in report.notes
+        )
+
+    def test_repo_defaults_point_at_the_checked_in_names(self):
+        assert TRAJECTORY_SOURCES == (
+            "BENCH_soa.json",
+            "BENCH_parallel.json",
+            "BENCH_compiled.json",
+            "BENCH_serve.json",
+        )

@@ -29,6 +29,7 @@ from repro.core.backend_select import (
     BackendChoice,
     _reset_conformance_warning,
     choose_backend,
+    clear_choice_cache,
     resolve_backend,
     resolve_backend_choice,
 )
@@ -203,3 +204,81 @@ class TestConformanceErrorObservability:
     def test_clean_runs_record_no_error(self):
         choice = choose_backend(make_tj(200).make_spec())
         assert "conformance_error" not in choice.features
+
+
+class TestChoiceCache:
+    """Probe-once memoization keyed by finalized-tree identity.
+
+    The serving steady state re-specs the same resident trees for
+    every admitted batch; the second selection must return the pinned
+    verdict with zero probe work.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        clear_choice_cache()
+        yield
+        clear_choice_cache()
+
+    def _counting_probe(self, monkeypatch):
+        calls = {"probes": 0}
+        real = backend_select.probe_features
+
+        def counting(spec):
+            calls["probes"] += 1
+            return real(spec)
+
+        monkeypatch.setattr(backend_select, "probe_features", counting)
+        return calls
+
+    def test_second_selection_does_zero_probe_work(self, monkeypatch):
+        calls = self._counting_probe(monkeypatch)
+        tj = make_tj(200)
+        first = choose_backend(tj.make_spec())
+        assert calls["probes"] == 1
+        # A *fresh spec instance* over the same finalized trees — the
+        # per-batch re-spec a resident service does.
+        second = choose_backend(tj.make_spec())
+        assert calls["probes"] == 1
+        assert second is first  # the pinned BackendChoice, not a copy
+
+    def test_schedule_name_is_part_of_the_key(self, monkeypatch):
+        calls = self._counting_probe(monkeypatch)
+        tj = make_tj(200)
+        choose_backend(tj.make_spec(), "original")
+        choose_backend(tj.make_spec(), "twist")
+        assert calls["probes"] == 2
+
+    def test_different_trees_never_share_an_entry(self, monkeypatch):
+        calls = self._counting_probe(monkeypatch)
+        choose_backend(make_tj(200).make_spec())
+        choose_backend(make_tj(200).make_spec())
+        assert calls["probes"] == 2
+
+    def test_explicit_features_bypass_the_cache(self, monkeypatch):
+        tj = make_tj(200)
+        pinned = choose_backend(tj.make_spec())
+        features = dict(pinned.features)
+        bypass = choose_backend(tj.make_spec(), features=features)
+        assert bypass is not pinned
+
+    def test_clear_restores_probing(self, monkeypatch):
+        calls = self._counting_probe(monkeypatch)
+        tj = make_tj(200)
+        choose_backend(tj.make_spec())
+        clear_choice_cache()
+        choose_backend(tj.make_spec())
+        assert calls["probes"] == 2
+
+    def test_cache_does_not_pin_dead_trees(self):
+        import gc
+        import weakref
+
+        tj = make_tj(200)
+        spec = tj.make_spec()
+        root_ref = weakref.ref(spec.outer_root)
+        choose_backend(spec)
+        del tj, spec
+        gc.collect()
+        # Only weakrefs in the cache: the trees must be collectable.
+        assert root_ref() is None

@@ -310,3 +310,51 @@ class TestPositionCache:
         run_twisted_compiled(tj.make_spec())  # same trees, same schedule
         assert len(_POSITIONS) == size
         assert tj.accumulator.total == tj.expected_total()
+
+    def test_byte_cap_evicts_least_recent(self):
+        from repro.core.compiled import (
+            position_cache_info,
+            set_position_cache_limits,
+        )
+
+        # One TJ(63,63) position pair is ~63.5 KB; a 100 KB cap fits a
+        # single entry but never two, so the second insertion must
+        # evict the first even though the entry cap is far away.
+        previous = set_position_cache_limits(max_bytes=100 * 1024)
+        try:
+            run_original_compiled(TreeJoin(63, 63).make_spec())
+            assert position_cache_info()["entries"] == 1
+            run_original_compiled(TreeJoin(63, 63).make_spec())
+            info = position_cache_info()
+            assert info["entries"] == 1
+            assert 0 < info["bytes"] <= info["max_bytes"]
+        finally:
+            set_position_cache_limits(
+                max_entries=previous[0], max_bytes=previous[1]
+            )
+
+    def test_cache_info_reports_entries_and_bytes(self):
+        from repro.core.compiled import position_cache_info
+
+        tj = TreeJoin(15, 15)
+        run_original_compiled(tj.make_spec())
+        info = position_cache_info()
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+        assert info["max_entries"] >= 1
+
+    def test_limit_setter_validates_and_returns_previous(self):
+        from repro.core.compiled import (
+            position_cache_info,
+            set_position_cache_limits,
+        )
+
+        with pytest.raises(ScheduleError):
+            set_position_cache_limits(max_entries=0)
+        with pytest.raises(ScheduleError):
+            set_position_cache_limits(max_bytes=0)
+        before = position_cache_info()
+        previous = set_position_cache_limits(
+            max_entries=before["max_entries"]
+        )
+        assert previous == (before["max_entries"], before["max_bytes"])

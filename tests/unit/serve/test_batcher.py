@@ -1,0 +1,241 @@
+"""Admission-batcher behavior: flush causes, demuxing, failure paths.
+
+``run_batch`` is stubbed with plain functions so these tests pin the
+*admission* semantics — what gets grouped, when a group flushes, and
+how results and exceptions land back on the awaiting callers — without
+building trees.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import SpecError
+from repro.serve.batcher import AdmissionBatcher
+from repro.serve.protocol import CountQuery, KNNQuery, NNQuery
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def echo_batch(queries):
+    """A run_batch stub answering each query with its own point."""
+    return [query.point for query in queries]
+
+
+class TestFlushCauses:
+    def test_full_batch_flushes_without_waiting(self):
+        ticks = []
+
+        def record_batch(queries):
+            ticks.append(len(queries))
+            return echo_batch(queries)
+
+        async def scenario():
+            # A long hold: only the size trigger can flush in time.
+            batcher = AdmissionBatcher(
+                record_batch, max_batch=4, max_hold_s=30.0
+            )
+            results = await asyncio.gather(
+                *(batcher.submit(NNQuery((float(i),))) for i in range(4))
+            )
+            return batcher, results
+
+        batcher, results = run(scenario())
+        assert ticks == [4]
+        assert results == [(float(i),) for i in range(4)]
+        assert batcher.full_flushes == 1
+        assert batcher.timer_flushes == 0
+
+    def test_straggler_flushes_on_the_hold_timer(self):
+        async def scenario():
+            batcher = AdmissionBatcher(
+                echo_batch, max_batch=100, max_hold_s=0.01
+            )
+            result = await batcher.submit(NNQuery((1.5,)))
+            return batcher, result
+
+        batcher, result = run(scenario())
+        assert result == (1.5,)
+        assert batcher.timer_flushes == 1
+        assert batcher.full_flushes == 0
+
+    def test_incompatible_queries_never_share_a_tick(self):
+        ticks = []
+
+        def record_batch(queries):
+            ticks.append({type(query).__name__ for query in queries})
+            return echo_batch(queries)
+
+        async def scenario():
+            batcher = AdmissionBatcher(
+                record_batch, max_batch=100, max_hold_s=0.01
+            )
+            await asyncio.gather(
+                batcher.submit(NNQuery((1.0,))),
+                batcher.submit(CountQuery((2.0,), 0.3)),
+                batcher.submit(KNNQuery((3.0,), 5)),
+                batcher.submit(KNNQuery((4.0,), 9)),  # different k
+            )
+            return batcher
+
+        batcher = run(scenario())
+        assert all(len(kinds) == 1 for kinds in ticks)
+        assert batcher.ticks == 4
+
+    def test_results_demux_in_submission_order(self):
+        async def scenario():
+            batcher = AdmissionBatcher(
+                echo_batch, max_batch=8, max_hold_s=0.01
+            )
+            return await asyncio.gather(
+                *(batcher.submit(NNQuery((float(i),))) for i in range(8))
+            )
+
+        assert run(scenario()) == [(float(i),) for i in range(8)]
+
+
+class TestFailurePaths:
+    def test_run_batch_exception_lands_on_every_caller(self):
+        def explode(queries):
+            raise RuntimeError("kernel fault")
+
+        async def scenario():
+            batcher = AdmissionBatcher(explode, max_batch=2, max_hold_s=30.0)
+            return await asyncio.gather(
+                batcher.submit(NNQuery((1.0,))),
+                batcher.submit(NNQuery((2.0,))),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert len(results) == 2
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+    def test_result_count_mismatch_is_a_spec_error(self):
+        def drop_one(queries):
+            return echo_batch(queries)[:-1]
+
+        async def scenario():
+            batcher = AdmissionBatcher(drop_one, max_batch=2, max_hold_s=30.0)
+            return await asyncio.gather(
+                batcher.submit(NNQuery((1.0,))),
+                batcher.submit(NNQuery((2.0,))),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert all(isinstance(result, SpecError) for result in results)
+
+    def test_bad_admission_knobs_rejected(self):
+        with pytest.raises(SpecError, match="max_batch"):
+            AdmissionBatcher(echo_batch, max_batch=0)
+        with pytest.raises(SpecError, match="max_hold_s"):
+            AdmissionBatcher(echo_batch, max_hold_s=-1.0)
+
+
+class TestDrainAndStats:
+    def test_drain_flushes_pending_and_awaits_inflight(self):
+        async def scenario():
+            batcher = AdmissionBatcher(
+                echo_batch, max_batch=100, max_hold_s=30.0
+            )
+            # Long hold and small load: nothing would flush on its own.
+            pending = [
+                asyncio.ensure_future(batcher.submit(NNQuery((float(i),))))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0)  # let the submits enqueue
+            await batcher.drain()
+            return await asyncio.gather(*pending)
+
+        assert run(scenario()) == [(0.0,), (1.0,), (2.0,)]
+
+    def test_stats_account_every_query(self):
+        async def scenario():
+            batcher = AdmissionBatcher(
+                echo_batch, max_batch=2, max_hold_s=0.01
+            )
+            await asyncio.gather(
+                *(batcher.submit(NNQuery((float(i),))) for i in range(5))
+            )
+            return batcher.batcher_stats()
+
+        stats = run(scenario())
+        assert stats["queries"] == 5
+        # One full flush admits the first pair; the rest accumulate
+        # behind the in-flight tick and drain in capped chunks on its
+        # completion.
+        assert stats["ticks"] == 3
+        assert stats["max_tick_size"] == 2
+        assert stats["full_flushes"] == 1
+        assert stats["completion_flushes"] >= 1
+
+
+class TestSaturationDiscipline:
+    def test_backlog_accumulates_while_a_tick_executes(self):
+        """The anti-collapse property: with a tick in flight, the hold
+        timer must NOT flush the backlog into tiny ticks — completion
+        admits it as one batch.  (Without per-group serialization the
+        saturated steady state degenerates to ~1-query ticks.)"""
+        import threading
+
+        release = threading.Event()
+        ticks = []
+
+        def slow_batch(queries):
+            ticks.append(len(queries))
+            if len(ticks) == 1:
+                release.wait(5)
+            return echo_batch(queries)
+
+        async def scenario():
+            batcher = AdmissionBatcher(
+                slow_batch, max_batch=100, max_hold_s=0.001
+            )
+            first = asyncio.ensure_future(batcher.submit(NNQuery((0.0,))))
+            await asyncio.sleep(0.05)  # first tick now blocked in flight
+            rest = [
+                asyncio.ensure_future(batcher.submit(NNQuery((float(i),))))
+                for i in range(1, 9)
+            ]
+            await asyncio.sleep(0.05)  # many holds elapse; no flush
+            release.set()
+            await asyncio.gather(first, *rest)
+            return batcher
+
+        batcher = run(scenario())
+        assert ticks == [1, 8]
+        assert batcher.completion_flushes == 1
+
+    def test_completion_backlog_drains_in_capped_chunks(self):
+        import threading
+
+        release = threading.Event()
+        ticks = []
+
+        def slow_batch(queries):
+            ticks.append(len(queries))
+            if len(ticks) == 1:
+                release.wait(5)
+            return echo_batch(queries)
+
+        async def scenario():
+            batcher = AdmissionBatcher(
+                slow_batch, max_batch=4, max_hold_s=0.001
+            )
+            first = asyncio.ensure_future(batcher.submit(NNQuery((0.0,))))
+            await asyncio.sleep(0.05)
+            rest = [
+                asyncio.ensure_future(batcher.submit(NNQuery((float(i),))))
+                for i in range(1, 7)
+            ]
+            await asyncio.sleep(0.05)
+            release.set()
+            await asyncio.gather(first, *rest)
+            return batcher
+
+        batcher = run(scenario())
+        assert ticks == [1, 4, 2]
+        assert batcher.max_tick_size == 4

@@ -1,0 +1,204 @@
+"""Serving rule sets: batch-shape robustness and the verdict cache.
+
+The load-bearing claim is the module docstring proof in
+``repro.serve.rules``: demuxed per-query answers are bit-identical to
+per-query serial execution no matter how admission slices queries into
+batches, what the query-tree leaf size is, how big the k-NN merge
+buffer is, or whether cached truncation verdicts short-circuit the
+count prune.  These tests sweep exactly those axes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schedules import ORIGINAL
+from repro.dualtree.kdtree import build_kdtree
+from repro.dualtree.traverser import dual_tree_spec
+from repro.errors import SpecError
+from repro.serve.rules import (
+    PAD_ID,
+    ServeCountRules,
+    ServeKnnRules,
+    SubtreeVerdictCache,
+)
+from repro.spaces.points import clustered_points
+
+REFERENCES = clustered_points(512, clusters=8, spread=0.08, seed=3)
+QUERIES = clustered_points(96, clusters=8, spread=0.08, seed=4)
+
+
+@pytest.fixture(scope="module")
+def reference_tree():
+    return build_kdtree(REFERENCES, 8)
+
+
+def run_count(
+    points, reference_tree, radius=0.3, leaf_size=16, cache=None,
+    backend="auto",
+):
+    query_tree = build_kdtree(np.array(points, copy=True), leaf_size)
+    rules = ServeCountRules(
+        query_tree, reference_tree, radius, verdict_cache=cache
+    )
+    spec = dual_tree_spec(query_tree, reference_tree, rules, name="SERVE-COUNT")
+    ORIGINAL.run(spec, backend=backend)
+    return rules.counts.copy()
+
+
+def run_knn(points, reference_tree, k=5, leaf_size=16, flush=128):
+    query_tree = build_kdtree(np.array(points, copy=True), leaf_size)
+    rules = ServeKnnRules(
+        query_tree, reference_tree, k, flush_candidates=flush
+    )
+    spec = dual_tree_spec(query_tree, reference_tree, rules, name="SERVE-KNN")
+    ORIGINAL.run(spec, backend="auto")
+    rules.finalize()
+    return rules.ids.copy(), rules.dists.copy()
+
+
+def serial_counts(reference_tree, radius=0.3):
+    return np.concatenate(
+        [
+            run_count([point], reference_tree, radius, leaf_size=1)
+            for point in QUERIES
+        ]
+    )
+
+
+class TestCountBatchRobustness:
+    def test_batched_counts_match_serial_oracle(self, reference_tree):
+        oracle = serial_counts(reference_tree)
+        for leaf_size in (1, 4, 16, 96):
+            counts = run_count(
+                QUERIES, reference_tree, leaf_size=leaf_size
+            )
+            assert np.array_equal(counts, oracle), leaf_size
+
+    def test_cached_prune_is_count_exact(self, reference_tree):
+        oracle = serial_counts(reference_tree)
+        cache = SubtreeVerdictCache()
+        # Twice through the same cache: the second pass decides from
+        # hot rows only, and both must still match the oracle exactly.
+        first = run_count(QUERIES, reference_tree, cache=cache)
+        second = run_count(QUERIES, reference_tree, cache=cache)
+        assert np.array_equal(first, oracle)
+        assert np.array_equal(second, oracle)
+        assert cache.hits > 0
+
+    def test_scalar_and_block_score_agree_with_cache(self, reference_tree):
+        cache = SubtreeVerdictCache()
+        batched = run_count(
+            QUERIES, reference_tree, cache=cache, backend="batched"
+        )
+        recursive = run_count(
+            QUERIES, reference_tree, cache=cache, backend="recursive"
+        )
+        assert np.array_equal(batched, recursive)
+
+    def test_negative_radius_rejected(self, reference_tree):
+        query_tree = build_kdtree(np.array(QUERIES, copy=True), 16)
+        with pytest.raises(SpecError, match="negative radius"):
+            ServeCountRules(query_tree, reference_tree, -0.1)
+
+
+class TestVerdictCacheKeying:
+    def test_hot_points_hit_across_differently_shaped_batches(
+        self, reference_tree
+    ):
+        # The same hot points arrive inside two very different batches
+        # (different companions, different tree shapes).  Bound-keyed
+        # caching would miss; point-keyed caching must hit.
+        cache = SubtreeVerdictCache()
+        hot = QUERIES[:16]
+        rng = np.random.default_rng(9)
+        batch_a = np.concatenate([hot, QUERIES[16:48]])
+        batch_b = np.concatenate([hot, QUERIES[48:96]])
+        rng.shuffle(batch_b)
+        run_count(batch_a, reference_tree, cache=cache)
+        misses_after_first = cache.misses
+        run_count(batch_b, reference_tree, cache=cache)
+        assert cache.hits >= len(hot)
+        # Only batch_b's genuinely new points missed on the second run.
+        assert cache.misses - misses_after_first <= 48
+
+    def test_rows_are_read_only(self):
+        cache = SubtreeVerdictCache()
+        stored = cache.store(((0.0,), 0.3), np.array([True, False]))
+        with pytest.raises(ValueError):
+            stored[0] = False
+
+    def test_lru_eviction_at_capacity(self):
+        cache = SubtreeVerdictCache(max_entries=2)
+        row = np.array([True])
+        cache.store(("a", 0.3), row)
+        cache.store(("b", 0.3), row)
+        assert cache.lookup(("a", 0.3)) is not None  # refresh a
+        cache.store(("c", 0.3), row)  # evicts b, the stalest
+        assert cache.lookup(("b", 0.3)) is None
+        assert cache.lookup(("a", 0.3)) is not None
+        assert cache.lookup(("c", 0.3)) is not None
+
+    def test_stats_and_clear(self):
+        cache = SubtreeVerdictCache()
+        cache.store(("a", 0.3), np.array([True]))
+        cache.lookup(("a", 0.3))
+        cache.lookup(("gone", 0.3))
+        stats = cache.stats()
+        assert stats == {
+            "entries": 1, "max_entries": 1024, "hits": 1, "misses": 1
+        }
+        cache.clear()
+        assert cache.stats()["entries"] == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SpecError, match="max_entries"):
+            SubtreeVerdictCache(max_entries=0)
+
+
+class TestKnnBatchRobustness:
+    def test_every_flush_chunking_gives_identical_results(
+        self, reference_tree
+    ):
+        # flush_candidates only changes when buffered candidates merge
+        # (and thus how stale the pruning bound runs) — never the
+        # answer.  flush=1 merges per leaf pair; flush=10**6 merges
+        # once at finalize.
+        baseline = run_knn(QUERIES, reference_tree, flush=128)
+        for flush in (1, 7, 1000000):
+            ids, dists = run_knn(QUERIES, reference_tree, flush=flush)
+            assert np.array_equal(ids, baseline[0]), flush
+            assert np.array_equal(dists, baseline[1]), flush
+
+    def test_batched_knn_matches_serial_oracle(self, reference_tree):
+        serial_ids = []
+        serial_dists = []
+        for point in QUERIES:
+            ids, dists = run_knn([point], reference_tree, leaf_size=1)
+            serial_ids.append(ids[0])
+            serial_dists.append(dists[0])
+        for leaf_size in (4, 16, 96):
+            ids, dists = run_knn(QUERIES, reference_tree, leaf_size=leaf_size)
+            assert np.array_equal(ids, np.array(serial_ids)), leaf_size
+            assert np.array_equal(dists, np.array(serial_dists)), leaf_size
+
+    def test_k_one_serves_nn(self, reference_tree):
+        ids, dists = run_knn(QUERIES, reference_tree, k=1)
+        assert ids.shape == (len(QUERIES), 1)
+        assert not np.any(ids == PAD_ID)
+        assert np.all(np.isfinite(dists))
+
+    def test_k_larger_than_reference_set_rejected(self, reference_tree):
+        query_tree = build_kdtree(np.array(QUERIES, copy=True), 16)
+        with pytest.raises(SpecError, match="exceeds"):
+            ServeKnnRules(query_tree, reference_tree, len(REFERENCES) + 1)
+        with pytest.raises(SpecError, match="k must be >= 1"):
+            ServeKnnRules(query_tree, reference_tree, 0)
+
+    def test_ties_break_by_id(self, reference_tree):
+        # Duplicate reference points at identical distance: the kept
+        # candidate set must prefer smaller ids deterministically.
+        points = np.array([[0.5, 0.5]] * 4 + [[0.9, 0.9]])
+        tree = build_kdtree(points, 2)
+        ids, dists = run_knn([np.array([0.5, 0.5])], tree, k=3, leaf_size=1)
+        assert list(ids[0]) == [0, 1, 2]
+        assert np.all(dists[0] == 0.0)

@@ -1,0 +1,202 @@
+"""Shared-memory segment lifecycle under service-style reuse.
+
+The serving layer keeps one :class:`SharedPublication` alive for the
+process lifetime and lets pool workers attach through a per-process
+cache.  These tests pin the lifecycle invariants that make that safe:
+repeated publish/attach/close cycles, finalizer cleanup when an owner
+forgets to close, idempotent closes, and worker crashes — none may
+leave a ``/dev/shm`` entry behind.
+"""
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_exec import PersistentWorkerPool, run_parallel
+from repro.core.schedules import ORIGINAL
+from repro.errors import ParallelWorkerError, ScheduleError
+from repro.kernels import TreeJoin
+from repro.spaces.soa import (
+    SharedPublication,
+    attach_shared_arrays_cached,
+    clear_attach_cache,
+)
+
+
+def shm_entries():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux hosts
+        return set()
+
+
+def sample_arrays():
+    return {
+        "points": np.arange(24, dtype=float).reshape(8, 3),
+        "weights": np.ones(8),
+    }
+
+
+class TestPublicationLifecycle:
+    def test_publish_arrays_close_cycle_leaks_nothing(self):
+        before = shm_entries()
+        for _ in range(5):
+            publication = SharedPublication.publish(sample_arrays())
+            views = publication.arrays()
+            assert np.array_equal(views["points"], sample_arrays()["points"])
+            publication.close()
+            assert publication.closed
+        assert shm_entries() == before
+
+    def test_close_is_idempotent(self):
+        publication = SharedPublication.publish(sample_arrays())
+        publication.close()
+        publication.close()
+        assert publication.closed
+
+    def test_finalizer_unlinks_on_garbage_collection(self):
+        # An owner that forgets close(): dropping the last reference
+        # must still unlink the segments (weakref.finalize), so a
+        # crashed service cannot strand /dev/shm entries.
+        before = shm_entries()
+        publication = SharedPublication.publish(sample_arrays())
+        assert shm_entries() != before
+        del publication
+        gc.collect()
+        assert shm_entries() == before
+
+    def test_context_manager_closes(self):
+        before = shm_entries()
+        with SharedPublication.publish(sample_arrays()) as publication:
+            assert not publication.closed
+        assert publication.closed
+        assert shm_entries() == before
+
+    def test_arrays_after_close_refused(self):
+        publication = SharedPublication.publish(sample_arrays())
+        publication.close()
+        with pytest.raises(Exception):
+            publication.arrays()
+
+
+class TestAttachCache:
+    def test_cached_attach_returns_the_same_views(self):
+        clear_attach_cache()
+        publication = SharedPublication.publish(sample_arrays())
+        try:
+            first = attach_shared_arrays_cached(publication.handles)
+            second = attach_shared_arrays_cached(publication.handles)
+            # Cache hit: the very same array objects, zero-copy.
+            assert all(
+                first[name] is second[name] for name in first
+            )
+            assert np.array_equal(
+                first["points"], sample_arrays()["points"]
+            )
+        finally:
+            clear_attach_cache()
+            publication.close()
+
+    def test_clear_attach_cache_detaches(self):
+        before = shm_entries()
+        publication = SharedPublication.publish(sample_arrays())
+        attach_shared_arrays_cached(publication.handles)
+        clear_attach_cache()
+        publication.close()
+        assert shm_entries() == before
+
+
+class TestPoolLifecycle:
+    def test_repeated_pooled_batches_reuse_one_publication(self):
+        before = shm_entries()
+        tj = TreeJoin(127, 127)
+        expected = tj.expected_total()
+        spec = tj.make_spec()
+        with PersistentWorkerPool(
+            spec.parallel_plan.arrays, max_workers=1
+        ) as pool:
+            for _ in range(2):
+                # make_spec resets the accumulator; its plan arrays are
+                # the same cached SoA columns, so the pool still matches.
+                run_parallel(
+                    tj.make_spec(),
+                    schedule=ORIGINAL,
+                    engine="process",
+                    max_workers=1,
+                    pool=pool,
+                )
+                assert tj.result == expected
+        assert shm_entries() == before
+
+    def test_pool_requires_the_process_engine(self):
+        spec = TreeJoin(63, 63).make_spec()
+        pool = PersistentWorkerPool(spec.parallel_plan.arrays, max_workers=1)
+        try:
+            with pytest.raises(ScheduleError, match="process"):
+                run_parallel(spec, engine="thread", max_workers=1, pool=pool)
+        finally:
+            pool.close()
+
+    def test_mismatched_arrays_refused(self):
+        spec = TreeJoin(63, 63).make_spec()
+        other = TreeJoin(63, 63).make_spec()
+        pool = PersistentWorkerPool(other.parallel_plan.arrays, max_workers=1)
+        try:
+            with pytest.raises(ScheduleError, match="different arrays"):
+                run_parallel(
+                    spec, engine="process", max_workers=1, pool=pool
+                )
+        finally:
+            pool.close()
+
+    def test_worker_crash_resets_pool_and_leaks_nothing(self):
+        # A real worker death (not an exception): the pool must surface
+        # ParallelWorkerError, reset its executor, keep the resident
+        # publication usable, and unlink everything on close.
+        before = shm_entries()
+        tj = TreeJoin(127, 127)
+        expected = tj.expected_total()
+        spec = tj.make_spec()
+        pool = PersistentWorkerPool(spec.parallel_plan.arrays, max_workers=1)
+        try:
+            run_parallel(
+                tj.make_spec(),
+                schedule=ORIGINAL,
+                engine="process",
+                max_workers=1,
+                pool=pool,
+            )
+            # Kill the resident worker processes out from under it.
+            executor = pool._executor
+            assert executor is not None
+            for process in list(executor._processes.values()):
+                process.kill()
+            with pytest.raises(ParallelWorkerError, match="resubmit"):
+                run_parallel(
+                    tj.make_spec(),
+                    schedule=ORIGINAL,
+                    engine="process",
+                    max_workers=1,
+                    pool=pool,
+                )
+            # The reset left the publication intact: resubmission works.
+            run_parallel(
+                tj.make_spec(),
+                schedule=ORIGINAL,
+                engine="process",
+                max_workers=1,
+                pool=pool,
+            )
+            assert tj.result == expected
+        finally:
+            pool.close()
+        assert shm_entries() == before
+
+    def test_closed_pool_refuses_submissions(self):
+        spec = TreeJoin(63, 63).make_spec()
+        pool = PersistentWorkerPool(spec.parallel_plan.arrays, max_workers=1)
+        pool.close()
+        with pytest.raises(ScheduleError, match="closed"):
+            pool.submit_chunk({})

@@ -22,7 +22,6 @@ from repro.spaces import (
     validate_index_node,
 )
 from repro.spaces.node import IndexNode
-from repro.spaces.soa import _VIEW_CACHE
 
 
 def wide_tree(fanout=30):
@@ -219,15 +218,19 @@ class TestViewCache:
         first = soa_view(root)
         assert soa_view(root, refresh=True) is not first
 
-    def test_cache_entry_dies_with_the_tree(self):
+    def test_cached_views_die_with_the_tree(self):
+        # The views live on the root object (not a module cache): a
+        # SoATree references every node, so any global table would pin
+        # the dead tree through its own value.  Dropping the last tree
+        # reference must free root + views as one cycle.
+        import weakref
+
         root = balanced_tree(15)
         soa_view(root)
-        assert root in _VIEW_CACHE
+        ref = weakref.ref(root)
         del root
         gc.collect()
-        assert len([k for k in _VIEW_CACHE]) == len(
-            [k for k in _VIEW_CACHE if k is not None]
-        )
+        assert ref() is None
 
 
 class TestValidateRejectsSoAHandles:
