@@ -282,7 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'list', 'perf-floor', "
-        "or 'sanitize'",
+        "'sanitize', or 'cost-validate'",
     )
     parser.add_argument(
         "--scale",
@@ -401,6 +401,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="also gate a compiled-backend wall-clock payload "
         "(host-aware 1.3x-over-soa floor on TJ/MM)",
     )
+    floor.add_argument(
+        "--scale-cap",
+        type=float,
+        default=None,
+        help="cost-validate: rebuild replay specs at no more than this "
+        "scale (CI smoke mode)",
+    )
+    floor.add_argument(
+        "--emit-json",
+        default=None,
+        metavar="PATH",
+        help="cost-validate: also write the per-row verdicts to PATH",
+    )
     return parser
 
 
@@ -419,7 +432,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{'sanitize'.ljust(width)}  CI gate: vectorized backends "
             "shadow-checked against recursive (writes SANITIZE.json)"
         )
+        print(
+            f"{'cost-validate'.ljust(width)}  CI gate: static cost-model "
+            "predictions vs measured BENCH_*.json winners"
+        )
         return 0
+    if args.experiment in ("cost-validate", "cost_validate"):
+        from repro.bench.cost_validate import main as cost_main
+
+        cost_argv: list[str] = []
+        if args.json != "BENCH_soa.json":
+            cost_argv += ["--json", args.json]
+        if args.scale_cap is not None:
+            cost_argv += ["--scale-cap", str(args.scale_cap)]
+        if args.emit_json is not None:
+            cost_argv += ["--emit-json", args.emit_json]
+        return cost_main(cost_argv)
     if args.experiment == "perf-floor":
         from repro.bench.perf_floor import DEFAULT_FLOOR, main as floor_main
 

@@ -147,6 +147,40 @@ _READERS = {
 }
 
 
+def _pinned_locality_verdicts() -> dict[str, dict[str, str]]:
+    """The checked-in TW30x fixtures, keyed by benchmark name."""
+    from repro.dualtree.algorithms import LOCALITY_VERDICTS
+    from repro.dualtree.kde import LOCALITY_VERDICT as KDE_VERDICT
+    from repro.kernels.gram import LOCALITY_VERDICT as GT_VERDICT
+    from repro.kernels.matmul import LOCALITY_VERDICT as MM_VERDICT
+    from repro.kernels.treejoin import LOCALITY_VERDICT as TJ_VERDICT
+
+    return {
+        "TJ": TJ_VERDICT,
+        "MM": MM_VERDICT,
+        "GT": GT_VERDICT,
+        "KDE": KDE_VERDICT,
+        **LOCALITY_VERDICTS,
+    }
+
+
+def _locality_verdict(label: str) -> str:
+    """The pinned TW30x verdict behind one speedup row, or ``-``.
+
+    A ``twist`` row shows the twist verdict (the transformation that
+    produced its schedule); every other row shows ``layout:veb`` (the
+    storage-order lever the SoA backends actually pull).  Labels that
+    don't resolve to a benchmark fixture (serve rows, foreign
+    payloads) stay unannotated.
+    """
+    benchmark, _, schedule = label.partition("/")
+    verdicts = _pinned_locality_verdicts().get(benchmark)
+    if verdicts is None:
+        return "-"
+    key = "twist" if schedule == "twist" else "layout:veb"
+    return verdicts.get(key, "-")
+
+
 def run_trajectory(
     paths: Optional[list[str]] = None, root: str = "."
 ) -> ExperimentReport:
@@ -155,7 +189,10 @@ def run_trajectory(
         paths = [os.path.join(root, name) for name in TRAJECTORY_SOURCES]
     report = ExperimentReport(
         title="Speedup trajectory: every checked-in BENCH payload",
-        columns=["source", "workload", "contender", "baseline", "speedup"],
+        columns=[
+            "source", "workload", "contender", "baseline", "speedup",
+            "locality",
+        ],
     )
     missing: list[str] = []
     for path in paths:
@@ -175,14 +212,15 @@ def run_trajectory(
         speedups = []
         for source, label, contender, baseline, speedup in rows:
             report.add_row(
-                source, label, contender, baseline, round(speedup, 3)
+                source, label, contender, baseline, round(speedup, 3),
+                _locality_verdict(label),
             )
             speedups.append(speedup)
         if len(speedups) > 1:
             geomean = math.exp(
                 sum(math.log(value) for value in speedups) / len(speedups)
             )
-            report.add_row(name, "geomean", "", "", round(geomean, 3))
+            report.add_row(name, "geomean", "", "", round(geomean, 3), "")
     if missing:
         report.add_note(f"not present (skipped): {', '.join(missing)}")
     report.add_note(

@@ -29,7 +29,7 @@ import os
 import warnings
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import islice
 from typing import Optional
 
@@ -66,12 +66,20 @@ class BackendChoice:
     fused loop gathers through the same packed views), or
     ``"parallel"`` (whose tasks run SoA kernels); callers that did not
     pin an order themselves should adopt it.
+
+    ``evidence`` is the deduplicated list of analyzer diagnostic codes
+    the selection rested on: the TW30x locality-profitability prior on
+    every automatic pick, plus the full TW10x conformance code list on
+    a refusal/downgrade and the TW20x codes behind a compiled-gate
+    decision.  Order is first-cited-first; it is evidence *provenance*,
+    never a second verdict channel.
     """
 
     backend: str
     reason: str
     features: dict = field(default_factory=dict)
     order: str = "preorder"
+    evidence: tuple = ()
 
 
 def probe_features(spec: NestedRecursionSpec) -> dict:
@@ -189,6 +197,37 @@ def conformance_verdicts(spec: NestedRecursionSpec) -> Optional[dict]:
         return None
 
 
+def _with_evidence(choice: BackendChoice, codes) -> BackendChoice:
+    """Fold diagnostic codes into the choice's evidence, deduplicated.
+
+    Keeps first-cited order (the existing evidence wins position over
+    the new codes) so a downgrade's conformance codes do not shuffle
+    the locality prior recorded before it.
+    """
+    merged = tuple(dict.fromkeys(tuple(choice.evidence) + tuple(codes)))
+    if merged == tuple(choice.evidence):
+        return choice
+    return replace(choice, evidence=merged)
+
+
+def _conformance_codes(spec: NestedRecursionSpec) -> tuple:
+    """Every TW1xx code the conformance analyzer raised for this spec.
+
+    A separate entry point from :func:`conformance_verdicts` (which
+    returns only the per-backend verdicts and is the documented test
+    seam): the downgrade path needs the *complete* diagnostic code
+    list as evidence, not just the verdict that triggered it.  Any
+    analyzer failure degrades to an empty tuple — evidence is
+    best-effort provenance, never a gate.
+    """
+    try:
+        from repro.transform.lint.backend import lint_spec
+
+        return tuple(sorted(lint_spec(spec).codes()))
+    except Exception:
+        return ()
+
+
 def _refuse_unproven(
     choice: BackendChoice, spec: NestedRecursionSpec
 ) -> BackendChoice:
@@ -198,7 +237,10 @@ def _refuse_unproven(
     warnings, dischargeable via ``backend="sanitize"``); an ``unsafe``
     verdict means a kernel *refutes* scalar equivalence, so the
     selector swaps to the other vectorized backend when that one is
-    proven safe, else to the reference executors.
+    proven safe, else to the reference executors.  Either downgrade
+    records the analyzer's *full* diagnostic code list as evidence —
+    citing only the triggering verdict used to hide the sibling
+    findings a caller would need to discharge the refusal.
     """
     verdicts = conformance_verdicts(spec)
     if verdicts is None:
@@ -210,47 +252,86 @@ def _refuse_unproven(
     verdict_key = "soa" if choice.backend == "compiled" else choice.backend
     if verdicts.get(verdict_key) != "unsafe":
         return choice
+    evidence = _conformance_codes(spec)
     alternate = "soa" if verdict_key == "batched" else "batched"
     if verdicts.get(alternate) == "safe":
         # The order recommendation is evidence about the *spec* (its
         # work_batch_soa gathers favour veb blocking), not about the
         # refused backend, so the downgrade carries it instead of
         # silently resetting to preorder.
-        return BackendChoice(
-            alternate,
-            f"conformance: {choice.backend!r} verdict is unsafe; "
-            f"{alternate!r} is proven safe (structural pick was: "
+        return _with_evidence(
+            BackendChoice(
+                alternate,
+                f"conformance: {choice.backend!r} verdict is unsafe; "
+                f"{alternate!r} is proven safe (structural pick was: "
+                f"{choice.reason})",
+                choice.features,
+                order=choice.order,
+                evidence=choice.evidence,
+            ),
+            evidence,
+        )
+    return _with_evidence(
+        BackendChoice(
+            "recursive",
+            f"conformance: {choice.backend!r} verdict is unsafe; falling "
+            f"back to the reference executors (structural pick was: "
             f"{choice.reason})",
             choice.features,
             order=choice.order,
-        )
-    return BackendChoice(
-        "recursive",
-        f"conformance: {choice.backend!r} verdict is unsafe; falling "
-        f"back to the reference executors (structural pick was: "
-        f"{choice.reason})",
-        choice.features,
-        order=choice.order,
+            evidence=choice.evidence,
+        ),
+        evidence,
     )
 
 
-def _compiled_eligible(spec: NestedRecursionSpec) -> tuple[bool, str]:
+def _compiled_eligible(spec: NestedRecursionSpec) -> tuple[bool, str, tuple]:
     """May the fused/compiled backend run this spec?
 
     Proof-carrying gate: only a clean TW20x ``lowerable`` verdict from
     :func:`repro.transform.lint.lower.lint_lower` qualifies — holes
     (``needs-runtime-check``) or refutations keep the spec on the
     interpreted backends.  An analyzer crash counts as "not proven".
+    Returns ``(eligible, reason, codes)`` where ``codes`` is the
+    report's full diagnostic code list, cited as selection evidence.
     """
     try:
         from repro.transform.lint.lower import LowerVerdict, lint_lower
 
         report = lint_lower(spec)
     except Exception as exc:  # the proof gate must never block runs
-        return False, f"lint-lower failed ({type(exc).__name__}: {exc})"
+        return False, f"lint-lower failed ({type(exc).__name__}: {exc})", ()
+    codes = tuple(sorted(report.codes()))
     if report.lower is LowerVerdict.LOWERABLE:
-        return True, report.lower_reason
-    return False, f"{report.lower}: {report.lower_reason}"
+        return True, report.lower_reason, codes
+    return False, f"{report.lower}: {report.lower_reason}", codes
+
+
+def _locality_prior(spec: NestedRecursionSpec, features: dict) -> tuple:
+    """The TW30x locality cost prior, as evidence codes plus features.
+
+    Runs :func:`repro.transform.lint.locality.lint_locality` under the
+    deterministic paper cache model (memoized per spec family and live
+    trees, so the steady state costs one dict lookup), records the
+    per-transformation verdicts in ``features["locality"]``, and
+    returns the report's diagnostic codes for
+    :attr:`BackendChoice.evidence`.  The prior never changes *which*
+    backend is safe — it is the profitability context the decision
+    table's order/layout recommendations cite.  An analyzer failure
+    degrades to no prior, recorded in ``features["locality_error"]``.
+    """
+    try:
+        from repro.transform.lint.locality import lint_locality
+
+        report = lint_locality(spec)
+    except Exception as exc:  # the prior must never block selection
+        features["locality_error"] = f"{type(exc).__name__}: {exc}"
+        return ()
+    features["locality"] = {
+        transform: str(verdict)
+        for transform, verdict in sorted(report.verdicts.items())
+    }
+    return tuple(sorted(report.codes()))
 
 
 # ---------------------------------------------------------------------------
@@ -427,16 +508,28 @@ def _choose_backend_uncached(
     if features is None:
         features = probe_features(spec)
     features["schedule"] = schedule_name
+    prior = _locality_prior(spec, features)
+    locality = features.get("locality", {})
     if features["points"] < SMALL_SPACE_POINTS:
-        return BackendChoice(
-            "recursive",
-            f"iteration space has only {features['points']} points "
-            f"(< {SMALL_SPACE_POINTS}); dispatch setup would dominate",
-            features,
+        return _with_evidence(
+            BackendChoice(
+                "recursive",
+                f"iteration space has only {features['points']} points "
+                f"(< {SMALL_SPACE_POINTS}); dispatch setup would dominate",
+                features,
+            ),
+            prior,
         )
     parallel = _consider_parallel(spec, features)
     if parallel is not None:
-        return parallel
+        return _with_evidence(parallel, prior)
+    # The locality prior annotates the order recommendation: "veb" is
+    # cited as profitable blocking (TW302) when the working set spans
+    # cache levels, or kept as a no-cost default when it already fits
+    # L1 (TW301) — the decision table stays the safety envelope either
+    # way.
+    veb_verdict = locality.get("layout:veb", "unknown")
+    veb_note = f"; locality verdict for layout:veb is {veb_verdict} (TW30x)"
     if features["is_irregular"] and features["observes_work"]:
         choice = BackendChoice(
             "soa",
@@ -445,14 +538,15 @@ def _choose_backend_uncached(
             features,
         )
     elif features["has_work_batch_soa"] and not features["is_irregular"]:
-        lowerable, why = _compiled_eligible(spec)
+        lowerable, why, lower_codes = _compiled_eligible(spec)
         features["lowerable"] = lowerable
+        prior = tuple(prior) + lower_codes
         if lowerable:
             choice = BackendChoice(
                 "compiled",
                 "TW20x verdict is lowerable: fuse the traversal with "
                 f"the certified work_batch_soa kernel ({why}); veb "
-                "storage order recommended",
+                f"storage order recommended{veb_note}",
                 features,
                 order="veb",
             )
@@ -462,7 +556,7 @@ def _choose_backend_uncached(
                 "spec provides work_batch_soa: position-block dispatch "
                 "over packed payload columns; veb storage order "
                 "recommended (BENCH_soa: TJ original 0.067s veb vs "
-                f"0.079s preorder); compiled refused ({why})",
+                f"0.079s preorder); compiled refused ({why}){veb_note}",
                 features,
                 order="veb",
             )
@@ -471,7 +565,8 @@ def _choose_backend_uncached(
             "soa",
             "spec provides work_batch_soa: position-block dispatch over "
             "packed payload columns; veb storage order recommended "
-            "(BENCH_soa: TJ original 0.067s veb vs 0.079s preorder)",
+            f"(BENCH_soa: TJ original 0.067s veb vs 0.079s preorder)"
+            f"{veb_note}",
             features,
             order="veb",
         )
@@ -482,6 +577,7 @@ def _choose_backend_uncached(
             "through work_batch",
             features,
         )
+    choice = _with_evidence(choice, prior)
     if allow_unproven:
         return choice
     return _refuse_unproven(choice, spec)

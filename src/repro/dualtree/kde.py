@@ -134,6 +134,18 @@ LOWER_VERDICT = {
     "independence": "needs-runtime-check",
 }
 
+#: Expected TW30x locality verdicts at the benchmark's default size
+#: (scale 1.0) under the paper's Xeon cache model.  KDE's reference
+#: tree is small enough that its working set already fits L1 (layout
+#: changes are neutral), and its truncation observes work state, so
+#: interchange/twist profitability stays ``unknown`` (TW303).
+LOCALITY_VERDICT = {
+    "interchange": "unknown",
+    "twist": "unknown",
+    "layout:veb": "neutral",
+    "layout:bfs": "neutral",
+}
+
 
 @dataclass
 class KernelDensity:

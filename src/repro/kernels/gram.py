@@ -35,6 +35,17 @@ from repro.spaces.trees import balanced_tree
 #: columns).  A regression below either verdict fails tests.
 LOWER_VERDICT = {"lower": "lowerable", "independence": "independent"}
 
+#: Expected TW30x locality verdicts at the fixture size used by the
+#: lint-locality suite (1024 x 1024) under the paper's Xeon cache
+#: model.  Index nodes plus the gathered ``r`` vector exceed L1 but
+#: fit L2 with full reuse (regular truncation) — same profile as TJ.
+LOCALITY_VERDICT = {
+    "interchange": "profitable",
+    "twist": "profitable",
+    "layout:veb": "profitable",
+    "layout:bfs": "neutral",
+}
+
 
 @dataclass
 class GramTable:

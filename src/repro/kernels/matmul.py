@@ -38,6 +38,18 @@ from repro.spaces.trees import balanced_tree
 #: (TW212).  A regression below either verdict fails tests and CI.
 LOWER_VERDICT = {"lower": "lowerable", "independence": "independent"}
 
+#: Expected TW30x locality verdicts at the benchmark's default size
+#: (384 x 384, scale 1.0) under the paper's Xeon cache model.  The
+#: inner working set — column-index nodes plus the per-column slices
+#: of the captured ``b`` matrix — lands just past L1 into L2 with full
+#: reuse, so blocking is predicted profitable across the board.
+LOCALITY_VERDICT = {
+    "interchange": "profitable",
+    "twist": "profitable",
+    "layout:veb": "profitable",
+    "layout:bfs": "neutral",
+}
+
 
 @dataclass
 class MatrixMultiply:

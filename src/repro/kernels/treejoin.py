@@ -62,6 +62,19 @@ class JoinAccumulator:
 #: regression below either verdict fails tests and CI.
 LOWER_VERDICT = {"lower": "lowerable", "independence": "independent"}
 
+#: Expected TW30x locality verdicts at the benchmark's default size
+#: (1200-node trees, scale 1.0) under the paper's Xeon cache model —
+#: the output of ``python -m repro.transform lint-locality``.  TJ's
+#: inner working set (~48 KB: 1200 nodes of struct + int payload)
+#: exceeds L1 but fits L2 with full reuse (regular truncation), so
+#: every blocking transformation is predicted to pay off.
+LOCALITY_VERDICT = {
+    "interchange": "profitable",
+    "twist": "profitable",
+    "layout:veb": "profitable",
+    "layout:bfs": "neutral",
+}
+
 
 @dataclass
 class TreeJoin:

@@ -21,6 +21,13 @@ from repro.memory.cache import (
     SetAssociativeCache,
     fully_associative,
 )
+from repro.memory.cachemodel import (
+    PAPER_L1_BYTES,
+    PAPER_L2_BYTES,
+    PAPER_L3_BYTES,
+    CacheModel,
+    parse_cache_size,
+)
 from repro.memory.costmodel import (
     DEFAULT_COST_MODEL,
     DEFAULT_OP_WEIGHTS,
@@ -59,12 +66,16 @@ from repro.memory.tracefile import Trace, from_tuples, load_trace, save_trace
 __all__ = [
     "AddressMap",
     "CacheHierarchy",
+    "CacheModel",
     "CacheStats",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "DEFAULT_OP_WEIGHTS",
     "FenwickTree",
     "LevelSpec",
+    "PAPER_L1_BYTES",
+    "PAPER_L2_BYTES",
+    "PAPER_L3_BYTES",
     "PerfReport",
     "ReuseDistanceAnalyzer",
     "SetAssociativeCache",
@@ -80,6 +91,7 @@ __all__ = [
     "layout_tree",
     "naive_reuse_distances",
     "node_lines",
+    "parse_cache_size",
     "register_blocks",
     "scaled_hierarchy",
     "speedup",

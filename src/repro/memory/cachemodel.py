@@ -1,0 +1,162 @@
+"""Cache-capacity model for the static locality analyzer (TW30x).
+
+The simulation substrate in this package *replays* traces against
+set-associative caches; the locality cost model in
+:mod:`repro.transform.lint.locality` needs something much smaller — a
+byte capacity per cache level to compare a statically inferred
+footprint against.  :class:`CacheModel` is that: three capacities and
+a line size, with three provenances:
+
+* :meth:`CacheModel.paper_default` — the paper's evaluation Xeon
+  (32 KB L1 / 256 KB L2 / 20 MB L3, Section 6.1).  This is the default
+  everywhere a deterministic verdict matters (pinned fixtures, CI),
+  because a host probe would make the verdicts hostname-dependent.
+* :meth:`CacheModel.probe_host` — read the real machine's capacities
+  from sysfs where available, falling back level-by-level to the paper
+  Xeon.  Opt-in (``lint-locality --probe-host``).
+* explicit construction — tests and the CLI's ``--l1/--l2/--l3``.
+
+The model records where its numbers came from (``source``), and the
+analyzer surfaces that provenance as a TW305 assumption diagnostic.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+from dataclasses import dataclass
+
+from repro.errors import MemorySimError
+
+#: Paper Xeon capacities (Section 6.1), in bytes.
+PAPER_L1_BYTES = 32 * 1024
+PAPER_L2_BYTES = 256 * 1024
+PAPER_L3_BYTES = 20 * 1024 * 1024
+
+_SIZE_RE = re.compile(r"^\s*(\d+)\s*([KMG]?)B?\s*$", re.IGNORECASE)
+
+_SIZE_UNITS = {"": 1, "K": 1024, "M": 1024 * 1024, "G": 1024 * 1024 * 1024}
+
+
+def parse_cache_size(text: str) -> int:
+    """Parse a sysfs-style cache size string (``"32K"``, ``"20480K"``,
+    ``"8M"``) into bytes; raises :class:`MemorySimError` on junk."""
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise MemorySimError(f"unparsable cache size {text!r}")
+    value, unit = match.groups()
+    return int(value) * _SIZE_UNITS[unit.upper()]
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Byte capacities of a three-level cache hierarchy.
+
+    Hashable and frozen so it can key the locality pass's report cache.
+    ``fitting_level`` answers the analyzer's one question: which level
+    (if any) can hold a working set of a given size.
+    """
+
+    l1_bytes: int = PAPER_L1_BYTES
+    l2_bytes: int = PAPER_L2_BYTES
+    l3_bytes: int = PAPER_L3_BYTES
+    line_bytes: int = 64
+    #: where the capacities came from: ``"paper-xeon"``, ``"host-probe"``,
+    #: or ``"explicit"``
+    source: str = "explicit"
+
+    def __post_init__(self) -> None:
+        if min(self.l1_bytes, self.l2_bytes, self.l3_bytes) <= 0:
+            raise MemorySimError("cache capacities must be positive")
+        if not self.l1_bytes <= self.l2_bytes <= self.l3_bytes:
+            raise MemorySimError(
+                "cache capacities must be non-decreasing "
+                f"(got L1={self.l1_bytes}, L2={self.l2_bytes}, "
+                f"L3={self.l3_bytes})"
+            )
+        if self.line_bytes <= 0:
+            raise MemorySimError("line_bytes must be positive")
+
+    def levels(self) -> tuple[tuple[str, int], ...]:
+        """``(("L1", bytes), ("L2", bytes), ("L3", bytes))``."""
+        return (
+            ("L1", self.l1_bytes),
+            ("L2", self.l2_bytes),
+            ("L3", self.l3_bytes),
+        )
+
+    def fitting_level(self, footprint_bytes: float) -> str | None:
+        """The smallest level that holds ``footprint_bytes``, or ``None``
+        when the working set exceeds the last-level cache."""
+        for name, capacity in self.levels():
+            if footprint_bytes <= capacity:
+                return name
+        return None
+
+    def to_json(self) -> dict:
+        """Stable-key dict for report payloads."""
+        return {
+            "l1_bytes": self.l1_bytes,
+            "l2_bytes": self.l2_bytes,
+            "l3_bytes": self.l3_bytes,
+            "line_bytes": self.line_bytes,
+            "source": self.source,
+        }
+
+    @classmethod
+    def paper_default(cls) -> "CacheModel":
+        """The paper's evaluation Xeon — the deterministic default."""
+        return cls(
+            PAPER_L1_BYTES, PAPER_L2_BYTES, PAPER_L3_BYTES, source="paper-xeon"
+        )
+
+    @classmethod
+    def from_hierarchy(
+        cls, hierarchy, line_bytes: int = 64, source: str = "hierarchy"
+    ) -> "CacheModel":
+        """Capacities of a simulated :class:`~repro.memory.hierarchy.
+        CacheHierarchy` (``capacity_lines * line_bytes`` per level)."""
+        capacities = [
+            level.num_sets * level.ways * line_bytes
+            for level in hierarchy.levels[:3]
+        ]
+        while len(capacities) < 3:
+            capacities.append(capacities[-1])
+        return cls(*capacities, line_bytes=line_bytes, source=source)
+
+    @classmethod
+    def probe_host(cls, sysfs_root: str = "/sys") -> "CacheModel":
+        """Capacities of the host's own data caches, from sysfs.
+
+        Levels sysfs does not expose (non-Linux hosts, containers with
+        a masked ``/sys``) fall back to the paper Xeon value for that
+        level; a probe that finds nothing at all returns
+        :meth:`paper_default` unchanged.  Capacities are clamped to
+        stay non-decreasing so a partial probe can never build an
+        inverted hierarchy.
+        """
+        found: dict[int, int] = {}
+        pattern = os.path.join(
+            sysfs_root, "devices/system/cpu/cpu0/cache/index*"
+        )
+        for index_dir in sorted(glob.glob(pattern)):
+            try:
+                with open(os.path.join(index_dir, "type")) as handle:
+                    kind = handle.read().strip()
+                if kind not in ("Data", "Unified"):
+                    continue
+                with open(os.path.join(index_dir, "level")) as handle:
+                    level = int(handle.read().strip())
+                with open(os.path.join(index_dir, "size")) as handle:
+                    size = parse_cache_size(handle.read().strip())
+            except (OSError, ValueError, MemorySimError):
+                continue
+            # Keep the largest capacity per level (unified beats split).
+            found[level] = max(size, found.get(level, 0))
+        if not found:
+            return cls.paper_default()
+        l1 = found.get(1, PAPER_L1_BYTES)
+        l2 = max(found.get(2, PAPER_L2_BYTES), l1)
+        l3 = max(found.get(3, PAPER_L3_BYTES), l2)
+        return cls(l1, l2, l3, source="host-probe")

@@ -23,19 +23,38 @@ INPUT.py`` still works and means ``transform``)::
         [--benchmark NAME]               # default: every built-in spec
         [--scale S] [--json]
 
+    python -m repro.transform lint-locality
+        [--benchmark NAME]               # default: every built-in spec
+        [--scale S]                      # default 1.0 (footprints scale)
+        [--l1 SIZE --l2 SIZE --l3 SIZE]  # e.g. 48K, 1M (else paper Xeon)
+        [--probe-host]                   # sysfs-probed cache model
+        [--json]
+
+    python -m repro.transform lint-all
+        [--benchmark NAME] [--scale S] [--locality-scale S]
+        [--examples DIR] [--json]
+
 ``lint-spec`` runs the backend-conformance analyzer
 (:mod:`repro.transform.lint.backend`, ``TW1xx``) over the built-in
 benchmark specs and reports one verdict per spec.  ``lint-lower`` runs
 the lowerability and static-independence passes
 (:mod:`repro.transform.lint.lower`, ``TW2xx``) over the same specs and
-reports two verdicts per spec.
+reports two verdicts per spec.  ``lint-locality`` runs the locality
+cost-model analyzer (:mod:`repro.transform.lint.locality`, ``TW30x``)
+over the same specs plus the GramTable fixture and reports one
+profitability verdict per transformation per spec.  ``lint-all`` runs
+every analyzer in one invocation — TW0xx over the annotated example
+sources, TW1xx/TW2xx/TW30x over the built-in specs — and merges the
+results into one report (one JSON object with ``--json``), exiting
+with the most severe code of any section (precedence 4 > 3 > 1 > 5).
 
 Exit codes are stable and distinct per failure class:
 
 ==  ============================================================
 0   success (for ``lint``: statically safe; for ``lint-spec``:
     every spec proven batch-safe/soa-safe; for ``lint-lower``:
-    every spec lowerable *and* statically independent)
+    every spec lowerable *and* statically independent; for
+    ``lint-locality``: every transformation verdict decided)
 1   template violation (the Figure 2 sanity check failed)
 2   usage or I/O error — including an analyzer crash, which
     ``--json`` wraps as a schema-v2 ``analyzer-error`` object
@@ -44,7 +63,8 @@ Exit codes are stable and distinct per failure class:
 4   lint verdict *unsafe* (refuted; ``transform`` refused codegen;
     for ``lint-lower``: *not-lowerable* or *dependent*)
 5   lint verdict *needs-dynamic-check* (for ``lint-lower``:
-    *needs-runtime-check* on either dimension)
+    *needs-runtime-check* on either dimension; for
+    ``lint-locality``: any *unknown* profitability verdict)
 ==  ============================================================
 """
 
@@ -327,6 +347,355 @@ def _lint_lower_main(argv: list[str]) -> int:
     return EXIT_OK
 
 
+def build_lint_locality_parser() -> argparse.ArgumentParser:
+    """The ``lint-locality`` subcommand's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.transform lint-locality",
+        description="Run the locality cost-model analyzer (TW30x) over "
+        "the built-in benchmark specs: infer each spec's inner working "
+        "set and outer-point reuse, and predict per transformation "
+        "(interchange, twist, layout:veb, layout:bfs) whether it pays "
+        "off against a cache model.",
+    )
+    parser.add_argument(
+        "--benchmark",
+        help="restrict to one benchmark name (default: all built-ins "
+        "plus the GT fixture)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale used to build the specs (default: 1.0 — "
+        "footprints depend on the live tree sizes, so verdicts are "
+        "pinned at the benchmarks' paper-shaped defaults)",
+    )
+    parser.add_argument(
+        "--l1",
+        metavar="SIZE",
+        help="override the L1 capacity (e.g. 48K; implies an explicit "
+        "cache model seeded from the paper's Xeon)",
+    )
+    parser.add_argument(
+        "--l2", metavar="SIZE", help="override the L2 capacity (e.g. 1M)"
+    )
+    parser.add_argument(
+        "--l3", metavar="SIZE", help="override the L3 capacity (e.g. 32M)"
+    )
+    parser.add_argument(
+        "--probe-host",
+        action="store_true",
+        help="judge against the host's sysfs-probed cache hierarchy "
+        "instead of the paper's Xeon (verdicts become host-dependent)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object on stdout",
+    )
+    return parser
+
+
+def _cache_model_from_args(args) -> "object | None":
+    """Resolve the CLI cache-model flags, or print an error and None."""
+    from repro.errors import MemorySimError
+    from repro.memory import CacheModel, parse_cache_size
+
+    base = (
+        CacheModel.probe_host()
+        if getattr(args, "probe_host", False)
+        else CacheModel.paper_default()
+    )
+    overrides = {
+        level: text
+        for level, text in (
+            ("l1_bytes", args.l1),
+            ("l2_bytes", args.l2),
+            ("l3_bytes", args.l3),
+        )
+        if text
+    }
+    if not overrides:
+        return base
+    try:
+        sizes = {
+            level: parse_cache_size(text) for level, text in overrides.items()
+        }
+        return CacheModel(
+            l1_bytes=sizes.get("l1_bytes", base.l1_bytes),
+            l2_bytes=sizes.get("l2_bytes", base.l2_bytes),
+            l3_bytes=sizes.get("l3_bytes", base.l3_bytes),
+            line_bytes=base.line_bytes,
+            source="explicit",
+        )
+    except MemorySimError as error:
+        print(f"error: bad cache model: {error}", file=sys.stderr)
+        return None
+
+
+def _locality_cases(benchmark: Optional[str], scale: float):
+    """(name, spec factory) pairs for the locality suite.
+
+    The wall-clock benchmark roster plus the GramTable fixture — GT is
+    not a wall-clock case (it exists to widen the compiled backend's
+    eligibility surface), but its locality profile is pinned alongside
+    the others, so the suite carries it too.
+    """
+    from repro.bench.workloads import wallclock_cases
+    from repro.kernels.gram import GramTable
+
+    gram_side = max(2, int(1024 * scale))
+    cases = [(case.name, case.make_spec) for case in wallclock_cases(scale)]
+    cases.append(("GT", lambda: GramTable(gram_side, gram_side).make_spec()))
+    if benchmark:
+        cases = [pair for pair in cases if pair[0] == benchmark]
+        if not cases:
+            print(f"error: unknown benchmark {benchmark!r}", file=sys.stderr)
+            return None
+    return cases
+
+
+def _locality_reports(benchmark: Optional[str], scale: float, model):
+    """Run the TW30x pass over the suite; (reports, None) or (None, exit)."""
+    from repro.transform.lint.locality import lint_locality
+
+    cases = _locality_cases(benchmark, scale)
+    if cases is None:
+        return None, EXIT_USAGE
+    reports = [
+        lint_locality(make_spec(), cache_model=model)
+        for _name, make_spec in cases
+    ]
+    return reports, None
+
+
+def _locality_exit(reports) -> int:
+    from repro.transform.lint.locality import LocalityVerdict
+
+    if any(
+        LocalityVerdict.UNKNOWN in report.verdicts.values()
+        for report in reports
+    ):
+        return EXIT_NEEDS_DYNAMIC_CHECK
+    return EXIT_OK
+
+
+def _lint_locality_main(argv: list[str]) -> int:
+    args = build_lint_locality_parser().parse_args(argv)
+    model = _cache_model_from_args(args)
+    if model is None:
+        return EXIT_USAGE
+
+    try:
+        reports, error_exit = _locality_reports(args.benchmark, args.scale, model)
+    except Exception as error:
+        return _emit_analyzer_error(error, args.json)
+    if reports is None:
+        return error_exit
+    exit_code = _locality_exit(reports)
+    if args.json:
+        from repro.transform.lint.locality import SCHEMA_VERSION
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "locality-suite",
+            "exit_code": exit_code,
+            "cache_model": model.to_json(),
+            "specs": [report.to_json() for report in reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+    return exit_code
+
+
+def build_lint_all_parser() -> argparse.ArgumentParser:
+    """The ``lint-all`` subcommand's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.transform lint-all",
+        description="Run every static analyzer in one invocation: "
+        "TW0xx schedule safety over the annotated example sources, "
+        "and TW1xx conformance, TW2xx lowerability/independence, and "
+        "TW30x locality profitability over the built-in benchmark "
+        "specs.  One merged report; the exit code is the most severe "
+        "of any section (4 > 3 > 1 > 5 > 0).",
+    )
+    parser.add_argument(
+        "--benchmark",
+        help="restrict the spec analyzers to one benchmark name",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="workload scale for the conformance/lowerability specs "
+        "(default: 0.05 — those analyses are size-independent)",
+    )
+    parser.add_argument(
+        "--locality-scale",
+        type=float,
+        default=1.0,
+        help="workload scale for the locality specs (default: 1.0 — "
+        "footprints depend on tree sizes)",
+    )
+    parser.add_argument(
+        "--examples",
+        default="examples/annotated",
+        metavar="DIR",
+        help="directory of annotated sources for the TW0xx pass "
+        "(default: examples/annotated; skipped with a note if absent)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one merged machine-readable JSON object on stdout",
+    )
+    return parser
+
+
+def _merge_exits(exits) -> int:
+    """Most severe exit wins: unsafe > parse > template > dynamic > ok."""
+    for code in (
+        EXIT_UNSAFE,
+        EXIT_PARSE_ERROR,
+        EXIT_TEMPLATE_VIOLATION,
+        EXIT_NEEDS_DYNAMIC_CHECK,
+    ):
+        if code in exits:
+            return code
+    return EXIT_OK
+
+
+def _lint_source_exit(report) -> int:
+    codes = report.codes()
+    if "TW001" in codes:
+        return EXIT_PARSE_ERROR
+    if codes & {"TW002", "TW003"}:
+        return EXIT_TEMPLATE_VIOLATION
+    if report.verdict is Verdict.UNSAFE:
+        return EXIT_UNSAFE
+    if report.verdict is Verdict.NEEDS_DYNAMIC_CHECK:
+        return EXIT_NEEDS_DYNAMIC_CHECK
+    return EXIT_OK
+
+
+def _lint_all_main(argv: list[str]) -> int:
+    import glob
+    import os
+
+    args = build_lint_all_parser().parse_args(argv)
+
+    from repro.transform.lint import lint_spec
+    from repro.transform.lint.backend import SpecVerdict
+    from repro.transform.lint.lower import (
+        IndependenceVerdict,
+        LowerVerdict,
+        lint_lower,
+    )
+
+    exits: list[int] = []
+    sections: dict[str, object] = {}
+    renders: list[str] = []
+    notes: list[str] = []
+
+    # TW0xx over the annotated example sources.
+    source_reports = []
+    if os.path.isdir(args.examples):
+        for path in sorted(glob.glob(os.path.join(args.examples, "*.py"))):
+            source = _read_input(path)
+            if source is None:
+                return EXIT_USAGE
+            try:
+                report = lint_source(source, None, None, filename=path)
+            except Exception as error:
+                return _emit_analyzer_error(error, args.json)
+            source_reports.append((path, report))
+            exits.append(_lint_source_exit(report))
+    else:
+        notes.append(f"examples directory {args.examples!r} absent; TW0xx skipped")
+    sections["sources"] = [
+        {"path": path, **report.to_json()} for path, report in source_reports
+    ]
+    renders.extend(
+        f"== {path} ==\n{report.render()}" for path, report in source_reports
+    )
+
+    # TW1xx + TW2xx over the built-in specs (shared case roster).
+    cases = _select_cases(args.benchmark, args.scale)
+    if cases is None:
+        return EXIT_USAGE
+    try:
+        spec_reports = [lint_spec(case.make_spec()) for case in cases]
+        lower_reports = [lint_lower(case.make_spec()) for case in cases]
+    except Exception as error:
+        return _emit_analyzer_error(error, args.json)
+    sections["conformance"] = [report.to_json() for report in spec_reports]
+    sections["lowerability"] = [report.to_json() for report in lower_reports]
+    renders.extend(report.render() for report in spec_reports)
+    renders.extend(report.render() for report in lower_reports)
+
+    spec_verdicts = {report.verdict for report in spec_reports}
+    if SpecVerdict.UNSAFE in spec_verdicts:
+        exits.append(EXIT_UNSAFE)
+    elif SpecVerdict.NEEDS_DYNAMIC_CHECK in spec_verdicts:
+        exits.append(EXIT_NEEDS_DYNAMIC_CHECK)
+    if any(
+        report.lower is LowerVerdict.NOT_LOWERABLE
+        or report.independence is IndependenceVerdict.DEPENDENT
+        for report in lower_reports
+    ):
+        exits.append(EXIT_UNSAFE)
+    elif any(
+        report.lower is LowerVerdict.NEEDS_RUNTIME_CHECK
+        or report.independence is IndependenceVerdict.NEEDS_RUNTIME_CHECK
+        for report in lower_reports
+    ):
+        exits.append(EXIT_NEEDS_DYNAMIC_CHECK)
+
+    # TW30x over the built-in specs plus GT, at the locality scale.
+    from repro.memory import CacheModel
+
+    model = CacheModel.paper_default()
+    try:
+        locality_reports, error_exit = _locality_reports(
+            args.benchmark, args.locality_scale, model
+        )
+    except Exception as error:
+        return _emit_analyzer_error(error, args.json)
+    if locality_reports is None:
+        return error_exit
+    sections["locality"] = [report.to_json() for report in locality_reports]
+    renders.extend(report.render() for report in locality_reports)
+    exits.append(_locality_exit(locality_reports))
+
+    exit_code = _merge_exits(set(exits))
+    if args.json:
+        payload = {
+            "schema_version": 2,
+            "kind": "lint-all",
+            "exit_code": exit_code,
+            "notes": notes,
+            "sections": sections,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for note in notes:
+            print(f"note: {note}", file=sys.stderr)
+        print("\n".join(renders))
+        print(
+            "lint-all: sources: {} file(s); conformance: {} spec(s); "
+            "lowerability: {} spec(s); locality: {} spec(s); exit {}".format(
+                len(source_reports),
+                len(spec_reports),
+                len(lower_reports),
+                len(locality_reports),
+                exit_code,
+            )
+        )
+    return exit_code
+
+
 def _read_input(path: str) -> Optional[str]:
     try:
         with open(path) as handle:
@@ -479,6 +848,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _lint_spec_main(argv[1:])
     if argv and argv[0] == "lint-lower":
         return _lint_lower_main(argv[1:])
+    if argv and argv[0] == "lint-locality":
+        return _lint_locality_main(argv[1:])
+    if argv and argv[0] == "lint-all":
+        return _lint_all_main(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
     if argv and argv[0] == "transform":

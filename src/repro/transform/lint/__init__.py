@@ -75,6 +75,11 @@ from repro.transform.lint.backend import (
     lint_spec,
 )
 from repro.transform.lint.kernel_ir import KernelIR, extract_kernel_ir
+from repro.transform.lint.locality import (
+    LocalityReport,
+    LocalityVerdict,
+    lint_locality,
+)
 from repro.transform.lint.lower import (
     IndependenceVerdict,
     LowerReport,
@@ -97,6 +102,8 @@ __all__ = [
     "KernelFootprint",
     "KernelIR",
     "LintReport",
+    "LocalityReport",
+    "LocalityVerdict",
     "LowerReport",
     "LowerVerdict",
     "Region",
@@ -114,6 +121,7 @@ __all__ = [
     "collect_pragmas",
     "derive_verdict",
     "extract_kernel_ir",
+    "lint_locality",
     "lint_lower",
     "lint_source",
     "lint_spec",

@@ -28,7 +28,15 @@ a severity and an indication of which verdict dimension it affects:
     the ``TW21x`` family: *static outer-task independence* proven from
     the IR's affine footprints — the static counterpart of the dynamic
     TW030 witness probe, consumed by
-    :func:`repro.core.parallel_exec.check_outer_independence`.
+    :func:`repro.core.parallel_exec.check_outer_independence`;
+``locality``
+    the ``TW30x`` family: static *profitability* of the locality
+    transformations — footprint/reuse inference against a
+    :class:`~repro.memory.cachemodel.CacheModel`, predicting whether
+    interchange / twisting / layout changes pay off (see
+    :mod:`repro.transform.lint.locality`).  Unlike every other family,
+    these codes never gate legality: they are a cost prior cited by
+    :func:`repro.core.backend_select.choose_backend` as evidence.
 
 Severities follow the usual compiler convention: ``error`` findings
 refute the safety proof (verdict *unsafe*), ``warning`` findings leave
@@ -336,6 +344,53 @@ _REGISTRY: list[CodeInfo] = [
             Severity.WARNING,
             "independence",
         ),
+        # --- locality profitability (TW30x) --------------------------
+        CodeInfo(
+            "TW300",
+            "inner footprint not derivable from the kernel IR",
+            Severity.WARNING,
+            "locality",
+        ),
+        CodeInfo(
+            "TW301",
+            "inner footprint fits L1: blocking transformations are "
+            "neutral",
+            Severity.INFO,
+            "locality",
+        ),
+        CodeInfo(
+            "TW302",
+            "inner footprint exceeds L1 but fits a deeper cache level",
+            Severity.INFO,
+            "locality",
+        ),
+        CodeInfo(
+            "TW303",
+            "outer-point reuse not statically derivable from the "
+            "truncation",
+            Severity.WARNING,
+            "locality",
+        ),
+        CodeInfo(
+            "TW304",
+            "truncation-limited reuse: sampled density discounts the "
+            "effective footprint",
+            Severity.INFO,
+            "locality",
+        ),
+        CodeInfo(
+            "TW305",
+            "profitability judged against an assumed cache model",
+            Severity.INFO,
+            "locality",
+        ),
+        CodeInfo(
+            "TW306",
+            "effective footprint exceeds the last-level cache: "
+            "point blocking predicted regressive",
+            Severity.WARNING,
+            "locality",
+        ),
 ]
 
 #: The full catalog of stable diagnostic codes.
@@ -354,6 +409,7 @@ AFFECTS_DOMAINS: tuple[str, ...] = (
     "backend",
     "lower",
     "independence",
+    "locality",
 )
 
 

@@ -1,0 +1,195 @@
+"""The cost-model validation gate: direction checks per payload shape."""
+
+import json
+
+import pytest
+
+from repro.bench import cost_validate
+from repro.bench.cost_validate import (
+    DIRECTION_FACTOR,
+    main,
+    validate_parallel,
+    validate_payload,
+    validate_wallclock,
+)
+
+
+def wallclock_payload(**entry_overrides):
+    entry = {
+        "benchmark": "TJ",
+        "schedule": "original",
+        "timings": {"recursive": 4.0, "soa": 1.0, "auto": 1.0},
+    }
+    entry.update(entry_overrides)
+    return {"scale": 0.05, "results": [entry]}
+
+
+@pytest.fixture
+def predict_soa(monkeypatch):
+    monkeypatch.setattr(
+        cost_validate, "_predict_backend", lambda spec, schedule: "soa"
+    )
+
+
+class TestWallclockValidation:
+    def test_correct_direction_passes(self, predict_soa):
+        result = validate_wallclock(wallclock_payload(), "p.json")
+        assert [row.correct for row in result.rows] == [True]
+        assert result.rows[0].predicted == "soa"
+        assert result.rows[0].measured_best == "soa"
+
+    def test_wrong_direction_beyond_the_factor_is_a_miss(self, predict_soa):
+        payload = wallclock_payload(
+            timings={"recursive": 1.0, "soa": 2.0, "auto": 1.0}
+        )
+        result = validate_wallclock(payload, "p.json")
+        row = result.rows[0]
+        assert not row.correct
+        assert row.ratio == 2.0
+
+    def test_near_miss_within_the_factor_still_counts(self, predict_soa):
+        payload = wallclock_payload(
+            timings={"recursive": 1.0, "soa": DIRECTION_FACTOR - 0.1}
+        )
+        result = validate_wallclock(payload, "p.json")
+        assert result.rows[0].correct
+
+    def test_unmeasured_prediction_falls_back_down_the_chain(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            cost_validate, "_predict_backend", lambda spec, schedule: "compiled"
+        )
+        result = validate_wallclock(wallclock_payload(), "p.json")
+        row = result.rows[0]
+        assert row.predicted == "compiled"
+        assert row.mapped == "soa"
+        assert row.correct
+
+    def test_unknown_benchmark_is_skipped_not_crashed(self, predict_soa):
+        payload = wallclock_payload(benchmark="WARP")
+        result = validate_wallclock(payload, "p.json")
+        assert result.rows == []
+        assert any("WARP" in skip for skip in result.skips)
+
+    def test_single_backend_rows_are_skipped(self, predict_soa):
+        payload = wallclock_payload(timings={"soa": 1.0, "auto": 1.0})
+        result = validate_wallclock(payload, "p.json")
+        assert result.rows == []
+        assert any("fewer than two" in skip for skip in result.skips)
+
+    def test_scale_cap_is_applied_and_noted(self, predict_soa):
+        payload = wallclock_payload()
+        payload["scale"] = 1.0
+        result = validate_wallclock(payload, "p.json", scale_cap=0.05)
+        assert result.rows[0].correct
+        assert any("scale-cap" in skip for skip in result.skips)
+
+    def test_real_prediction_on_the_tj_spec(self):
+        # No monkeypatching: the live selector predicts the soa family
+        # on TJ, which maps onto the measured sweep's winner.
+        result = validate_wallclock(wallclock_payload(), "p.json")
+        assert result.rows[0].correct
+
+
+class TestParallelValidation:
+    def payload(self, cpu_count, speedup):
+        return {
+            "host": {"cpu_count": cpu_count},
+            "results": [
+                {
+                    "benchmark": "TJ",
+                    "schedule": "original",
+                    "runs": [
+                        {
+                            "engine": "process",
+                            "workers": 4,
+                            "speedup_vs_serial_soa": speedup,
+                        }
+                    ],
+                }
+            ],
+        }
+
+    def test_single_core_host_predicting_no_win_is_correct(self):
+        result = validate_parallel(self.payload(1, 0.5), "p.json")
+        assert result.rows[0].correct
+
+    def test_multicore_host_is_never_falsified_by_a_slow_run(self):
+        # A capable host failing to win is a measurement fact, not a
+        # model error.
+        result = validate_parallel(self.payload(8, 0.5), "p.json")
+        assert result.rows[0].correct
+
+    def test_single_core_win_on_a_guarded_benchmark_is_a_miss(self):
+        result = validate_parallel(self.payload(1, 2.0), "p.json")
+        assert not result.rows[0].correct
+
+    def test_irregular_benchmarks_and_single_worker_runs_are_ignored(self):
+        payload = self.payload(1, 0.5)
+        payload["results"].append(
+            {
+                "benchmark": "NN",  # not a floor benchmark
+                "schedule": "original",
+                "runs": [
+                    {"engine": "thread", "workers": 4,
+                     "speedup_vs_serial_soa": 3.0}
+                ],
+            }
+        )
+        payload["results"][0]["runs"].append(
+            {"engine": "process", "workers": 1,
+             "speedup_vs_serial_soa": 3.0}  # dispatch noise
+        )
+        result = validate_parallel(payload, "p.json")
+        assert result.rows[0].correct
+
+
+class TestDispatchAndMain:
+    def test_serve_shaped_payloads_are_skipped_with_a_note(self):
+        result = validate_payload({"speedup": 6.5}, "BENCH_serve.json")
+        assert result.rows == []
+        assert any("serve" in skip for skip in result.skips)
+
+    def test_main_passes_within_tolerance(self, tmp_path, predict_soa, capsys):
+        path = tmp_path / "BENCH_soa.json"
+        path.write_text(json.dumps(wallclock_payload()))
+        assert main(["--json", str(path)]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_main_fails_beyond_tolerance(self, tmp_path, predict_soa, capsys):
+        payload = wallclock_payload(
+            timings={"recursive": 1.0, "soa": 9.0}
+        )
+        path = tmp_path / "BENCH_soa.json"
+        path.write_text(json.dumps(payload))
+        assert main(["--json", str(path), "--tolerance", "0.25"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_main_errors_on_an_explicit_missing_path(self, tmp_path):
+        assert main(["--json", str(tmp_path / "absent.json")]) == 2
+
+    def test_main_with_no_payloads_anywhere_passes_vacuously(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main([]) == 0
+        assert "no rows" in capsys.readouterr().out
+
+    def test_emit_json_writes_row_verdicts(self, tmp_path, predict_soa):
+        path = tmp_path / "BENCH_soa.json"
+        path.write_text(json.dumps(wallclock_payload()))
+        out = tmp_path / "COST.json"
+        assert main(["--json", str(path), "--emit-json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "cost-validate"
+        assert payload["payloads"][0]["rows"][0]["correct"] is True
+
+    def test_checked_in_payloads_validate_end_to_end(self, capsys):
+        """The acceptance bar: the real BENCH_*.json files pass at the
+        smoke scale."""
+        import os
+
+        assert os.path.exists("BENCH_soa.json"), "run from the repo root"
+        assert main(["--scale-cap", "0.1"]) == 0
+        assert "passed" in capsys.readouterr().out

@@ -86,15 +86,16 @@ class TestTrajectory:
         report = run_trajectory(root=str(tmp_path))
         rendered = report.render()
         # Every payload contributes, each labeled with its own baseline.
-        assert ("BENCH_soa.json", "treejoin/original", "soa", "recursive", 4.0) in report.rows
-        assert ("BENCH_compiled.json", "treejoin/original", "compiled", "soa", 8.0) in report.rows
-        assert ("BENCH_parallel.json", "treejoin/original", "processx4", "serial soa", 1.9) in report.rows
+        assert ("BENCH_soa.json", "treejoin/original", "soa", "recursive", 4.0, "-") in report.rows
+        assert ("BENCH_compiled.json", "treejoin/original", "compiled", "soa", 8.0, "-") in report.rows
+        assert ("BENCH_parallel.json", "treejoin/original", "processx4", "serial soa", 1.9, "-") in report.rows
         assert (
             "BENCH_serve.json",
             "1000 users / 4096 refs",
             "admission batching",
             "per-query serial",
             6.5,
+            "-",
         ) in report.rows
         assert "per-query serial" in rendered
 
@@ -104,7 +105,7 @@ class TestTrajectory:
             paths=[os.path.join(tmp_path, "BENCH_soa.json")]
         )
         # sqrt(4 * 9) = 6
-        assert ("BENCH_soa.json", "geomean", "", "", 6.0) in report.rows
+        assert ("BENCH_soa.json", "geomean", "", "", 6.0, "") in report.rows
 
     def test_missing_files_become_a_note_not_a_crash(self, tmp_path):
         report = run_trajectory(root=str(tmp_path))
@@ -130,6 +131,43 @@ class TestTrajectory:
             "unrecognized" in note and "BENCH_serve.json" in note
             for note in report.notes
         )
+
+    def test_rows_for_real_benchmarks_carry_the_locality_verdict(self, tmp_path):
+        payload = {
+            "experiment": "wallclock_backends",
+            "results": [
+                {
+                    "benchmark": "TJ",
+                    "schedule": "original",
+                    "timings": {"recursive": 4.0, "soa": 1.0},
+                },
+                {
+                    "benchmark": "TJ",
+                    "schedule": "twist",
+                    "timings": {"recursive": 4.0, "soa": 1.0},
+                },
+                {
+                    "benchmark": "PC",
+                    "schedule": "twist",
+                    "timings": {"recursive": 4.0, "batched": 1.0},
+                },
+            ],
+        }
+        write_json(tmp_path, "BENCH_soa.json", payload)
+        report = run_trajectory(
+            paths=[os.path.join(tmp_path, "BENCH_soa.json")]
+        )
+        by_label = {
+            (row[0], row[1]): row[5]
+            for row in report.rows
+            if row[1] != "geomean"
+        }
+        # Non-twist rows show the layout:veb verdict, twist rows the
+        # twist verdict — straight from the pinned TW30x fixtures.
+        assert by_label[("BENCH_soa.json", "TJ/original")] == "profitable"
+        assert by_label[("BENCH_soa.json", "TJ/twist")] == "profitable"
+        assert by_label[("BENCH_soa.json", "PC/twist")] == "neutral"
+        assert "locality" in report.columns
 
     def test_repo_defaults_point_at_the_checked_in_names(self):
         assert TRAJECTORY_SOURCES == (

@@ -153,6 +153,86 @@ class TestRefuseUnprovenCarriesOrder:
         assert choice.backend not in ("soa", "compiled")
 
 
+class TestEvidencePlumbing:
+    """``BackendChoice.evidence`` must cite the codes behind a pick.
+
+    Two once-lossy seams: auto selections used to carry no static
+    evidence at all (the TW30x locality prior now rides on every
+    path), and ``_refuse_unproven`` downgrades used to name only the
+    offending backend, not the analyzer codes that refuted it.
+    """
+
+    def test_every_auto_selection_carries_a_locality_prior(self):
+        from repro.bench.workloads import wallclock_cases
+
+        for case in wallclock_cases(0.25):
+            choice = choose_backend(case.make_spec())
+            tw3 = [
+                code for code in choice.evidence if code.startswith("TW3")
+            ]
+            assert tw3, (
+                f"{case.name}: auto selection carries no TW30x evidence "
+                f"(got {choice.evidence})"
+            )
+
+    def test_evidence_has_no_duplicates(self):
+        choice = choose_backend(make_tj(200).make_spec())
+        assert len(choice.evidence) == len(set(choice.evidence))
+
+    def test_downgrade_carries_the_full_conformance_code_list(
+        self, monkeypatch
+    ):
+        """A forced downgrade must cite every code the conformance
+        analyzer raised on the spec — not just the refused backend."""
+        from repro.bench.workloads import wallclock_cases
+        from repro.transform.lint import lint_spec
+
+        monkeypatch.setattr(
+            backend_select,
+            "conformance_verdicts",
+            lambda spec: {
+                "recursive": "safe",
+                "batched": "unsafe",
+                "soa": "unsafe",
+            },
+        )
+        clear_choice_cache()
+        case = next(c for c in wallclock_cases(0.25) if c.name == "KDE")
+        spec = case.make_spec()
+        expected = lint_spec(spec).codes()
+        assert expected  # KDE genuinely raises TW1xx codes
+        choice = choose_backend(spec)
+        assert choice.backend == "recursive"
+        assert expected <= set(choice.evidence)
+        # The locality prior survives the downgrade rebuild.
+        assert any(code.startswith("TW3") for code in choice.evidence)
+
+    def test_downgrade_to_the_alternate_keeps_evidence_too(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            backend_select,
+            "conformance_verdicts",
+            lambda spec: {
+                "recursive": "safe",
+                "batched": "safe",
+                "soa": "unsafe",
+            },
+        )
+        clear_choice_cache()
+        choice = choose_backend(make_tj(200).make_spec())
+        assert choice.backend == "batched"
+        assert any(code.startswith("TW3") for code in choice.evidence)
+
+    def test_features_expose_the_locality_verdicts(self):
+        choice = choose_backend(make_tj(200).make_spec())
+        locality = choice.features.get("locality")
+        assert isinstance(locality, dict)
+        assert set(locality) == {
+            "interchange", "twist", "layout:veb", "layout:bfs",
+        }
+
+
 class TestScheduleNameContract:
     def test_schedule_is_recorded_but_never_changes_the_verdict(self):
         tj = make_tj(200)

@@ -344,12 +344,14 @@ class TestChooseBackend:
         monkeypatch.setattr(
             backend_select,
             "_compiled_eligible",
-            lambda spec: (False, "forced refusal (test)"),
+            lambda spec: (False, "forced refusal (test)", ("TW208",)),
         )
         choice = choose_backend(make_tj(200).make_spec())
         assert choice.backend == "soa"
         assert choice.order == "veb"
         assert "compiled refused" in choice.reason
+        # The refusing analyzer's codes land in the evidence trail.
+        assert "TW208" in choice.evidence
 
     def test_stateless_irregular_defaults_to_batched(self):
         from repro.bench.workloads import make_pc

@@ -1,0 +1,125 @@
+"""The TW30x cache-capacity model: parsing, probing, provenance."""
+
+import os
+
+import pytest
+
+from repro.errors import MemorySimError
+from repro.memory import (
+    PAPER_L1_BYTES,
+    PAPER_L2_BYTES,
+    PAPER_L3_BYTES,
+    CacheModel,
+    parse_cache_size,
+)
+
+
+class TestParseCacheSize:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("32K", 32 * 1024),
+            ("32k", 32 * 1024),
+            ("  256 KB ", 256 * 1024),
+            ("8M", 8 * 1024 * 1024),
+            ("1G", 1024**3),
+            ("20480K", 20 * 1024 * 1024),
+            ("512", 512),
+        ],
+    )
+    def test_sysfs_style_sizes(self, text, expected):
+        assert parse_cache_size(text) == expected
+
+    @pytest.mark.parametrize("junk", ["", "banana", "K32", "-4K", "3.5M"])
+    def test_junk_raises_memory_sim_error(self, junk):
+        with pytest.raises(MemorySimError):
+            parse_cache_size(junk)
+
+
+class TestCacheModel:
+    def test_paper_default_matches_the_section_61_xeon(self):
+        model = CacheModel.paper_default()
+        assert model.levels() == (
+            ("L1", 32 * 1024),
+            ("L2", 256 * 1024),
+            ("L3", 20 * 1024 * 1024),
+        )
+        assert model.source == "paper-xeon"
+
+    def test_fitting_level_picks_the_smallest_holding_level(self):
+        model = CacheModel.paper_default()
+        assert model.fitting_level(0) == "L1"
+        assert model.fitting_level(PAPER_L1_BYTES) == "L1"
+        assert model.fitting_level(PAPER_L1_BYTES + 1) == "L2"
+        assert model.fitting_level(PAPER_L2_BYTES + 1) == "L3"
+        assert model.fitting_level(PAPER_L3_BYTES + 1) is None
+
+    def test_is_frozen_and_hashable(self):
+        model = CacheModel.paper_default()
+        assert model == CacheModel.paper_default()
+        assert hash(model) == hash(CacheModel.paper_default())
+        with pytest.raises(Exception):
+            model.l1_bytes = 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"l1_bytes": 0},
+            {"l1_bytes": -1},
+            {"l1_bytes": 1024 * 1024},  # L1 > L2 inverts the hierarchy
+            {"line_bytes": 0},
+        ],
+    )
+    def test_invalid_capacities_raise(self, kwargs):
+        with pytest.raises(MemorySimError):
+            CacheModel(**kwargs)
+
+    def test_to_json_has_stable_keys(self):
+        payload = CacheModel.paper_default().to_json()
+        assert payload == {
+            "l1_bytes": PAPER_L1_BYTES,
+            "l2_bytes": PAPER_L2_BYTES,
+            "l3_bytes": PAPER_L3_BYTES,
+            "line_bytes": 64,
+            "source": "paper-xeon",
+        }
+
+
+def write_index(root, index, level, size, kind="Data"):
+    index_dir = os.path.join(
+        root, "devices/system/cpu/cpu0/cache", f"index{index}"
+    )
+    os.makedirs(index_dir, exist_ok=True)
+    for name, value in (("level", str(level)), ("size", size), ("type", kind)):
+        with open(os.path.join(index_dir, name), "w") as handle:
+            handle.write(value + "\n")
+
+
+class TestProbeHost:
+    def test_full_probe_reads_data_and_unified_levels(self, tmp_path):
+        root = str(tmp_path)
+        write_index(root, 0, 1, "48K", "Data")
+        write_index(root, 1, 1, "32K", "Instruction")  # ignored
+        write_index(root, 2, 2, "1M", "Unified")
+        write_index(root, 3, 3, "16M", "Unified")
+        model = CacheModel.probe_host(sysfs_root=root)
+        assert model.l1_bytes == 48 * 1024
+        assert model.l2_bytes == 1024 * 1024
+        assert model.l3_bytes == 16 * 1024 * 1024
+        assert model.source == "host-probe"
+
+    def test_partial_probe_falls_back_per_level_and_stays_monotone(
+        self, tmp_path
+    ):
+        root = str(tmp_path)
+        # Only an enormous L1: the paper L2/L3 must be clamped up so
+        # the hierarchy cannot invert.
+        write_index(root, 0, 1, "64M", "Data")
+        model = CacheModel.probe_host(sysfs_root=root)
+        assert model.l1_bytes == 64 * 1024 * 1024
+        assert model.l1_bytes <= model.l2_bytes <= model.l3_bytes
+
+    def test_empty_probe_returns_the_paper_default(self, tmp_path):
+        model = CacheModel.probe_host(sysfs_root=str(tmp_path))
+        assert model == CacheModel.paper_default()
+        assert model.source == "paper-xeon"

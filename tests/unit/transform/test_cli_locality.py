@@ -1,0 +1,141 @@
+"""CLI tests for ``lint-locality`` and the unified ``lint-all``."""
+
+import json
+
+from repro.transform.__main__ import main
+
+
+class TestLintLocalityExitCodes:
+    def test_regular_benchmark_exits_zero(self, capsys):
+        assert main(["lint-locality", "--benchmark", "TJ"]) == 0
+        out = capsys.readouterr().out
+        assert "interchange: profitable" in out
+
+    def test_stateful_benchmark_needs_a_dynamic_check(self, capsys):
+        assert main(["lint-locality", "--benchmark", "NN"]) == 5
+        out = capsys.readouterr().out
+        assert "warning[TW303]" in out
+        assert "interchange: unknown" in out
+
+    def test_full_suite_inherits_the_worst_verdict(self, capsys):
+        # NN/KNN/VP/KDE carry unknowns, so the whole-suite run does too.
+        assert main(["lint-locality"]) == 5
+        out = capsys.readouterr().out
+        for name in ("TJ", "MM", "PC", "NN", "KNN", "VP", "KDE", "GT"):
+            assert name in out
+
+    def test_unknown_benchmark_is_a_usage_error(self, capsys):
+        assert main(["lint-locality", "--benchmark", "WARP"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bad_cache_size_is_a_usage_error(self, capsys):
+        assert main(["lint-locality", "--benchmark", "TJ", "--l1", "banana"]) == 2
+        assert "bad cache model" in capsys.readouterr().err
+
+
+class TestLintLocalityCacheOverrides:
+    def test_l1_override_changes_the_verdict(self, capsys):
+        # TJ's 48000 B footprint spills the paper's 32K L1 but fits a
+        # 64K one: the blocking verdicts relax to neutral.
+        assert main(
+            ["lint-locality", "--benchmark", "TJ", "--l1", "64K"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "interchange: neutral" in out
+
+    def test_an_inverted_hierarchy_is_rejected(self, capsys):
+        # L1 larger than the (paper-default) L2 cannot describe a cache.
+        assert main(
+            ["lint-locality", "--benchmark", "TJ", "--l1", "1G"]
+        ) == 2
+        assert "bad cache model" in capsys.readouterr().err
+
+    def test_override_is_recorded_as_explicit_provenance(self, capsys):
+        assert main(
+            ["lint-locality", "--benchmark", "TJ", "--l1", "64K", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache_model"]["source"] == "explicit"
+        assert payload["cache_model"]["l1_bytes"] == 64 * 1024
+
+
+class TestLintLocalityJson:
+    def test_single_benchmark_payload_shape(self, capsys):
+        assert main(["lint-locality", "--benchmark", "TJ", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
+        assert payload["kind"] == "locality-suite"
+        assert payload["exit_code"] == 0
+        assert [s["spec"] for s in payload["specs"]] == ["TJ(1200x1200)"]
+        assert payload["cache_model"]["source"] == "paper-xeon"
+
+    def test_suite_payload_covers_all_benchmarks(self, capsys):
+        assert main(["lint-locality", "--json"]) == 5
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 5
+        assert len(payload["specs"]) == 8
+        verdict_keys = set(payload["specs"][0]["verdicts"])
+        assert verdict_keys == {
+            "interchange", "twist", "layout:veb", "layout:bfs",
+        }
+
+
+class TestLintAll:
+    def test_merged_run_over_the_full_suite(self, capsys):
+        # The repo's own examples/specs: TW1xx dynamic-check warnings
+        # dominate, nothing unsafe, so the merged exit is 5.
+        assert main(["lint-all", "--scale", "0.05"]) == 5
+        out = capsys.readouterr().out
+        assert "sources:" in out
+        assert "conformance:" in out
+        assert "lowerability:" in out
+        assert "locality:" in out
+
+    def test_json_report_has_all_four_sections(self, capsys):
+        assert main(["lint-all", "--scale", "0.05", "--json"]) == 5
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
+        assert payload["kind"] == "lint-all"
+        assert payload["exit_code"] == 5
+        assert set(payload["sections"]) == {
+            "sources", "conformance", "lowerability", "locality",
+        }
+        assert len(payload["sections"]["sources"]) == 6
+        assert len(payload["sections"]["conformance"]) == 7
+        assert len(payload["sections"]["lowerability"]) == 7
+        assert len(payload["sections"]["locality"]) == 8
+
+    def test_single_benchmark_narrowing(self, capsys):
+        # The spec analyzers narrow to TJ; the TW0xx source pass still
+        # covers every example (nn/vp carry TW023 warnings → exit 5).
+        code = main(
+            ["lint-all", "--benchmark", "TJ", "--scale", "0.05", "--json"]
+        )
+        assert code == 5
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["sections"]["sources"]) == 6
+        assert len(payload["sections"]["conformance"]) == 1
+        assert len(payload["sections"]["lowerability"]) == 1
+        assert len(payload["sections"]["locality"]) == 1
+
+    def test_missing_examples_dir_is_noted_not_fatal(self, tmp_path, capsys):
+        code = main(
+            [
+                "lint-all",
+                "--benchmark",
+                "TJ",
+                "--scale",
+                "0.05",
+                "--examples",
+                str(tmp_path / "absent"),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sections"]["sources"] == []
+        assert any("absent" in note for note in payload["notes"])
+
+    def test_unknown_benchmark_is_a_usage_error(self, capsys):
+        assert main(["lint-all", "--benchmark", "WARP"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
