@@ -176,9 +176,11 @@ def _serve(scale: float, args: "argparse.Namespace | None" = None):
     from repro.bench.serve_load import (
         DEFAULT_JSON_PATH,
         DEFAULT_REFERENCES,
+        DEFAULT_RUNS,
         DEFAULT_USERS,
         LoadSpec,
-        run_serve_load,
+        RunConfig,
+        run_serve_suite,
         write_serve_json,
     )
     from repro.serve.service import ServiceConfig
@@ -187,6 +189,7 @@ def _serve(scale: float, args: "argparse.Namespace | None" = None):
     references = max(256, int(DEFAULT_REFERENCES * scale))
     kwargs: dict = {}
     config = ServiceConfig()
+    runs = list(DEFAULT_RUNS)
     if args is not None:
         if args.users is not None:
             users = args.users
@@ -200,8 +203,15 @@ def _serve(scale: float, args: "argparse.Namespace | None" = None):
             kwargs["hot_fraction"] = args.hot_fraction
         if args.max_batch is not None:
             config = ServiceConfig(max_batch=args.max_batch)
+        if args.shards:
+            # Custom shard sweep: keep the PR 8 baseline as the first
+            # run, then one dedup run per requested shard count.
+            runs = [DEFAULT_RUNS[0]]
+            for shards in args.shards:
+                name = "dedup" if shards == 1 else f"dedup-{shards}shards"
+                runs.append(RunConfig(name, shards=shards))
     spec = LoadSpec(references=references, users=users, **kwargs)
-    report, payload = run_serve_load(spec, config)
+    report, payload = run_serve_suite(spec, config, runs=runs)
     out = DEFAULT_JSON_PATH
     if args is not None and args.json != "BENCH_soa.json":
         out = args.json
@@ -374,6 +384,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="admission batch cap (default 256)",
     )
+    serve.add_argument(
+        "--shards",
+        action="append",
+        type=int,
+        metavar="N",
+        help="shard counts to sweep after the baseline run (repeatable; "
+        "default: 1 and 2)",
+    )
     floor = parser.add_argument_group(
         "perf-floor options", "for the 'perf-floor' CI gate"
     )
@@ -400,6 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also gate a compiled-backend wall-clock payload "
         "(host-aware 1.3x-over-soa floor on TJ/MM)",
+    )
+    floor.add_argument(
+        "--serve-json",
+        default=None,
+        help="also gate a serving-suite payload (bit-identity and "
+        "dedup hit rate always; host-aware qps/p99 floor)",
     )
     floor.add_argument(
         "--scale-cap",
@@ -457,6 +481,8 @@ def main(argv: list[str] | None = None) -> int:
             floor_argv += ["--parallel-json", args.parallel_json]
         if args.compiled_json is not None:
             floor_argv += ["--compiled-json", args.compiled_json]
+        if args.serve_json is not None:
+            floor_argv += ["--serve-json", args.serve_json]
         return floor_main(floor_argv)
     if args.experiment == "sanitize":
         from repro.bench.sanitize_sweep import DEFAULT_JSON_PATH, main as sanitize_main

@@ -23,11 +23,18 @@ regular benchmarks (TJ, MM) when the host has numba and at least two
 cores; without those, the speed check self-reports a skip while
 correctness (``results_match``, no refusal on TJ/MM) always gates.
 
+A fourth, host-aware gate (:func:`check_serve_floor`) guards the
+serving suite's ``BENCH_serve.json``: every run must stay bit-identical
+to the serial oracle and every dedup run must fold duplicates on the
+skewed workload (always gated); the dedup+sharded candidate must beat
+the PR 8 single-shard baseline on qps and p99 whenever the host has
+:data:`SERVE_FLOOR_MIN_CPU`+ cores.
+
 Result mismatches fail the gates too: a fast wrong backend is worse
 than a slow right one.
 
 Run it as ``python -m repro.bench perf-floor [--json PATH]
-[--parallel-json PATH] [--compiled-json PATH]``.
+[--parallel-json PATH] [--compiled-json PATH] [--serve-json PATH]``.
 """
 
 from __future__ import annotations
@@ -64,6 +71,11 @@ PARALLEL_FLOOR_BENCHMARKS = ("TJ", "MM")
 
 #: The (engine, workers) row the parallel floor reads.
 PARALLEL_FLOOR_CONFIG = ("process", 4)
+
+#: Cores the serve floor's speed comparison needs: the sharded
+#: candidate only has hardware to beat the single-shard baseline when
+#: at least two cores exist.
+SERVE_FLOOR_MIN_CPU = 2
 
 
 def check_perf_floor(
@@ -239,6 +251,82 @@ def check_compiled_floor(
     return violations, skips
 
 
+def check_serve_floor(
+    payload: dict,
+    host_cpu_count: int | None = None,
+) -> tuple[list[str], list[str]]:
+    """Check one ``BENCH_serve.json`` suite payload.
+
+    Returns ``(violations, skips)``.  Correctness always gates: every
+    run must be bit-identical to the serial oracle, and every
+    dedup-enabled run must show a nonzero dedup hit rate on the skewed
+    workload (a zero rate means the folding silently stopped).  Speed
+    is host-aware: the payload's ``comparison`` candidate (dedup +
+    shards) must beat its baseline (the PR 8 single-shard, no-dedup
+    config) on both qps and p99 — skipped when the measuring host has
+    fewer than :data:`SERVE_FLOOR_MIN_CPU` cores, where scattering
+    shards buys nothing a correctness check could falsify.
+    """
+    if host_cpu_count is None:
+        host_cpu_count = payload.get("host", {}).get("cpu_count")
+    if host_cpu_count is None:
+        host_cpu_count = os.cpu_count() or 1
+    violations: list[str] = []
+    skips: list[str] = []
+    runs = payload.get("runs", {})
+    if not runs:
+        violations.append("serve payload carries no runs")
+        return violations, skips
+    for name, run in runs.items():
+        if not run.get("bit_identical", False):
+            violations.append(
+                f"serve[{name}]: answers are not bit-identical to the "
+                "serial oracle"
+            )
+        if run.get("config", {}).get("dedup") and (
+            run.get("dedup_hit_rate", 0.0) <= 0.0
+        ):
+            violations.append(
+                f"serve[{name}]: dedup enabled but the hit rate is zero "
+                "on the skewed workload"
+            )
+    comparison = payload.get("comparison", {})
+    baseline = runs.get(comparison.get("baseline"))
+    candidate = runs.get(comparison.get("candidate"))
+    if baseline is None or candidate is None:
+        violations.append(
+            "serve payload's comparison does not name two present runs"
+        )
+        return violations, skips
+    if host_cpu_count < SERVE_FLOOR_MIN_CPU:
+        skips.append(
+            f"serve[{comparison['candidate']}]: speed check skipped — "
+            f"host has {host_cpu_count} core(s), floor needs "
+            f">= {SERVE_FLOOR_MIN_CPU}"
+        )
+        return violations, skips
+    if candidate.get("qps", 0.0) <= baseline.get("qps", 0.0):
+        violations.append(
+            f"serve[{comparison['candidate']}]: qps "
+            f"{candidate.get('qps', 0.0):.1f} does not beat the "
+            f"{comparison['baseline']} baseline "
+            f"({baseline.get('qps', 0.0):.1f})"
+        )
+    candidate_p99 = candidate.get("latency_ms", {}).get("p99")
+    baseline_p99 = baseline.get("latency_ms", {}).get("p99")
+    if (
+        isinstance(candidate_p99, (int, float))
+        and isinstance(baseline_p99, (int, float))
+        and candidate_p99 > baseline_p99
+    ):
+        violations.append(
+            f"serve[{comparison['candidate']}]: p99 {candidate_p99:.3f}ms "
+            f"regresses the {comparison['baseline']} baseline "
+            f"({baseline_p99:.3f}ms)"
+        )
+    return violations, skips
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     import argparse
@@ -287,6 +375,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="required compiled speedup over soa "
         f"(default {COMPILED_MIN_SPEEDUP})",
     )
+    parser.add_argument(
+        "--serve-json",
+        default=None,
+        help="also check a BENCH_serve.json suite payload (host-aware "
+        "dedup+sharded-beats-baseline floor; correctness always gated)",
+    )
     args = parser.parse_args(argv)
     with open(args.json) as handle:
         payload = json.load(handle)
@@ -326,6 +420,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                 entry.get("timings", {}).get("compiled"), (int, float)
             )
         )
+    serve_checked = 0
+    if args.serve_json is not None:
+        with open(args.serve_json) as handle:
+            serve_payload = json.load(handle)
+        serve_violations, serve_skips = check_serve_floor(serve_payload)
+        violations += serve_violations
+        skips += serve_skips
+        serve_checked = len(serve_payload.get("runs", {}))
     if violations:
         print(f"perf floor FAILED ({len(violations)} violation(s)):")
         for violation in violations:
@@ -343,6 +445,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         message += (
             f"; compiled floor checked {compiled_checked} entr(y/ies)"
         )
+    if args.serve_json is not None:
+        message += f"; serve floor checked {serve_checked} run(s)"
     if skips:
         message += f" ({len(skips)} host-aware skip(s))"
     print(message)

@@ -140,10 +140,35 @@ def _rows_serve(payload: dict, source: str) -> list[tuple]:
              float(speedup))]
 
 
+def _rows_serve_suite(payload: dict, source: str) -> list[tuple]:
+    """One row per suite run: admission config over per-query serial."""
+    workload = payload.get("workload", {})
+    prefix = (
+        f"{workload.get('users', '?')} users / "
+        f"{workload.get('references', '?')} refs"
+    )
+    rows = []
+    for name, run in payload.get("runs", {}).items():
+        speedup = run.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            continue
+        rows.append(
+            (
+                source,
+                f"{prefix} [{name}]",
+                "admission batching",
+                "per-query serial",
+                float(speedup),
+            )
+        )
+    return rows
+
+
 _READERS = {
     "wallclock_backends": _rows_wallclock,
     "wallclock_parallel": _rows_parallel,
     "serve": _rows_serve,
+    "serve_suite": _rows_serve_suite,
 }
 
 

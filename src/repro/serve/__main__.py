@@ -9,9 +9,12 @@ Wire protocol (one JSON object per line, newline-terminated)::
     -> {"id": 4, "op": "shutdown"}   # drain and exit
 
 Responses may arrive out of order (each admission tick resolves
-independently); match on ``id``.  The reference set is synthetic —
-clustered points, deterministic in ``--seed`` — or loaded from an
-``.npy`` file via ``--references-file``.
+independently); match on ``id``.  A connection may opt into binary
+framing with one JSON hello (``{"op": "hello", "framing": "binary"}``)
+before switching — see :mod:`repro.serve.framing`; JSON stays the
+default.  The reference set is synthetic — clustered points,
+deterministic in ``--seed`` — or loaded from an ``.npy`` file via
+``--references-file``.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import sys
 
 import numpy as np
 
+from repro.serve import framing as fr
 from repro.serve.batcher import AdmissionBatcher
 from repro.serve.protocol import decode_query, encode_result
 from repro.serve.service import QueryService, ServiceConfig
@@ -70,6 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="process-pool workers (0 = in-process execution)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=ServiceConfig.shards,
+        help="reference-set shards a tick is scattered across",
+    )
+    parser.add_argument(
+        "--static-hold",
+        action="store_true",
+        help="disable the adaptive hold controller (fixed --max-hold-ms)",
+    )
+    parser.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable intra-tick duplicate-query folding",
+    )
     return parser
 
 
@@ -84,6 +104,12 @@ def _load_references(args: argparse.Namespace) -> np.ndarray:
         spread=args.spread,
         seed=args.seed,
     )
+
+
+def _collect_stats(service: QueryService, batcher: AdmissionBatcher) -> dict:
+    stats = dict(service.service_stats())
+    stats["batcher"] = batcher.batcher_stats()
+    return stats
 
 
 async def _handle_connection(
@@ -132,10 +158,42 @@ async def _handle_connection(
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
+            elif op == "hello":
+                framing = request.get("framing", "json")
+                if framing not in fr.FRAMINGS:
+                    await respond(
+                        {
+                            "id": request_id,
+                            "ok": False,
+                            "error": f"unknown framing {framing!r}; "
+                            f"known: {list(fr.FRAMINGS)}",
+                        }
+                    )
+                    continue
+                # Acknowledge in JSON, then (for binary) switch the
+                # remainder of this connection to length-prefixed
+                # frames — but only after in-flight JSON answers land.
+                await respond(
+                    {"id": request_id, "ok": True, "framing": framing}
+                )
+                if framing == "binary":
+                    if tasks:
+                        await asyncio.gather(
+                            *tasks, return_exceptions=True
+                        )
+                        tasks.clear()
+                    await _handle_binary(
+                        reader, writer, service, batcher, stop
+                    )
+                    return
             elif op == "stats":
-                stats = dict(service.service_stats())
-                stats["batcher"] = batcher.batcher_stats()
-                await respond({"id": request_id, "ok": True, "stats": stats})
+                await respond(
+                    {
+                        "id": request_id,
+                        "ok": True,
+                        "stats": _collect_stats(service, batcher),
+                    }
+                )
             elif op == "ping":
                 await respond({"id": request_id, "ok": True})
             elif op == "shutdown":
@@ -156,6 +214,70 @@ async def _handle_connection(
         writer.close()
 
 
+async def _handle_binary(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    service: QueryService,
+    batcher: AdmissionBatcher,
+    stop: asyncio.Event,
+) -> None:
+    """The post-hello frame loop; mirrors the JSON ops one-to-one."""
+
+    async def send(frame_type: int, request_id: int, body: bytes = b"") -> None:
+        # One write per frame keeps concurrent answers atomic on the wire.
+        writer.write(fr.encode_frame(frame_type, request_id, body))
+        await writer.drain()
+
+    async def answer(request_id: int, body: bytes) -> None:
+        try:
+            result = await batcher.submit(fr.unpack_query(body))
+            await send(fr.T_RESULT, request_id, fr.pack_result(result))
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:
+            try:
+                await send(fr.T_ERROR, request_id, str(exc).encode())
+            except ConnectionError:  # pragma: no cover
+                pass
+
+    tasks: set[asyncio.Task] = set()
+    try:
+        while True:
+            try:
+                frame = await fr.read_frame_async(reader)
+            except Exception:  # corrupt stream: drop the connection
+                break
+            if frame is None:
+                break
+            frame_type, request_id, body = frame
+            if frame_type == fr.T_QUERY:
+                task = asyncio.ensure_future(answer(request_id, body))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            elif frame_type == fr.T_STATS:
+                await send(
+                    fr.T_STATS_REPLY,
+                    request_id,
+                    json.dumps(_collect_stats(service, batcher)).encode(),
+                )
+            elif frame_type == fr.T_PING:
+                await send(fr.T_OK, request_id)
+            elif frame_type == fr.T_SHUTDOWN:
+                await send(fr.T_OK, request_id)
+                stop.set()
+                break
+            else:
+                await send(
+                    fr.T_ERROR,
+                    request_id,
+                    f"unknown frame type 0x{frame_type:02x}".encode(),
+                )
+    finally:
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        writer.close()
+
+
 async def serve(args: argparse.Namespace) -> int:
     references = _load_references(args)
     config = ServiceConfig(
@@ -164,12 +286,15 @@ async def serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_hold_s=args.max_hold_ms / 1000.0,
         workers=args.workers,
+        shards=args.shards,
     )
     service = QueryService(references, config)
     batcher = AdmissionBatcher(
         service.execute_batch,
         max_batch=config.max_batch,
         max_hold_s=config.max_hold_s,
+        dedup=not args.no_dedup,
+        adaptive_hold=not args.static_hold,
     )
     stop = asyncio.Event()
 
@@ -187,7 +312,9 @@ async def serve(args: argparse.Namespace) -> int:
     print(
         f"serving {len(references)} reference points on {address} "
         f"(max_batch={config.max_batch}, "
-        f"max_hold={config.max_hold_s * 1000:.1f}ms, backends={pinned})",
+        f"max_hold={config.max_hold_s * 1000:.1f}ms, "
+        f"shards={config.shards}, dedup={batcher.dedup}, "
+        f"adaptive_hold={batcher.adaptive_hold}, backends={pinned})",
         flush=True,
     )
     try:

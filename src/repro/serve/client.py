@@ -1,9 +1,12 @@
-"""A small blocking JSON-lines client for the serve CLI.
+"""A small blocking client for the serve CLI (JSON or binary framing).
 
-Used by the integration tests and the load generator's TCP mode; the
-protocol is one JSON object per line, each request carrying a caller
-``id`` echoed in its response (responses may arrive out of submission
-order — admission ticks complete independently).
+Used by the integration tests and the load generator's TCP mode.  The
+default protocol is one JSON object per line, each request carrying a
+caller ``id`` echoed in its response (responses may arrive out of
+submission order — admission ticks complete independently).  Passing
+``framing="binary"`` negotiates the length-prefixed frame protocol of
+:mod:`repro.serve.framing` with one JSON hello, then speaks frames for
+the rest of the connection; results decode bit-identically either way.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import socket
 from typing import Optional, Sequence
 
 from repro.errors import ReproError
+from repro.serve import framing as fr
 from repro.serve.protocol import (
     Query,
     Result,
@@ -29,32 +33,116 @@ class ServeClient:
     """One blocking connection to a ``python -m repro.serve`` server."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout: float = 60.0,
+        framing: str = "json",
     ) -> None:
+        if framing not in fr.FRAMINGS:
+            raise ServeClientError(
+                f"unknown framing {framing!r}; known: {list(fr.FRAMINGS)}"
+            )
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        self.framing = "json"
+        if framing == "binary":
+            self._negotiate_binary()
+
+    def _negotiate_binary(self) -> None:
+        """One JSON hello, then frames for the connection's lifetime."""
+        self._next_id += 1
+        hello = {"id": self._next_id, "op": "hello", "framing": "binary"}
+        self._file.write(json.dumps(hello).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeClientError("server closed during framing hello")
+        response = json.loads(line)
+        if not response.get("ok") or response.get("framing") != "binary":
+            raise ServeClientError(
+                response.get("error", "binary framing refused")
+            )
+        self.framing = "binary"
+
+    # -- request plumbing --------------------------------------------------
 
     def _roundtrip(self, requests: Sequence[dict]) -> list[dict]:
-        """Pipeline requests, return responses matched by id, in order."""
-        by_id = {}
+        """Pipeline requests, return responses matched by id, in order.
+
+        Every request dict carries ``op`` plus op-specific fields; the
+        framing layer below turns it into a JSON line or a frame, and
+        responses come back as the *JSON-shaped* dicts the callers
+        already consume (binary frames are translated on read).
+        """
+        by_id: dict[int, Optional[dict]] = {}
         for request in requests:
             self._next_id += 1
-            request = dict(request, id=self._next_id)
             by_id[self._next_id] = None
-            self._file.write(json.dumps(request).encode() + b"\n")
+            self._send(dict(request, id=self._next_id))
         self._file.flush()
         outstanding = len(by_id)
         while outstanding:
-            line = self._file.readline()
-            if not line:
+            response = self._receive()
+            if response is None:
                 raise ServeClientError("server closed the connection")
-            response = json.loads(line)
             rid = response.get("id")
             if rid in by_id and by_id[rid] is None:
                 by_id[rid] = response
                 outstanding -= 1
-        return list(by_id.values())
+        return list(by_id.values())  # type: ignore[arg-type]
+
+    def _send(self, request: dict) -> None:
+        if self.framing == "json":
+            self._file.write(json.dumps(request).encode() + b"\n")
+            return
+        op = request["op"]
+        request_id = request["id"]
+        if op == "query":
+            self._file.write(
+                fr.encode_frame(
+                    fr.T_QUERY, request_id, fr.pack_query(request["query"])
+                )
+            )
+        elif op == "stats":
+            self._file.write(fr.encode_frame(fr.T_STATS, request_id))
+        elif op == "ping":
+            self._file.write(fr.encode_frame(fr.T_PING, request_id))
+        elif op == "shutdown":
+            self._file.write(fr.encode_frame(fr.T_SHUTDOWN, request_id))
+        else:  # pragma: no cover - internal misuse
+            raise ServeClientError(f"op {op!r} has no binary frame")
+
+    def _receive(self) -> Optional[dict]:
+        if self.framing == "json":
+            line = self._file.readline()
+            if not line:
+                return None
+            return json.loads(line)
+        frame = fr.read_frame_blocking(self._file)
+        if frame is None:
+            return None
+        frame_type, request_id, body = frame
+        if frame_type == fr.T_RESULT:
+            return {
+                "id": request_id,
+                "ok": True,
+                "binary_result": fr.unpack_result(body),
+            }
+        if frame_type == fr.T_STATS_REPLY:
+            return {
+                "id": request_id,
+                "ok": True,
+                "stats": json.loads(body.decode()),
+            }
+        if frame_type == fr.T_OK:
+            return {"id": request_id, "ok": True}
+        if frame_type == fr.T_ERROR:
+            return {"id": request_id, "ok": False, "error": body.decode()}
+        raise ServeClientError(f"unknown frame type 0x{frame_type:02x}")
+
+    # -- operations --------------------------------------------------------
 
     def query(self, query: Query) -> Result:
         """Answer one query."""
@@ -62,16 +150,25 @@ class ServeClient:
 
     def query_many(self, queries: Sequence[Query]) -> list[Result]:
         """Pipeline many queries over one connection, results in order."""
-        responses = self._roundtrip(
-            [{"op": "query", "query": encode_query(q)} for q in queries]
-        )
+        if self.framing == "binary":
+            # pack_query runs in _send; carry the query object through.
+            responses = self._roundtrip(
+                [{"op": "query", "query": q} for q in queries]
+            )
+        else:
+            responses = self._roundtrip(
+                [{"op": "query", "query": encode_query(q)} for q in queries]
+            )
         results: list[Result] = []
         for response in responses:
             if not response.get("ok"):
                 raise ServeClientError(
                     response.get("error", "unknown server error")
                 )
-            results.append(decode_result(response["result"]))
+            if "binary_result" in response:
+                results.append(response["binary_result"])
+            else:
+                results.append(decode_result(response["result"]))
         return results
 
     def stats(self) -> dict:
@@ -88,9 +185,12 @@ class ServeClient:
     def shutdown(self) -> None:
         """Ask the server to exit (fire and forget)."""
         try:
-            self._file.write(
-                json.dumps({"op": "shutdown", "id": 0}).encode() + b"\n"
-            )
+            if self.framing == "binary":
+                self._file.write(fr.encode_frame(fr.T_SHUTDOWN, 0))
+            else:
+                self._file.write(
+                    json.dumps({"op": "shutdown", "id": 0}).encode() + b"\n"
+                )
             self._file.flush()
         except OSError:  # server may close before the flush completes
             pass

@@ -26,6 +26,7 @@ answers are bit-compared against.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -55,6 +56,11 @@ from repro.serve.rules import (
     ServeCountRules,
     ServeKnnRules,
     SubtreeVerdictCache,
+)
+from repro.serve.shards import (
+    ReferenceShard,
+    gather_columns,
+    shard_slices,
 )
 from repro.spaces.soa import (
     ResultColumn,
@@ -97,6 +103,8 @@ class ServiceConfig:
     analysis_radius: float = 0.3
     #: pool workers (0 = execute in-process)
     workers: int = 0
+    #: reference-set shards a tick is scattered across
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.leaf_size < 1 or self.query_leaf_size < 1:
@@ -107,6 +115,8 @@ class ServiceConfig:
             raise SpecError("max_hold_s must be >= 0")
         if self.workers < 0:
             raise SpecError("workers must be >= 0")
+        if self.shards < 1:
+            raise SpecError("shards must be >= 1")
 
 
 def _result_columns(kind: str, batch: int, k: int) -> tuple[ResultColumn, ...]:
@@ -185,16 +195,21 @@ def _run_group(
 #: Per-worker reference trees, keyed by (segment names, leaf size).
 _WORKER_TREES: dict[tuple, SpatialTree] = {}
 
-#: Per-worker cross-batch verdict cache (same hot points recur no
-#: matter which worker a tick lands on, so each process warms its own).
-_WORKER_VERDICT_CACHE: Optional[SubtreeVerdictCache] = None
+#: Per-worker cross-batch verdict caches, keyed like the trees (same
+#: hot points recur no matter which worker a tick lands on, so each
+#: process warms its own).  Verdict rows index a specific tree's node
+#: numbers, so a worker serving several shard trees must keep one
+#: cache per tree — a shared cache would hand shard B rows assembled
+#: against shard A's bounds.
+_WORKER_VERDICT_CACHES: dict[tuple, SubtreeVerdictCache] = {}
 
 
-def _worker_verdict_cache() -> SubtreeVerdictCache:
-    global _WORKER_VERDICT_CACHE
-    if _WORKER_VERDICT_CACHE is None:
-        _WORKER_VERDICT_CACHE = SubtreeVerdictCache()
-    return _WORKER_VERDICT_CACHE
+def _worker_verdict_cache(key: tuple) -> SubtreeVerdictCache:
+    cache = _WORKER_VERDICT_CACHES.get(key)
+    if cache is None:
+        cache = SubtreeVerdictCache()
+        _WORKER_VERDICT_CACHES[key] = cache
+    return cache
 
 
 def _worker_run_group(
@@ -230,7 +245,7 @@ def _worker_run_group(
         flush_candidates=flush_candidates,
         backend=backend,
         order=order,
-        verdict_cache=_worker_verdict_cache(),
+        verdict_cache=_worker_verdict_cache(key),
     )
 
 
@@ -270,17 +285,18 @@ class QueryService:
             )
         # Finalize once: the tree, then every traversal accelerator
         # the executors would otherwise build lazily mid-request.
+        # The full tree always exists — it is the serial oracle's
+        # reference plane even when execution is sharded.
         self.reference_tree = build_kdtree(references, self.config.leaf_size)
         leaf_blocks(self.reference_tree)
         bound_arrays(self.reference_tree)
         self.references = self.reference_tree.points
-        # Publish once: the resident data plane workers attach to.
-        self.publication = SharedPublication.publish(
-            {"references": self.references}
-        )
-        self.verdict_cache = SubtreeVerdictCache(
-            self.config.verdict_cache_entries
-        )
+        # Shard + publish once: each shard is its own finalized tree
+        # over a contiguous reference slice with its own resident
+        # shared-memory publication (one shard == the classic layout).
+        self._shards = self._build_shards()
+        self.publication = self._shards[0].publication
+        self.verdict_cache = self._shards[0].verdict_cache
         self.stats = ServiceStats()
         self._executor: Optional[ProcessPoolExecutor] = None
         # Analyze once: pin one BackendChoice per query kind.
@@ -288,11 +304,50 @@ class QueryService:
         self.analysis: dict[str, dict] = {}
         self._analyze()
 
+    # -- startup sharding -------------------------------------------------
+
+    def _build_shards(self) -> list[ReferenceShard]:
+        """Cut, finalize, and publish the execution shards.
+
+        With ``shards == 1`` the single shard reuses the full tree —
+        bit-for-bit the pre-sharding service.  Otherwise each shard
+        tree is built over a contiguous slice, so a shard-local result
+        id rebases to the global id by adding the slice start.
+        """
+        shards: list[ReferenceShard] = []
+        for index, (start, stop) in enumerate(
+            shard_slices(len(self.references), self.config.shards)
+        ):
+            if self.config.shards == 1:
+                tree = self.reference_tree
+            else:
+                tree = build_kdtree(
+                    self.references[start:stop], self.config.leaf_size
+                )
+                leaf_blocks(tree)
+                bound_arrays(tree)
+            shards.append(
+                ReferenceShard(
+                    index=index,
+                    id_base=start,
+                    tree=tree,
+                    publication=SharedPublication.publish(
+                        {"references": tree.points}
+                    ),
+                    verdict_cache=SubtreeVerdictCache(
+                        self.config.verdict_cache_entries
+                    ),
+                )
+            )
+        return shards
+
     # -- startup analysis -------------------------------------------------
 
     def _analysis_param(self, kind: str) -> float:
         if kind == "knn":
-            return float(min(self.config.analysis_k, len(self.references)))
+            return float(
+                min(self.config.analysis_k, self._shards[0].num_points)
+            )
         if kind == "count":
             return self.config.analysis_radius
         return 1.0
@@ -302,12 +357,14 @@ class QueryService:
 
         A representative full-size batch (reference points reused as
         stand-in queries — same dimensionality, same clustering) is
-        specced per kind; the resulting choice is pinned for every
-        steady-state batch of that kind.
+        specced per kind against the *execution* tree (shard 0; shards
+        are balanced, so one probe stands for all); the resulting
+        choice is pinned for every steady-state batch of that kind.
         """
         from repro.core.backend_select import conformance_verdicts
         from repro.transform.lint.lower import lint_lower
 
+        exec_tree = self._shards[0].tree
         sample = self.references[
             : min(self.config.max_batch, len(self.references))
         ]
@@ -317,16 +374,12 @@ class QueryService:
                 np.array(sample, copy=True), self.config.query_leaf_size
             )
             if kind == "count":
-                rules = ServeCountRules(
-                    query_tree, self.reference_tree, param
-                )
+                rules = ServeCountRules(query_tree, exec_tree, param)
             else:
-                rules = ServeKnnRules(
-                    query_tree, self.reference_tree, int(param)
-                )
+                rules = ServeKnnRules(query_tree, exec_tree, int(param))
             spec = dual_tree_spec(
                 query_tree,
-                self.reference_tree,
+                exec_tree,
                 rules,
                 name=f"SERVE-{kind.upper()}",
             )
@@ -348,49 +401,102 @@ class QueryService:
                 "conformance": verdicts,
                 "lowerability": lowerability,
             }
+            if (
+                choice.backend == "recursive"
+                and "conformance" in choice.reason
+            ):
+                # The small-space rule picks recursive legitimately;
+                # a conformance *downgrade* means a kind silently lost
+                # its batched hot path — that deserves a loud startup.
+                warnings.warn(
+                    f"serve kind '{kind}' fell back to the recursive "
+                    f"backend: {choice.reason}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     # -- execution --------------------------------------------------------
 
     def _group_param(self, key: tuple) -> float:
         return float(key[1]) if len(key) > 1 else 1.0
 
+    def _shard_param(self, kind: str, param: float, shard) -> float:
+        """Clamp a group's parameter to one shard's capacity.
+
+        A shard smaller than ``k`` answers with its whole point set;
+        the gather pads the remaining columns — exactly what a single
+        undersized tree would report.
+        """
+        if kind == "knn":
+            return float(min(int(param), shard.num_points))
+        return param
+
     def _execute_group(
         self, key: tuple, points: np.ndarray, serial_oracle: bool = False
     ) -> dict[str, np.ndarray]:
         kind = key[0]
-        choice = self.choices[kind]
-        backend, order = choice.backend, choice.order
+        param = self._group_param(key)
         if serial_oracle:
             # The oracle is what a non-batching server would run per
             # query: the auto selector re-resolves each 1-point spec
-            # (typically to the recursive executors).
-            backend, order = "auto", "preorder"
-        if not serial_oracle and self.config.workers > 0:
-            future = self._ensure_executor().submit(
-                _worker_run_group,
-                self.publication.handles,
-                self.config.leaf_size,
+            # (typically to the recursive executors) over the full,
+            # unsharded reference tree.
+            return _run_group(
+                self.reference_tree,
                 kind,
-                self._group_param(key),
-                [tuple(p) for p in points],
-                self.config.query_leaf_size,
-                self.config.flush_candidates,
-                backend,
-                order,
+                param,
+                points,
+                query_leaf_size=1,
+                flush_candidates=self.config.flush_candidates,
+                backend="auto",
+                order="preorder",
+                verdict_cache=None,
             )
-            return future.result()
-        return _run_group(
-            self.reference_tree,
+        choice = self.choices[kind]
+        backend, order = choice.backend, choice.order
+        # Scatter: the identical admitted batch runs against every
+        # shard (concurrently across pool workers when configured)...
+        if self.config.workers > 0:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(
+                    _worker_run_group,
+                    shard.publication.handles,
+                    self.config.leaf_size,
+                    kind,
+                    self._shard_param(kind, param, shard),
+                    [tuple(p) for p in points],
+                    self.config.query_leaf_size,
+                    self.config.flush_candidates,
+                    backend,
+                    order,
+                )
+                for shard in self._shards
+            ]
+            shard_runs = [future.result() for future in futures]
+        else:
+            shard_runs = [
+                _run_group(
+                    shard.tree,
+                    kind,
+                    self._shard_param(kind, param, shard),
+                    points,
+                    query_leaf_size=self.config.query_leaf_size,
+                    flush_candidates=self.config.flush_candidates,
+                    backend=backend,
+                    order=order,
+                    verdict_cache=shard.verdict_cache,
+                )
+                for shard in self._shards
+            ]
+        # ...gather: exact reductions (lexicographic top-k merge for
+        # NN/k-NN, integer sums for count) rebuild the full-tree
+        # columns bit for bit.
+        return gather_columns(
             kind,
-            self._group_param(key),
-            points,
-            query_leaf_size=(
-                1 if serial_oracle else self.config.query_leaf_size
-            ),
-            flush_candidates=self.config.flush_candidates,
-            backend=backend,
-            order=order,
-            verdict_cache=None if serial_oracle else self.verdict_cache,
+            shard_runs,
+            [shard.id_base for shard in self._shards],
+            int(param) if kind == "knn" else 1,
         )
 
     def _demux(
@@ -459,12 +565,18 @@ class QueryService:
 
     def service_stats(self) -> dict:
         """Steady-state counters plus cache and analysis summaries."""
+        caches = [shard.verdict_cache.stats() for shard in self._shards]
         return {
             "queries": self.stats.queries,
             "batches": self.stats.batches,
             "max_batch_seen": self.stats.max_batch_seen,
             "per_kind": dict(self.stats.per_kind),
-            "verdict_cache": self.verdict_cache.stats(),
+            "verdict_cache": {
+                "entries": sum(c["entries"] for c in caches),
+                "max_entries": sum(c["max_entries"] for c in caches),
+                "hits": sum(c["hits"] for c in caches),
+                "misses": sum(c["misses"] for c in caches),
+            },
             "backends": {
                 kind: {
                     "backend": choice.backend,
@@ -474,14 +586,19 @@ class QueryService:
             },
             "references": int(len(self.references)),
             "workers": self.config.workers,
+            "shards": {
+                "count": len(self._shards),
+                "points": [shard.num_points for shard in self._shards],
+            },
         }
 
     def close(self) -> None:
-        """Shut the pool down and unlink the publication; idempotent."""
+        """Shut the pool down and unlink every publication; idempotent."""
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
-        self.publication.close()
+        for shard in self._shards:
+            shard.publication.close()
 
     def __enter__(self) -> "QueryService":
         return self

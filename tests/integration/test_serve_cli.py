@@ -132,6 +132,42 @@ class TestServerRoundTrip:
         with ServeClient("127.0.0.1", server) as client:
             stats = client.stats()
         assert stats["batcher"]["max_tick_size"] > 15
+        # ...and the identical 45-query sets folded: every duplicate
+        # that shared a tick executed once and fanned out.
+        assert stats["batcher"]["dedup_folded"] > 0
+        assert stats["batcher"]["executed"] < stats["batcher"]["queries"]
+
+    def test_binary_framing_matches_json_bit_for_bit(self, server, oracle):
+        queries = sample_queries()
+        with ServeClient(
+            "127.0.0.1", server, framing="binary"
+        ) as client:
+            assert client.framing == "binary"
+            results = client.query_many(queries)
+            stats = client.stats()
+        assert results == oracle
+        assert stats["references"] == REFERENCES
+
+    def test_unknown_framing_refused_and_connection_survives(self, server):
+        import json as json_module
+
+        with socket.create_connection(("127.0.0.1", server), timeout=30) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(
+                json_module.dumps(
+                    {"id": 1, "op": "hello", "framing": "carrier-pigeon"}
+                ).encode()
+                + b"\n"
+            )
+            handle.write(
+                json_module.dumps({"id": 2, "op": "ping"}).encode() + b"\n"
+            )
+            handle.flush()
+            refusal = json_module.loads(handle.readline())
+            ping = json_module.loads(handle.readline())
+        assert refusal["ok"] is False
+        assert "unknown framing" in refusal["error"]
+        assert ping["ok"] is True
 
     def test_malformed_and_unknown_requests_answer_errors(self, server):
         import json as json_module

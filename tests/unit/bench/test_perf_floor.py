@@ -7,6 +7,7 @@ from repro.bench.perf_floor import (
     check_compiled_floor,
     check_parallel_floor,
     check_perf_floor,
+    check_serve_floor,
     main,
 )
 
@@ -251,6 +252,100 @@ class TestCheckParallelFloor:
         assert check_parallel_floor(payload) == ([], [])
 
 
+def serve_run(
+    qps=1000.0, p99=5.0, dedup=True, hit_rate=0.4, identical=True, shards=1
+):
+    return {
+        "config": {"shards": shards, "dedup": dedup},
+        "qps": qps,
+        "latency_ms": {"p50": 1.0, "p99": p99},
+        "dedup_hit_rate": hit_rate,
+        "bit_identical": identical,
+    }
+
+
+def serve_payload(cpu_count=8, **runs):
+    if not runs:
+        runs = {
+            "baseline-pr8": serve_run(
+                qps=800.0, p99=8.0, dedup=False, hit_rate=0.0
+            ),
+            "dedup-2shards": serve_run(qps=1200.0, p99=5.0, shards=2),
+        }
+    names = list(runs)
+    return {
+        "experiment": "serve_suite",
+        "host": {"cpu_count": cpu_count},
+        "runs": runs,
+        "comparison": {"baseline": names[0], "candidate": names[-1]},
+    }
+
+
+class TestCheckServeFloor:
+    def test_passes_when_candidate_beats_baseline(self):
+        assert check_serve_floor(serve_payload()) == ([], [])
+
+    def test_empty_payload_violates(self):
+        violations, _ = check_serve_floor({"runs": {}})
+        assert violations == ["serve payload carries no runs"]
+
+    def test_bit_identity_always_gates(self):
+        payload = serve_payload(
+            cpu_count=1,
+            baseline=serve_run(dedup=False, hit_rate=0.0),
+            candidate=serve_run(identical=False),
+        )
+        violations, _ = check_serve_floor(payload)
+        assert len(violations) == 1
+        assert "bit-identical" in violations[0]
+
+    def test_zero_dedup_hit_rate_always_gates(self):
+        payload = serve_payload(
+            cpu_count=1,
+            baseline=serve_run(dedup=False, hit_rate=0.0),
+            candidate=serve_run(hit_rate=0.0),
+        )
+        violations, _ = check_serve_floor(payload)
+        assert len(violations) == 1
+        assert "hit rate is zero" in violations[0]
+
+    def test_single_core_host_skips_speed_only(self):
+        payload = serve_payload(
+            cpu_count=1,
+            baseline=serve_run(qps=2000.0, p99=1.0, dedup=False, hit_rate=0.0),
+            candidate=serve_run(qps=100.0, p99=50.0),
+        )
+        violations, skips = check_serve_floor(payload)
+        assert violations == []
+        assert len(skips) == 1 and "1 core" in skips[0]
+
+    def test_slow_candidate_violates_on_a_capable_host(self):
+        payload = serve_payload(
+            baseline=serve_run(qps=2000.0, p99=1.0, dedup=False, hit_rate=0.0),
+            candidate=serve_run(qps=100.0, p99=50.0),
+        )
+        violations, skips = check_serve_floor(payload)
+        assert skips == []
+        assert len(violations) == 2
+        assert "does not beat" in violations[0]
+        assert "regresses" in violations[1]
+
+    def test_comparison_must_name_present_runs(self):
+        payload = serve_payload()
+        payload["comparison"]["candidate"] = "warp-drive"
+        violations, _ = check_serve_floor(payload)
+        assert any("two present runs" in v for v in violations)
+
+    def test_host_override_beats_the_payload(self):
+        payload = serve_payload(
+            cpu_count=1,
+            baseline=serve_run(qps=2000.0, p99=1.0, dedup=False, hit_rate=0.0),
+            candidate=serve_run(qps=100.0, p99=50.0),
+        )
+        violations, _ = check_serve_floor(payload, host_cpu_count=8)
+        assert len(violations) == 2
+
+
 class TestMain:
     def _write(self, tmp_path, data):
         path = tmp_path / "bench.json"
@@ -344,6 +439,33 @@ class TestMain:
             == 0
         )
         assert "skip" in capsys.readouterr().out
+
+    def test_serve_json_is_gated_too(self, tmp_path, capsys):
+        soa_path = self._write(tmp_path, payload(entry()))
+        serve_path = tmp_path / "serve.json"
+        serve_path.write_text(
+            json.dumps(
+                serve_payload(
+                    baseline=serve_run(
+                        qps=2000.0, p99=1.0, dedup=False, hit_rate=0.0
+                    ),
+                    candidate=serve_run(qps=100.0, p99=50.0),
+                )
+            )
+        )
+        assert (
+            main(["--json", soa_path, "--serve-json", str(serve_path)]) == 1
+        )
+        assert "does not beat" in capsys.readouterr().out
+
+    def test_serve_json_pass_reports_run_count(self, tmp_path, capsys):
+        soa_path = self._write(tmp_path, payload(entry()))
+        serve_path = tmp_path / "serve.json"
+        serve_path.write_text(json.dumps(serve_payload()))
+        assert (
+            main(["--json", soa_path, "--serve-json", str(serve_path)]) == 0
+        )
+        assert "serve floor checked 2 run(s)" in capsys.readouterr().out
 
     def test_parallel_json_host_aware_pass(self, tmp_path, capsys):
         soa_path = self._write(tmp_path, payload(entry()))

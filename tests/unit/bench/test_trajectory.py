@@ -77,6 +77,18 @@ def serve_payload():
     }
 
 
+def serve_suite_payload():
+    return {
+        "experiment": "serve_suite",
+        "workload": {"users": 1000, "references": 4096},
+        "runs": {
+            "baseline-pr8": {"speedup": 4.0},
+            "dedup-2shards": {"speedup": 8.0},
+            "malformed": {"speedup": "not-a-number"},
+        },
+    }
+
+
 class TestTrajectory:
     def test_all_sources_fold_into_one_labeled_table(self, tmp_path):
         write_json(tmp_path, "BENCH_soa.json", soa_payload())
@@ -98,6 +110,25 @@ class TestTrajectory:
             "-",
         ) in report.rows
         assert "per-query serial" in rendered
+
+    def test_serve_suite_payloads_get_one_row_per_run(self, tmp_path):
+        write_json(tmp_path, "BENCH_serve.json", serve_suite_payload())
+        report = run_trajectory(
+            paths=[os.path.join(tmp_path, "BENCH_serve.json")]
+        )
+        labels = {row[1] for row in report.rows}
+        assert "1000 users / 4096 refs [baseline-pr8]" in labels
+        assert "1000 users / 4096 refs [dedup-2shards]" in labels
+        # The malformed run is dropped, the rest keep their baselines.
+        assert not any("malformed" in label for label in labels)
+        for row in report.rows:
+            if row[1] != "geomean":
+                assert row[3] == "per-query serial"
+        # sqrt(4 * 8)
+        assert any(
+            row[1] == "geomean" and abs(row[4] - 5.657) < 0.001
+            for row in report.rows
+        )
 
     def test_multi_row_sources_get_a_geomean_row(self, tmp_path):
         write_json(tmp_path, "BENCH_soa.json", soa_payload())

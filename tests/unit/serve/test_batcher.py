@@ -239,3 +239,190 @@ class TestSaturationDiscipline:
         batcher = run(scenario())
         assert ticks == [1, 4, 2]
         assert batcher.max_tick_size == 4
+
+
+class TestIntraTickDedup:
+    def test_duplicates_execute_once_and_fan_out(self):
+        ticks = []
+
+        def record_batch(queries):
+            ticks.append([query.point for query in queries])
+            return echo_batch(queries)
+
+        async def scenario():
+            batcher = AdmissionBatcher(
+                record_batch, max_batch=100, max_hold_s=0.01
+            )
+            results = await asyncio.gather(
+                batcher.submit(NNQuery((1.0, 2.0))),
+                batcher.submit(NNQuery((1.0, 2.0))),
+                batcher.submit(NNQuery((3.0, 4.0))),
+                batcher.submit(NNQuery((1.0, 2.0))),
+            )
+            return batcher, results
+
+        batcher, results = run(scenario())
+        # run_batch saw only the two distinct points, once each.
+        assert ticks == [[(1.0, 2.0), (3.0, 4.0)]]
+        assert results == [(1.0, 2.0), (1.0, 2.0), (3.0, 4.0), (1.0, 2.0)]
+        # Duplicate callers share the identical demuxed object.
+        assert results[0] is results[1] is results[3]
+        stats = batcher.batcher_stats()
+        assert stats["queries"] == 4
+        assert stats["executed"] == 2
+        assert stats["dedup_folded"] == 2
+        assert stats["dedup_hit_rate"] == 0.5
+        assert stats["max_tick_size"] == 4
+        assert stats["max_distinct_tick"] == 2
+
+    def test_same_point_different_params_stay_distinct(self):
+        ticks = []
+
+        def record_batch(queries):
+            ticks.append(len(queries))
+            return echo_batch(queries)
+
+        async def scenario():
+            batcher = AdmissionBatcher(
+                record_batch, max_batch=100, max_hold_s=0.01
+            )
+            await asyncio.gather(
+                batcher.submit(KNNQuery((1.0,), 3)),
+                batcher.submit(KNNQuery((1.0,), 3)),
+                batcher.submit(CountQuery((1.0,), 0.3)),
+                batcher.submit(CountQuery((1.0,), 0.5)),
+            )
+            return batcher
+
+        batcher = run(scenario())
+        # k=3 dedups within its group; the two radii never share a
+        # group (group_key includes the radius), so nothing folds there.
+        assert batcher.dedup_folded == 1
+        assert batcher.executed == 3
+
+    def test_max_batch_caps_distinct_queries_not_callers(self):
+        ticks = []
+
+        def record_batch(queries):
+            ticks.append(len(queries))
+            return echo_batch(queries)
+
+        async def scenario():
+            batcher = AdmissionBatcher(
+                record_batch, max_batch=2, max_hold_s=30.0
+            )
+            # Two distinct points fill the tick even though three
+            # callers are riding them; the straggler duplicate (after
+            # the full flush) drains on completion.
+            results = await asyncio.gather(
+                batcher.submit(NNQuery((1.0,))),
+                batcher.submit(NNQuery((1.0,))),
+                batcher.submit(NNQuery((2.0,))),
+                batcher.submit(NNQuery((2.0,))),
+            )
+            return batcher, results
+
+        batcher, results = run(scenario())
+        assert ticks == [2, 1]
+        assert batcher.full_flushes == 1
+        # The full tick admitted three user queries over two distinct.
+        assert batcher.max_tick_size == 3
+        assert results == [(1.0,), (1.0,), (2.0,), (2.0,)]
+
+    def test_dedup_exception_lands_on_every_duplicate_caller(self):
+        def explode(queries):
+            raise RuntimeError("kernel fault")
+
+        async def scenario():
+            batcher = AdmissionBatcher(explode, max_batch=2, max_hold_s=30.0)
+            return await asyncio.gather(
+                batcher.submit(NNQuery((1.0,))),
+                batcher.submit(NNQuery((1.0,))),
+                batcher.submit(NNQuery((2.0,))),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert len(results) == 3
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+    def test_dedup_disabled_executes_every_caller(self):
+        ticks = []
+
+        def record_batch(queries):
+            ticks.append(len(queries))
+            return echo_batch(queries)
+
+        async def scenario():
+            batcher = AdmissionBatcher(
+                record_batch, max_batch=100, max_hold_s=0.01, dedup=False
+            )
+            await asyncio.gather(
+                *(batcher.submit(NNQuery((1.0,))) for _ in range(4))
+            )
+            return batcher
+
+        batcher = run(scenario())
+        assert ticks == [4]
+        assert batcher.dedup_folded == 0
+        assert batcher.executed == 4
+
+
+class TestAdaptiveHold:
+    def test_hold_starts_at_the_ceiling(self):
+        async def scenario():
+            batcher = AdmissionBatcher(
+                echo_batch, max_batch=100, max_hold_s=0.01
+            )
+            await batcher.submit(NNQuery((1.0,)))
+            return batcher.batcher_stats()
+
+        stats = run(scenario())
+        holds = stats["adaptive_hold"]
+        assert list(holds) == ["nn"]
+        # A single arrival gives the controller no inter-arrival sample;
+        # the hold stays at the configured ceiling.
+        assert holds["nn"]["hold_ms"] == 10.0
+        assert holds["nn"]["ewma_interarrival_ms"] is None
+
+    def test_dense_traffic_tightens_the_hold_below_the_ceiling(self):
+        async def scenario():
+            batcher = AdmissionBatcher(
+                echo_batch, max_batch=4, max_hold_s=1.0
+            )
+            # Bursts of back-to-back arrivals: inter-arrival EWMA is
+            # microseconds, so the target hold collapses far below the
+            # 1 s ceiling.
+            for _ in range(5):
+                await asyncio.gather(
+                    *(batcher.submit(NNQuery((float(i),))) for i in range(4))
+                )
+            return batcher.batcher_stats()
+
+        stats = run(scenario())
+        hold = stats["adaptive_hold"]["nn"]
+        assert hold["ewma_interarrival_ms"] is not None
+        assert hold["hold_ms"] < 1000.0
+
+    def test_adaptive_hold_disabled_keeps_the_static_knob(self):
+        async def scenario():
+            batcher = AdmissionBatcher(
+                echo_batch,
+                max_batch=4,
+                max_hold_s=0.01,
+                adaptive_hold=False,
+            )
+            for _ in range(5):
+                await asyncio.gather(
+                    *(batcher.submit(NNQuery((float(i),))) for i in range(4))
+                )
+            return batcher.batcher_stats()
+
+        stats = run(scenario())
+        hold = stats["adaptive_hold"]["nn"]
+        assert hold["hold_ms"] == 10.0
+        assert hold["ewma_interarrival_ms"] is None
+
+    def test_bad_hold_arrivals_rejected(self):
+        with pytest.raises(SpecError, match="hold_arrivals"):
+            AdmissionBatcher(echo_batch, hold_arrivals=0.0)

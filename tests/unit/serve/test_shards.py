@@ -1,0 +1,186 @@
+"""Shard partitioning and the exact scatter/gather reductions.
+
+The gathers are pure array functions, so most cases pin them directly
+against hand-built columns; the end-to-end bit-identity against the
+serial oracle lives in ``test_service.py`` and the hypothesis
+properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.serve.rules import PAD_ID
+from repro.serve.shards import (
+    gather_columns,
+    gather_count_columns,
+    gather_neighbor_columns,
+    rebase_ids,
+    shard_slices,
+)
+from repro.serve.service import QueryService, ServiceConfig
+from repro.spaces.points import clustered_points
+
+
+class TestShardSlices:
+    def test_slices_cover_and_balance(self):
+        slices = shard_slices(10, 3)
+        assert slices == [(0, 3), (3, 7), (7, 10)]
+        assert slices[0][0] == 0 and slices[-1][1] == 10
+
+    def test_one_shard_is_the_whole_set(self):
+        assert shard_slices(7, 1) == [(0, 7)]
+
+    def test_every_shard_non_empty(self):
+        for n in (1, 2, 5, 17, 100):
+            for shards in range(1, n + 1):
+                slices = shard_slices(n, shards)
+                assert all(stop > start for start, stop in slices)
+                assert slices[0][0] == 0 and slices[-1][1] == n
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(SpecError, match="shards"):
+            shard_slices(10, 0)
+        with pytest.raises(SpecError, match="non-empty"):
+            shard_slices(3, 4)
+
+
+class TestRebase:
+    def test_rebase_shifts_real_ids_only(self):
+        ids = np.array([[0, 2, PAD_ID]], dtype=np.int64)
+        rebased = rebase_ids(ids, 100)
+        assert rebased.tolist() == [[100, 102, PAD_ID]]
+        # zero base returns the input untouched
+        assert rebase_ids(ids, 0) is ids
+
+
+class TestNeighborGather:
+    def test_merge_matches_lexicographic_top_k(self):
+        # Shard A holds global ids 0..1, shard B ids 10..11; the
+        # global top-2 interleaves across shards.
+        shard_a = {
+            "dists": np.array([[0.1, 0.4]]),
+            "ids": np.array([[1, 0]], dtype=np.int64),
+        }
+        shard_b = {
+            "dists": np.array([[0.2, 0.3]]),
+            "ids": np.array([[1, 0]], dtype=np.int64),
+        }
+        merged = gather_neighbor_columns([shard_a, shard_b], [0, 10], 2)
+        assert merged["dists"].tolist() == [[0.1, 0.2]]
+        assert merged["ids"].tolist() == [[1, 11]]
+
+    def test_distance_ties_break_on_global_id(self):
+        shard_a = {
+            "dists": np.array([[0.5]]),
+            "ids": np.array([[3]], dtype=np.int64),
+        }
+        shard_b = {
+            "dists": np.array([[0.5]]),
+            "ids": np.array([[0]], dtype=np.int64),
+        }
+        # Global ids 3 vs 7: the tie goes to the smaller global id,
+        # regardless of shard order in the gather.
+        merged = gather_neighbor_columns([shard_b, shard_a], [7, 0], 2)
+        assert merged["ids"].tolist() == [[3, 7]]
+
+    def test_padding_sorts_last_and_survives(self):
+        # Shard B is smaller than k and answers with padding.
+        shard_a = {
+            "dists": np.array([[0.9, np.inf]]),
+            "ids": np.array([[0, PAD_ID]], dtype=np.int64),
+        }
+        shard_b = {
+            "dists": np.array([[0.1]]),
+            "ids": np.array([[0]], dtype=np.int64),
+        }
+        merged = gather_neighbor_columns([shard_a, shard_b], [0, 5], 2)
+        assert merged["ids"].tolist() == [[5, 0]]
+        assert merged["dists"].tolist() == [[0.1, 0.9]]
+
+    def test_single_shard_passthrough(self):
+        columns = {
+            "dists": np.array([[0.1]]),
+            "ids": np.array([[4]], dtype=np.int64),
+        }
+        assert gather_neighbor_columns([columns], [0], 1) == columns
+
+    def test_shard_result_count_mismatch_rejected(self):
+        with pytest.raises(SpecError, match="shard"):
+            gather_neighbor_columns([], [0], 1)
+
+
+class TestCountGather:
+    def test_counts_sum_exactly(self):
+        a = {"counts": np.array([3, 0, 7], dtype=np.int64)}
+        b = {"counts": np.array([1, 2, 0], dtype=np.int64)}
+        merged = gather_count_columns([a, b])
+        assert merged["counts"].tolist() == [4, 2, 7]
+        assert merged["counts"].dtype == np.int64
+
+    def test_dispatch_routes_by_kind(self):
+        counts = {"counts": np.array([1], dtype=np.int64)}
+        assert gather_columns("count", [counts], [0], 1) == counts
+
+
+class TestShardedService:
+    def test_sharded_batches_match_the_serial_oracle(self):
+        from repro.serve.protocol import CountQuery, KNNQuery, NNQuery
+
+        references = clustered_points(600, seed=3)
+        points = [
+            tuple(float(v) for v in p) for p in clustered_points(12, seed=9)
+        ]
+        queries = []
+        for point in points:
+            queries += [
+                NNQuery(point),
+                KNNQuery(point, 7),
+                CountQuery(point, 0.35),
+            ]
+        with QueryService(references, ServiceConfig(shards=1)) as single, \
+                QueryService(references, ServiceConfig(shards=3)) as sharded:
+            oracle = single.execute_serial(queries)
+            assert sharded.execute_batch(queries) == oracle
+            stats = sharded.service_stats()
+            assert stats["shards"]["count"] == 3
+            assert sum(stats["shards"]["points"]) == 600
+
+    def test_k_exceeding_every_shard_stays_exact(self):
+        from repro.serve.protocol import KNNQuery
+
+        references = clustered_points(10, seed=5)
+        queries = [
+            KNNQuery(tuple(float(v) for v in p), 8)
+            for p in clustered_points(5, seed=11)
+        ]
+        with QueryService(references, ServiceConfig(shards=1)) as single, \
+                QueryService(references, ServiceConfig(shards=3)) as sharded:
+            assert sharded.execute_batch(queries) == single.execute_serial(
+                queries
+            )
+
+    def test_shard_publications_unlink_on_close(self):
+        import os
+
+        def shm_segments():
+            try:
+                return set(os.listdir("/dev/shm"))
+            except FileNotFoundError:
+                return set()
+
+        before = shm_segments()
+        service = QueryService(
+            clustered_points(64, seed=1), ServiceConfig(shards=2)
+        )
+        assert len(shm_segments() - before) >= 2
+        service.close()
+        assert shm_segments() <= before
+
+    def test_bad_shard_config_rejected(self):
+        with pytest.raises(SpecError, match="shards"):
+            ServiceConfig(shards=0)
+        with pytest.raises(SpecError, match="non-empty"):
+            QueryService(
+                clustered_points(3, seed=1), ServiceConfig(shards=4)
+            )
